@@ -1,0 +1,212 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Violation filter** (paper Section 3.1): stopping the generation at
+   the first ``P_eval and not P_value`` state produces a small
+   counterexample fragment instead of the full bounded FSM -- "this
+   technique minimizes radically the number of the state variables
+   (the FSM size and its generation time)".
+2. **State-variable selection** (Section 2.2.1): keying states on a
+   subset of variables under-approximates but shrinks the FSM.
+3. **Domain restriction** (rule R4): a wider burst domain inflates the
+   candidate set and the FSM.
+4. **Action-set granularity** (Section 2.2.1's "set of actions"):
+   coarse transaction-level actions vs fine cycle-level actions.
+5. **Search order**: BFS yields minimal counterexamples; DFS usually
+   finds *a* violation with fewer visited states.
+"""
+
+import pytest
+
+from repro.asm import Domain, Location
+from repro.explorer import ExplorationConfig, SearchOrder, explore
+from repro.psl import AssertionProperty, parse_formula
+from repro.models.pci import (
+    build_pci_model,
+    pci_coarse_actions,
+    pci_domains,
+    pci_init_call,
+    pci_letter_from_model,
+)
+from repro.models.pci.properties import pci_invariant_properties
+
+
+def _pci_config(masters=2, targets=2, **overrides):
+    base = dict(
+        domains=pci_domains(targets),
+        init_action=pci_init_call(),
+        actions=pci_coarse_actions(masters, targets),
+        max_states=60_000,
+        max_transitions=600_000,
+    )
+    base.update(overrides)
+    return ExplorationConfig(**base)
+
+
+def _broken_model_and_property(masters=2, targets=2):
+    """A model with an injected mutual-exclusion bug for filter benches.
+
+    The bug: a property that *cannot* hold -- two masters must never
+    both have a pending request -- stands in for a design error so the
+    explorer has something to find quickly.
+    """
+    model = build_pci_model(masters, targets)
+    impossible = AssertionProperty(
+        parse_formula("never (req0 && req1)"),
+        extractor=pci_letter_from_model,
+        name="injected_bug",
+    )
+    return model, impossible
+
+
+class TestViolationFilterAblation:
+    def test_stop_on_violation_prunes_radically(self, benchmark):
+        def run():
+            model, prop = _broken_model_and_property()
+            stopped = explore(
+                model, _pci_config(properties=[prop], stop_on_violation=True)
+            )
+            model2, prop2 = _broken_model_and_property()
+            full = explore(
+                model2, _pci_config(properties=[prop2], stop_on_violation=False)
+            )
+            return stopped, full
+
+        stopped, full = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert not stopped.ok and not full.ok
+        assert stopped.counterexample is not None
+        # the filter's radical pruning:
+        assert stopped.fsm.state_count() < full.fsm.state_count() / 5
+        assert stopped.stats.elapsed_seconds < full.stats.elapsed_seconds
+        benchmark.extra_info.update(
+            {
+                "stopped_nodes": stopped.fsm.state_count(),
+                "full_nodes": full.fsm.state_count(),
+                "stopped_seconds": round(stopped.stats.elapsed_seconds, 3),
+                "full_seconds": round(full.stats.elapsed_seconds, 3),
+                "counterexample_len": stopped.counterexample.length,
+            }
+        )
+        print(
+            f"\nfilter ablation: stop-on-violation {stopped.fsm.state_count()} "
+            f"nodes vs full {full.fsm.state_count()} nodes"
+        )
+
+
+class TestStateVariableSelectionAblation:
+    def test_projection_shrinks_fsm(self, benchmark):
+        def run():
+            model = build_pci_model(2, 2)
+            full = explore(model, _pci_config())
+            model2 = build_pci_model(2, 2)
+            selected = [
+                Location("arbiter", "m_ActiveMaster"),
+                Location("arbiter", "m_gnt"),
+                Location("bus", "m_owner"),
+                Location("master0", "m_state"),
+                Location("master1", "m_state"),
+            ]
+            projected = explore(
+                model2, _pci_config(state_variables=selected)
+            )
+            return full, projected
+
+        full, projected = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert projected.fsm.state_count() < full.fsm.state_count()
+        benchmark.extra_info.update(
+            {
+                "full_nodes": full.fsm.state_count(),
+                "projected_nodes": projected.fsm.state_count(),
+            }
+        )
+        print(
+            f"\nstate-var selection: {full.fsm.state_count()} -> "
+            f"{projected.fsm.state_count()} nodes"
+        )
+
+
+class TestDomainRestrictionAblation:
+    def test_wider_burst_domain_inflates_fsm(self, benchmark):
+        def run():
+            model = build_pci_model(2, 1)
+            narrow = dict(pci_domains(1))
+            narrow["start_transaction.burst"] = Domain.int_range("burst", 1, 1)
+            small = explore(model, _pci_config(masters=2, targets=1, domains=narrow))
+            model2 = build_pci_model(2, 1)
+            wide = dict(pci_domains(1))
+            wide["start_transaction.burst"] = Domain.int_range("burst", 1, 3)
+            big = explore(model2, _pci_config(masters=2, targets=1, domains=wide))
+            return small, big
+
+        small, big = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert small.fsm.transition_count() < big.fsm.transition_count()
+        benchmark.extra_info.update(
+            {
+                "narrow_transitions": small.fsm.transition_count(),
+                "wide_transitions": big.fsm.transition_count(),
+            }
+        )
+        print(
+            f"\nR4 domains: burst 1..1 -> {small.fsm.transition_count()} trans, "
+            f"burst 1..3 -> {big.fsm.transition_count()} trans"
+        )
+
+
+class TestActionGranularityAblation:
+    def test_fine_actions_explode_state_count(self, benchmark):
+        def run():
+            model = build_pci_model(1, 2)
+            coarse = explore(model, _pci_config(masters=1, targets=2))
+            model2 = build_pci_model(1, 2)
+            fine = explore(
+                model2, _pci_config(masters=1, targets=2, actions=None)
+            )
+            return coarse, fine
+
+        coarse, fine = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert fine.fsm.state_count() > coarse.fsm.state_count()
+        benchmark.extra_info.update(
+            {
+                "coarse_nodes": coarse.fsm.state_count(),
+                "fine_nodes": fine.fsm.state_count(),
+            }
+        )
+        print(
+            f"\ngranularity: coarse {coarse.fsm.state_count()} vs fine "
+            f"{fine.fsm.state_count()} nodes"
+        )
+
+
+class TestSearchOrderAblation:
+    def test_bfs_counterexample_is_no_longer_than_dfs(self, benchmark):
+        def run():
+            model, prop = _broken_model_and_property()
+            bfs = explore(
+                model,
+                _pci_config(
+                    properties=[prop], search_order=SearchOrder.BFS
+                ),
+            )
+            model2, prop2 = _broken_model_and_property()
+            dfs = explore(
+                model2,
+                _pci_config(
+                    properties=[prop2], search_order=SearchOrder.DFS
+                ),
+            )
+            return bfs, dfs
+
+        bfs, dfs = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert bfs.counterexample is not None and dfs.counterexample is not None
+        assert bfs.counterexample.length <= dfs.counterexample.length
+        benchmark.extra_info.update(
+            {
+                "bfs_cex_len": bfs.counterexample.length,
+                "dfs_cex_len": dfs.counterexample.length,
+                "bfs_states": bfs.fsm.state_count(),
+                "dfs_states": dfs.fsm.state_count(),
+            }
+        )
+        print(
+            f"\nsearch order: BFS cex length {bfs.counterexample.length}, "
+            f"DFS cex length {dfs.counterexample.length}"
+        )

@@ -1,0 +1,86 @@
+"""Table 1 -- PCI Bus: Model Checking and Simulation Results.
+
+Regenerates every row of the paper's Table 1: model-checking CPU time,
+FSM node and transition counts (per masters x slaves configuration),
+and the simulation delta (average ns per cycle with the assertion
+monitors attached).
+
+Absolute numbers differ from the paper (their AsmL tester on a 2.4 GHz
+Pentium IV vs this pure-Python explorer); the *shape* -- exponential
+node/transition growth in the component count, super-linear checking
+time, slow-growing delta -- is the reproduction target.
+"""
+
+import pytest
+
+from common import (
+    SIM_CYCLES,
+    TABLE1_CONFIGS,
+    TABLE1_PAPER,
+    pci_model_check,
+    pci_simulate,
+)
+
+
+@pytest.mark.parametrize("masters,slaves", TABLE1_CONFIGS)
+def test_table1_model_checking(benchmark, masters, slaves):
+    """Columns 3-5: CPU time, FSM nodes, FSM transitions."""
+
+    def run():
+        return pci_model_check(masters, slaves)
+
+    result, row = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = TABLE1_PAPER[(masters, slaves)]
+    benchmark.extra_info.update(
+        {
+            "nodes": row.nodes,
+            "transitions": row.transitions,
+            "mc_seconds": round(row.seconds, 3),
+            "completed": row.completed,
+            "paper_nodes": paper[1],
+            "paper_transitions": paper[2],
+            "paper_seconds": paper[0],
+        }
+    )
+    assert row.ok, f"property violated in {row.label}"
+    print(f"\n{row}   [paper: {paper[0]:.0f}s {paper[1]} nodes {paper[2]} trans]")
+
+
+@pytest.mark.parametrize("masters,slaves", TABLE1_CONFIGS)
+def test_table1_simulation_delta(benchmark, masters, slaves):
+    """Last column: average simulation time per cycle (delta, ns)."""
+
+    def run():
+        return pci_simulate(masters, slaves, cycles=SIM_CYCLES)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = TABLE1_PAPER[(masters, slaves)]
+    benchmark.extra_info.update(
+        {
+            "cycles": row.cycles,
+            "delta_ns_per_cycle": round(row.delta_ns, 1),
+            "monitors": row.assertions,
+            "paper_delta_ns": paper[3],
+        }
+    )
+    assert row.all_passing, f"assertion failed in {row.label}"
+    print(f"\n{row}   [paper delta: {paper[3]} ns/cycle]")
+
+
+def test_table1_shape(benchmark):
+    """The qualitative claims: nodes and time grow monotonically with
+    the configuration size along the paper's row order."""
+
+    def run():
+        rows = [pci_model_check(m, s)[1] for (m, s) in ((1, 1), (2, 2), (3, 3))]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    nodes = [r.nodes for r in rows]
+    times = [r.seconds for r in rows]
+    assert nodes[0] < nodes[1] < nodes[2], nodes
+    assert times[0] < times[2], times
+    # exponential-ish growth: each step multiplies nodes by > 2
+    assert nodes[1] / nodes[0] > 2
+    assert nodes[2] / nodes[1] > 2
+    benchmark.extra_info["nodes_series"] = nodes

@@ -1,0 +1,98 @@
+"""Table 2 -- Master/Slave Bus: Model Checking and Simulation Results.
+
+Regenerates the paper's Table 2 over (slaves, blocking masters,
+non-blocking masters): model-checking CPU time, FSM nodes/transitions,
+and simulation delta.  The shape targets: node counts dominated by the
+master count (near-constant across slave counts), transition counts
+growing with the slave count (the address domain), checking time
+growing super-linearly, delta growing mildly.
+"""
+
+import pytest
+
+from common import (
+    SIM_CYCLES,
+    TABLE2_CONFIGS,
+    TABLE2_PAPER,
+    ms_model_check,
+    ms_simulate,
+)
+
+
+@pytest.mark.parametrize("slaves,blocking,non_blocking", TABLE2_CONFIGS)
+def test_table2_model_checking(benchmark, slaves, blocking, non_blocking):
+    """Columns 3-5: CPU time, FSM nodes, FSM transitions."""
+
+    def run():
+        return ms_model_check(blocking, non_blocking, slaves)
+
+    result, row = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = TABLE2_PAPER[(slaves, blocking, non_blocking)]
+    benchmark.extra_info.update(
+        {
+            "nodes": row.nodes,
+            "transitions": row.transitions,
+            "mc_seconds": round(row.seconds, 3),
+            "completed": row.completed,
+            "paper_nodes": paper[1],
+            "paper_transitions": paper[2],
+            "paper_seconds": paper[0],
+        }
+    )
+    assert row.ok, f"property violated in {row.label}"
+    print(f"\n{row}   [paper: {paper[0]:.0f}s {paper[1]} nodes {paper[2]} trans]")
+
+
+@pytest.mark.parametrize("slaves,blocking,non_blocking", TABLE2_CONFIGS)
+def test_table2_simulation_delta(benchmark, slaves, blocking, non_blocking):
+    """Last column: average simulation time per cycle (delta, ns)."""
+
+    def run():
+        return ms_simulate(blocking, non_blocking, slaves, cycles=SIM_CYCLES)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = TABLE2_PAPER[(slaves, blocking, non_blocking)]
+    benchmark.extra_info.update(
+        {
+            "cycles": row.cycles,
+            "delta_ns_per_cycle": round(row.delta_ns, 1),
+            "monitors": row.assertions,
+            "paper_delta_ns": paper[3],
+        }
+    )
+    assert row.all_passing, f"assertion failed in {row.label}"
+    print(f"\n{row}   [paper delta: {paper[3]} ns/cycle]")
+
+
+def test_table2_shape_nodes_track_masters_not_slaves(benchmark):
+    """Nodes stay (nearly) flat across slave counts but explode with
+    the master count -- the paper's 14/15/17 vs 146/.../538 pattern."""
+
+    def run():
+        flat = [ms_model_check(1, 1, s)[1] for s in (2, 3, 4)]
+        steep = [ms_model_check(b, nb, 2)[1] for (b, nb) in ((1, 1), (3, 3), (4, 4))]
+        return flat, steep
+
+    flat, steep = benchmark.pedantic(run, rounds=1, iterations=1)
+    flat_nodes = [r.nodes for r in flat]
+    steep_nodes = [r.nodes for r in steep]
+    # slave sweep: within 25% of each other
+    assert max(flat_nodes) <= 1.25 * min(flat_nodes), flat_nodes
+    # master sweep: at least x4 per step
+    assert steep_nodes[1] / steep_nodes[0] > 4
+    assert steep_nodes[2] / steep_nodes[1] > 2
+    benchmark.extra_info["slave_sweep_nodes"] = flat_nodes
+    benchmark.extra_info["master_sweep_nodes"] = steep_nodes
+
+
+def test_table2_shape_transitions_track_slaves(benchmark):
+    """Transitions grow with the slave count for a fixed master mix
+    (paper: 22 -> 27 -> 31 for 1B/1NB)."""
+
+    def run():
+        return [ms_model_check(1, 1, s)[1] for s in (2, 3, 4)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    transitions = [r.transitions for r in rows]
+    assert transitions[0] < transitions[1] < transitions[2], transitions
+    benchmark.extra_info["transition_series"] = transitions

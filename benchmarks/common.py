@@ -1,0 +1,242 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one row (or series) of the paper's
+evaluation: Table 1 (PCI), Table 2 (Master/Slave), or one of the
+design-choice ablations DESIGN.md calls out.  Numbers land in
+``benchmark.extra_info`` so ``pytest benchmarks/ --benchmark-only``
+reports them next to the timings, and each harness prints a
+paper-style row for eyeballing with ``-s``.
+
+Set ``REPRO_FULL=1`` to run the largest configurations uncapped (the
+paper's (3,3) PCI row took their 2005 machine 6836 s; ours takes a few
+minutes -- bounded by default so CI stays fast).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.abv import AbvHarness
+from repro.explorer import ExplorationConfig, ExplorationResult, explore
+from repro.psl import AssertionProperty, build_monitor
+from repro.models.master_slave import (
+    MsSystemModel,
+    build_master_slave_model,
+    master_slave_domains,
+    master_slave_init_call,
+    ms_coarse_actions,
+    ms_invariant_properties,
+    ms_letter_from_model,
+)
+from repro.models.pci import (
+    PciSystemModel,
+    build_pci_model,
+    pci_coarse_actions,
+    pci_domains,
+    pci_init_call,
+    pci_letter_from_model,
+)
+from repro.models.pci.properties import (
+    pci_invariant_properties,
+    pci_safety_properties,
+)
+from repro.models.master_slave.properties import ms_timed_properties
+
+FULL_RUN = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Exploration caps for the default (CI-friendly) benchmark run.
+DEFAULT_MAX_STATES = 200_000 if FULL_RUN else 40_000
+DEFAULT_MAX_TRANSITIONS = 2_000_000 if FULL_RUN else 400_000
+
+#: Simulated cycles for the delta (ns/cycle) measurements.
+SIM_CYCLES = 200_000 if FULL_RUN else 20_000
+
+
+@dataclass
+class McRow:
+    """One model-checking row: the paper's CPU time / nodes / transitions."""
+
+    label: str
+    seconds: float
+    nodes: int
+    transitions: int
+    completed: bool
+    ok: bool
+
+    def __str__(self) -> str:
+        flag = "" if self.completed else " (bounded)"
+        return (
+            f"{self.label:<16} {self.seconds:>9.2f}s {self.nodes:>8} nodes "
+            f"{self.transitions:>9} trans{flag}"
+        )
+
+
+def pci_model_check(n_masters: int, n_targets: int) -> tuple[ExplorationResult, McRow]:
+    """One Table 1 model-checking cell (coarse, paper-scale granularity)."""
+    model = build_pci_model(n_masters, n_targets)
+    properties = [
+        AssertionProperty(d.prop, extractor=pci_letter_from_model, name=d.prop.name)
+        for d in pci_invariant_properties(n_masters, n_targets)
+    ]
+    config = ExplorationConfig(
+        domains=pci_domains(n_targets),
+        init_action=pci_init_call(),
+        actions=pci_coarse_actions(n_masters, n_targets),
+        properties=properties,
+        max_states=DEFAULT_MAX_STATES,
+        max_transitions=DEFAULT_MAX_TRANSITIONS,
+    )
+    result = explore(model, config)
+    row = McRow(
+        label=f"PCI {n_masters}M/{n_targets}S",
+        seconds=result.stats.elapsed_seconds,
+        nodes=result.fsm.state_count(),
+        transitions=result.fsm.transition_count(),
+        completed=result.stats.completed,
+        ok=result.ok,
+    )
+    return result, row
+
+
+def ms_model_check(
+    n_blocking: int, n_non_blocking: int, n_slaves: int
+) -> tuple[ExplorationResult, McRow]:
+    """One Table 2 model-checking cell."""
+    n_masters = n_blocking + n_non_blocking
+    model = build_master_slave_model(n_blocking, n_non_blocking, n_slaves)
+    properties = [
+        AssertionProperty(d.prop, extractor=ms_letter_from_model, name=d.prop.name)
+        for d in ms_invariant_properties(n_masters, n_slaves)
+    ]
+    config = ExplorationConfig(
+        domains=master_slave_domains(n_slaves),
+        init_action=master_slave_init_call(),
+        actions=ms_coarse_actions(n_masters),
+        properties=properties,
+        max_states=DEFAULT_MAX_STATES,
+        max_transitions=DEFAULT_MAX_TRANSITIONS,
+    )
+    result = explore(model, config)
+    row = McRow(
+        label=f"MS {n_slaves}S/{n_blocking}B/{n_non_blocking}NB",
+        seconds=result.stats.elapsed_seconds,
+        nodes=result.fsm.state_count(),
+        transitions=result.fsm.transition_count(),
+        completed=result.stats.completed,
+        ok=result.ok,
+    )
+    return result, row
+
+
+@dataclass
+class SimRow:
+    """One simulation delta cell: average wall ns per simulated cycle."""
+
+    label: str
+    cycles: int
+    wall_seconds: float
+    assertions: int
+    all_passing: bool
+
+    @property
+    def delta_ns(self) -> float:
+        return self.wall_seconds * 1e9 / max(self.cycles, 1)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label:<16} {self.cycles:>8} cycles "
+            f"{self.wall_seconds:>7.2f}s  delta={self.delta_ns:>8.0f} ns/cycle "
+            f"({self.assertions} monitors)"
+        )
+
+
+def pci_simulate(
+    n_masters: int, n_targets: int, cycles: int = SIM_CYCLES, seed: int = 2005
+) -> SimRow:
+    """One Table 1 simulation cell: PCI with the full ABV suite."""
+    system = PciSystemModel(n_masters, n_targets, seed=seed)
+    harness = AbvHarness(system.simulator, system.clock, system.letter)
+    monitors = [
+        build_monitor(d) for d in pci_safety_properties(n_masters, n_targets)
+    ]
+    harness.add_monitors(monitors)
+    system.run_cycles(cycles)
+    harness.finish()
+    return SimRow(
+        label=f"PCI {n_masters}M/{n_targets}S",
+        cycles=harness.cycles_observed,
+        wall_seconds=system.simulator.stats.wall_seconds,
+        assertions=len(monitors),
+        all_passing=harness.all_passing,
+    )
+
+
+def ms_simulate(
+    n_blocking: int,
+    n_non_blocking: int,
+    n_slaves: int,
+    cycles: int = SIM_CYCLES,
+    seed: int = 2005,
+) -> SimRow:
+    """One Table 2 simulation cell."""
+    n_masters = n_blocking + n_non_blocking
+    system = MsSystemModel(n_blocking, n_non_blocking, n_slaves, seed=seed)
+    harness = AbvHarness(system.simulator, system.clock, system.letter)
+    monitors = [
+        build_monitor(d)
+        for d in ms_invariant_properties(n_masters, n_slaves, include_handshake=False)
+        + ms_timed_properties(n_masters, n_slaves, system.blocking_flags)
+    ]
+    harness.add_monitors(monitors)
+    system.run_cycles(cycles)
+    harness.finish()
+    return SimRow(
+        label=f"MS {n_slaves}S/{n_blocking}B/{n_non_blocking}NB",
+        cycles=harness.cycles_observed,
+        wall_seconds=system.simulator.stats.wall_seconds,
+        assertions=len(monitors),
+        all_passing=harness.all_passing,
+    )
+
+
+#: Table 1's (masters, slaves) configurations, in paper order.
+TABLE1_CONFIGS: Sequence[tuple[int, int]] = (
+    (1, 1), (1, 2), (3, 1), (2, 2), (2, 3), (3, 2), (3, 3),
+)
+
+#: Table 2's (slaves, blocking, non-blocking) configurations, paper order.
+TABLE2_CONFIGS: Sequence[tuple[int, int, int]] = (
+    (2, 1, 1), (2, 3, 3), (2, 3, 4), (2, 4, 4),
+    (3, 1, 1), (3, 3, 3), (3, 3, 4), (3, 4, 4),
+    (4, 1, 1), (4, 3, 3), (4, 3, 4), (4, 4, 4),
+)
+
+#: Paper-reported values for side-by-side display:
+#: (masters, slaves) -> (cpu_s, nodes, transitions, delta_ns)
+TABLE1_PAPER = {
+    (1, 1): (2.31, 20, 25, 24.31),
+    (1, 2): (2.93, 39, 53, 29.32),
+    (3, 1): (26.01, 236, 341, 29.76),
+    (2, 2): (26.84, 293, 449, 30.89),
+    (2, 3): (101.37, 658, 1117, 32.74),
+    (3, 2): (574.18, 1881, 3153, 34.03),
+    (3, 3): (6836.01, 6346, 12097, 36.82),
+}
+
+#: (slaves, blocking, non_blocking) -> (cpu_s, nodes, transitions, delta_ns)
+TABLE2_PAPER = {
+    (2, 1, 1): (3.54, 14, 22, 27.04),
+    (2, 3, 3): (142.32, 146, 531, 31.44),
+    (2, 3, 4): (402.32, 276, 1174, 33.02),
+    (2, 4, 4): (1192.57, 530, 2584, 35.41),
+    (3, 1, 1): (4.32, 15, 27, 28.01),
+    (3, 3, 3): (186.64, 147, 723, 36.85),
+    (3, 3, 4): (518.73, 278, 1622, 38.82),
+    (3, 4, 4): (1541.32, 535, 3606, 40.08),
+    (4, 1, 1): (5.21, 17, 31, 29.92),
+    (4, 3, 3): (214.46, 148, 915, 39.41),
+    (4, 3, 4): (630.48, 280, 2070, 41.11),
+    (4, 4, 4): (2002.54, 538, 4630, 43.25),
+}

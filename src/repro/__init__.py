@@ -1,0 +1,46 @@
+"""repro -- Design for Verification of SystemC Transaction Level Models.
+
+A complete Python reproduction of Habibi & Tahar's DATE 2005 paper:
+
+* :mod:`repro.uml` -- UML class/use-case diagrams and the paper's
+  *modified sequence diagram* property notation,
+* :mod:`repro.asm` -- an AsmL-flavoured Abstract State Machine
+  framework (typed state, update-set semantics, guarded actions),
+* :mod:`repro.explorer` -- FSM generation by bounded reachability with
+  on-the-fly property checking, filters and counterexamples,
+* :mod:`repro.psl` -- the Accellera PSL subset: Boolean layer, SEREs,
+  FL formulas, four-valued finite-trace semantics, parser, and
+  compiled assertion monitors,
+* :mod:`repro.sysc` -- a SystemC-like discrete-event simulation kernel
+  (delta cycles, signals, clocked threads, modules/ports),
+* :mod:`repro.translate` -- the paper's ASM -> SystemC rules R1-R3 and
+  PSL -> C# monitor generation, plus runnable translations,
+* :mod:`repro.abv` -- runtime assertion-based verification,
+* :mod:`repro.models` -- the two case studies: PCI (Table 1) and the
+  generic Master/Slave bus (Table 2),
+* :mod:`repro.flow` -- the end-to-end Figure 1 pipeline.
+
+Quickstart::
+
+    from repro.flow import DesignFlow
+    from repro.models.pci import (
+        build_pci_model, pci_domains, pci_init_call,
+        pci_letter_from_model,
+    )
+    from repro.models.pci.properties import pci_invariant_properties
+    from repro.explorer import ExplorationConfig
+
+    flow = DesignFlow(
+        model_factory=lambda: build_pci_model(2, 2),
+        directives=pci_invariant_properties(2, 2),
+        extractor=pci_letter_from_model,
+        exploration=ExplorationConfig(
+            domains=pci_domains(2), init_action=pci_init_call()
+        ),
+    )
+    print(flow.model_check().summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

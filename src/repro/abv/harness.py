@@ -1,0 +1,183 @@
+"""The assertion-based verification harness.
+
+Binds compiled PSL monitors to a running simulation (paper Section
+3.2).  Monitors sample the design on the clock's *negative* edge so
+every posedge-triggered write has committed -- the standard opposite-
+edge sampling discipline.  On a failure, the harness executes the
+monitor's configured actions, which are exactly the paper's three:
+
+1. "stop the simulation when the assertion is fired",
+2. "write a report about the assertion status and all its variables",
+3. "send a warning signal to other modules (if required)".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..psl.monitor import CoverMonitor, Monitor, MonitorReport
+from ..psl.semantics import Verdict
+from ..sysc.clock import Clock
+from ..sysc.errors import SimulationStopped
+from ..sysc.kernel import Simulator
+from ..sysc.report import ReportHandler, Severity
+from ..sysc.signal import Signal
+
+
+class FailureAction(enum.Enum):
+    """What to do when an assertion fires (paper Section 3.2)."""
+
+    STOP = "stop"
+    REPORT = "report"
+    WARN = "warn"
+
+
+@dataclass
+class AssertionBinding:
+    """One monitor attached to the harness."""
+
+    monitor: Monitor
+    actions: tuple = (FailureAction.REPORT,)
+    warning_signal: Optional[Signal] = None
+    #: set once the failure actions ran (each assertion fires once)
+    fired: bool = False
+
+    def __post_init__(self):
+        if FailureAction.WARN in self.actions and self.warning_signal is None:
+            raise ValueError(
+                f"monitor {self.monitor.name!r} wants WARN but has no warning signal"
+            )
+
+
+class AbvHarness:
+    """Samples all bound monitors once per clock cycle."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        clock: Clock,
+        extractor: Callable[[], Mapping[str, Any]],
+        report_handler: Optional[ReportHandler] = None,
+    ):
+        self.simulator = simulator
+        self.clock = clock
+        self.extractor = extractor
+        self.reports = report_handler or ReportHandler()
+        self.bindings: List[AssertionBinding] = []
+        self.cycles_observed = 0
+        simulator.register_process(
+            _make_sampler(self)
+        )
+
+    # -- construction ----------------------------------------------------------
+
+    def add_monitor(
+        self,
+        monitor: Monitor,
+        actions: Sequence[FailureAction] = (FailureAction.REPORT,),
+        warning_signal: Optional[Signal] = None,
+    ) -> AssertionBinding:
+        binding = AssertionBinding(
+            monitor=monitor,
+            actions=tuple(actions),
+            warning_signal=warning_signal,
+        )
+        self.bindings.append(binding)
+        return binding
+
+    def add_monitors(
+        self,
+        monitors: Sequence[Monitor],
+        actions: Sequence[FailureAction] = (FailureAction.REPORT,),
+    ) -> List[AssertionBinding]:
+        return [self.add_monitor(m, actions) for m in monitors]
+
+    # -- the sampling step (called from the internal process) ---------------------
+
+    def _sample(self) -> None:
+        letter = self.extractor()
+        self.cycles_observed += 1
+        stop_requested: Optional[str] = None
+        for binding in self.bindings:
+            verdict = binding.monitor.step(letter)
+            if verdict is Verdict.FAILS and not binding.fired:
+                binding.fired = True
+                reason = self._run_failure_actions(binding)
+                if reason is not None:
+                    stop_requested = reason
+        if stop_requested is not None:
+            raise SimulationStopped(stop_requested)
+
+    def _run_failure_actions(self, binding: AssertionBinding) -> Optional[str]:
+        monitor = binding.monitor
+        stop_reason: Optional[str] = None
+        if FailureAction.REPORT in binding.actions:
+            report = monitor.report()
+            self.reports.error(
+                label=monitor.name,
+                message=report.message
+                or f"assertion failed (watched: {', '.join(report.watched)})",
+                time=self.simulator.time,
+            )
+        if FailureAction.WARN in binding.actions and binding.warning_signal is not None:
+            binding.warning_signal.write(True)
+        if FailureAction.STOP in binding.actions:
+            stop_reason = f"assertion {monitor.name!r} fired"
+        return stop_reason
+
+    # -- results ---------------------------------------------------------------------
+
+    def finish(self) -> List[MonitorReport]:
+        """End-of-simulation wrap-up: uncovered covers and pending strong
+        obligations become warnings; returns every monitor's report."""
+        results: List[MonitorReport] = []
+        for binding in self.bindings:
+            monitor = binding.monitor
+            verdict = monitor.verdict()
+            if isinstance(monitor, CoverMonitor) and monitor.hits == 0:
+                self.reports.warning(
+                    label=monitor.name,
+                    message="coverage goal never hit",
+                    time=self.simulator.time,
+                )
+            elif verdict is Verdict.PENDING:
+                self.reports.warning(
+                    label=monitor.name,
+                    message="strong obligation still pending at end of simulation",
+                    time=self.simulator.time,
+                )
+            results.append(monitor.report())
+        return results
+
+    @property
+    def failed(self) -> List[AssertionBinding]:
+        return [b for b in self.bindings if b.monitor.verdict() is Verdict.FAILS]
+
+    @property
+    def all_passing(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        verdict_counts: Dict[Verdict, int] = {}
+        for binding in self.bindings:
+            verdict = binding.monitor.verdict()
+            verdict_counts[verdict] = verdict_counts.get(verdict, 0) + 1
+        parts = [f"{count}x {verdict.value}" for verdict, count in verdict_counts.items()]
+        return (
+            f"{len(self.bindings)} assertions over {self.cycles_observed} "
+            f"cycles: {', '.join(parts) if parts else 'none'}"
+        )
+
+
+def _make_sampler(harness: AbvHarness):
+    """The negedge-sampling thread process."""
+    from ..sysc.process_ import ThreadProcess
+
+    def body():
+        while True:
+            yield harness.clock.negedge_event
+            harness._sample()
+
+    return ThreadProcess(f"{harness.clock.name}.abv_sampler", body)

@@ -1,0 +1,110 @@
+"""Finite domains for action arguments and state variables (rule R4).
+
+The FSM-generation algorithm "requires as input: domains, methods,
+actions and variables"; domains are "finite collections of values from
+which method arguments are taken" (paper Section 2.2.1).  Restricting
+domains is the main lever against state explosion (rule R4: "domains for
+all members must be inherited from AsmL types and restricted to the
+possible values the system can accept").
+
+A domain is either a static tuple of values or a *provider* computed
+from the current model (AsmL supports drawing arguments from dynamic
+sets, e.g. ``any m | m in ActiveMasters``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .errors import DomainError
+
+
+class Domain:
+    """A named, finite collection of candidate values."""
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable[Any] | None = None,
+        provider: Callable[[Any], Iterable[Any]] | None = None,
+    ):
+        if (values is None) == (provider is None):
+            raise DomainError("Domain needs exactly one of values= or provider=")
+        self.name = name
+        self._values = tuple(values) if values is not None else None
+        self._provider = provider
+        if self._values is not None and not self._values:
+            raise DomainError(f"domain {name!r} is empty")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, name: str, *values: Any) -> "Domain":
+        """Explicit enumeration: ``Domain.of('cmd', 'READ', 'WRITE')``."""
+        return cls(name, values=values)
+
+    @classmethod
+    def int_range(cls, name: str, low: int, high: int) -> "Domain":
+        """Inclusive integer interval ``low..high``."""
+        if low > high:
+            raise DomainError(f"empty range {low}..{high} for domain {name!r}")
+        return cls(name, values=range(low, high + 1))
+
+    @classmethod
+    def boolean(cls, name: str = "bool") -> "Domain":
+        return cls(name, values=(False, True))
+
+    @classmethod
+    def dynamic(cls, name: str, provider: Callable[[Any], Iterable[Any]]) -> "Domain":
+        """State-dependent domain; ``provider(model)`` yields the values."""
+        return cls(name, provider=provider)
+
+    # -- use -----------------------------------------------------------------
+
+    @property
+    def is_static(self) -> bool:
+        return self._values is not None
+
+    def values(self, model: Any = None) -> Sequence[Any]:
+        """The candidate values, given the current model for dynamic domains."""
+        if self._values is not None:
+            return self._values
+        assert self._provider is not None
+        return tuple(self._provider(model))
+
+    def contains(self, value: Any, model: Any = None) -> bool:
+        return value in self.values(model)
+
+    def restrict(self, predicate: Callable[[Any], bool], name: str | None = None) -> "Domain":
+        """A sub-domain keeping only values satisfying ``predicate``."""
+        if self._values is not None:
+            kept = tuple(v for v in self._values if predicate(v))
+            if not kept:
+                raise DomainError(f"restriction of {self.name!r} is empty")
+            return Domain(name or f"{self.name}|restricted", values=kept)
+        provider = self._provider
+        assert provider is not None
+        return Domain(
+            name or f"{self.name}|restricted",
+            provider=lambda model: (v for v in provider(model) if predicate(v)),
+        )
+
+    def size(self, model: Any = None) -> int:
+        return len(tuple(self.values(model)))
+
+    def __repr__(self) -> str:
+        if self._values is not None:
+            preview = ", ".join(repr(v) for v in self._values[:6])
+            if len(self._values) > 6:
+                preview += ", ..."
+            return f"Domain({self.name!r}: {preview})"
+        return f"Domain({self.name!r}: dynamic)"
+
+
+def cartesian_product(domains: Sequence[Domain], model: Any = None) -> list[tuple]:
+    """All argument tuples drawn from the given domains, in declaration order."""
+    tuples: list[tuple] = [()]
+    for domain in domains:
+        values = domain.values(model)
+        tuples = [existing + (value,) for existing in tuples for value in values]
+    return tuples

@@ -1,0 +1,71 @@
+"""Exceptions raised by the ASM framework.
+
+The AsmL runtime distinguishes several failure modes that matter to the
+FSM-generation algorithm of the paper (Section 2.2.1):
+
+* a violated ``require`` precondition (AsmL raises a requirement failure;
+  the explorer treats it as "action not enabled"),
+* an inconsistent update set (two parallel updates writing different
+  values to the same location -- the classic ASM consistency condition),
+* model-construction errors (rule R1: classes used without registered
+  instances; rule R4: values outside the declared domain).
+"""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """Base class for all ASM framework errors."""
+
+
+class RequirementFailure(AsmError):
+    """A ``require`` precondition evaluated to false.
+
+    During free execution this propagates like an AsmL runtime error;
+    during exploration the engine catches it and marks the action as not
+    enabled in the current state (paper rule R3).
+    """
+
+    def __init__(self, message: str = "", *, action: str | None = None):
+        self.action = action
+        text = message or "requirement failed"
+        if action:
+            text = f"{action}: {text}"
+        super().__init__(text)
+
+
+class InconsistentUpdateError(AsmError):
+    """Two updates in the same step assign different values to one location."""
+
+    def __init__(self, location: str, first, second):
+        self.location = location
+        self.first = first
+        self.second = second
+        super().__init__(
+            f"inconsistent update set: location {location!r} assigned both "
+            f"{first!r} and {second!r} in the same step"
+        )
+
+
+class FrozenStateError(AsmError):
+    """A state variable was written outside of an action/step context."""
+
+
+class DomainError(AsmError):
+    """A value falls outside a declared finite domain (rule R4)."""
+
+
+class ModelRuleViolation(AsmError):
+    """A model violates one of the R-FSM modelling rules (R1..R4)."""
+
+    def __init__(self, rule: str, message: str):
+        self.rule = rule
+        super().__init__(f"{rule}: {message}")
+
+
+class NoChoiceError(AsmError):
+    """A ``choose``/``min ... where`` found no candidate satisfying the filter."""
+
+
+class TypeMismatchError(AsmError):
+    """An operation mixed incompatible ASM types (e.g. BitVector widths)."""

@@ -1,0 +1,144 @@
+"""State locations, full-state snapshots and FSM state keys.
+
+Classic ASM semantics views the state as a mapping from *locations* to
+values.  Here a location is ``(machine_name, variable_name)``.  The FSM
+explorer needs two related notions (paper Section 2.2.1):
+
+* the **full state** -- every location of every registered machine; used
+  to save/restore the model during exploration, and
+* the **state key** -- the projection onto the *selected state
+  variables*; "the states in the FSM are determined by the values of
+  selected variables in the model program, called state variables".
+
+Both are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """One ASM location: a named variable of a named machine instance."""
+
+    machine: str
+    variable: str
+
+    def __str__(self) -> str:
+        return f"{self.machine}.{self.variable}"
+
+
+class FullState:
+    """An immutable snapshot of every location of an ASM model.
+
+    Stored as a sorted tuple of ``(Location, value)`` pairs; equality and
+    hashing are structural so the explorer can detect revisited states.
+    """
+
+    __slots__ = ("_pairs", "_index")
+
+    def __init__(
+        self, pairs: Iterable[tuple[Location, Any]], *, presorted: bool = False
+    ):
+        if presorted:
+            self._pairs: Tuple[tuple[Location, Any], ...] = tuple(pairs)
+        else:
+            self._pairs = tuple(sorted(pairs, key=lambda kv: kv[0]))
+        self._index = dict(self._pairs)
+
+    def value(self, location: Location) -> Any:
+        return self._index[location]
+
+    def get(self, machine: str, variable: str, default: Any = None) -> Any:
+        return self._index.get(Location(machine, variable), default)
+
+    def locations(self) -> Tuple[Location, ...]:
+        return tuple(loc for loc, _ in self._pairs)
+
+    def items(self) -> Tuple[tuple[Location, Any], ...]:
+        return self._pairs
+
+    def project(self, selected: Iterable[Location]) -> "StateKey":
+        """Project onto the selected state variables (FSM state key)."""
+        wanted = set(selected)
+        return StateKey(
+            tuple((loc, val) for loc, val in self._pairs if loc in wanted),
+            presorted=True,
+        )
+
+    def __iter__(self) -> Iterator[tuple[Location, Any]]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FullState):
+            return self._pairs == other._pairs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{loc}={val!r}" for loc, val in self._pairs)
+        return f"FullState({body})"
+
+
+class StateKey:
+    """The projection of a :class:`FullState` onto selected locations.
+
+    Two full states with the same key collapse into one FSM node -- this
+    is precisely how the AsmL tester controls FSM size, and why rule R4
+    asks for restricted domains on the selected variables.
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(
+        self, pairs: Iterable[tuple[Location, Any]], *, presorted: bool = False
+    ):
+        if presorted:
+            self._pairs = tuple(pairs)
+        else:
+            self._pairs = tuple(sorted(pairs, key=lambda kv: kv[0]))
+
+    def items(self) -> Tuple[tuple[Location, Any], ...]:
+        return self._pairs
+
+    def value(self, machine: str, variable: str, default: Any = None) -> Any:
+        for loc, val in self._pairs:
+            if loc.machine == machine and loc.variable == variable:
+                return val
+        return default
+
+    def label(self, max_len: int = 120) -> str:
+        """Human-readable node label for DOT output."""
+        body = ", ".join(f"{loc}={_short(val)}" for loc, val in self._pairs)
+        if len(body) > max_len:
+            body = body[: max_len - 3] + "..."
+        return body
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StateKey):
+            return self._pairs == other._pairs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[Location, Any]]:
+        return iter(self._pairs)
+
+    def __repr__(self) -> str:
+        return f"StateKey({self.label(max_len=200)})"
+
+
+def _short(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 24 else text[:21] + "..."

@@ -1,0 +1,333 @@
+"""AsmL-flavoured basic types.
+
+The paper's PSL embedding (Section 2.1.2) builds its Boolean layer on five
+basic types: ``Boolean``, ``PSLBit``, ``PSLBitVector``, ``Numeric`` and
+``String``, where ``Boolean`` and ``String`` inherit directly from the
+AsmL types.  The design translation rule R1 maps ASM basic types to their
+SystemC equivalents (``Integer`` -> ``int``, ``Byte`` -> ``unsigned
+char``, ...).
+
+This module provides the shared machinery: a :class:`Bit` with four-valued
+friendly coercions, a fixed-width :class:`BitVector` with the operations
+PSL's Boolean layer requires (slicing, concatenation, bitwise/arithmetic
+operators), and bounded integer helpers used to declare rule-R4 domains.
+
+Everything is immutable and hashable so values can live inside state
+snapshots taken by the FSM explorer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from .errors import DomainError, TypeMismatchError
+
+#: Values accepted wherever a single bit is expected.
+BitLike = Union["Bit", int, bool, str]
+
+
+class Bit:
+    """A single binary digit with boolean algebra.
+
+    >>> Bit(1) & Bit(0)
+    Bit(0)
+    >>> (~Bit(0)).value
+    1
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: BitLike = 0):
+        self._value = _coerce_bit(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (Bit, int, bool)):
+            return self._value == _coerce_bit(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Bit", self._value))
+
+    def __and__(self, other: BitLike) -> "Bit":
+        return Bit(self._value & _coerce_bit(other))
+
+    __rand__ = __and__
+
+    def __or__(self, other: BitLike) -> "Bit":
+        return Bit(self._value | _coerce_bit(other))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: BitLike) -> "Bit":
+        return Bit(self._value ^ _coerce_bit(other))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Bit":
+        return Bit(1 - self._value)
+
+    def __repr__(self) -> str:
+        return f"Bit({self._value})"
+
+
+def _coerce_bit(value: BitLike) -> int:
+    if isinstance(value, Bit):
+        return value.value
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        if value in (0, 1):
+            return value
+        raise DomainError(f"bit value must be 0 or 1, got {value}")
+    if isinstance(value, str):
+        if value in ("0", "1"):
+            return int(value)
+        raise DomainError(f"bit string must be '0' or '1', got {value!r}")
+    raise TypeMismatchError(f"cannot interpret {value!r} as a bit")
+
+
+class BitVector:
+    """A fixed-width, unsigned bit vector (MSB first, like PSL/VHDL).
+
+    Construction accepts an integer plus width, a binary string, or an
+    iterable of bit-likes:
+
+    >>> BitVector(0b1010, 4)
+    BitVector('1010')
+    >>> BitVector('0011') + BitVector('0001')
+    BitVector('0100')
+    >>> BitVector('1010')[0]
+    Bit(1)
+
+    Arithmetic wraps modulo ``2**width`` (hardware semantics).  Bitwise
+    operations require equal widths (PSL is strongly typed about this);
+    mixing widths raises :class:`TypeMismatchError`.
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: Union[int, str, Iterable[BitLike]] = 0, width: int | None = None):
+        if isinstance(value, BitVector):
+            bits_value, inferred = value._value, value._width
+        elif isinstance(value, str):
+            cleaned = value.replace("_", "")
+            if cleaned == "" or any(c not in "01" for c in cleaned):
+                raise DomainError(f"invalid binary literal {value!r}")
+            bits_value, inferred = int(cleaned, 2), len(cleaned)
+        elif isinstance(value, int):
+            if value < 0:
+                raise DomainError("BitVector holds unsigned values only")
+            bits_value, inferred = value, max(value.bit_length(), 1)
+        else:
+            bit_list = [_coerce_bit(b) for b in value]
+            if not bit_list:
+                raise DomainError("BitVector needs at least one bit")
+            bits_value = 0
+            for bit in bit_list:
+                bits_value = (bits_value << 1) | bit
+            inferred = len(bit_list)
+        self._width = inferred if width is None else int(width)
+        if self._width <= 0:
+            raise DomainError(f"width must be positive, got {self._width}")
+        if bits_value.bit_length() > self._width:
+            raise DomainError(
+                f"value {bits_value} does not fit in {self._width} bits"
+            )
+        self._value = bits_value
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def to_unsigned(self) -> int:
+        return self._value
+
+    def to_signed(self) -> int:
+        """Two's-complement interpretation."""
+        sign_bit = 1 << (self._width - 1)
+        return (self._value ^ sign_bit) - sign_bit
+
+    def to_binary_string(self) -> str:
+        return format(self._value, f"0{self._width}b")
+
+    def bits(self) -> list[Bit]:
+        """MSB-first list of bits."""
+        return [Bit(c) for c in self.to_binary_string()]
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __iter__(self) -> Iterator[Bit]:
+        return iter(self.bits())
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Bit, "BitVector"]:
+        text = self.to_binary_string()
+        if isinstance(index, slice):
+            piece = text[index]
+            if not piece:
+                raise DomainError("empty BitVector slice")
+            return BitVector(piece)
+        return Bit(text[index])
+
+    # -- comparisons -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitVector):
+            return self._width == other._width and self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        if isinstance(other, str):
+            try:
+                return self == BitVector(other)
+            except DomainError:
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("BitVector", self._width, self._value))
+
+    def __lt__(self, other: "BitVector | int") -> bool:
+        return self._value < _vector_operand(other)
+
+    def __le__(self, other: "BitVector | int") -> bool:
+        return self._value <= _vector_operand(other)
+
+    def __gt__(self, other: "BitVector | int") -> bool:
+        return self._value > _vector_operand(other)
+
+    def __ge__(self, other: "BitVector | int") -> bool:
+        return self._value >= _vector_operand(other)
+
+    # -- bitwise (width-checked) -------------------------------------------
+
+    def _check_width(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeMismatchError(f"expected BitVector, got {type(other).__name__}")
+        if other._width != self._width:
+            raise TypeMismatchError(
+                f"width mismatch: {self._width} vs {other._width}"
+            )
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value & other._value, self._width)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value | other._value, self._width)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value ^ other._value, self._width)
+
+    def __invert__(self) -> "BitVector":
+        mask = (1 << self._width) - 1
+        return BitVector(self._value ^ mask, self._width)
+
+    def __lshift__(self, amount: int) -> "BitVector":
+        mask = (1 << self._width) - 1
+        return BitVector((self._value << amount) & mask, self._width)
+
+    def __rshift__(self, amount: int) -> "BitVector":
+        return BitVector(self._value >> amount, self._width)
+
+    # -- arithmetic (modular) ------------------------------------------------
+
+    def __add__(self, other: "BitVector | int") -> "BitVector":
+        modulus = 1 << self._width
+        return BitVector((self._value + _vector_operand(other)) % modulus, self._width)
+
+    def __sub__(self, other: "BitVector | int") -> "BitVector":
+        modulus = 1 << self._width
+        return BitVector((self._value - _vector_operand(other)) % modulus, self._width)
+
+    def __mul__(self, other: "BitVector | int") -> "BitVector":
+        modulus = 1 << self._width
+        return BitVector((self._value * _vector_operand(other)) % modulus, self._width)
+
+    # -- structure ---------------------------------------------------------
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """PSL/VHDL ``&`` concatenation (self becomes the high part)."""
+        if not isinstance(other, BitVector):
+            raise TypeMismatchError(f"cannot concat {type(other).__name__}")
+        return BitVector(
+            (self._value << other._width) | other._value,
+            self._width + other._width,
+        )
+
+    def count_ones(self) -> int:
+        """PSL built-in ``countones``."""
+        return bin(self._value).count("1")
+
+    def is_onehot(self) -> bool:
+        """PSL built-in ``onehot`` -- exactly one bit set."""
+        return self.count_ones() == 1
+
+    def is_onehot0(self) -> bool:
+        """PSL built-in ``onehot0`` -- at most one bit set."""
+        return self.count_ones() <= 1
+
+    def __repr__(self) -> str:
+        return f"BitVector('{self.to_binary_string()}')"
+
+
+def _vector_operand(other: "BitVector | int") -> int:
+    if isinstance(other, BitVector):
+        return other.to_unsigned()
+    if isinstance(other, int):
+        return other
+    raise TypeMismatchError(f"cannot operate on {type(other).__name__}")
+
+
+class Byte(int):
+    """AsmL ``Byte``: an integer constrained to 0..255.
+
+    Translation rule R1 maps this to SystemC ``unsigned char``.
+    """
+
+    MIN = 0
+    MAX = 255
+
+    def __new__(cls, value: int = 0) -> "Byte":
+        value = int(value)
+        if not cls.MIN <= value <= cls.MAX:
+            raise DomainError(f"Byte out of range: {value}")
+        return super().__new__(cls, value)
+
+    def __repr__(self) -> str:
+        return f"Byte({int(self)})"
+
+
+def bounded_int_range(low: int, high: int) -> range:
+    """Inclusive integer interval ``low..high`` (AsmL range notation).
+
+    Used to declare rule-R4 domains, e.g. ``Masters_Range = bounded_int_range(0, 2)``.
+    """
+    if low > high:
+        raise DomainError(f"empty range {low}..{high}")
+    return range(low, high + 1)
+
+
+def ensure_in_range(value: int, low: int, high: int, what: str = "value") -> int:
+    """Validate an integer against an inclusive interval (rule R4 check)."""
+    if not low <= value <= high:
+        raise DomainError(f"{what} {value} outside {low}..{high}")
+    return value

@@ -1,0 +1,92 @@
+"""Update sets with the classic ASM consistency condition.
+
+An ASM step collects *updates* ``(location, value)`` produced by the
+fired rules and applies them simultaneously at the end of the step.  A
+step is *consistent* when no location receives two different values; an
+inconsistent update set aborts the step (``InconsistentUpdateError``).
+
+The framework supports two execution modes per action:
+
+* ``PARALLEL`` -- classic ASM: reads see the pre-step state, writes are
+  buffered, consistency is enforced.  This is the semantics AsmL's
+  ``step`` blocks give model programs.
+* ``SEQUENTIAL`` -- AsmL's sequential sublanguage: reads see earlier
+  writes of the same step (read-your-writes), the last write to a
+  location wins.  Buffering is kept so a failed ``require`` mid-action
+  rolls the whole action back -- which is what the FSM explorer relies
+  on when probing enabledness.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterator, Tuple
+
+from .errors import InconsistentUpdateError
+from .state import Location
+
+
+class StepMode(enum.Enum):
+    """Execution mode of an action body (see module docstring)."""
+
+    PARALLEL = "parallel"
+    SEQUENTIAL = "sequential"
+
+
+PARALLEL = StepMode.PARALLEL
+SEQUENTIAL = StepMode.SEQUENTIAL
+
+
+class UpdateSet:
+    """The set of pending updates of one ASM step."""
+
+    __slots__ = ("mode", "_updates", "_order")
+
+    def __init__(self, mode: StepMode = StepMode.PARALLEL):
+        self.mode = mode
+        self._updates: Dict[Location, Any] = {}
+        self._order: list[Location] = []
+
+    def record(self, location: Location, value: Any) -> None:
+        """Add one update, enforcing consistency in parallel mode.
+
+        In parallel mode a second write of the *same* value to a location
+        is harmless (the classic definition permits duplicate updates);
+        a different value raises :class:`InconsistentUpdateError`.
+        """
+        if location in self._updates:
+            previous = self._updates[location]
+            if self.mode is StepMode.PARALLEL and previous != value:
+                raise InconsistentUpdateError(str(location), previous, value)
+            self._updates[location] = value
+        else:
+            self._updates[location] = value
+            self._order.append(location)
+
+    def pending(self, location: Location) -> tuple[bool, Any]:
+        """Return ``(present, value)`` for read-your-writes in sequential mode."""
+        if location in self._updates:
+            return True, self._updates[location]
+        return False, None
+
+    def merge_into(self, target: "UpdateSet") -> None:
+        """Fold this update set into an enclosing one (nested steps)."""
+        for location in self._order:
+            target.record(location, self._updates[location])
+
+    def items(self) -> Iterator[Tuple[Location, Any]]:
+        for location in self._order:
+            yield location, self._updates[location]
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __bool__(self) -> bool:
+        return bool(self._updates)
+
+    def __contains__(self, location: Location) -> bool:
+        return location in self._updates
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{loc}:={val!r}" for loc, val in self.items())
+        return f"UpdateSet({self.mode.value}; {body})"

@@ -1,0 +1,61 @@
+"""FSM generation by bounded reachability (the AsmL tester's explorer).
+
+Drives an :class:`repro.asm.AsmModel` through its enabled actions,
+recording visited states (keyed by selected state variables plus
+embedded property monitors) and transitions (action calls with argument
+values).  Supports filters as stopping conditions, exploration bounds,
+on-the-fly property checking with counterexample extraction, and DOT
+export -- the toolchain of Sections 2.2.1 and 3.1 of the paper.
+"""
+
+from .config import (
+    ExplorationConfig,
+    Filter,
+    SearchOrder,
+    StateProperty,
+    violation_filter,
+)
+from .counterexample import Counterexample, CounterexampleStep
+from .dot import counterexample_to_dot, fsm_to_dot
+from .engine import ExplorationResult, Explorer, Violation, explore
+from .fsm import Fsm, FsmState, FsmTransition, iter_paths
+from .liveness import (
+    LivenessResult,
+    LivenessViolation,
+    StatePredicate,
+    check_eventually,
+)
+from .rules import LARGE_DOMAIN_THRESHOLD, RuleFinding, assert_rules, check_rules
+from .sim_coverage import CoverageTracker, SimCoverage
+from .stats import ExplorationStats
+
+__all__ = [
+    "ExplorationConfig",
+    "Filter",
+    "SearchOrder",
+    "StateProperty",
+    "violation_filter",
+    "Counterexample",
+    "CounterexampleStep",
+    "counterexample_to_dot",
+    "fsm_to_dot",
+    "ExplorationResult",
+    "Explorer",
+    "Violation",
+    "explore",
+    "Fsm",
+    "FsmState",
+    "FsmTransition",
+    "iter_paths",
+    "LARGE_DOMAIN_THRESHOLD",
+    "RuleFinding",
+    "assert_rules",
+    "check_rules",
+    "ExplorationStats",
+    "LivenessResult",
+    "LivenessViolation",
+    "StatePredicate",
+    "check_eventually",
+    "CoverageTracker",
+    "SimCoverage",
+]

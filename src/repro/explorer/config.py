@@ -1,0 +1,147 @@
+"""Exploration configuration.
+
+"The FSM generation algorithm requires as input: domains, methods,
+actions and variables (optional inputs are filters, action groups and
+properties). ... it is a must to limit the number of states and
+transitions that the tool explores" (paper, Section 2.2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Protocol, Sequence, Tuple
+
+from ..asm.domains import Domain
+from ..asm.state import Location
+
+
+class SearchOrder(enum.Enum):
+    """Frontier discipline of the reachability algorithm."""
+
+    BFS = "bfs"
+    DFS = "dfs"
+
+
+class StateProperty(Protocol):
+    """A property evaluated in every explored state.
+
+    The paper embeds each PSL property *in the design*, so the
+    property's member variables are themselves model state; each
+    property contributes two Boolean state variables, ``P_eval`` ("the
+    property can be evaluated here") and ``P_value`` ("the property's
+    value here"), and a violation is the pair ``(True, False)``.
+
+    Because monitors are stateful (a SERE tracks its position), the
+    explorer snapshots and restores the monitor alongside the model so
+    that different exploration paths do not interfere --
+    :mod:`repro.psl.asm_embedding` adapts PSL assertions to this
+    protocol.
+    """
+
+    name: str
+
+    def reset(self) -> None:
+        """Return to the initial evaluation state (new exploration run)."""
+
+    def observe(self, model: Any) -> Tuple[bool, bool]:
+        """Advance the monitor by one observed state; return ``(P_eval, P_value)``."""
+
+    def status(self) -> Tuple[bool, bool]:
+        """The ``(P_eval, P_value)`` pair of the last observed state."""
+
+    def snapshot(self) -> Any:
+        """Hashable image of the monitor's internal state."""
+
+    def restore(self, snap: Any) -> None:
+        """Reinstall a state previously returned by :meth:`snapshot`."""
+
+
+@dataclass
+class Filter:
+    """A named stopping condition.
+
+    "Filters express stopping conditions that limit exploration (used to
+    stop the FSM generation if a property fails, for e.g.)."  When
+    ``predicate(model)`` returns False in a state, that state is kept in
+    the FSM but not expanded further.
+    """
+
+    name: str
+    predicate: Callable[[Any], bool]
+
+    def admits(self, model: Any) -> bool:
+        return bool(self.predicate(model))
+
+
+@dataclass
+class ExplorationConfig:
+    """All knobs of the FSM-generation algorithm."""
+
+    #: Locations whose values key the FSM states; None = every StateVar
+    #: flagged ``state_variable`` (the model's default selection).
+    state_variables: Optional[Sequence[Location]] = None
+
+    #: Restrict exploration to these actions (``"machine.action"`` or
+    #: bare action names); None = all registered actions.
+    actions: Optional[Sequence[str]] = None
+
+    #: Restrict to actions tagged with these ``@action(group=...)`` tags.
+    action_groups: Optional[Sequence[str]] = None
+
+    #: Argument domains supplied/overridden at exploration time, keyed
+    #: ``"machine.action.param"``, ``"action.param"`` or ``"param"``.
+    domains: Dict[str, Domain] = field(default_factory=dict)
+
+    #: Stopping conditions; a state failing any filter is not expanded.
+    filters: Sequence[Filter] = ()
+
+    #: Properties checked in every state (P_eval / P_value encoding).
+    properties: Sequence[StateProperty] = ()
+
+    #: Stop the entire generation at the first property violation and
+    #: report the explored fragment as a counterexample scenario.
+    stop_on_violation: bool = True
+
+    #: Optional action run once from the initial state before
+    #: exploration -- the paper's rule R2 ("the firstly executed method
+    #: ... must verify that all the objects were correctly instantiated").
+    init_action: Optional[str] = None
+
+    # -- bounds -------------------------------------------------------------
+    max_states: int = 10_000
+    max_transitions: int = 100_000
+    max_depth: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    search_order: SearchOrder = SearchOrder.BFS
+
+    #: Also record transitions that lead to already-filtered states.
+    keep_filtered_states: bool = True
+
+    def with_overrides(self, **changes: Any) -> "ExplorationConfig":
+        """A copy of this config with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+def violation_filter(properties: Iterable[StateProperty]) -> Filter:
+    """The paper's canonical filter: continue while no property is violated.
+
+    "A violated property is detected once P_eval = true and P_value =
+    false.  We set the previous condition as filter for the FSM
+    generation algorithm. ... For multiple properties, the filter is set
+    as conjunction of all the conditions for the separate properties."
+    """
+    bound = tuple(properties)
+
+    def admits(model: Any) -> bool:
+        for prop in bound:
+            can_eval, value = prop.status()
+            if can_eval and not value:
+                return False
+        return True
+
+    names = ",".join(p.name for p in bound) or "none"
+    return Filter(name=f"no-violation({names})", predicate=admits)

@@ -1,0 +1,67 @@
+"""Counterexample scenarios.
+
+"An incorrect property detection stops the reachability algorithms and
+outputs a sub-portion from the complete FSM which represents a complete
+scenario for a counter-example" (paper, Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..asm.machine import ActionCall
+from ..asm.state import StateKey
+
+
+@dataclass(frozen=True)
+class CounterexampleStep:
+    """One step of the violating run: the call taken and the state reached."""
+
+    call: Optional[ActionCall]  # None for the initial state
+    state: StateKey
+
+    def describe(self) -> str:
+        if self.call is None:
+            return f"  (initial) {self.state.label()}"
+        return f"  --{self.call.label()}--> {self.state.label()}"
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A complete violating scenario from the initial state."""
+
+    property_name: str
+    steps: Tuple[CounterexampleStep, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of transitions in the scenario."""
+        return max(len(self.steps) - 1, 0)
+
+    def calls(self) -> List[ActionCall]:
+        return [step.call for step in self.steps if step.call is not None]
+
+    def final_state(self) -> StateKey:
+        return self.steps[-1].state
+
+    def describe(self) -> str:
+        lines = [
+            f"counterexample for property {self.property_name!r} "
+            f"({self.length} steps):"
+        ]
+        lines.extend(step.describe() for step in self.steps)
+        return "\n".join(lines)
+
+    def replay(self, model) -> None:
+        """Re-execute the scenario on a freshly reset model.
+
+        Useful to hand the violating run to a debugger or to the
+        simulation level: the calls are ordinary ASM actions.
+        """
+        model.reset()
+        for call in self.calls():
+            model.execute(call)
+
+    def __str__(self) -> str:
+        return self.describe()

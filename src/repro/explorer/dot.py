@@ -1,0 +1,84 @@
+"""Graphviz DOT export of generated FSMs and counterexamples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .counterexample import Counterexample
+from .fsm import Fsm
+
+
+def fsm_to_dot(
+    fsm: Fsm,
+    *,
+    highlight: Optional[Counterexample] = None,
+    max_label: int = 60,
+    rankdir: str = "LR",
+) -> str:
+    """Render an FSM as a DOT digraph.
+
+    ``highlight`` marks a counterexample's states/edges in red so the
+    violating scenario stands out inside the generated fragment.
+    """
+    hot_states: set = set()
+    hot_edges: set = set()
+    if highlight is not None:
+        keys = [step.state for step in highlight.steps]
+        hot_states = set(keys)
+        hot_edges = {
+            (prev, step.call.label(), cur)
+            for prev, step, cur in zip(keys, highlight.steps[1:], keys[1:])
+            if step.call is not None
+        }
+
+    lines = [f"digraph \"{fsm.name}\" {{", f"  rankdir={rankdir};", "  node [shape=ellipse, fontsize=10];"]
+    for state in fsm.states:
+        attrs = [f'label="s{state.index}\\n{_escape(state.key.label(max_label))}"']
+        if state.is_initial:
+            attrs.append("shape=doublecircle")
+        if state.terminal_reason == "violation":
+            attrs.append('color=red, style=filled, fillcolor="#ffdddd"')
+        elif state.terminal_reason is not None:
+            attrs.append('style=dashed')
+        if state.key in hot_states:
+            attrs.append("penwidth=2, color=red")
+        lines.append(f"  s{state.index} [{', '.join(attrs)}];")
+    for transition in fsm.transitions:
+        src_key = fsm.states[transition.source].key
+        dst_key = fsm.states[transition.target].key
+        hot = (src_key, transition.label(), dst_key) in hot_edges
+        attrs = [f'label="{_escape(transition.label())}"', "fontsize=9"]
+        if hot:
+            attrs.append("color=red, penwidth=2")
+        lines.append(
+            f"  s{transition.source} -> s{transition.target} [{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def counterexample_to_dot(counterexample: Counterexample) -> str:
+    """Render just the violating scenario as a linear DOT chain."""
+    lines = [
+        f'digraph "cex_{counterexample.property_name}" {{',
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    for position, step in enumerate(counterexample.steps):
+        color = ""
+        if position == len(counterexample.steps) - 1:
+            color = ', color=red, style=filled, fillcolor="#ffdddd"'
+        lines.append(
+            f'  n{position} [label="{_escape(step.state.label(60))}"{color}];'
+        )
+        if position > 0 and step.call is not None:
+            lines.append(
+                f'  n{position - 1} -> n{position} '
+                f'[label="{_escape(step.call.label())}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')

@@ -1,0 +1,192 @@
+"""Liveness checking on generated FSMs.
+
+"Both models include certain properties, such as liveness, that cannot
+be verified using simulation which requires using formal verification
+techniques such as model checking" (paper, Section 4).
+
+Safety properties are checked on the fly during exploration (the
+``P_eval``/``P_value`` filter).  Liveness -- ``always (trigger ->
+eventually! goal)`` -- needs the *graph*: the property fails iff from
+some reachable trigger-state there is an infinite run (a reachable
+cycle) or a dead end that never passes through a goal-state.  On the
+finite FSM this reduces to reachability of a goal-free cycle or a
+goal-free deadlock from a trigger state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..asm.state import StateKey
+from .fsm import Fsm, FsmTransition
+
+#: Predicate over a state's key.
+StatePredicate = Callable[[StateKey], bool]
+
+
+@dataclass(frozen=True)
+class LivenessViolation:
+    """A lasso (stem + cycle) or dead end that never reaches the goal."""
+
+    trigger_state: int
+    stem: Tuple[FsmTransition, ...]
+    cycle: Tuple[FsmTransition, ...]  # empty = deadlock witness
+
+    @property
+    def is_deadlock(self) -> bool:
+        return not self.cycle
+
+    def describe(self, fsm: Fsm) -> str:
+        kind = "deadlock" if self.is_deadlock else "goal-free cycle"
+        lines = [
+            f"liveness violation from trigger state s{self.trigger_state} ({kind}):"
+        ]
+        for transition in self.stem:
+            lines.append(f"  --{transition.label()}--> s{transition.target}")
+        if self.cycle:
+            lines.append("  cycle:")
+            for transition in self.cycle:
+                lines.append(f"    --{transition.label()}--> s{transition.target}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LivenessResult:
+    name: str
+    holds: bool
+    triggers_checked: int
+    violation: Optional[LivenessViolation] = None
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.holds else "FAIL"
+        return (
+            f"[{verdict}] liveness {self.name!r}: "
+            f"{self.triggers_checked} trigger states checked"
+        )
+
+
+def check_eventually(
+    fsm: Fsm,
+    trigger: StatePredicate,
+    goal: StatePredicate,
+    name: str = "eventually",
+) -> LivenessResult:
+    """Check ``always (trigger -> eventually! goal)`` on the FSM.
+
+    Sound on the generated under-approximation: a reported violation is
+    a real lasso/deadlock *of the explored fragment*; a PASS means the
+    fragment contains no counterexample (the usual bounded guarantee).
+    """
+    goal_states = {s.index for s in fsm.states if goal(s.key)}
+    trigger_states = [s.index for s in fsm.states if trigger(s.key)]
+
+    for start in trigger_states:
+        violation = _find_goal_free_lasso(fsm, start, goal_states)
+        if violation is not None:
+            return LivenessResult(
+                name=name,
+                holds=False,
+                triggers_checked=len(trigger_states),
+                violation=violation,
+            )
+    return LivenessResult(
+        name=name, holds=True, triggers_checked=len(trigger_states)
+    )
+
+
+def _find_goal_free_lasso(
+    fsm: Fsm, start: int, goal_states: set[int]
+) -> Optional[LivenessViolation]:
+    """Search the goal-free subgraph reachable from ``start`` for a
+    cycle or a dead end."""
+    if start in goal_states:
+        return None
+
+    # BFS over goal-free states, remembering parents for stem recovery.
+    parents: dict[int, Optional[FsmTransition]] = {start: None}
+    order: List[int] = [start]
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        for transition in fsm.outgoing(node):
+            if transition.target in goal_states:
+                continue
+            if transition.target not in parents:
+                parents[transition.target] = transition
+                order.append(transition.target)
+                frontier.append(transition.target)
+
+    reachable = set(parents)
+
+    def stem_to(node: int) -> Tuple[FsmTransition, ...]:
+        path: List[FsmTransition] = []
+        cursor = node
+        while parents[cursor] is not None:
+            transition = parents[cursor]
+            assert transition is not None
+            path.append(transition)
+            cursor = transition.source
+        path.reverse()
+        return tuple(path)
+
+    # Dead end: a goal-free state with no outgoing transition at all.
+    for node in order:
+        if not fsm.outgoing(node):
+            return LivenessViolation(
+                trigger_state=start, stem=stem_to(node), cycle=()
+            )
+
+    # Cycle: any back edge within the goal-free reachable subgraph.
+    cycle = _find_cycle(fsm, reachable, goal_states)
+    if cycle is not None:
+        entry = cycle[0].source
+        return LivenessViolation(
+            trigger_state=start, stem=stem_to(entry), cycle=tuple(cycle)
+        )
+    return None
+
+
+def _find_cycle(
+    fsm: Fsm, nodes: set[int], excluded: set[int]
+) -> Optional[List[FsmTransition]]:
+    """Iterative DFS cycle detection restricted to ``nodes``."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in nodes}
+    on_path: dict[int, FsmTransition] = {}
+
+    for root in nodes:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = GREY
+        while stack:
+            node, edge_position = stack[-1]
+            transitions = [
+                t
+                for t in fsm.outgoing(node)
+                if t.target in nodes and t.target not in excluded
+            ]
+            if edge_position < len(transitions):
+                stack[-1] = (node, edge_position + 1)
+                transition = transitions[edge_position]
+                successor = transition.target
+                if color[successor] == GREY:
+                    # Found a back edge: reconstruct the cycle.
+                    cycle = [transition]
+                    cursor = node
+                    while cursor != successor:
+                        incoming = on_path[cursor]
+                        cycle.append(incoming)
+                        cursor = incoming.source
+                    cycle.reverse()
+                    return cycle
+                if color[successor] == WHITE:
+                    color[successor] = GREY
+                    on_path[successor] = transition
+                    stack.append((successor, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None

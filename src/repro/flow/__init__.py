@@ -1,0 +1,17 @@
+"""The end-to-end design-for-verification flow (paper Figure 1)."""
+
+from .pipeline import (
+    DesignFlow,
+    FlowReport,
+    LivenessCheck,
+    ModelCheckingReport,
+    SimulationReport,
+)
+
+__all__ = [
+    "DesignFlow",
+    "FlowReport",
+    "LivenessCheck",
+    "ModelCheckingReport",
+    "SimulationReport",
+]

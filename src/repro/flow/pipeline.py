@@ -1,0 +1,265 @@
+"""The Figure 1 design-and-verification flow, end to end.
+
+    UML level  ->  ASM level  ->  model checking  -> (loop on failure)
+                                      |
+                                      v
+                    SystemC + C# monitors  ->  simulation (ABV)
+
+A :class:`DesignFlow` takes the design (an ASM model or a UML class
+diagram to materialize), the properties (PSL directives or modified
+sequence diagrams), runs FSM-generation model checking with the
+violation filter, optionally iterates after diagram *updates* ("The
+UML update and UML to ASM translation tasks are repeated until all the
+properties pass"), then translates the verified design to the SystemC
+level and re-uses the same properties as assertion monitors in
+simulation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..abv.harness import AbvHarness, FailureAction
+from ..asm.machine import AsmModel
+from ..explorer.config import ExplorationConfig
+from ..explorer.counterexample import Counterexample
+from ..explorer.engine import ExplorationResult, explore
+from ..explorer.liveness import LivenessResult, check_eventually
+from ..explorer.rules import RuleFinding, check_rules
+from ..psl.asm_embedding import AssertionProperty, state_extractor
+from ..psl.ast_nodes import Directive, DirectiveKind, Property
+from ..psl.monitor import Monitor, build_monitor
+from ..psl.semantics import Verdict
+from ..translate.class_rules import translate_class
+from ..translate.csharp_gen import render_monitor_suite
+from ..translate.runtime import AsmSystemCModule, build_runtime
+from ..translate.systemc_gen import render_translation_unit
+from ..uml.sequence_diagram import SequenceDiagram
+from ..uml.to_psl import sequence_to_property
+
+
+@dataclass
+class LivenessCheck:
+    """One liveness obligation checked on the generated FSM."""
+
+    name: str
+    trigger: Callable[..., bool]
+    goal: Callable[..., bool]
+
+
+@dataclass
+class ModelCheckingReport:
+    """Outcome of the flow's formal leg."""
+
+    exploration: ExplorationResult
+    rule_findings: List[RuleFinding] = field(default_factory=list)
+    liveness: List[LivenessResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.exploration.ok and all(l.holds for l in self.liveness)
+
+    def summary(self) -> str:
+        lines = [self.exploration.summary()]
+        lines.extend(l.summary() for l in self.liveness)
+        warnings = [f for f in self.rule_findings if f.level == "warning"]
+        if warnings:
+            lines.append(f"  ({len(warnings)} modelling-rule warnings)")
+        return "\n".join(lines)
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of the flow's ABV leg."""
+
+    cycles: int
+    wall_seconds: float
+    harness_summary: str
+    failed_assertions: List[str]
+    monitor_verdicts: Dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_assertions
+
+    @property
+    def delta_ns_per_cycle(self) -> float:
+        """The paper's delta: average wall time per simulated cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.wall_seconds * 1e9 / self.cycles
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{status}] simulation: {self.cycles} cycles in "
+            f"{self.wall_seconds:.2f}s (delta = {self.delta_ns_per_cycle:.0f} "
+            f"ns/cycle); {self.harness_summary}"
+        )
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow run produced."""
+
+    model_checking: ModelCheckingReport
+    simulation: Optional[SimulationReport]
+    systemc_source: str = ""
+    csharp_source: str = ""
+    iterations: int = 1
+
+    @property
+    def ok(self) -> bool:
+        simulation_ok = self.simulation.ok if self.simulation else True
+        return self.model_checking.ok and simulation_ok
+
+    def summary(self) -> str:
+        lines = [f"=== design flow report (iterations: {self.iterations}) ==="]
+        lines.append(self.model_checking.summary())
+        if self.simulation:
+            lines.append(self.simulation.summary())
+        verdict = "VERIFIED" if self.ok else "FAILED"
+        lines.append(f"=== overall: {verdict} ===")
+        return "\n".join(lines)
+
+
+class DesignFlow:
+    """Drives one design + property suite through the whole flow."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], AsmModel],
+        directives: Sequence[Directive | Property],
+        extractor: Callable[[AsmModel], Mapping[str, Any]] | None = None,
+        exploration: Optional[ExplorationConfig] = None,
+        liveness_checks: Sequence[LivenessCheck] = (),
+        sequence_diagrams: Sequence[SequenceDiagram] = (),
+    ):
+        self.model_factory = model_factory
+        self.directives: List[Directive] = [
+            d
+            if isinstance(d, Directive)
+            else Directive(DirectiveKind.ASSERT, d)
+            for d in directives
+        ]
+        for diagram in sequence_diagrams:
+            prop = sequence_to_property(diagram)
+            self.directives.append(Directive(DirectiveKind.ASSERT, prop))
+        self.extractor = extractor
+        self.exploration = exploration or ExplorationConfig()
+        self.liveness_checks = list(liveness_checks)
+
+    # -- the model-checking leg ---------------------------------------------------
+
+    def model_check(self) -> ModelCheckingReport:
+        model = self.model_factory()
+        extractor = self.extractor or state_extractor
+        properties = [
+            AssertionProperty(d.prop, extractor=extractor, name=d.prop.name)
+            for d in self.directives
+            if d.kind == DirectiveKind.ASSERT
+        ]
+        config = self.exploration.with_overrides(properties=properties)
+        findings = check_rules(model, config)
+        result = explore(model, config)
+        liveness_results = [
+            check_eventually(result.fsm, check.trigger, check.goal, check.name)
+            for check in self.liveness_checks
+        ]
+        return ModelCheckingReport(
+            exploration=result,
+            rule_findings=findings,
+            liveness=liveness_results,
+        )
+
+    # -- the translation + ABV leg ----------------------------------------------------
+
+    def translate_and_simulate(
+        self,
+        cycles: int = 10_000,
+        clock_period: int = 30_000,
+        stop_on_failure: bool = False,
+        policy=None,
+    ) -> tuple[SimulationReport, str, str]:
+        model = self.model_factory()
+        simulator, clock, module = build_runtime(
+            model, clock_period=clock_period, policy=policy
+        )
+        harness = AbvHarness(simulator, clock, module.letter)
+        actions = (
+            (FailureAction.REPORT, FailureAction.STOP)
+            if stop_on_failure
+            else (FailureAction.REPORT,)
+        )
+        monitors: List[Monitor] = []
+        for directive in self.directives:
+            monitor = build_monitor(directive)
+            monitors.append(monitor)
+            harness.add_monitor(monitor, actions)
+
+        started = time.perf_counter()
+        simulator.run(clock_period * cycles)
+        wall = time.perf_counter() - started
+        harness.finish()
+
+        report = SimulationReport(
+            cycles=harness.cycles_observed,
+            wall_seconds=wall,
+            harness_summary=harness.summary(),
+            failed_assertions=[b.monitor.name for b in harness.failed],
+            monitor_verdicts={
+                m.name: m.verdict().value for m in monitors
+            },
+        )
+
+        # textual artifacts (rules R1-R3 + the C# monitor suite)
+        machine_classes = sorted(
+            {type(m) for m in model.machines.values()}, key=lambda c: c.__name__
+        )
+        specs = [translate_class(cls) for cls in machine_classes]
+        instances = [
+            (name, type(machine).__name__)
+            for name, machine in sorted(model.machines.items())
+        ]
+        cpp = render_translation_unit(specs, instances, clock_period // 1000)
+        csharp = render_monitor_suite(self.directives)
+        return report, cpp, csharp
+
+    # -- the whole Figure 1 loop --------------------------------------------------------
+
+    def run(
+        self,
+        cycles: int = 10_000,
+        max_iterations: int = 1,
+        on_failure: Callable[[Counterexample | None], bool] | None = None,
+        stop_on_sim_failure: bool = False,
+    ) -> FlowReport:
+        """Model check; on failure invoke ``on_failure`` (the "Updates
+        Sequence Diagram" feedback edge -- return True to retry after
+        amending the design/properties); once formal checking passes (or
+        iterations run out), translate and simulate."""
+        iterations = 0
+        while True:
+            iterations += 1
+            checking = self.model_check()
+            if checking.ok or iterations >= max_iterations:
+                break
+            retry = on_failure(checking.exploration.counterexample) if on_failure else False
+            if not retry:
+                break
+
+        simulation: Optional[SimulationReport] = None
+        cpp = csharp = ""
+        if checking.ok:
+            simulation, cpp, csharp = self.translate_and_simulate(
+                cycles=cycles, stop_on_failure=stop_on_sim_failure
+            )
+        return FlowReport(
+            model_checking=checking,
+            simulation=simulation,
+            systemc_source=cpp,
+            csharp_source=csharp,
+            iterations=iterations,
+        )

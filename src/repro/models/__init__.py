@@ -1,0 +1,10 @@
+"""The paper's two case studies (Section 4).
+
+* :mod:`repro.models.pci` -- the PCI Local Bus standard (Table 1),
+* :mod:`repro.models.master_slave` -- the generic Master/Slave bus from
+  the SystemC distribution (Table 2).
+
+Each case study ships an ASM model (for FSM generation / model
+checking), a PSL property suite, and a SystemC simulation model (for
+assertion-based verification).
+"""

@@ -1,0 +1,246 @@
+"""The generic Master/Slave bus as an ASM model program.
+
+"The SystemC Master/Slave bus represents a more generic bus structure
+including a set of Masters, a set of slaves, an arbiter and a shared
+bus.  The arbiter is responsible for choosing the appropriate master
+when there is more than one connected to the bus.  There are two
+possible modes for the bus: (1) Blocking Mode, where data is moved
+through the bus in a burst-mode; and (2) Non-Blocking Mode, where the
+master reads or writes a single data word." (paper, Section 4.1)
+
+Modeling choices mirroring Table 2's shape:
+
+* master machines dominate the state space (their request/transfer
+  FSMs interleave),
+* slaves contribute mostly *transitions* (they enlarge the address
+  domain) and only a little state (a busy flag) -- in Table 2 the node
+  count grows mildly with the slave count while transitions grow
+  faster,
+* slave memory contents are excluded from the FSM state key
+  (``state_variable=False``): the paper's state-variable selection
+  lever against explosion.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from ...asm.collections_ import Map
+from ...asm.domains import Domain
+from ...asm.machine import (
+    SEQUENTIAL,
+    AsmMachine,
+    AsmModel,
+    StateVar,
+    action,
+    choose_min,
+    require,
+)
+
+#: Burst length of blocking transfers at the transaction level.
+BLOCKING_BURST = 2
+
+SYSTEM_INIT = "system_init"
+
+
+class MsMasterState(enum.Enum):
+    IDLE = "idle"
+    WANT = "want"          # request posted to the arbiter
+    OWNER = "owner"        # bus granted, transfer in progress
+    DONE = "done"          # transfer finished, releasing
+
+
+class MsBusSystem(AsmMachine):
+    """Rule R2 init machine for the Master/Slave model."""
+
+    m_initialized = StateVar(False)
+
+    @action
+    def init(self):
+        require(not self.m_initialized, "already initialized")
+        model = self.model
+        require(model.machines_of(MsMaster), "no masters instantiated")
+        require(model.machines_of(MsSlave), "no slaves instantiated")
+        require(len(model.machines_of(MsArbiter)) == 1, "need one arbiter")
+        self.m_initialized = True
+        model.set_global(SYSTEM_INIT, True)
+
+
+class MsArbiter(AsmMachine):
+    """Chooses the appropriate master when several request."""
+
+    m_owner = StateVar(-1, doc="index of the master holding the bus")
+
+    @action
+    def grant(self):
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_owner == -1, "bus already granted")
+        masters = self.model.machines_of(MsMaster)
+        ids = [i for i, m in enumerate(masters) if m.m_state is MsMasterState.WANT]
+        require(ids, "no pending request")
+        winner = choose_min(ids)
+        self.m_owner = winner
+        masters[winner].m_state = MsMasterState.OWNER
+
+    @action
+    def release(self):
+        require(self.m_owner != -1)
+        masters = self.model.machines_of(MsMaster)
+        require(
+            masters[self.m_owner].m_state is MsMasterState.DONE,
+            "owner still transferring",
+        )
+        masters[self.m_owner].m_state = MsMasterState.IDLE
+        self.m_owner = -1
+
+    @action(group="coarse", mode=SEQUENTIAL)
+    def grant_and_transfer(self, slave: int, is_write: bool):
+        """Coarse-granularity action: arbitration, the whole transfer
+        (burst for blocking masters, one word for non-blocking) and the
+        release fused into one atomic step.
+
+        This is the paper's "set of actions" lever: with exploration
+        restricted to ``request`` + this action, FSM sizes land in
+        Table 2's range while the request interleavings -- the part the
+        arbitration properties quantify over -- stay fully explored.
+        """
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_owner == -1, "bus already granted")
+        masters = self.model.machines_of(MsMaster)
+        slaves = self.model.machines_of(MsSlave)
+        require(0 <= slave < len(slaves), "unmapped slave")
+        ids = [i for i, m in enumerate(masters) if m.m_state is MsMasterState.WANT]
+        require(ids, "no pending request")
+        winner = choose_min(ids)
+        master = masters[winner]
+        words = BLOCKING_BURST if master.m_blocking else 1
+        target = slaves[slave]
+        for _ in range(words):
+            if is_write:
+                target.write_word(winner)
+            else:
+                target.read_word()
+        master.m_state = MsMasterState.IDLE
+
+
+class MsMaster(AsmMachine):
+    """A master in blocking (burst) or non-blocking (single word) mode."""
+
+    m_state = StateVar(MsMasterState.IDLE)
+    m_blocking = StateVar(False, state_variable=False, doc="mode flag (static)")
+    m_slave = StateVar(-1, doc="addressed slave of the running transfer")
+    m_words_left = StateVar(0, doc="remaining words of the burst")
+    m_is_write = StateVar(False, doc="direction of the running transfer")
+
+    def __init__(self, index: int, blocking: bool, name: str | None = None, model=None):
+        prefix = "bmaster" if blocking else "nbmaster"
+        super().__init__(name=name or f"{prefix}{index}", model=model)
+        self.index = index
+        self.m_blocking = blocking
+
+    @action
+    def request(self):
+        """Post a transfer request to the arbiter."""
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_state is MsMasterState.IDLE)
+        self.m_state = MsMasterState.WANT
+
+    @action
+    def start_transfer(self, slave: int, is_write: bool):
+        """Begin moving data once the arbiter granted the bus."""
+        require(self.m_state is MsMasterState.OWNER)
+        require(self.m_words_left == 0, "transfer already running")
+        slaves = self.model.machines_of(MsSlave)
+        require(0 <= slave < len(slaves), "unmapped slave")
+        require(not slaves[slave].m_busy, "slave busy")
+        slaves[slave].m_busy = True
+        self.m_slave = slave
+        self.m_is_write = is_write
+        self.m_words_left = BLOCKING_BURST if self.m_blocking else 1
+
+    @action
+    def transfer_word(self):
+        """Move one word (burst-mode masters repeat this)."""
+        require(self.m_state is MsMasterState.OWNER)
+        require(self.m_words_left > 0)
+        slaves = self.model.machines_of(MsSlave)
+        slave = slaves[self.m_slave]
+        require(slave.m_busy, "slave dropped the transfer")
+        remaining = self.m_words_left - 1
+        if self.m_is_write:
+            slave.write_word(self.index)
+        else:
+            slave.read_word()
+        self.m_words_left = remaining
+        if remaining == 0:
+            slave.m_busy = False
+            self.m_slave = -1
+            self.m_state = MsMasterState.DONE
+
+
+class MsSlave(AsmMachine):
+    """A memory-mapped slave."""
+
+    m_busy = StateVar(False, doc="a transfer addresses this slave")
+    #: memory contents stay out of the FSM state key (selection lever)
+    m_memory = StateVar(Map(), state_variable=False)
+    m_reads = StateVar(0, state_variable=False)
+    m_writes = StateVar(0, state_variable=False)
+
+    def __init__(self, index: int, name: str | None = None, model=None):
+        super().__init__(name=name or f"slave{index}", model=model)
+        self.index = index
+
+    def write_word(self, master_index: int) -> None:
+        self.m_memory = self.m_memory.set(self.m_writes, master_index)
+        self.m_writes = self.m_writes + 1
+
+    def read_word(self) -> None:
+        self.m_reads = self.m_reads + 1
+
+
+def build_master_slave_model(
+    n_blocking: int,
+    n_non_blocking: int,
+    n_slaves: int,
+) -> AsmModel:
+    """Assemble and seal a Master/Slave ASM model (rule R1)."""
+    model = AsmModel(f"ms_{n_blocking}b_{n_non_blocking}nb_{n_slaves}s")
+    MsBusSystem(model=model, name="system")
+    index = 0
+    for _ in range(n_blocking):
+        MsMaster(index, blocking=True, model=model, name=f"master{index}")
+        index += 1
+    for _ in range(n_non_blocking):
+        MsMaster(index, blocking=False, model=model, name=f"master{index}")
+        index += 1
+    for slave_index in range(n_slaves):
+        MsSlave(slave_index, model=model)
+    MsArbiter(model=model, name="arbiter")
+    model.seal()
+    return model
+
+
+def master_slave_domains(n_slaves: int) -> Dict[str, Domain]:
+    """Rule R4 domains for exploration (fine and coarse action sets)."""
+    slaves = Domain.int_range("slaves", 0, n_slaves - 1)
+    direction = Domain.boolean("direction")
+    return {
+        "start_transfer.slave": slaves,
+        "start_transfer.is_write": direction,
+        "grant_and_transfer.slave": slaves,
+        "grant_and_transfer.is_write": direction,
+    }
+
+
+def master_slave_init_call() -> str:
+    return "system.init"
+
+
+def ms_coarse_actions(n_masters: int) -> list[str]:
+    """Paper-scale action whitelist: requests + atomic transfers."""
+    actions = ["system.init"]
+    actions += [f"master{i}.request" for i in range(n_masters)]
+    actions.append("arbiter.grant_and_transfer")
+    return actions

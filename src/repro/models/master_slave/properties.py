@@ -1,0 +1,226 @@
+"""Property suite for the Master/Slave bus.
+
+Same structure as the PCI suite: a canonical signal namespace shared
+by the ASM extractor and the SystemC model, an invariant sub-suite
+(model checking + simulation), a timed sub-suite (simulation only) and
+liveness predicates (FSM analysis only).
+
+Canonical signals:
+
+=========================  ==================================================
+``want<i>``                master i posted a request
+``owner<i>``               arbiter granted master i
+``transferring<i>``        master i is moving words
+``bus_free``               no master owns the bus
+``slave<j>_busy``          slave j is addressed by a running transfer
+``blocking<i>``            master i is a blocking-mode master (static)
+=========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...asm.machine import AsmModel
+from ...asm.state import StateKey
+from ...psl.ast_nodes import Directive, DirectiveKind, Property
+from ...psl.parser import parse_formula
+from .asm_model import MsArbiter, MsMaster, MsMasterState, MsSlave
+
+
+def ms_letter_from_model(model: AsmModel) -> Dict[str, Any]:
+    """Canonical signal valuation from the ASM state."""
+    masters: List[MsMaster] = model.machines_of(MsMaster)  # type: ignore[assignment]
+    slaves: List[MsSlave] = model.machines_of(MsSlave)  # type: ignore[assignment]
+    arbiter: MsArbiter = model.machines_of(MsArbiter)[0]  # type: ignore[assignment]
+
+    letter: Dict[str, Any] = {
+        "bus_free": arbiter.m_owner == -1,
+    }
+    for index, master in enumerate(masters):
+        letter[f"want{index}"] = master.m_state is MsMasterState.WANT
+        letter[f"owner{index}"] = arbiter.m_owner == index
+        letter[f"transferring{index}"] = (
+            master.m_state is MsMasterState.OWNER and master.m_words_left > 0
+        )
+        letter[f"blocking{index}"] = bool(master.m_blocking)
+        letter[f"done{index}"] = master.m_state is MsMasterState.DONE
+    for index, slave in enumerate(slaves):
+        letter[f"slave{index}_busy"] = slave.m_busy
+    return letter
+
+
+def _assert(name: str, text: str, report: str = "") -> Directive:
+    return Directive(
+        DirectiveKind.ASSERT, Property(name, parse_formula(text), report=report)
+    )
+
+
+def ms_invariant_properties(
+    n_masters: int, n_slaves: int, include_handshake: bool = True
+) -> List[Directive]:
+    """Untimed safety: checked at both levels.
+
+    ``include_handshake`` adds the atomic-handshake invariants that
+    hold at the ASM level (grant and request-clear happen in one step)
+    but not at the clocked level, where the want/owner handshake takes
+    a cycle; the clocked formulation of the same contract is
+    ``grant_clears_want``, included at both levels.
+    """
+    directives: List[Directive] = []
+
+    # Ownership is mutually exclusive (the arbiter "chooses the
+    # appropriate master").
+    for i in range(n_masters):
+        for j in range(i + 1, n_masters):
+            directives.append(
+                _assert(
+                    f"mutex_owner_{i}_{j}",
+                    f"never (owner{i} && owner{j})",
+                    "two masters own the bus",
+                )
+            )
+
+    # A transfer requires ownership.
+    for i in range(n_masters):
+        directives.append(
+            _assert(
+                f"transfer_needs_grant_{i}",
+                f"always (transferring{i} -> owner{i})",
+                f"master {i} transfers without a grant",
+            )
+        )
+
+    # Ownership rises only from a posted request.
+    for i in range(n_masters):
+        directives.append(
+            _assert(
+                f"owner_implies_want_{i}",
+                f"always (rose(owner{i}) -> prev(want{i}))",
+                f"master {i} granted without requesting",
+            )
+        )
+
+    # A busy slave implies some master is transferring.
+    for j in range(n_slaves):
+        directives.append(
+            _assert(
+                f"slave_busy_has_master_{j}",
+                f"always (slave{j}_busy -> !bus_free)",
+                f"slave {j} busy with no bus owner",
+            )
+        )
+
+    # A grant clears the request within a cycle (both levels).
+    for i in range(n_masters):
+        directives.append(
+            _assert(
+                f"grant_clears_want_{i}",
+                f"always {{rose(owner{i})}} |=> {{!want{i}}}",
+                f"master {i} kept requesting after its grant",
+            )
+        )
+
+    if include_handshake:
+        # Want and own are exclusive per master (atomic-step semantics).
+        for i in range(n_masters):
+            directives.append(
+                _assert(
+                    f"want_excludes_owner_{i}",
+                    f"never (want{i} && owner{i})",
+                    f"master {i} both waiting and owning",
+                )
+            )
+    return directives
+
+
+def ms_timed_properties(
+    n_masters: int, n_slaves: int, blocking_flags: List[bool]
+) -> List[Directive]:
+    """Cycle-accurate properties for the clocked simulation.
+
+    Burst atomicity: once a blocking master starts transferring, it
+    keeps the bus for exactly ``BLOCKING_BURST`` consecutive data
+    cycles (the "data moved through the bus in a burst-mode" contract).
+    """
+    from .asm_model import BLOCKING_BURST
+
+    directives: List[Directive] = []
+    for i in range(n_masters):
+        if blocking_flags[i]:
+            directives.append(
+                _assert(
+                    f"burst_atomic_{i}",
+                    f"always {{rose(transferring{i})}} |-> "
+                    f"{{transferring{i}[*{BLOCKING_BURST}]}}",
+                    f"blocking master {i} lost the bus mid-burst",
+                )
+            )
+        else:
+            # One word may stretch over slave wait states (at most one
+            # in this system), so the bus must be released within three
+            # cycles of the transfer starting.
+            directives.append(
+                _assert(
+                    f"single_word_{i}",
+                    f"always {{rose(transferring{i})}} |=> "
+                    f"{{true[*0:2] ; !transferring{i}}}",
+                    f"non-blocking master {i} held the bus beyond one word",
+                )
+            )
+    return directives
+
+
+def ms_cover_properties(n_masters: int, n_slaves: int) -> List[Directive]:
+    directives: List[Directive] = []
+    for i in range(n_masters):
+        directives.append(
+            Directive(
+                DirectiveKind.COVER,
+                Property(
+                    f"cover_grant_{i}",
+                    parse_formula(f"{{want{i} ; owner{i}[->1]}}"),
+                ),
+            )
+        )
+    for j in range(n_slaves):
+        directives.append(
+            Directive(
+                DirectiveKind.COVER,
+                Property(f"cover_slave_{j}", parse_formula(f"{{slave{j}_busy}}")),
+            )
+        )
+    return directives
+
+
+# -- liveness predicates (FSM analysis) ----------------------------------------
+
+
+def want_trigger(master_index: int):
+    def trigger(key: StateKey) -> bool:
+        return key.value(f"master{master_index}", "m_state") is MsMasterState.WANT
+
+    return trigger
+
+
+def owner_goal(master_index: int):
+    """Goal for fine-grained exploration: the arbiter's owner register
+    points at the master (the coarse atomic transfer never exposes an
+    intermediate owner state -- use :func:`served_goal` there)."""
+
+    def goal(key: StateKey) -> bool:
+        return key.value("arbiter", "m_owner") == master_index
+
+    return goal
+
+
+def served_goal(master_index: int):
+    """Goal for coarse-grained exploration: the master returned to IDLE,
+    which (from WANT) only happens through a completed transfer."""
+
+    def goal(key: StateKey) -> bool:
+        return (
+            key.value(f"master{master_index}", "m_state") is MsMasterState.IDLE
+        )
+
+    return goal

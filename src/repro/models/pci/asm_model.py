@@ -1,0 +1,395 @@
+"""The PCI bus as an ASM model program (rules R1-R4 compliant).
+
+The model follows the paper's modeling style (Section 2.2.1): a fixed
+list of machine instances (rule R1), an init action that checks the
+instantiation (rule R2, ``PciSystem.init``), ``require`` preconditions
+on every action (rule R3), and restricted argument domains (rule R4).
+
+:class:`PciArbiter` transcribes Figure 4: the guarded
+``update_m_req`` action selects ``min id | id in Masters_Range where
+MASTERS(id).m_req = true`` under the precondition ``SystemInit = true
+and me.m_gnt = false and me.m_req = false``.  *Hidden arbitration* --
+"bus arbitration can take place while another master is still in
+control of the bus" -- falls out naturally: neither ``update_m_req``
+nor ``grant`` requires the bus to be idle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...asm.domains import Domain
+from ...asm.machine import (
+    ActionCall,
+    AsmMachine,
+    AsmModel,
+    StateVar,
+    action,
+    choose_min,
+    require,
+)
+from .protocol import (
+    MAX_BURST_LENGTH,
+    MasterState,
+    TargetResponse,
+    TargetState,
+)
+
+#: Shared-global key for Figure 4's ``SystemInit``.
+SYSTEM_INIT = "system_init"
+
+
+class PciSystem(AsmMachine):
+    """Rule R2's init machine: "the firstly executed method in the design
+    must verify that all the objects from the class domains were
+    correctly instantiated"."""
+
+    m_initialized = StateVar(False)
+
+    @action
+    def init(self):
+        require(not self.m_initialized, "already initialized")
+        model = self.model
+        masters = model.machines_of(PciMaster)
+        targets = model.machines_of(PciTarget)
+        arbiters = model.machines_of(PciArbiter)
+        buses = model.machines_of(PciBus)
+        require(masters, "no PCI masters instantiated")
+        require(targets, "no PCI targets instantiated")
+        require(len(arbiters) == 1, "exactly one arbiter required")
+        require(len(buses) == 1, "exactly one bus required")
+        self.m_initialized = True
+        model.set_global(SYSTEM_INIT, True)
+
+
+class PciBus(AsmMachine):
+    """Shared bus lines (the AD/FRAME#/IRDY# group at transaction level)."""
+
+    m_frame = StateVar(False, doc="FRAME#: a transaction is in progress")
+    m_irdy = StateVar(False, doc="IRDY#: initiator ready to move data")
+    m_owner = StateVar(-1, doc="index of the transaction's initiator")
+    m_addr = StateVar(-1, doc="decoded target index of the current address")
+
+
+class PciMaster(AsmMachine):
+    """A PCI initiator."""
+
+    m_state = StateVar(MasterState.IDLE)
+    m_req = StateVar(False, doc="REQ# (dedicated line to the arbiter)")
+    m_target = StateVar(-1, doc="decoded target of the running transaction")
+    m_words_left = StateVar(0, doc="data phases remaining in the burst")
+    m_retries = StateVar(0, state_variable=False, doc="retry statistics")
+
+    def __init__(self, index: int, name: str | None = None, model=None):
+        super().__init__(name=name or f"master{index}", model=model)
+        self.index = index
+
+    # -- REQ# ------------------------------------------------------------------
+
+    @action
+    def request(self):
+        """Assert REQ# to the arbiter."""
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_state is MasterState.IDLE)
+        self.m_req = True
+        self.m_state = MasterState.REQUESTING
+
+    # -- FRAME# ------------------------------------------------------------------
+
+    @action
+    def start_transaction(self, target: int, burst: int):
+        """Address phase: drive FRAME# and the address once granted and
+        the bus is idle (GNT# + idle check, PCI protocol)."""
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_state is MasterState.REQUESTING)
+        arbiter = self.model.machines_of(PciArbiter)[0]
+        require(
+            arbiter.m_gnt and arbiter.m_ActiveMaster == self.index,
+            "GNT# not asserted for this master",
+        )
+        bus = self.model.machines_of(PciBus)[0]
+        require(not bus.m_frame and bus.m_owner == -1, "bus busy")
+        targets = self.model.machines_of(PciTarget)
+        require(0 <= target < len(targets), "unmapped address")
+        bus.m_frame = True
+        bus.m_owner = self.index
+        bus.m_addr = target
+        self.m_req = False
+        self.m_target = target
+        self.m_words_left = burst
+        self.m_state = MasterState.ADDR_PHASE
+        # FRAME# assertion consumes the grant: the central arbiter
+        # deasserts GNT# once the transaction starts, so a master
+        # cannot reuse a stale grant for back-to-back transactions
+        # (found by the FSM liveness check: the stale grant starved
+        # every other master).
+        arbiter.m_gnt = False
+        arbiter.m_req = False
+        arbiter.m_ActiveMaster = -1
+
+    @action
+    def assert_irdy(self):
+        """Enter the data phase: IRDY# asserted after the address phase."""
+        require(self.m_state is MasterState.ADDR_PHASE)
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_owner == self.index)
+        bus.m_irdy = True
+        self.m_state = MasterState.DATA_PHASE
+
+    @action
+    def data_phase(self):
+        """Move one word (requires the target's TRDY#)."""
+        require(self.m_state is MasterState.DATA_PHASE)
+        require(self.m_words_left > 0)
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_owner == self.index and bus.m_irdy)
+        target = self.model.machines_of(PciTarget)[self.m_target]
+        require(target.m_state is TargetState.TRANSFER, "TRDY# not asserted")
+        remaining = self.m_words_left - 1
+        self.m_words_left = remaining
+        if remaining == 0:
+            # Last data phase: FRAME# deasserts (PCI signals the final
+            # word by dropping FRAME# while IRDY# stays).
+            bus.m_frame = False
+            self.m_state = MasterState.TURNAROUND
+
+    @action
+    def finish(self):
+        """Turnaround: release IRDY# and the bus."""
+        require(self.m_state is MasterState.TURNAROUND)
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_owner == self.index)
+        bus.m_irdy = False
+        bus.m_owner = -1
+        bus.m_addr = -1
+        self.m_target = -1
+        self.m_state = MasterState.IDLE
+
+    @action(group="coarse")
+    def run_data_phases(self):
+        """Coarse-granularity action: IRDY#, all data phases and the
+        release fused into one atomic step.
+
+        "Working carefully the domains and the set of actions is the
+        very critical path in the FSM generation process" (Section
+        2.2.1) -- restricting exploration to the coarse action set
+        reproduces the paper's FSM sizes; the fine-grained actions
+        above model the same transaction cycle-by-cycle.
+        """
+        require(self.m_state is MasterState.ADDR_PHASE)
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_owner == self.index)
+        target = self.model.machines_of(PciTarget)[self.m_target]
+        require(target.m_state is TargetState.TRANSFER, "TRDY# not asserted")
+        bus.m_irdy = False
+        bus.m_frame = False
+        bus.m_owner = -1
+        bus.m_addr = -1
+        self.m_words_left = 0
+        self.m_target = -1
+        self.m_state = MasterState.IDLE
+
+    @action
+    def handle_stop(self):
+        """Target asserted STOP#: abort and retry later ("PCI ... allows
+        stopping transactions")."""
+        require(self.m_state in (MasterState.ADDR_PHASE, MasterState.DATA_PHASE))
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_owner == self.index)
+        targets = self.model.machines_of(PciTarget)
+        require(self.m_target >= 0)
+        target = targets[self.m_target]
+        require(target.m_state is TargetState.STOPPED, "no STOP# pending")
+        bus.m_frame = False
+        bus.m_irdy = False
+        bus.m_owner = -1
+        bus.m_addr = -1
+        # The target stays in STOPPED until it deasserts STOP# itself
+        # (clear_stop) -- the initiator only backs off.
+        self.m_target = -1
+        self.m_words_left = 0
+        self.m_retries = self.m_retries + 1
+        self.m_state = MasterState.IDLE
+
+
+class PciTarget(AsmMachine):
+    """A PCI target (bus slave)."""
+
+    m_state = StateVar(TargetState.IDLE)
+    m_devsel = StateVar(False, doc="DEVSEL#: target claimed the address")
+    m_trdy = StateVar(False, doc="TRDY#: target ready to move data")
+    m_stop = StateVar(False, doc="STOP#: target requests transaction stop")
+
+    def __init__(self, index: int, name: str | None = None, model=None):
+        super().__init__(name=name or f"target{index}", model=model)
+        self.index = index
+
+    @action
+    def claim(self):
+        """Positive address decode: assert DEVSEL#."""
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_state is TargetState.IDLE)
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_frame and bus.m_addr == self.index, "address not ours")
+        self.m_devsel = True
+        self.m_state = TargetState.SELECTED
+
+    @action
+    def ready(self):
+        """Assert TRDY#: data can move."""
+        require(self.m_state is TargetState.SELECTED)
+        self.m_trdy = True
+        self.m_state = TargetState.TRANSFER
+
+    @action(group="coarse")
+    def respond(self):
+        """Coarse-granularity action: DEVSEL# and TRDY# in one step."""
+        require(self.model.get_global(SYSTEM_INIT), "system not initialized")
+        require(self.m_state is TargetState.IDLE)
+        bus = self.model.machines_of(PciBus)[0]
+        require(bus.m_frame and bus.m_addr == self.index, "address not ours")
+        self.m_devsel = True
+        self.m_trdy = True
+        self.m_state = TargetState.TRANSFER
+
+    @action
+    def stop_transaction(self):
+        """Assert STOP# (retry/disconnect)."""
+        require(self.m_state in (TargetState.SELECTED, TargetState.TRANSFER))
+        self.m_devsel = False
+        self.m_trdy = False
+        self.m_stop = True
+        self.m_state = TargetState.STOPPED
+
+    @action
+    def clear_stop(self):
+        """Deassert STOP# once the initiator backed off."""
+        require(self.m_state is TargetState.STOPPED)
+        bus = self.model.machines_of(PciBus)[0]
+        require(not bus.m_frame, "initiator still driving FRAME#")
+        self.m_stop = False
+        self.m_state = TargetState.IDLE
+
+    @action
+    def complete(self):
+        """Transaction done: release DEVSEL#/TRDY#."""
+        require(self.m_state is TargetState.TRANSFER)
+        bus = self.model.machines_of(PciBus)[0]
+        require(not bus.m_frame and bus.m_owner == -1, "transaction still running")
+        self.m_devsel = False
+        self.m_trdy = False
+        self.m_state = TargetState.IDLE
+
+
+class PciArbiter(AsmMachine):
+    """Figure 4's ``PCI_Arbiter``, completed with grant/reclaim."""
+
+    m_ActiveMaster = StateVar(-1)
+    m_req = StateVar(False)
+    m_gnt = StateVar(False)
+
+    @action
+    def update_m_req(self):
+        """Figure 4: latch the lowest-id requesting master.
+
+        ``require (SystemInit = true) and me.m_gnt = false and
+        me.m_req = false``; then ``me.m_ActiveMaster := min id | id in
+        Masters_Range where (MASTERS(id).m_req = true)``.
+        """
+        require(self.model.get_global(SYSTEM_INIT), "SystemInit = false")
+        require(self.m_gnt is False and self.m_req is False)
+        masters = self.model.machines_of(PciMaster)
+        masters_range = range(len(masters))
+        require(
+            any(masters[i].m_req for i in masters_range), "no REQ# pending"
+        )
+        self.m_ActiveMaster = choose_min(
+            masters_range, where=lambda i: masters[i].m_req
+        )
+        self.m_req = True
+
+    @action
+    def grant(self):
+        """Assert GNT# to the latched master.  No bus-idle requirement:
+        hidden arbitration overlaps the running transaction."""
+        require(self.m_req and not self.m_gnt)
+        masters = self.model.machines_of(PciMaster)
+        # The latched master may have aborted (STOP#) meanwhile.
+        require(
+            0 <= self.m_ActiveMaster < len(masters)
+            and masters[self.m_ActiveMaster].m_req,
+            "latched master no longer requesting",
+        )
+        self.m_gnt = True
+
+    @action
+    def reclaim(self):
+        """Drop GNT# once the granted master owns the bus (its REQ# fell)."""
+        require(self.m_gnt)
+        masters = self.model.machines_of(PciMaster)
+        require(
+            not (0 <= self.m_ActiveMaster < len(masters))
+            or not masters[self.m_ActiveMaster].m_req,
+            "granted master still requesting",
+        )
+        self.m_ActiveMaster = -1
+        self.m_req = False
+        self.m_gnt = False
+
+
+def build_pci_model(
+    n_masters: int,
+    n_targets: int,
+    max_burst: int = MAX_BURST_LENGTH,
+) -> AsmModel:
+    """Assemble and seal a PCI ASM model (rule R1's instance list)."""
+    model = AsmModel(f"pci_{n_masters}m_{n_targets}s")
+    PciSystem(model=model, name="system")
+    PciBus(model=model, name="bus")
+    for index in range(n_masters):
+        PciMaster(index, model=model)
+    for index in range(n_targets):
+        PciTarget(index, model=model)
+    PciArbiter(model=model, name="arbiter")
+    model.seal()
+    return model
+
+
+def pci_domains(n_targets: int, max_burst: int = MAX_BURST_LENGTH) -> Dict[str, Domain]:
+    """Rule R4: the argument domains for exploration."""
+    return {
+        "start_transaction.target": Domain.int_range("targets", 0, n_targets - 1),
+        "start_transaction.burst": Domain.int_range("burst", 1, max_burst),
+    }
+
+
+def pci_init_call() -> str:
+    """The rule-R2 init action, in ``machine.action`` form."""
+    return "system.init"
+
+
+def pci_coarse_actions(n_masters: int, n_targets: int) -> list[str]:
+    """The paper-scale action whitelist (transaction-level granularity).
+
+    Restricting exploration to this set -- the paper's "set of actions"
+    lever -- makes a whole data transfer one transition and yields FSM
+    sizes in Table 1's range while preserving arbitration/transaction
+    interleavings (requests, hidden arbitration, target stops).
+    """
+    actions = ["system.init"]
+    for index in range(n_masters):
+        actions += [
+            f"master{index}.request",
+            f"master{index}.start_transaction",
+            f"master{index}.run_data_phases",
+            f"master{index}.handle_stop",
+        ]
+    for index in range(n_targets):
+        actions += [
+            f"target{index}.respond",
+            f"target{index}.stop_transaction",
+            f"target{index}.clear_stop",
+            f"target{index}.complete",
+        ]
+    actions += ["arbiter.update_m_req", "arbiter.grant", "arbiter.reclaim"]
+    return actions

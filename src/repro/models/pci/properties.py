@@ -1,0 +1,269 @@
+"""The PCI property suite.
+
+"For model checking we consider, for both models, a set of properties
+describing all the possible scenarios of transactions over the bus
+(reading, writing, arbitration, etc.)" (paper, Section 4.2).
+
+All properties are written over a *canonical signal namespace* shared
+by the ASM model (via :func:`pci_letter_from_model`) and the SystemC
+simulation model (via its own extractor) -- defining the suite once and
+reusing it at both levels is precisely the paper's re-use argument.
+
+The suite splits by the semantics of "cycle":
+
+* **invariant properties** (untimed, stutter-tolerant) are checked both
+  during FSM generation -- where a step is *one* interleaved action of
+  one machine -- and during simulation;
+* **timed properties** (bounded response windows such as the DEVSEL#
+  decode window) are only meaningful against the clocked SystemC model,
+  where every module acts each cycle;
+* **liveness** ("every request is eventually granted") cannot be
+  verified by simulation at all and goes through the FSM liveness
+  checker -- the paper's core argument for the model-checking leg.
+
+Canonical signals (all boolean unless noted):
+
+=====================  ======================================================
+``req<i>``             master i's REQ# line
+``gnt<i>``             arbiter grants master i (GNT#)
+``frame``              FRAME# asserted (transaction running)
+``irdy``               IRDY# asserted
+``devsel`` / ``trdy``  any target's DEVSEL# / TRDY#
+``devsel<j>`` ...      per-target lines
+``stop_any``           any target's STOP#
+``bus_idle``           no owner and FRAME# deasserted
+``owner<i>``           master i owns the bus
+``master<i>_idle``     master i's FSM is in IDLE
+``master<i>_data``     master i is in its data phase
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...asm.machine import AsmModel
+from ...asm.state import StateKey
+from ...psl.ast_nodes import Directive, DirectiveKind, Property
+from ...psl.parser import parse_formula
+from .asm_model import PciArbiter, PciBus, PciMaster, PciTarget
+from .protocol import DEVSEL_TIMEOUT_CYCLES, MasterState, TargetState
+
+
+def pci_letter_from_model(model: AsmModel) -> Dict[str, Any]:
+    """Canonical signal valuation extracted from the ASM model state."""
+    masters: List[PciMaster] = model.machines_of(PciMaster)  # type: ignore[assignment]
+    targets: List[PciTarget] = model.machines_of(PciTarget)  # type: ignore[assignment]
+    arbiter: PciArbiter = model.machines_of(PciArbiter)[0]  # type: ignore[assignment]
+    bus: PciBus = model.machines_of(PciBus)[0]  # type: ignore[assignment]
+
+    letter: Dict[str, Any] = {
+        "frame": bus.m_frame,
+        "irdy": bus.m_irdy,
+        "bus_idle": (not bus.m_frame) and bus.m_owner == -1,
+        "devsel": any(t.m_devsel for t in targets),
+        "trdy": any(t.m_trdy for t in targets),
+        "stop_any": any(t.m_stop for t in targets),
+        # STOP# of the *addressed* target: the signal the current
+        # initiator must honour (a STOP# still draining on another
+        # target is not this transaction's business).
+        "stop_addressed": bool(
+            0 <= bus.m_addr < len(targets) and targets[bus.m_addr].m_stop
+        ),
+    }
+    for index, master in enumerate(masters):
+        letter[f"req{index}"] = master.m_req
+        letter[f"gnt{index}"] = bool(
+            arbiter.m_gnt and arbiter.m_ActiveMaster == index
+        )
+        letter[f"owner{index}"] = bus.m_owner == index
+        letter[f"master{index}_idle"] = master.m_state is MasterState.IDLE
+        letter[f"master{index}_data"] = master.m_state is MasterState.DATA_PHASE
+    for index, target in enumerate(targets):
+        letter[f"devsel{index}"] = target.m_devsel
+        letter[f"trdy{index}"] = target.m_trdy
+        letter[f"stop{index}"] = target.m_stop
+        letter[f"target{index}_idle"] = target.m_state is TargetState.IDLE
+    return letter
+
+
+def _assert(name: str, text: str, report: str = "") -> Directive:
+    return Directive(
+        DirectiveKind.ASSERT, Property(name, parse_formula(text), report=report)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Invariant suite: model checking AND simulation
+# ---------------------------------------------------------------------------
+
+
+def pci_invariant_properties(n_masters: int, n_targets: int) -> List[Directive]:
+    """Untimed, stutter-tolerant safety properties."""
+    directives: List[Directive] = []
+
+    # Arbitration: GNT# is mutually exclusive across masters.
+    for i in range(n_masters):
+        for j in range(i + 1, n_masters):
+            directives.append(
+                _assert(
+                    f"mutex_gnt_{i}_{j}",
+                    f"never (gnt{i} && gnt{j})",
+                    f"arbiter granted masters {i} and {j} simultaneously",
+                )
+            )
+
+    # A grant rises only for a requesting master.
+    for i in range(n_masters):
+        directives.append(
+            _assert(
+                f"gnt_implies_req_{i}",
+                f"always (rose(gnt{i}) -> req{i})",
+                f"GNT#{i} without REQ#{i}",
+            )
+        )
+
+    # FRAME# implies ownership; ownership is exclusive.
+    directives.append(
+        _assert(
+            "frame_has_owner",
+            "always (frame -> !bus_idle)",
+            "FRAME# asserted on an idle bus",
+        )
+    )
+    for i in range(n_masters):
+        for j in range(i + 1, n_masters):
+            directives.append(
+                _assert(
+                    f"mutex_owner_{i}_{j}",
+                    f"never (owner{i} && owner{j})",
+                    "two initiators drive the bus",
+                )
+            )
+
+    # Target protocol invariants.
+    for j in range(n_targets):
+        directives.append(
+            _assert(
+                f"trdy_implies_devsel_{j}",
+                f"always (trdy{j} -> devsel{j})",
+                f"target {j}: TRDY# without DEVSEL#",
+            )
+        )
+        directives.append(
+            _assert(
+                f"stop_excludes_trdy_{j}",
+                f"never (stop{j} && trdy{j})",
+                f"target {j}: STOP# and TRDY# together",
+            )
+        )
+
+    # Initiator protocol invariants.
+    for i in range(n_masters):
+        directives.append(
+            _assert(
+                f"data_needs_irdy_{i}",
+                f"always (master{i}_data -> (owner{i} && irdy))",
+                f"master {i} in data phase without IRDY#/ownership",
+            )
+        )
+        directives.append(
+            _assert(
+                f"req_excludes_owner_{i}",
+                f"never (req{i} && owner{i})",
+                f"master {i} requests while owning the bus",
+            )
+        )
+    return directives
+
+
+# ---------------------------------------------------------------------------
+# Timed suite: clocked simulation only
+# ---------------------------------------------------------------------------
+
+
+def pci_timed_properties(n_masters: int, n_targets: int) -> List[Directive]:
+    """Bounded-response properties (cycle-accurate, ABV only)."""
+    directives: List[Directive] = []
+    window = DEVSEL_TIMEOUT_CYCLES - 1
+    directives.append(
+        _assert(
+            "devsel_after_frame",
+            "always {rose(frame)} |=> "
+            f"{{ {{!devsel && !stop_any && frame}}[*0:{window}] ; "
+            "(devsel || stop_any || !frame) }",
+            "no DEVSEL#/STOP# within the decode window",
+        )
+    )
+    directives.append(
+        _assert(
+            "stop_backoff",
+            "always {stop_addressed && frame && irdy} |=> {true[*0:2] ; !frame}",
+            "initiator ignored STOP# of the addressed target",
+        )
+    )
+    return directives
+
+
+def pci_safety_properties(n_masters: int, n_targets: int) -> List[Directive]:
+    """The full simulation (ABV) suite: invariants + timed."""
+    return pci_invariant_properties(n_masters, n_targets) + pci_timed_properties(
+        n_masters, n_targets
+    )
+
+
+def pci_cover_properties(n_masters: int, n_targets: int) -> List[Directive]:
+    """Coverage goals: every transaction scenario actually occurs."""
+    directives: List[Directive] = []
+    for i in range(n_masters):
+        directives.append(
+            Directive(
+                DirectiveKind.COVER,
+                Property(
+                    f"cover_txn_{i}",
+                    parse_formula(f"{{req{i} ; gnt{i}[->1] ; owner{i}[->1]}}"),
+                ),
+            )
+        )
+    directives.append(
+        Directive(
+            DirectiveKind.COVER,
+            Property("cover_stop", parse_formula("{stop_any}")),
+        )
+    )
+    return directives
+
+
+# ---------------------------------------------------------------------------
+# Liveness (model checking only -- paper Section 4's motivation)
+# ---------------------------------------------------------------------------
+
+
+def request_trigger(master_index: int):
+    """Trigger predicate: master ``i`` is requesting."""
+
+    def trigger(key: StateKey) -> bool:
+        return key.value(f"master{master_index}", "m_req") is True
+
+    return trigger
+
+
+def grant_goal(master_index: int):
+    """Goal predicate: the arbiter granted master ``i``."""
+
+    def goal(key: StateKey) -> bool:
+        return (
+            key.value("arbiter", "m_gnt") is True
+            and key.value("arbiter", "m_ActiveMaster") == master_index
+        )
+
+    return goal
+
+
+def transaction_goal(master_index: int):
+    """Goal predicate: master ``i`` reached its address phase."""
+
+    def goal(key: StateKey) -> bool:
+        return key.value("bus", "m_owner") == master_index
+
+    return goal

@@ -1,0 +1,97 @@
+"""PCI Local Bus protocol vocabulary.
+
+"PCI boasts a 32-bit datapath, 33MHz clock speed and a maximum data
+transfer rate of 132MB/sec.  Each PCI master has a pair of arbitration
+lines that connect it directly to the PCI bus arbiter.  In the PCI
+environment, bus arbitration can take place while another master is
+still in control of the bus [hidden arbitration].  Data is transferred
+between an initiator which is the bus master, and a target, which is
+the bus slave.  PCI supports several masters and slaves and allows
+stopping transactions."  (paper, Section 4.1)
+
+This module centralises the protocol constants shared by the ASM model,
+the SystemC model and the property suite.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: 33 MHz -> 30 ns period (the paper's clock), in kernel picoseconds.
+PCI_CLOCK_PERIOD_PS = 30_000
+
+#: 32-bit datapath, 132 MB/s peak (30ns x 4 bytes per data phase).
+PCI_DATA_WIDTH_BITS = 32
+PCI_PEAK_MBPS = 132
+
+#: DEVSEL# must assert within this many cycles of FRAME# (fast=1,
+#: medium=2, slow=3, subtractive=4).
+DEVSEL_TIMEOUT_CYCLES = 4
+
+#: Maximum burst length modeled at the transaction level.
+MAX_BURST_LENGTH = 2
+
+
+class PciCommand(enum.Enum):
+    """Bus command (driven on C/BE# during the address phase)."""
+
+    MEM_READ = 0b0110
+    MEM_WRITE = 0b0111
+    IO_READ = 0b0010
+    IO_WRITE = 0b0011
+    CONFIG_READ = 0b1010
+    CONFIG_WRITE = 0b1011
+
+    @property
+    def is_write(self) -> bool:
+        return self in (
+            PciCommand.MEM_WRITE,
+            PciCommand.IO_WRITE,
+            PciCommand.CONFIG_WRITE,
+        )
+
+
+class MasterState(enum.Enum):
+    """Initiator-side transaction FSM."""
+
+    IDLE = "idle"
+    REQUESTING = "requesting"  # REQ# asserted, waiting for GNT#
+    GRANTED = "granted"        # GNT# seen, waiting for bus idle
+    ADDR_PHASE = "addr"        # FRAME# asserted, address on AD
+    DATA_PHASE = "data"        # IRDY# asserted, moving words
+    TURNAROUND = "turnaround"  # FRAME# deasserted, last data word
+
+
+class TargetState(enum.Enum):
+    """Target-side FSM."""
+
+    IDLE = "idle"
+    SELECTED = "selected"      # address decoded, DEVSEL# asserted
+    TRANSFER = "transfer"      # TRDY# asserted, moving words
+    STOPPED = "stopped"        # STOP# asserted (retry/disconnect)
+
+
+class TargetResponse(enum.Enum):
+    """How a target finishes a transaction ("PCI allows stopping
+    transactions")."""
+
+    COMPLETE = "complete"
+    RETRY = "retry"            # STOP# before any data
+    DISCONNECT = "disconnect"  # STOP# after some data
+
+
+def target_address(target_index: int) -> int:
+    """The base address decoded by target ``target_index``.
+
+    One address page per target keeps the rule-R4 address domain
+    minimal while still exercising address decode.
+    """
+    return 0x1000 * (target_index + 1)
+
+
+def decode_target(address: int, target_count: int) -> int | None:
+    """Inverse of :func:`target_address`; None when unmapped."""
+    page = address // 0x1000 - 1
+    if 0 <= page < target_count:
+        return page
+    return None

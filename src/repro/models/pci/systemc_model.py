@@ -1,0 +1,357 @@
+"""The PCI bus as a clocked SystemC simulation model.
+
+The hand-translated counterpart of :mod:`.asm_model` (the paper
+translates the verified ASM design to SystemC through rules R1-R3 and
+then simulates it with the compiled assertion monitors).  Modules:
+
+* :class:`PciArbiterModule` -- REQ#/GNT# pairs per master, lowest-index
+  priority, *hidden arbitration* (re-arbitrates while a transaction is
+  still running),
+* :class:`PciMasterModule`  -- issues memory read/write transactions
+  with seeded pseudo-random idle gaps, burst lengths and addresses;
+  honours STOP# by backing off and retrying,
+* :class:`PciTargetModule`  -- positive address decode (DEVSEL# within
+  its configured decode latency), data phases (TRDY#), and seeded
+  random retry injection (STOP#),
+* :class:`PciSystemModel`   -- wires everything, exposes the canonical
+  signal namespace of :mod:`.properties` for the assertion monitors.
+
+The model is cycle-based: every module owns one thread clocked on the
+shared 33 MHz clock's posedge; monitors sample on the negedge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from ...sysc.bus import BusStatistics, Transaction, BusMode, BusStatus
+from ...sysc.clock import Clock
+from ...sysc.kernel import Simulator
+from ...sysc.module import Module
+from ...sysc.signal import Signal
+from .protocol import (
+    DEVSEL_TIMEOUT_CYCLES,
+    MAX_BURST_LENGTH,
+    PCI_CLOCK_PERIOD_PS,
+    PciCommand,
+)
+
+
+class PciSignals:
+    """The shared bus wires (active-high in this model for readability)."""
+
+    def __init__(self, simulator: Simulator, n_masters: int, n_targets: int):
+        self.req = [Signal(False, f"req{i}", simulator) for i in range(n_masters)]
+        self.gnt = [Signal(False, f"gnt{i}", simulator) for i in range(n_masters)]
+        self.frame = Signal(False, "frame", simulator)
+        self.irdy = Signal(False, "irdy", simulator)
+        self.devsel = [
+            Signal(False, f"devsel{j}", simulator) for j in range(n_targets)
+        ]
+        self.trdy = [Signal(False, f"trdy{j}", simulator) for j in range(n_targets)]
+        self.stop = [Signal(False, f"stop{j}", simulator) for j in range(n_targets)]
+        self.addr = Signal(-1, "addr", simulator)  # decoded target index
+        self.owner = Signal(-1, "owner", simulator)
+        self.command = Signal(PciCommand.MEM_READ, "command", simulator)
+
+
+class PciArbiterModule(Module):
+    """Lowest-index-priority arbiter with bus parking and hidden
+    arbitration."""
+
+    def __init__(self, name: str, sim: Simulator, clock: Clock, wires: PciSignals):
+        super().__init__(name, sim)
+        self.clock = clock
+        self.wires = wires
+        self.grants_issued = 0
+        self.thread(self.arbitrate)
+
+    def arbitrate(self):
+        wires = self.wires
+        current: Optional[int] = None
+        while True:
+            yield self.clock.posedge()
+            requesting = [i for i, r in enumerate(wires.req) if r.read()]
+            if current is not None and not wires.req[current].read():
+                # The granted master started its transaction (REQ# fell):
+                # drop GNT# so the next arbitration can proceed even while
+                # the transaction still runs (hidden arbitration).
+                wires.gnt[current].write(False)
+                current = None
+            if current is None and requesting:
+                current = requesting[0]
+                wires.gnt[current].write(True)
+                self.grants_issued += 1
+
+
+class PciMasterModule(Module):
+    """A PCI initiator issuing pseudo-random transactions."""
+
+    def __init__(
+        self,
+        index: int,
+        sim: Simulator,
+        clock: Clock,
+        wires: PciSignals,
+        n_targets: int,
+        seed: int,
+        max_idle: int = 3,
+    ):
+        super().__init__(f"master{index}", sim)
+        self.index = index
+        self.clock = clock
+        self.wires = wires
+        self.n_targets = n_targets
+        self.random = random.Random(seed)
+        self.max_idle = max_idle
+        self.transactions: List[Transaction] = []
+        self.retries = 0
+        self.words_moved = 0
+        #: canonical "in data phase" flag for the monitors
+        self.data_flag = Signal(False, f"master{index}_data", sim)
+        self.idle_flag = Signal(True, f"master{index}_idle", sim)
+        self.thread(self.run)
+
+    def run(self):
+        wires = self.wires
+        while True:
+            # idle gap
+            for _ in range(self.random.randrange(1, self.max_idle + 1)):
+                yield self.clock.posedge()
+            target = self.random.randrange(self.n_targets)
+            burst = self.random.randint(1, MAX_BURST_LENGTH)
+            command = (
+                PciCommand.MEM_WRITE
+                if self.random.random() < 0.5
+                else PciCommand.MEM_READ
+            )
+            transaction = Transaction(
+                master=self.name,
+                address=0x1000 * (target + 1),
+                is_write=command.is_write,
+                data=tuple(range(burst)),
+                mode=BusMode.BLOCKING,
+                start_cycle=self.clock.cycle_count,
+            )
+            completed = False
+            while not completed:
+                completed = yield from self._attempt(target, burst, command)
+                if not completed:
+                    self.retries += 1
+                    # back off a little before retrying
+                    for _ in range(self.random.randrange(1, 3)):
+                        yield self.clock.posedge()
+            transaction.end_cycle = self.clock.cycle_count
+            transaction.status = BusStatus.OK
+            self.transactions.append(transaction)
+
+    def _attempt(self, target: int, burst: int, command: PciCommand):
+        """One transaction attempt; returns False when STOP#-ed."""
+        wires = self.wires
+        self.idle_flag.write(False)
+        # REQ# until granted
+        wires.req[self.index].write(True)
+        while not wires.gnt[self.index].read():
+            yield self.clock.posedge()
+        # wait for bus idle -- and for any draining STOP# of the chosen
+        # target (its STOP# belongs to the previous transaction; a new
+        # address phase must start clean)
+        while (
+            wires.frame.read()
+            or wires.owner.read() != -1
+            or wires.stop[target].read()
+        ):
+            yield self.clock.posedge()
+        # address phase
+        wires.req[self.index].write(False)
+        wires.frame.write(True)
+        wires.owner.write(self.index)
+        wires.addr.write(target)
+        wires.command.write(command)
+        yield self.clock.posedge()
+        # IRDY# and data phases
+        wires.irdy.write(True)
+        self.data_flag.write(True)
+        words_left = burst
+        cycles_waited = 0
+        while words_left > 0:
+            yield self.clock.posedge()
+            if wires.stop[target].read():
+                # Target requested stop: back off (retry).
+                yield from self._release(aborted=True)
+                return False
+            if wires.trdy[target].read():
+                words_left -= 1
+                self.words_moved += 1
+                cycles_waited = 0
+                if words_left == 0:
+                    wires.frame.write(False)  # last data phase
+            else:
+                cycles_waited += 1
+                if cycles_waited > 16:  # defensive: no livelock
+                    yield from self._release(aborted=True)
+                    return False
+        yield self.clock.posedge()
+        yield from self._release(aborted=False)
+        return True
+
+    def _release(self, aborted: bool):
+        wires = self.wires
+        wires.frame.write(False)
+        wires.irdy.write(False)
+        wires.owner.write(-1)
+        wires.addr.write(-1)
+        self.data_flag.write(False)
+        self.idle_flag.write(True)
+        yield self.clock.posedge()
+
+
+class PciTargetModule(Module):
+    """A PCI target with configurable decode latency and retry injection."""
+
+    def __init__(
+        self,
+        index: int,
+        sim: Simulator,
+        clock: Clock,
+        wires: PciSignals,
+        seed: int,
+        decode_latency: int = 1,
+        stop_probability: float = 0.05,
+    ):
+        super().__init__(f"target{index}", sim)
+        if not 1 <= decode_latency <= DEVSEL_TIMEOUT_CYCLES - 1:
+            raise ValueError("decode latency outside the DEVSEL window")
+        self.index = index
+        self.clock = clock
+        self.wires = wires
+        self.random = random.Random(seed)
+        self.decode_latency = decode_latency
+        self.stop_probability = stop_probability
+        self.claims = 0
+        self.stops_issued = 0
+        self.thread(self.run)
+
+    def run(self):
+        wires = self.wires
+        while True:
+            yield self.clock.posedge()
+            if not (wires.frame.read() and wires.addr.read() == self.index):
+                continue
+            # address decode latency
+            for _ in range(self.decode_latency - 1):
+                yield self.clock.posedge()
+            if self.random.random() < self.stop_probability:
+                yield from self._stop_sequence()
+                continue
+            wires.devsel[self.index].write(True)
+            self.claims += 1
+            yield self.clock.posedge()
+            wires.trdy[self.index].write(True)
+            # stay ready until the initiator finishes (FRAME# falls and
+            # IRDY# falls after the last word)
+            while wires.frame.read() or wires.irdy.read():
+                yield self.clock.posedge()
+                if (
+                    wires.frame.read()
+                    and self.random.random() < self.stop_probability / 4
+                ):
+                    # mid-burst disconnect
+                    yield from self._stop_sequence()
+                    break
+            wires.devsel[self.index].write(False)
+            wires.trdy[self.index].write(False)
+
+    def _stop_sequence(self):
+        wires = self.wires
+        wires.devsel[self.index].write(False)
+        wires.trdy[self.index].write(False)
+        wires.stop[self.index].write(True)
+        self.stops_issued += 1
+        # hold STOP# until the initiator backs off
+        while wires.frame.read():
+            yield self.clock.posedge()
+        yield self.clock.posedge()
+        wires.stop[self.index].write(False)
+
+
+class PciSystemModel:
+    """Top level: clock + wires + arbiter + masters + targets."""
+
+    def __init__(
+        self,
+        n_masters: int,
+        n_targets: int,
+        seed: int = 2005,
+        clock_period: int = PCI_CLOCK_PERIOD_PS,
+        stop_probability: float = 0.05,
+    ):
+        self.n_masters = n_masters
+        self.n_targets = n_targets
+        self.simulator = Simulator(f"pci_{n_masters}m_{n_targets}s")
+        self.clock = Clock("pci_clk", clock_period, self.simulator)
+        self.wires = PciSignals(self.simulator, n_masters, n_targets)
+        self.arbiter = PciArbiterModule(
+            "arbiter", self.simulator, self.clock, self.wires
+        )
+        self.masters = [
+            PciMasterModule(
+                i, self.simulator, self.clock, self.wires, n_targets, seed + i
+            )
+            for i in range(n_masters)
+        ]
+        self.targets = [
+            PciTargetModule(
+                j,
+                self.simulator,
+                self.clock,
+                self.wires,
+                seed + 100 + j,
+                decode_latency=1 + (j % (DEVSEL_TIMEOUT_CYCLES - 1)),
+                stop_probability=stop_probability,
+            )
+            for j in range(n_targets)
+        ]
+        self.statistics = BusStatistics()
+
+    # -- monitor-facing canonical namespace ----------------------------------------
+
+    def letter(self) -> Dict[str, Any]:
+        wires = self.wires
+        addressed = wires.addr.read()
+        letter: Dict[str, Any] = {
+            "frame": wires.frame.read(),
+            "irdy": wires.irdy.read(),
+            "bus_idle": (not wires.frame.read()) and wires.owner.read() == -1,
+            "devsel": any(s.read() for s in wires.devsel),
+            "trdy": any(s.read() for s in wires.trdy),
+            "stop_any": any(s.read() for s in wires.stop),
+            "stop_addressed": bool(
+                0 <= addressed < self.n_targets
+                and wires.stop[addressed].read()
+            ),
+        }
+        for i in range(self.n_masters):
+            letter[f"req{i}"] = wires.req[i].read()
+            letter[f"gnt{i}"] = wires.gnt[i].read()
+            letter[f"owner{i}"] = wires.owner.read() == i
+            letter[f"master{i}_idle"] = self.masters[i].idle_flag.read()
+            letter[f"master{i}_data"] = self.masters[i].data_flag.read()
+        for j in range(self.n_targets):
+            letter[f"devsel{j}"] = wires.devsel[j].read()
+            letter[f"trdy{j}"] = wires.trdy[j].read()
+            letter[f"stop{j}"] = wires.stop[j].read()
+        return letter
+
+    def run_cycles(self, cycles: int) -> None:
+        self.simulator.run(self.clock.period * cycles)
+
+    def collect_statistics(self) -> BusStatistics:
+        stats = BusStatistics()
+        for master in self.masters:
+            for transaction in master.transactions:
+                stats.record(transaction)
+        stats.arbitration_rounds = self.arbiter.grants_issued
+        self.statistics = stats
+        return stats

@@ -1,0 +1,157 @@
+"""Property Specification Language (Accellera PSL 1.01 subset).
+
+Implements the three layers the paper's methodology uses (Section 2.1):
+the Boolean layer (typed expressions and built-in functions), the
+temporal layer (SEREs and FL formulas with the LRM's four-valued
+finite-trace semantics), and the verification layer (directives and
+vunits).  The modeling layer is VHDL/Verilog-specific and intentionally
+out of scope, exactly as in the paper.
+
+Entry points:
+
+* :func:`parse_formula` / :func:`parse_vunit` -- concrete syntax,
+* :func:`verdict` -- four-valued evaluation on a recorded trace,
+* :func:`build_monitor` -- compile to an online assertion monitor,
+* :class:`AssertionProperty` -- embed a property into FSM exploration.
+"""
+
+from .ast_nodes import (
+    FALSE,
+    INFINITY,
+    TRUE,
+    And,
+    Arith,
+    Compare,
+    Const,
+    Directive,
+    DirectiveKind,
+    EvalContext,
+    Expr,
+    FlAbort,
+    FlAlways,
+    FlAnd,
+    FlBefore,
+    FlBool,
+    FlClocked,
+    FlEventually,
+    FlIff,
+    FlImplies,
+    FlNever,
+    FlNext,
+    FlNextA,
+    FlNextE,
+    FlNextEvent,
+    FlNot,
+    FlOr,
+    FlSere,
+    FlSuffixImpl,
+    FlUntil,
+    Formula,
+    Func,
+    Iff,
+    Implies,
+    Index,
+    Not,
+    Or,
+    Property,
+    Sere,
+    SereAnd,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereGoto,
+    SereNonConsec,
+    SereOr,
+    SereRepeat,
+    Var,
+    VUnit,
+    Xor,
+    always,
+    eventually,
+    never,
+    next_,
+    sere,
+    sere_within,
+    strong_next,
+    suffix_implication,
+    until,
+)
+from .asm_embedding import (
+    AssertionProperty,
+    PslAssertion,
+    PslOperator,
+    PslPropertyAsm,
+    PslSequence,
+    PslSere,
+    SereEvaluation,
+    state_extractor,
+)
+from .boolean_layer import (
+    PslBit,
+    PslBitVector,
+    PslBoolean,
+    PslNumeric,
+    PslString,
+    PslType,
+    SignalHistory,
+    coerce,
+)
+from .errors import (
+    PslError,
+    PslEvaluationError,
+    PslParseError,
+    PslTypeError,
+    PslUnsupportedError,
+)
+from .monitor import (
+    BooleanInvariantMonitor,
+    BooleanUntilMonitor,
+    CoverMonitor,
+    EventuallyMonitor,
+    Monitor,
+    MonitorReport,
+    NeverSereMonitor,
+    ReplayMonitor,
+    SereTracker,
+    SuffixImplicationMonitor,
+    build_monitor,
+    run_monitor,
+)
+from .parser import parse_bool, parse_directive, parse_formula, parse_sere, parse_vunit
+from .semantics import Evaluator, Verdict, View, satisfies, verdict
+from .sere import Matcher, match_ends, tightly_matches
+
+__all__ = [
+    # ast
+    "FALSE", "INFINITY", "TRUE", "And", "Arith", "Compare", "Const",
+    "Directive", "DirectiveKind", "EvalContext", "Expr", "FlAbort",
+    "FlAlways", "FlAnd", "FlBefore", "FlBool", "FlClocked", "FlEventually",
+    "FlIff", "FlImplies", "FlNever", "FlNext", "FlNextA", "FlNextE",
+    "FlNextEvent", "FlNot", "FlOr", "FlSere", "FlSuffixImpl", "FlUntil",
+    "Formula", "Func", "Iff", "Implies", "Index", "Not", "Or", "Property",
+    "Sere", "SereAnd", "SereBool", "SereConcat", "SereFusion", "SereGoto",
+    "SereNonConsec", "SereOr", "SereRepeat", "Var", "VUnit", "Xor",
+    "always", "eventually", "never", "next_", "sere", "sere_within",
+    "strong_next", "suffix_implication", "until",
+    # embedding
+    "AssertionProperty", "PslAssertion", "PslOperator", "PslPropertyAsm",
+    "PslSequence", "PslSere", "SereEvaluation", "state_extractor",
+    # boolean layer
+    "PslBit", "PslBitVector", "PslBoolean", "PslNumeric", "PslString",
+    "PslType", "SignalHistory", "coerce",
+    # errors
+    "PslError", "PslEvaluationError", "PslParseError", "PslTypeError",
+    "PslUnsupportedError",
+    # monitors
+    "BooleanInvariantMonitor", "BooleanUntilMonitor", "CoverMonitor",
+    "EventuallyMonitor", "Monitor", "MonitorReport", "NeverSereMonitor",
+    "ReplayMonitor", "SereTracker", "SuffixImplicationMonitor",
+    "build_monitor", "run_monitor",
+    # parsing
+    "parse_bool", "parse_directive", "parse_formula", "parse_sere",
+    "parse_vunit",
+    # semantics
+    "Evaluator", "Verdict", "View", "satisfies", "verdict",
+    # sere
+    "Matcher", "match_ends", "tightly_matches",
+]

@@ -1,0 +1,290 @@
+"""The paper's PSL-in-ASM embedding (Figures 3 and Section 3.1).
+
+Two layers live here:
+
+1. A faithful transcription of the paper's embedding classes:
+   :class:`PslSere` is Figure 3's ``PSL_SERE`` (an ASM machine with
+   ``m_size``/``m_seq``/``m_cycle``/``m_actualState``/``m_evaluation``
+   and an ``Evaluate`` action guarded by ``require m_evaluationState =
+   INIT``), :class:`PslSequence`/:class:`PslPropertyAsm`/
+   :class:`PslAssertion` follow Section 3.1's recipe -- "Add all the
+   Boolean items to the sequences ... Create the property P := S1 OP S2
+   ... Define the verification unit as an assertion A that includes the
+   above property".
+
+2. The bridge to the FSM explorer: :class:`AssertionProperty` adapts
+   any :class:`repro.psl.monitor.Monitor` to the explorer's
+   ``StateProperty`` protocol, exposing the paper's two Boolean state
+   variables ``P_eval`` / ``P_value`` ("a violated property is detected
+   once P_eval = true and P_value = false").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..asm.collections_ import Seq
+from ..asm.machine import AsmMachine, StateVar, action, require
+from .ast_nodes import Directive, Formula, Property
+from .monitor import Monitor, build_monitor
+from .semantics import Verdict
+
+
+class SereEvaluation(enum.Enum):
+    """Figure 3's ``SERE_Evaluation`` status values."""
+
+    NOT_STARTED = "NOT_STARTED"
+    INIT = "INIT"
+    IN_PROGRESS = "IN_PROGRESS"
+    FAILED = "FAILED"
+    SUCCEEDED = "SUCCEEDED"
+
+
+class PslSere(AsmMachine):
+    """Figure 3: ``class PSL_SERE`` -- checks "if a sequence is true in a
+    certain path".
+
+    The machine walks ``m_seq`` (an AsmL ``Seq of Boolean``) one element
+    per evaluation step; the ``m_cycle`` sequence gives, per element,
+    the cycle count the element is allowed to take (the paper's
+    ``Mtd[5]()`` and ``$`` duration annotations compile into it).
+    """
+
+    m_size = StateVar(0, doc="number of elements in the sequence")
+    m_seq = StateVar(Seq(), doc="the boolean sequence to check")
+    m_cycle = StateVar(Seq(), doc="per-element cycle budgets")
+    m_actualState = StateVar(0, doc="index of the element under evaluation")
+    m_evaluation = StateVar(
+        SereEvaluation.NOT_STARTED, doc="evaluation status (Figure 3)"
+    )
+    m_evaluationState = StateVar(
+        SereEvaluation.NOT_STARTED, doc="activation signal set by the property"
+    )
+
+    def __init__(self, name: str | None = None, model=None):
+        super().__init__(name=name, model=model)
+
+    # -- construction ------------------------------------------------------
+
+    def add_element(self, value: bool, cycles: int = 1) -> None:
+        """``S.AddElement(x)`` from Section 3.1."""
+        self.m_seq = self.m_seq.add(bool(value))
+        self.m_cycle = self.m_cycle.add(int(cycles))
+        self.m_size = len(self.m_seq)
+
+    def init_evaluation(self) -> None:
+        """Raise the INIT signal ("activated according to an INIT signal
+        that must be set by the property")."""
+        self.m_evaluationState = SereEvaluation.INIT
+        self.m_actualState = 0
+        self.m_evaluation = SereEvaluation.NOT_STARTED
+
+    # -- Figure 3's method, transcribed -----------------------------------------
+
+    @action
+    def evaluate(self) -> SereEvaluation:
+        """``public Evaluate() as SERE_Evaluation`` (Figure 3)."""
+        require(self.m_evaluationState == SereEvaluation.INIT, "needs INIT signal")
+        if self.m_actualState >= self.m_size:
+            # Walked past the end without failing: the sequence held.
+            self.m_evaluation = SereEvaluation.SUCCEEDED
+            return SereEvaluation.SUCCEEDED
+        if self.m_seq[self.m_actualState] is False:
+            self.m_evaluation = SereEvaluation.FAILED
+            return SereEvaluation.FAILED
+        if self.m_actualState < self.m_size - 1:
+            self.m_actualState = self.m_actualState + 1
+            self.m_evaluation = SereEvaluation.IN_PROGRESS
+            return SereEvaluation.IN_PROGRESS
+        self.m_actualState = 0
+        self.m_evaluation = SereEvaluation.SUCCEEDED
+        return SereEvaluation.SUCCEEDED
+
+    def run_to_completion(self, max_steps: int = 10_000) -> SereEvaluation:
+        """Drive ``evaluate`` until it reports FAILED or SUCCEEDED."""
+        for _ in range(max_steps):
+            status = self.evaluate()
+            if status in (SereEvaluation.FAILED, SereEvaluation.SUCCEEDED):
+                return status
+        return self.m_evaluation
+
+
+class PslOperator(enum.Enum):
+    """Operators allowed between two sequences (Section 3.1)."""
+
+    IMPLICATION = "=>"
+    EQUIVALENCE = "<=>"
+
+
+class PslSequence:
+    """Section 3.1's S1/S2: an ordered collection of Boolean items."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._items: list[bool] = []
+
+    def add_element(self, item: bool) -> None:
+        self._items.append(bool(item))
+
+    @property
+    def items(self) -> Tuple[bool, ...]:
+        return tuple(self._items)
+
+    def holds(self) -> bool:
+        """A sequence of booleans holds when all its items hold."""
+        return all(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class PslPropertyAsm:
+    """``P := S1 OP S2`` (Section 3.1)."""
+
+    def __init__(self, name: str, left: PslSequence, op: PslOperator, right: PslSequence):
+        self.name = name
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def evaluate(self) -> bool:
+        if self.op is PslOperator.IMPLICATION:
+            return (not self.left.holds()) or self.right.holds()
+        return self.left.holds() == self.right.holds()
+
+    def evaluate_next(self, steps: int, evaluator: Callable[[], bool]) -> bool:
+        """"verify the sequence is true after n states" is defined as
+        ``PSL_Property.EvaluateNext(n)`` -- defer to an evaluator after
+        ``steps`` states."""
+        for _ in range(steps):
+            evaluator()
+        return self.evaluate()
+
+
+class PslAssertion(AsmMachine):
+    """The verification-unit-as-assertion of Section 3.1.
+
+    Exposes the two Boolean state variables the paper embeds in every
+    FSM state: ``P_eval`` and ``P_value``.
+    """
+
+    P_eval = StateVar(False, doc="the property can be evaluated in this state")
+    P_value = StateVar(True, doc="the property's value in this state")
+
+    def __init__(self, name: str | None = None, model=None):
+        super().__init__(name=name, model=model)
+        self._properties: list[PslPropertyAsm] = []
+
+    def add(self, prop: PslPropertyAsm) -> None:
+        """``A.Add(P)`` from Section 3.1."""
+        self._properties.append(prop)
+
+    @property
+    def properties(self) -> Tuple[PslPropertyAsm, ...]:
+        return tuple(self._properties)
+
+    @action
+    def check(self) -> bool:
+        """Evaluate all properties; update P_eval / P_value."""
+        require(bool(self._properties), "no properties added")
+        value = all(p.evaluate() for p in self._properties)
+        self.P_eval = True
+        self.P_value = value
+        return value
+
+    @property
+    def violated(self) -> bool:
+        """Paper: "a violated property is detected once P_eval = true
+        and P_value = false"."""
+        return self.P_eval and not self.P_value
+
+
+# ---------------------------------------------------------------------------
+# The explorer bridge
+# ---------------------------------------------------------------------------
+
+#: Extracts the letter (signal valuation) a monitor reads from a model.
+LetterExtractor = Callable[[Any], Mapping[str, Any]]
+
+
+def state_extractor(model: Any) -> Mapping[str, Any]:
+    """Default extractor: every machine state variable, dot-qualified,
+    plus every bare variable name (unambiguous shorthand wins last)."""
+    letter: Dict[str, Any] = {}
+    for machine_name in sorted(model.machines):
+        machine = model.machines[machine_name]
+        for var_name, value in machine.state_items():
+            letter[f"{machine_name}.{var_name}"] = value
+            letter[var_name] = value
+    return letter
+
+
+class AssertionProperty:
+    """Adapts a PSL monitor to the explorer's StateProperty protocol.
+
+    Each explored state advances the monitor by one letter extracted
+    from the model; the monitor's verdict maps onto the paper's
+    ``(P_eval, P_value)`` pair:
+
+    ========================  ======  =======
+    verdict                   P_eval  P_value
+    ========================  ======  =======
+    HOLDS / HOLDS_STRONGLY    True    True
+    PENDING                   False   True
+    FAILS                     True    False
+    ========================  ======  =======
+    """
+
+    def __init__(
+        self,
+        source: Property | Directive | Formula | Monitor,
+        extractor: LetterExtractor = state_extractor,
+        name: str | None = None,
+    ):
+        if isinstance(source, Monitor):
+            self.monitor = source
+        else:
+            self.monitor = build_monitor(source, name=name)
+        self.name = name or self.monitor.name
+        self.extractor = extractor
+        self._status: Tuple[bool, bool] = (False, True)
+
+    def reset(self) -> None:
+        self.monitor.reset()
+        self._status = (False, True)
+
+    def observe(self, model: Any) -> Tuple[bool, bool]:
+        letter = self.extractor(model)
+        return self.observe_letter(letter)
+
+    def observe_letter(self, letter: Mapping[str, Any]) -> Tuple[bool, bool]:
+        """Advance on a pre-extracted letter (the explorer batches the
+        extraction when several properties share one extractor)."""
+        verdict = self.monitor.step(letter)
+        self._status = _verdict_to_bits(verdict)
+        return self._status
+
+    def status(self) -> Tuple[bool, bool]:
+        return self._status
+
+    def snapshot(self) -> Any:
+        # Deliberately excludes the monitor's cycle counter: it counts
+        # path length, and keying exploration states on it would split
+        # every model state by the depth it was reached at (destroying
+        # state merging).  Violations during exploration are located by
+        # state, not by cycle.
+        return (self.monitor.snapshot(), self._status)
+
+    def restore(self, snap: Any) -> None:
+        inner, status = snap
+        self.monitor.restore(inner)
+        self._status = status
+
+
+def _verdict_to_bits(verdict: Verdict) -> Tuple[bool, bool]:
+    if verdict is Verdict.FAILS:
+        return (True, False)
+    if verdict is Verdict.PENDING:
+        return (False, True)
+    return (True, True)

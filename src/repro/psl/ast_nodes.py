@@ -1,0 +1,1182 @@
+"""PSL abstract syntax: Boolean layer, temporal layer (SEREs + FL), and
+verification layer.
+
+PSL "is a hierarchical language, where every layer is built on top of
+the layer below" (paper, Section 2.1).  The nodes here mirror that
+hierarchy:
+
+* **Boolean layer** -- expressions over design signals, evaluated in a
+  single cycle (plus the built-in functions ``prev``/``next``/``rose``/
+  ``fell``/``stable`` that peek at neighbouring cycles),
+* **temporal layer** -- SEREs (Sequential Extended Regular Expressions)
+  and FL (Foundation Language) formulas,
+* **verification layer** -- ``assert``/``assume``/``restrict``/``cover``
+  directives and verification units (``vunit``).
+
+The modeling layer is VHDL/Verilog-specific and deliberately not
+implemented ("This layer is not used in our verification approach",
+paper Section 2.1.2).
+
+Every node is immutable, hashable, and renders back to PSL-ish concrete
+syntax via ``str()``.  Evaluation of Boolean-layer expressions happens
+against an :class:`EvalContext` (a trace plus a position) so the
+history-peeking built-ins work uniformly in model checking and in
+simulation monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..asm.types import BitVector
+from .errors import PslEvaluationError, PslTypeError
+
+#: Unbounded repetition marker (``[*]`` upper bound).
+INFINITY: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Evaluation context
+# ---------------------------------------------------------------------------
+
+
+class EvalContext:
+    """A finite trace plus the cycle under evaluation.
+
+    ``trace`` is a sequence of *letters*; each letter maps signal names
+    to values (bool / int / :class:`BitVector` / str).
+    """
+
+    __slots__ = ("trace", "position")
+
+    def __init__(self, trace: Sequence[Mapping[str, Any]], position: int = 0):
+        self.trace = trace
+        self.position = position
+
+    def letter(self, offset: int = 0) -> Mapping[str, Any]:
+        index = self.position + offset
+        if index < 0 or index >= len(self.trace):
+            raise PslEvaluationError(
+                f"cycle {index} outside trace of length {len(self.trace)}"
+            )
+        return self.trace[index]
+
+    def has(self, offset: int) -> bool:
+        index = self.position + offset
+        return 0 <= index < len(self.trace)
+
+    def at(self, position: int) -> "EvalContext":
+        return EvalContext(self.trace, position)
+
+
+def as_bool(value: Any) -> bool:
+    """Interpret an evaluated expression value as a PSL Boolean."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, BitVector):
+        return value.to_unsigned() != 0
+    if isinstance(value, str):
+        return value != ""
+    raise PslTypeError(f"cannot interpret {value!r} as Boolean")
+
+
+# ---------------------------------------------------------------------------
+# Boolean layer
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of Boolean-layer expressions."""
+
+    def eval(self, ctx: EvalContext) -> Any:
+        raise NotImplementedError
+
+    def eval_bool(self, ctx: EvalContext) -> bool:
+        return as_bool(self.eval(ctx))
+
+    def variables(self) -> frozenset[str]:
+        """Names of all design signals the expression reads."""
+        raise NotImplementedError
+
+    # sugar for building ASTs in Python
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, _expr(other))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, _expr(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "Expr") -> "Implies":
+        return Implies(self, _expr(other))
+
+    def iff(self, other: "Expr") -> "Iff":
+        return Iff(self, _expr(other))
+
+    def eq(self, other: Any) -> "Compare":
+        return Compare("==", self, _expr(other))
+
+    def ne(self, other: Any) -> "Compare":
+        return Compare("!=", self, _expr(other))
+
+    def lt(self, other: Any) -> "Compare":
+        return Compare("<", self, _expr(other))
+
+    def le(self, other: Any) -> "Compare":
+        return Compare("<=", self, _expr(other))
+
+    def gt(self, other: Any) -> "Compare":
+        return Compare(">", self, _expr(other))
+
+    def ge(self, other: Any) -> "Compare":
+        return Compare(">=", self, _expr(other))
+
+
+def _expr(value: Any) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A design signal reference, e.g. ``req`` or ``master0.m_req``."""
+
+    name: str
+
+    def eval(self, ctx: EvalContext) -> Any:
+        letter = ctx.letter()
+        if self.name not in letter:
+            raise PslEvaluationError(f"unknown signal {self.name!r}")
+        return letter[self.name]
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal: Boolean, numeric, bit vector or string."""
+
+    value: Any
+
+    def eval(self, ctx: EvalContext) -> Any:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, BitVector):
+            return f"{self.value.width}'b{self.value.to_binary_string()}"
+        return repr(self.value)
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return not self.operand.eval_bool(ctx)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return self.left.eval_bool(ctx) and self.right.eval_bool(ctx)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} && {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return self.left.eval_bool(ctx) or self.right.eval_bool(ctx)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} || {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return self.left.eval_bool(ctx) != self.right.eval_bool(ctx)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} ^ {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Implies(Expr):
+    """Boolean-layer implication ``->`` (paper: "PSL Expressions
+    includes constructing properties using the implication and
+    equivalence operators")."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return (not self.left.eval_bool(ctx)) or self.right.eval_bool(ctx)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} -> {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Iff(Expr):
+    """Boolean-layer equivalence ``<->``."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return self.left.eval_bool(ctx) == self.right.eval_bool(ctx)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} <-> {_paren(self.right)}"
+
+
+_COMPARE_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _COMPARE_OPS:
+            raise PslTypeError(f"unknown comparison operator {self.op!r}")
+
+    def eval(self, ctx: EvalContext) -> bool:
+        return bool(_COMPARE_OPS[self.op](self.left.eval(ctx), self.right.eval(ctx)))
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} {self.op} {_paren(self.right)}"
+
+
+_ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS:
+            raise PslTypeError(f"unknown arithmetic operator {self.op!r}")
+
+    def eval(self, ctx: EvalContext) -> Any:
+        return _ARITH_OPS[self.op](self.left.eval(ctx), self.right.eval(ctx))
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} {self.op} {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Bit selection ``v[i]`` on a BitVector value."""
+
+    base: Expr
+    index: Expr
+
+    def eval(self, ctx: EvalContext) -> Any:
+        vector = self.base.eval(ctx)
+        position = self.index.eval(ctx)
+        if not isinstance(vector, BitVector):
+            raise PslTypeError(f"cannot index into {vector!r}")
+        return bool(int(vector[int(position)]))
+
+    def variables(self) -> frozenset[str]:
+        return self.base.variables() | self.index.variables()
+
+    def __str__(self) -> str:
+        return f"{_paren(self.base)}[{self.index}]"
+
+
+#: Boolean-layer built-in functions and their arities (min, max).
+BUILTIN_ARITIES: Dict[str, tuple[int, int]] = {
+    "prev": (1, 2),
+    "next": (1, 1),
+    "rose": (1, 1),
+    "fell": (1, 1),
+    "stable": (1, 1),
+    "countones": (1, 1),
+    "onehot": (1, 1),
+    "onehot0": (1, 1),
+    "isunknown": (1, 1),
+}
+
+
+@dataclass(frozen=True)
+class Func(Expr):
+    """A PSL Boolean-layer built-in function call.
+
+    ``prev(e [, n])`` -- value of ``e`` n cycles ago (default 1);
+    ``next(e)`` -- value one cycle ahead (usable where lookahead exists);
+    ``rose/fell/stable`` -- edge detection against the previous cycle;
+    ``countones/onehot/onehot0`` -- BitVector population checks;
+    ``isunknown`` -- True when the signal is absent from the letter.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self):
+        if self.name not in BUILTIN_ARITIES:
+            raise PslTypeError(f"unknown built-in function {self.name!r}")
+        low, high = BUILTIN_ARITIES[self.name]
+        if not low <= len(self.args) <= high:
+            raise PslTypeError(
+                f"{self.name}() takes {low}..{high} arguments, got {len(self.args)}"
+            )
+
+    def eval(self, ctx: EvalContext) -> Any:
+        name = self.name
+        if name == "prev":
+            depth = 1
+            if len(self.args) == 2:
+                depth = int(self.args[1].eval(ctx))
+            if not ctx.has(-depth):
+                raise PslEvaluationError(f"prev({depth}) before start of trace")
+            return self.args[0].eval(ctx.at(ctx.position - depth))
+        if name == "next":
+            if not ctx.has(1):
+                raise PslEvaluationError("next() at end of trace")
+            return self.args[0].eval(ctx.at(ctx.position + 1))
+        if name in ("rose", "fell", "stable"):
+            current = self.args[0].eval(ctx)
+            if not ctx.has(-1):
+                # First cycle: rose/fell are false, stable is false (LRM:
+                # built-ins comparing against a non-existent previous
+                # cycle yield false).
+                return False
+            previous = self.args[0].eval(ctx.at(ctx.position - 1))
+            if name == "rose":
+                return as_bool(current) and not as_bool(previous)
+            if name == "fell":
+                return (not as_bool(current)) and as_bool(previous)
+            return current == previous
+        if name == "countones":
+            vector = self.args[0].eval(ctx)
+            if isinstance(vector, BitVector):
+                return vector.count_ones()
+            return bin(int(vector)).count("1")
+        if name == "onehot":
+            vector = self.args[0].eval(ctx)
+            if isinstance(vector, BitVector):
+                return vector.is_onehot()
+            return bin(int(vector)).count("1") == 1
+        if name == "onehot0":
+            vector = self.args[0].eval(ctx)
+            if isinstance(vector, BitVector):
+                return vector.is_onehot0()
+            return bin(int(vector)).count("1") <= 1
+        if name == "isunknown":
+            argument = self.args[0]
+            if isinstance(argument, Var):
+                return argument.name not in ctx.letter()
+            try:
+                argument.eval(ctx)
+                return False
+            except PslEvaluationError:
+                return True
+        raise PslTypeError(f"unknown built-in {name!r}")
+
+    def variables(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for argument in self.args:
+            names |= argument.variables()
+        return names
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+def _paren(expression: Expr) -> str:
+    if isinstance(expression, (Var, Const, Func, Index, Not)):
+        return str(expression)
+    return f"({expression})"
+
+
+# ---------------------------------------------------------------------------
+# Temporal layer: SEREs
+# ---------------------------------------------------------------------------
+
+
+class Sere:
+    """Base class of Sequential Extended Regular Expressions."""
+
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    # sugar
+
+    def then(self, other: "SereLike") -> "SereConcat":
+        """Concatenation ``;``."""
+        return SereConcat((self, sere(other)))
+
+    def fuse(self, other: "SereLike") -> "SereFusion":
+        """Fusion ``:`` (overlapping concatenation)."""
+        return SereFusion(self, sere(other))
+
+    def alt(self, other: "SereLike") -> "SereOr":
+        """Alternation ``|``."""
+        return SereOr(self, sere(other))
+
+    def repeat(self, low: int = 0, high: Optional[int] = INFINITY) -> "SereRepeat":
+        """Consecutive repetition ``[*low:high]``."""
+        return SereRepeat(self, low, high)
+
+    def plus(self) -> "SereRepeat":
+        """``[+]`` = one or more repetitions."""
+        return SereRepeat(self, 1, INFINITY)
+
+    def star(self) -> "SereRepeat":
+        """``[*]`` = zero or more repetitions."""
+        return SereRepeat(self, 0, INFINITY)
+
+
+SereLike = Union[Sere, Expr, bool, str]
+
+
+def sere(value: SereLike) -> Sere:
+    """Coerce Python values into SEREs (signal names become variables)."""
+    if isinstance(value, Sere):
+        return value
+    if isinstance(value, Expr):
+        return SereBool(value)
+    if isinstance(value, bool):
+        return SereBool(Const(value))
+    if isinstance(value, str):
+        return SereBool(Var(value))
+    raise PslTypeError(f"cannot interpret {value!r} as a SERE")
+
+
+@dataclass(frozen=True)
+class SereBool(Sere):
+    """A single-cycle Boolean step."""
+
+    expr: Expr
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class SereConcat(Sere):
+    """``r1 ; r2 ; ...`` -- back-to-back matching."""
+
+    parts: Tuple[Sere, ...]
+
+    def variables(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for part in self.parts:
+            names |= part.variables()
+        return names
+
+    def __str__(self) -> str:
+        return "{" + " ; ".join(str(p) for p in self.parts) + "}"
+
+
+@dataclass(frozen=True)
+class SereFusion(Sere):
+    """``r1 : r2`` -- the last cycle of r1 is the first cycle of r2."""
+
+    left: Sere
+    right: Sere
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{{{self.left} : {self.right}}}"
+
+
+@dataclass(frozen=True)
+class SereOr(Sere):
+    """``r1 | r2`` -- either matches."""
+
+    left: Sere
+    right: Sere
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{{{self.left} | {self.right}}}"
+
+
+@dataclass(frozen=True)
+class SereAnd(Sere):
+    """``r1 && r2`` (length-matching) or ``r1 & r2`` (non-length-matching)."""
+
+    left: Sere
+    right: Sere
+    length_matching: bool = True
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        op = "&&" if self.length_matching else "&"
+        return f"{{{self.left} {op} {self.right}}}"
+
+
+@dataclass(frozen=True)
+class SereRepeat(Sere):
+    """Consecutive repetition ``r[*low:high]`` (high=None means unbounded)."""
+
+    body: Sere
+    low: int = 0
+    high: Optional[int] = INFINITY
+
+    def __post_init__(self):
+        if self.low < 0:
+            raise PslTypeError("repetition lower bound must be >= 0")
+        if self.high is not None and self.high < self.low:
+            raise PslTypeError("repetition upper bound below lower bound")
+
+    def variables(self) -> frozenset[str]:
+        return self.body.variables()
+
+    def __str__(self) -> str:
+        if self.low == 0 and self.high is None:
+            suffix = "[*]"
+        elif self.low == 1 and self.high is None:
+            suffix = "[+]"
+        elif self.high == self.low:
+            suffix = f"[*{self.low}]"
+        elif self.high is None:
+            suffix = f"[*{self.low}:inf]"
+        else:
+            suffix = f"[*{self.low}:{self.high}]"
+        return f"{self.body}{suffix}"
+
+
+@dataclass(frozen=True)
+class SereGoto(Sere):
+    """Goto repetition ``b[->low:high]``: skip non-b cycles, end on the
+    (low..high)-th occurrence of b."""
+
+    expr: Expr
+    low: int = 1
+    high: Optional[int] = None  # None = same as low
+
+    def __post_init__(self):
+        if self.low < 1:
+            raise PslTypeError("goto repetition needs low >= 1")
+        if self.high is not None and self.high < self.low:
+            raise PslTypeError("goto repetition upper bound below lower bound")
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        if self.high is None or self.high == self.low:
+            return f"{_paren(self.expr)}[->{self.low}]"
+        return f"{_paren(self.expr)}[->{self.low}:{self.high}]"
+
+
+@dataclass(frozen=True)
+class SereNonConsec(Sere):
+    """Non-consecutive repetition ``b[=low:high]``: like goto but the
+    match may extend past the last occurrence with non-b cycles."""
+
+    expr: Expr
+    low: int = 1
+    high: Optional[int] = None
+
+    def __post_init__(self):
+        if self.low < 0:
+            raise PslTypeError("non-consecutive repetition needs low >= 0")
+        if self.high is not None and self.high < self.low:
+            raise PslTypeError("non-consecutive repetition bounds inverted")
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        if self.high is None or self.high == self.low:
+            return f"{_paren(self.expr)}[={self.low}]"
+        return f"{_paren(self.expr)}[={self.low}:{self.high}]"
+
+
+def sere_within(inner: SereLike, outer: SereLike) -> SereAnd:
+    """``{r1} within {r2}`` == ``{[*]; r1; [*]} && {r2}`` (LRM sugar)."""
+    padded = SereConcat(
+        (SereRepeat(SereBool(TRUE), 0, INFINITY), sere(inner), SereRepeat(SereBool(TRUE), 0, INFINITY))
+    )
+    return SereAnd(padded, sere(outer), length_matching=True)
+
+
+# ---------------------------------------------------------------------------
+# Temporal layer: FL formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of Foundation Language formulas."""
+
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    # sugar
+
+    def and_(self, other: "Formula") -> "FlAnd":
+        return FlAnd(self, other)
+
+    def or_(self, other: "Formula") -> "FlOr":
+        return FlOr(self, other)
+
+    def implies(self, other: "Formula") -> "FlImplies":
+        return FlImplies(self, other)
+
+
+@dataclass(frozen=True)
+class FlBool(Formula):
+    expr: Expr
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class FlNot(Formula):
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlAnd(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}) && ({self.right})"
+
+
+@dataclass(frozen=True)
+class FlOr(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}) || ({self.right})"
+
+
+@dataclass(frozen=True)
+class FlImplies(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}) -> ({self.right})"
+
+
+@dataclass(frozen=True)
+class FlIff(Formula):
+    left: Formula
+    right: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}) <-> ({self.right})"
+
+
+@dataclass(frozen=True)
+class FlNext(Formula):
+    """``next[n] f`` (weak) / ``next![n] f`` (strong)."""
+
+    operand: Formula
+    strong: bool = False
+    count: int = 1
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise PslTypeError("next count must be >= 0")
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        bang = "!" if self.strong else ""
+        if self.count == 1:
+            return f"next{bang} ({self.operand})"
+        return f"next{bang}[{self.count}] ({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlNextA(Formula):
+    """``next_a[i:j] f`` -- f at *all* cycles i..j from now."""
+
+    operand: Formula
+    low: int
+    high: int
+    strong: bool = False
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        bang = "!" if self.strong else ""
+        return f"next_a{bang}[{self.low}:{self.high}] ({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlNextE(Formula):
+    """``next_e[i:j] f`` -- f at *some* cycle i..j from now."""
+
+    operand: Formula
+    low: int
+    high: int
+    strong: bool = False
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        bang = "!" if self.strong else ""
+        return f"next_e{bang}[{self.low}:{self.high}] ({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlNextEvent(Formula):
+    """``next_event(b)[n](f)`` -- f at the n-th future cycle where b holds."""
+
+    trigger: Expr
+    operand: Formula
+    count: int = 1
+    strong: bool = False
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise PslTypeError("next_event count must be >= 1")
+
+    def variables(self) -> frozenset[str]:
+        return self.trigger.variables() | self.operand.variables()
+
+    def __str__(self) -> str:
+        bang = "!" if self.strong else ""
+        if self.count == 1:
+            return f"next_event{bang}({self.trigger})({self.operand})"
+        return f"next_event{bang}({self.trigger})[{self.count}]({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlAlways(Formula):
+    """``always f`` -- f at every cycle.  The paper's temporal operator A."""
+
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"always ({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlNever(Formula):
+    """``never f`` -- f at no cycle."""
+
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"never ({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlEventually(Formula):
+    """``eventually! f`` -- strong liveness.  The paper's operator E.
+
+    This is exactly the kind of property "that cannot be verified using
+    simulation which requires using formal verification techniques such
+    as model checking" (paper Section 4).
+    """
+
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"eventually! ({self.operand})"
+
+
+@dataclass(frozen=True)
+class FlUntil(Formula):
+    """``f until g`` family.  The paper's operator U.
+
+    ``strong`` adds the obligation that g eventually occurs (``until!``);
+    ``inclusive`` keeps f required at the cycle where g holds
+    (``until_`` / ``until!_``).
+    """
+
+    left: Formula
+    right: Formula
+    strong: bool = False
+    inclusive: bool = False
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        bang = "!" if self.strong else ""
+        underscore = "_" if self.inclusive else ""
+        return f"({self.left}) until{bang}{underscore} ({self.right})"
+
+
+@dataclass(frozen=True)
+class FlBefore(Formula):
+    """``f before g`` family: f must occur before g does."""
+
+    left: Formula
+    right: Formula
+    strong: bool = False
+    inclusive: bool = False
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        bang = "!" if self.strong else ""
+        underscore = "_" if self.inclusive else ""
+        return f"({self.left}) before{bang}{underscore} ({self.right})"
+
+
+@dataclass(frozen=True)
+class FlSere(Formula):
+    """A SERE used as a formula: ``{r}`` (weak) or ``{r}!`` (strong)."""
+
+    sere: Sere
+    strong: bool = False
+
+    def variables(self) -> frozenset[str]:
+        return self.sere.variables()
+
+    def __str__(self) -> str:
+        return f"{{{self.sere}}}{'!' if self.strong else ''}"
+
+
+@dataclass(frozen=True)
+class FlSuffixImpl(Formula):
+    """Suffix implication ``{r} |-> f`` (overlapping) / ``{r} |=> f``.
+
+    Every tight match of ``r`` obliges ``f`` starting at the match's
+    last cycle (``|->``) or the cycle after it (``|=>``).
+    """
+
+    antecedent: Sere
+    consequent: Formula
+    overlapping: bool = True
+
+    def variables(self) -> frozenset[str]:
+        return self.antecedent.variables() | self.consequent.variables()
+
+    def __str__(self) -> str:
+        arrow = "|->" if self.overlapping else "|=>"
+        return f"{{{self.antecedent}}} {arrow} ({self.consequent})"
+
+
+@dataclass(frozen=True)
+class FlAbort(Formula):
+    """``f abort b`` -- obligations of f are discharged when b occurs."""
+
+    operand: Formula
+    condition: Expr
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables() | self.condition.variables()
+
+    def __str__(self) -> str:
+        return f"({self.operand}) abort ({self.condition})"
+
+
+@dataclass(frozen=True)
+class FlClocked(Formula):
+    """``f @ clk`` -- evaluate f on the cycles where ``clk`` holds.
+
+    The paper's modified sequence diagrams attach a clock to each
+    action; clocking projects the trace onto the clock's active cycles.
+    """
+
+    operand: Formula
+    clock: Expr
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables() | self.clock.variables()
+
+    def __str__(self) -> str:
+        return f"({self.operand}) @ ({self.clock})"
+
+
+# ---------------------------------------------------------------------------
+# Verification layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Property:
+    """A named property: ``property NAME = <formula>;``
+
+    ``report`` carries the paper's "text output ... message displayed in
+    case the method fails".
+    """
+
+    name: str
+    formula: Formula
+    report: str = ""
+
+    def variables(self) -> frozenset[str]:
+        return self.formula.variables()
+
+    def __str__(self) -> str:
+        return f"property {self.name} = {self.formula};"
+
+
+class DirectiveKind:
+    """The four verification directives of the PSL verification layer."""
+
+    ASSERT = "assert"
+    ASSUME = "assume"
+    RESTRICT = "restrict"
+    COVER = "cover"
+
+    ALL = (ASSERT, ASSUME, RESTRICT, COVER)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """``assert P;`` / ``assume P;`` / ``restrict {r};`` / ``cover {r};``
+
+    "Verification Directives ... specify how the property will be
+    interpreted (assertion, requirement, restriction or assumption)"
+    (paper, Section 2.1.2).
+    """
+
+    kind: str
+    prop: Property
+
+    def __post_init__(self):
+        if self.kind not in DirectiveKind.ALL:
+            raise PslTypeError(f"unknown directive kind {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        return self.prop.name
+
+    def variables(self) -> frozenset[str]:
+        return self.prop.variables()
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.prop.name};"
+
+
+class VUnit:
+    """A verification unit: "a compact way to include several properties
+    together.  The embedded class includes several operations to
+    add/remove and update the unit's list of properties." """
+
+    def __init__(self, name: str, directives: Sequence[Directive] = ()):
+        self.name = name
+        self._directives: list[Directive] = list(directives)
+
+    @property
+    def directives(self) -> Tuple[Directive, ...]:
+        return tuple(self._directives)
+
+    def add(self, directive: Directive) -> None:
+        if any(d.name == directive.name for d in self._directives):
+            raise PslTypeError(
+                f"vunit {self.name!r} already contains {directive.name!r}"
+            )
+        self._directives.append(directive)
+
+    def remove(self, name: str) -> Directive:
+        for position, directive in enumerate(self._directives):
+            if directive.name == name:
+                return self._directives.pop(position)
+        raise KeyError(name)
+
+    def update(self, name: str, new_property: Property) -> None:
+        for position, directive in enumerate(self._directives):
+            if directive.name == name:
+                self._directives[position] = Directive(
+                    directive.kind, new_property
+                )
+                return
+        raise KeyError(name)
+
+    def get(self, name: str) -> Directive:
+        for directive in self._directives:
+            if directive.name == name:
+                return directive
+        raise KeyError(name)
+
+    def asserts(self) -> list[Directive]:
+        return [d for d in self._directives if d.kind == DirectiveKind.ASSERT]
+
+    def assumes(self) -> list[Directive]:
+        return [d for d in self._directives if d.kind == DirectiveKind.ASSUME]
+
+    def covers(self) -> list[Directive]:
+        return [d for d in self._directives if d.kind == DirectiveKind.COVER]
+
+    def restricts(self) -> list[Directive]:
+        return [d for d in self._directives if d.kind == DirectiveKind.RESTRICT]
+
+    def variables(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for directive in self._directives:
+            names |= directive.variables()
+        return names
+
+    def __len__(self) -> int:
+        return len(self._directives)
+
+    def __iter__(self):
+        return iter(self._directives)
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {d}" for d in self._directives)
+        return f"vunit {self.name} {{\n{body}\n}}"
+
+
+# Convenience constructors mirroring PSL's surface syntax --------------------
+
+
+def always(f: Formula | Expr | Sere) -> FlAlways:
+    return FlAlways(_formula(f))
+
+
+def never(f: Formula | Expr | Sere) -> FlNever:
+    return FlNever(_formula(f))
+
+
+def eventually(f: Formula | Expr | Sere) -> FlEventually:
+    return FlEventually(_formula(f))
+
+
+def next_(f: Formula | Expr, n: int = 1, strong: bool = False) -> FlNext:
+    return FlNext(_formula(f), strong=strong, count=n)
+
+
+def strong_next(f: Formula | Expr, n: int = 1) -> FlNext:
+    return FlNext(_formula(f), strong=True, count=n)
+
+
+def until(left: Formula | Expr, right: Formula | Expr, strong: bool = False) -> FlUntil:
+    return FlUntil(_formula(left), _formula(right), strong=strong)
+
+
+def suffix_implication(
+    antecedent: SereLike, consequent: Formula | Expr | Sere, overlapping: bool = False
+) -> FlSuffixImpl:
+    return FlSuffixImpl(sere(antecedent), _formula(consequent), overlapping=overlapping)
+
+
+def _formula(value: Formula | Expr | Sere | str | bool) -> Formula:
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, Expr):
+        return FlBool(value)
+    if isinstance(value, Sere):
+        return FlSere(value)
+    if isinstance(value, str):
+        return FlBool(Var(value))
+    if isinstance(value, bool):
+        return FlBool(Const(value))
+    raise PslTypeError(f"cannot interpret {value!r} as a formula")

@@ -1,0 +1,285 @@
+"""The paper's typed PSL Boolean layer embedding.
+
+Section 2.1.2: "The embedding of the PSL Boolean layer mainly includes:
+(1) Expression type class includes the basic 5 types: Boolean, PSLBit,
+PSLBitVector, Numeric and String.  Both Boolean and String types are
+directly inherited from the ASM's AsmL.Boolean and AsmL.String ...
+(3) PSL Built Functions ... a method that provides the previous values
+of a variable (e.g., prev()) and a method that provides the future
+values of a variable (e.g., next())."
+
+These classes wrap runtime *values* flowing through assertion monitors
+(as opposed to :mod:`repro.psl.ast_nodes`, which is the expression
+syntax).  A :class:`SignalHistory` records a signal over cycles and
+provides the ``prev()``/``next()`` accessors the paper lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..asm.types import Bit, BitVector
+from .errors import PslEvaluationError, PslTypeError
+
+
+class PslType:
+    """Common base of the five Boolean-layer value types."""
+
+    type_name = "psl_type"
+
+    def __init__(self, value: Any):
+        self._value = self._validate(value)
+
+    def _validate(self, value: Any) -> Any:
+        return value
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PslType):
+            return self.type_name == other.type_name and self._value == other._value
+        return self._value == other
+
+    def __hash__(self) -> int:
+        return hash((self.type_name, self._value))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._value!r})"
+
+
+class PslBoolean(PslType):
+    """PSL Boolean, inherited from AsmL.Boolean (a Python bool here)."""
+
+    type_name = "boolean"
+
+    def _validate(self, value: Any) -> bool:
+        if isinstance(value, PslBoolean):
+            return value.value
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise PslTypeError(f"not a Boolean: {value!r}")
+
+    def __bool__(self) -> bool:
+        return self._value
+
+    def land(self, other: "PslBoolean") -> "PslBoolean":
+        return PslBoolean(self._value and PslBoolean(other).value)
+
+    def lor(self, other: "PslBoolean") -> "PslBoolean":
+        return PslBoolean(self._value or PslBoolean(other).value)
+
+    def lnot(self) -> "PslBoolean":
+        return PslBoolean(not self._value)
+
+    def implies(self, other: "PslBoolean") -> "PslBoolean":
+        """The PSL Boolean-layer implication operator."""
+        return PslBoolean((not self._value) or PslBoolean(other).value)
+
+    def iff(self, other: "PslBoolean") -> "PslBoolean":
+        """The PSL Boolean-layer equivalence operator."""
+        return PslBoolean(self._value == PslBoolean(other).value)
+
+
+class PslBit(PslType):
+    """A single bit (0/1), with bitwise algebra via :class:`Bit`."""
+
+    type_name = "bit"
+
+    def _validate(self, value: Any) -> Bit:
+        if isinstance(value, PslBit):
+            return value.value
+        if isinstance(value, Bit):
+            return value
+        return Bit(value)
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def band(self, other: "PslBit") -> "PslBit":
+        return PslBit(self._value & PslBit(other).value)
+
+    def bor(self, other: "PslBit") -> "PslBit":
+        return PslBit(self._value | PslBit(other).value)
+
+    def bxor(self, other: "PslBit") -> "PslBit":
+        return PslBit(self._value ^ PslBit(other).value)
+
+    def bnot(self) -> "PslBit":
+        return PslBit(~self._value)
+
+
+class PslBitVector(PslType):
+    """A fixed-width bit vector, wrapping :class:`BitVector`."""
+
+    type_name = "bitvector"
+
+    def _validate(self, value: Any) -> BitVector:
+        if isinstance(value, PslBitVector):
+            return value.value
+        if isinstance(value, BitVector):
+            return value
+        return BitVector(value)
+
+    @property
+    def width(self) -> int:
+        return self._value.width
+
+    def bit(self, index: int) -> PslBit:
+        return PslBit(self._value[index])
+
+    def countones(self) -> "PslNumeric":
+        return PslNumeric(self._value.count_ones())
+
+    def onehot(self) -> PslBoolean:
+        return PslBoolean(self._value.is_onehot())
+
+    def onehot0(self) -> PslBoolean:
+        return PslBoolean(self._value.is_onehot0())
+
+    def concat(self, other: "PslBitVector") -> "PslBitVector":
+        return PslBitVector(self._value.concat(PslBitVector(other).value))
+
+
+class PslNumeric(PslType):
+    """Numeric values (unbounded integers, AsmL Integer)."""
+
+    type_name = "numeric"
+
+    def _validate(self, value: Any) -> int:
+        if isinstance(value, PslNumeric):
+            return value.value
+        if isinstance(value, bool):
+            raise PslTypeError("Boolean is not Numeric in PSL")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, BitVector):
+            return value.to_unsigned()
+        raise PslTypeError(f"not Numeric: {value!r}")
+
+    def add(self, other: "PslNumeric") -> "PslNumeric":
+        return PslNumeric(self._value + PslNumeric(other).value)
+
+    def sub(self, other: "PslNumeric") -> "PslNumeric":
+        return PslNumeric(self._value - PslNumeric(other).value)
+
+    def mul(self, other: "PslNumeric") -> "PslNumeric":
+        return PslNumeric(self._value * PslNumeric(other).value)
+
+    def less(self, other: "PslNumeric") -> PslBoolean:
+        return PslBoolean(self._value < PslNumeric(other).value)
+
+    def less_equal(self, other: "PslNumeric") -> PslBoolean:
+        return PslBoolean(self._value <= PslNumeric(other).value)
+
+
+class PslString(PslType):
+    """PSL String, inherited from AsmL.String (a Python str here)."""
+
+    type_name = "string"
+
+    def _validate(self, value: Any) -> str:
+        if isinstance(value, PslString):
+            return value.value
+        if isinstance(value, str):
+            return value
+        raise PslTypeError(f"not a String: {value!r}")
+
+    def concat(self, other: "PslString") -> "PslString":
+        return PslString(self._value + PslString(other).value)
+
+
+def coerce(value: Any) -> PslType:
+    """Wrap a raw Python/ASM value in the matching PSL type."""
+    if isinstance(value, PslType):
+        return value
+    if isinstance(value, bool):
+        return PslBoolean(value)
+    if isinstance(value, Bit):
+        return PslBit(value)
+    if isinstance(value, BitVector):
+        return PslBitVector(value)
+    if isinstance(value, int):
+        return PslNumeric(value)
+    if isinstance(value, str):
+        return PslString(value)
+    raise PslTypeError(f"no PSL type for {value!r}")
+
+
+class SignalHistory:
+    """A signal's value over cycles with the paper's built-in accessors.
+
+    The paper distinguishes "a method that provides the previous values
+    of a variable (e.g., prev()) and a method that provides the future
+    values of a variable (e.g., next())".  ``next()`` is only available
+    when the history was recorded ahead of the cursor (model-checking
+    traces); online monitors only use ``prev``-family accessors.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[Any] = []
+        self._cursor = -1
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, value: Any) -> None:
+        """Append the value for the next cycle and move the cursor to it."""
+        self._values.append(value)
+        self._cursor = len(self._values) - 1
+
+    def load(self, values: List[Any]) -> None:
+        """Install a complete pre-recorded trace (cursor at cycle 0)."""
+        self._values = list(values)
+        self._cursor = 0 if values else -1
+
+    def seek(self, cycle: int) -> None:
+        if not 0 <= cycle < len(self._values):
+            raise PslEvaluationError(
+                f"cycle {cycle} outside recorded history of {self.name!r}"
+            )
+        self._cursor = cycle
+
+    # -- the paper's accessors -----------------------------------------------------
+
+    def current(self) -> Any:
+        if self._cursor < 0:
+            raise PslEvaluationError(f"{self.name!r} has no recorded value yet")
+        return self._values[self._cursor]
+
+    def prev(self, cycles: int = 1) -> Any:
+        index = self._cursor - cycles
+        if index < 0:
+            raise PslEvaluationError(
+                f"prev({cycles}) of {self.name!r} before start of history"
+            )
+        return self._values[index]
+
+    def next(self, cycles: int = 1) -> Any:
+        index = self._cursor + cycles
+        if index >= len(self._values):
+            raise PslEvaluationError(
+                f"next({cycles}) of {self.name!r} beyond recorded history"
+            )
+        return self._values[index]
+
+    def rose(self) -> bool:
+        if self._cursor < 1:
+            return False
+        return bool(self.current()) and not bool(self.prev())
+
+    def fell(self) -> bool:
+        if self._cursor < 1:
+            return False
+        return (not bool(self.current())) and bool(self.prev())
+
+    def stable(self) -> bool:
+        if self._cursor < 1:
+            return False
+        return self.current() == self.prev()
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,30 @@
+"""Exceptions raised by the PSL implementation."""
+
+from __future__ import annotations
+
+
+class PslError(Exception):
+    """Base class for PSL errors."""
+
+
+class PslParseError(PslError):
+    """Syntax error while parsing PSL text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class PslTypeError(PslError):
+    """Type mismatch in the Boolean layer (e.g. bitvector width clash)."""
+
+
+class PslEvaluationError(PslError):
+    """Runtime evaluation failure (unknown signal, prev() before start...)."""
+
+
+class PslUnsupportedError(PslError):
+    """A construct outside the implemented subset (e.g. modeling layer)."""

@@ -1,0 +1,230 @@
+"""Tokenizer for PSL concrete syntax.
+
+Handles the multi-character operators of the temporal layer (``|->``,
+``|=>``, ``[*``, ``[+]``, ``[->``, ``[=``) and merges the strong-operator
+suffix ``!`` (and the inclusive suffix ``_``) into the preceding keyword
+so the parser sees single tokens like ``until!_`` or ``eventually!``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import PslParseError
+
+#: Keywords that may carry a strong ``!`` suffix.
+STRONG_KEYWORDS = {
+    "next",
+    "next_a",
+    "next_e",
+    "next_event",
+    "until",
+    "before",
+    "eventually",
+}
+
+#: Keywords that (after an optional ``!``) may carry an inclusive ``_``.
+INCLUSIVE_KEYWORDS = {"until", "until!", "before", "before!"}
+
+KEYWORDS = {
+    "always",
+    "never",
+    "eventually!",
+    "next",
+    "next!",
+    "next_a",
+    "next_a!",
+    "next_e",
+    "next_e!",
+    "next_event",
+    "next_event!",
+    "until",
+    "until!",
+    "until_",
+    "until!_",
+    "before",
+    "before!",
+    "before_",
+    "before!_",
+    "abort",
+    "within",
+    "assert",
+    "assume",
+    "restrict",
+    "cover",
+    "property",
+    "sequence",
+    "vunit",
+    "report",
+    "true",
+    "false",
+    "inf",
+    "posedge",
+    "negedge",
+    "rose",
+    "fell",
+    "stable",
+    "prev",
+    "countones",
+    "onehot",
+    "onehot0",
+    "isunknown",
+}
+
+#: Longest-match-first operator table.
+OPERATORS = [
+    "|->",
+    "|=>",
+    "<->",
+    "->",
+    "[*",
+    "[+]",
+    "[->",
+    "[=",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "..",
+    "{",
+    "}",
+    "[",
+    "]",
+    "(",
+    ")",
+    ";",
+    ":",
+    ",",
+    "|",
+    "&",
+    "!",
+    "<",
+    ">",
+    "=",
+    "@",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "^",
+]
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_.$]*")
+_NUMBER = re.compile(r"\d+")
+_STRING = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_WHITESPACE = re.compile(r"[ \t\r\n]+")
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # "ident", "keyword", "number", "string", or the operator text
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.text in ops
+
+    def is_kw(self, *keywords: str) -> bool:
+        return self.kind == "keyword" and self.text in keywords
+
+    def __str__(self) -> str:
+        return self.text
+
+
+EOF = Token("eof", "<eof>", 0, 0)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn PSL text into a token list (raises :class:`PslParseError`)."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def location() -> tuple[int, int]:
+        return line, position - line_start + 1
+
+    while position < length:
+        skipped_something = True
+        while skipped_something and position < length:
+            skipped_something = False
+            for pattern in (_WHITESPACE, _LINE_COMMENT, _BLOCK_COMMENT):
+                matched = pattern.match(source, position)
+                if matched:
+                    skipped = matched.group(0)
+                    newlines = skipped.count("\n")
+                    if newlines:
+                        line += newlines
+                        line_start = position + skipped.rfind("\n") + 1
+                    position = matched.end()
+                    skipped_something = True
+                    break
+        if position >= length:
+            break
+
+        current_line, current_column = location()
+
+        matched = _STRING.match(source, position)
+        if matched:
+            tokens.append(
+                Token("string", matched.group(1), current_line, current_column)
+            )
+            position = matched.end()
+            continue
+
+        matched = _NUMBER.match(source, position)
+        if matched:
+            tokens.append(
+                Token("number", matched.group(0), current_line, current_column)
+            )
+            position = matched.end()
+            continue
+
+        matched = _IDENT.match(source, position)
+        if matched:
+            word = matched.group(0)
+            position = matched.end()
+            # Merge a strong "!" suffix (no intervening space).
+            if (
+                word in STRONG_KEYWORDS
+                and position < length
+                and source[position] == "!"
+            ):
+                word += "!"
+                position += 1
+            # Merge an inclusive "_" suffix.
+            if (
+                word in INCLUSIVE_KEYWORDS
+                and position < length
+                and source[position] == "_"
+            ):
+                word += "_"
+                position += 1
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, current_line, current_column))
+            continue
+
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token("op", operator, current_line, current_column))
+                position += len(operator)
+                break
+        else:
+            raise PslParseError(
+                f"unexpected character {source[position]!r}",
+                current_line,
+                current_column,
+            )
+
+    return tokens

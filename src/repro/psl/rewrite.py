@@ -1,0 +1,338 @@
+"""Formula rewriting: simplification and negation normal form.
+
+Monitor generation and FSM embedding both benefit from smaller
+formulas; this module implements the standard meaning-preserving
+rewrites (checked by the hypothesis equivalence tests):
+
+* Boolean-layer constant folding (``a && true -> a``, double negation),
+* FL-level absorption (``always always f -> always f``,
+  ``eventually! eventually! f -> eventually! f``),
+* negation normal form via the PSL dualities
+  (``!always f -> eventually! !f``, ``!(f until g)`` expansion via
+  release-style rewriting is deliberately *not* applied -- PSL has no
+  release operator, so negations stop at until boundaries),
+* SERE cleanups (``r[*1] -> r``, flattening nested concatenations,
+  collapsing nested stars).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .ast_nodes import (
+    And,
+    Const,
+    Expr,
+    FlAlways,
+    FlAnd,
+    FlBool,
+    FlEventually,
+    FlIff,
+    FlImplies,
+    FlNever,
+    FlNext,
+    FlNot,
+    FlOr,
+    FlSere,
+    FlSuffixImpl,
+    FlUntil,
+    Formula,
+    Not,
+    Or,
+    Sere,
+    SereAnd,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereOr,
+    SereRepeat,
+)
+
+
+# ---------------------------------------------------------------------------
+# Boolean layer
+# ---------------------------------------------------------------------------
+
+
+def simplify_expr(expression: Expr) -> Expr:
+    """Constant folding and involution removal on Boolean expressions."""
+    if isinstance(expression, Not):
+        inner = simplify_expr(expression.operand)
+        if isinstance(inner, Not):
+            return inner.operand
+        if isinstance(inner, Const) and isinstance(inner.value, bool):
+            return Const(not inner.value)
+        return Not(inner)
+    if isinstance(expression, And):
+        left = simplify_expr(expression.left)
+        right = simplify_expr(expression.right)
+        if _is_const(left, False) or _is_const(right, False):
+            return Const(False)
+        if _is_const(left, True):
+            return right
+        if _is_const(right, True):
+            return left
+        if left == right:
+            return left
+        return And(left, right)
+    if isinstance(expression, Or):
+        left = simplify_expr(expression.left)
+        right = simplify_expr(expression.right)
+        if _is_const(left, True) or _is_const(right, True):
+            return Const(True)
+        if _is_const(left, False):
+            return right
+        if _is_const(right, False):
+            return left
+        if left == right:
+            return left
+        return Or(left, right)
+    return expression
+
+
+def _is_const(expression: Expr, value: bool) -> bool:
+    return isinstance(expression, Const) and expression.value is value
+
+
+# ---------------------------------------------------------------------------
+# SEREs
+# ---------------------------------------------------------------------------
+
+
+def simplify_sere(item: Sere) -> Sere:
+    """Flatten and collapse SEREs without changing the language."""
+    if isinstance(item, SereBool):
+        return SereBool(simplify_expr(item.expr))
+    if isinstance(item, SereConcat):
+        parts: list[Sere] = []
+        for part in item.parts:
+            part = simplify_sere(part)
+            if isinstance(part, SereConcat):
+                parts.extend(part.parts)
+            elif _is_epsilon(part):
+                continue  # unit of concatenation
+            else:
+                parts.append(part)
+        if not parts:
+            return _EPSILON
+        if len(parts) == 1:
+            return parts[0]
+        return SereConcat(tuple(parts))
+    if isinstance(item, SereOr):
+        left = simplify_sere(item.left)
+        right = simplify_sere(item.right)
+        if left == right:
+            return left
+        return SereOr(left, right)
+    if isinstance(item, SereAnd):
+        left = simplify_sere(item.left)
+        right = simplify_sere(item.right)
+        if left == right:
+            return left
+        return SereAnd(left, right, item.length_matching)
+    if isinstance(item, SereFusion):
+        return SereFusion(simplify_sere(item.left), simplify_sere(item.right))
+    if isinstance(item, SereRepeat):
+        body = simplify_sere(item.body)
+        if item.low == 1 and item.high == 1:
+            return body
+        if (
+            isinstance(body, SereRepeat)
+            and body.low in (0, 1)
+            and body.high is None
+            and item.high is None
+        ):
+            # (r[*])[*] == r[*];  (r[+])[*] == r[*]
+            low = 0 if (item.low == 0 or body.low == 0) else 1
+            return SereRepeat(body.body, low, None)
+        return SereRepeat(body, item.low, item.high)
+    return item
+
+
+_EPSILON = SereRepeat(SereBool(Const(True)), 0, 0)
+
+
+def _is_epsilon(item: Sere) -> bool:
+    return (
+        isinstance(item, SereRepeat)
+        and item.low == 0
+        and item.high == 0
+    )
+
+
+# ---------------------------------------------------------------------------
+# FL formulas
+# ---------------------------------------------------------------------------
+
+
+def simplify(formula: Formula) -> Formula:
+    """Meaning-preserving FL simplification (idempotent)."""
+    if isinstance(formula, FlBool):
+        return FlBool(simplify_expr(formula.expr))
+    if isinstance(formula, FlNot):
+        inner = simplify(formula.operand)
+        if isinstance(inner, FlNot):
+            return inner.operand
+        if isinstance(inner, FlBool):
+            return FlBool(simplify_expr(Not(inner.expr)))
+        return FlNot(inner)
+    if isinstance(formula, FlAnd):
+        left, right = simplify(formula.left), simplify(formula.right)
+        if left == right:
+            return left
+        if _is_true(left):
+            return right
+        if _is_true(right):
+            return left
+        if _is_false(left) or _is_false(right):
+            return FlBool(Const(False))
+        return FlAnd(left, right)
+    if isinstance(formula, FlOr):
+        left, right = simplify(formula.left), simplify(formula.right)
+        if left == right:
+            return left
+        if _is_false(left):
+            return right
+        if _is_false(right):
+            return left
+        if _is_true(left) or _is_true(right):
+            return FlBool(Const(True))
+        return FlOr(left, right)
+    if isinstance(formula, FlImplies):
+        left, right = simplify(formula.left), simplify(formula.right)
+        if _is_true(left):
+            return right
+        if _is_false(left):
+            return FlBool(Const(True))
+        return FlImplies(left, right)
+    if isinstance(formula, FlIff):
+        return FlIff(simplify(formula.left), simplify(formula.right))
+    if isinstance(formula, FlAlways):
+        inner = simplify(formula.operand)
+        if isinstance(inner, FlAlways):
+            return inner  # GG f == G f
+        if isinstance(inner, FlAnd):
+            # G(f && g) == Gf && Gg -- helps monitor splitting
+            return FlAnd(
+                simplify(FlAlways(inner.left)), simplify(FlAlways(inner.right))
+            )
+        return FlAlways(inner)
+    if isinstance(formula, FlNever):
+        inner = simplify(formula.operand)
+        if isinstance(inner, FlBool):
+            return FlAlways(FlBool(simplify_expr(Not(inner.expr))))
+        return FlNever(inner)
+    if isinstance(formula, FlEventually):
+        inner = simplify(formula.operand)
+        if isinstance(inner, FlEventually):
+            return inner  # FF f == F f
+        return FlEventually(inner)
+    if isinstance(formula, FlNext):
+        inner = simplify(formula.operand)
+        if formula.count == 0:
+            return inner
+        if isinstance(inner, FlNext) and inner.strong == formula.strong:
+            return FlNext(
+                inner.operand, strong=formula.strong,
+                count=formula.count + inner.count,
+            )
+        return FlNext(inner, strong=formula.strong, count=formula.count)
+    if isinstance(formula, FlUntil):
+        return FlUntil(
+            simplify(formula.left),
+            simplify(formula.right),
+            strong=formula.strong,
+            inclusive=formula.inclusive,
+        )
+    if isinstance(formula, FlSere):
+        return FlSere(simplify_sere(formula.sere), strong=formula.strong)
+    if isinstance(formula, FlSuffixImpl):
+        return FlSuffixImpl(
+            simplify_sere(formula.antecedent),
+            simplify(formula.consequent),
+            overlapping=formula.overlapping,
+        )
+    return formula
+
+
+def _is_true(formula: Formula) -> bool:
+    return isinstance(formula, FlBool) and _is_const(formula.expr, True)
+
+
+def _is_false(formula: Formula) -> bool:
+    return isinstance(formula, FlBool) and _is_const(formula.expr, False)
+
+
+def negation_normal_form(formula: Formula) -> Formula:
+    """Push negations inward using the PSL dualities.
+
+    ``!G f -> F! !f``, ``!F! f -> G !f``, ``!X f -> X! !f``,
+    ``!X! f -> X !f``, De Morgan on and/or.  Negations over ``until``
+    and SEREs stay in place (PSL has no dual operators for them).
+    """
+    formula = simplify(formula)
+    if isinstance(formula, FlNot):
+        inner = formula.operand
+        if isinstance(inner, FlNot):
+            return negation_normal_form(inner.operand)
+        if isinstance(inner, FlBool):
+            return FlBool(simplify_expr(Not(inner.expr)))
+        if isinstance(inner, FlAnd):
+            return FlOr(
+                negation_normal_form(FlNot(inner.left)),
+                negation_normal_form(FlNot(inner.right)),
+            )
+        if isinstance(inner, FlOr):
+            return FlAnd(
+                negation_normal_form(FlNot(inner.left)),
+                negation_normal_form(FlNot(inner.right)),
+            )
+        if isinstance(inner, FlImplies):
+            return FlAnd(
+                negation_normal_form(inner.left),
+                negation_normal_form(FlNot(inner.right)),
+            )
+        if isinstance(inner, FlAlways):
+            return FlEventually(negation_normal_form(FlNot(inner.operand)))
+        if isinstance(inner, FlEventually):
+            return FlAlways(negation_normal_form(FlNot(inner.operand)))
+        if isinstance(inner, FlNever):
+            return FlEventually(negation_normal_form(inner.operand))
+        if isinstance(inner, FlNext):
+            return FlNext(
+                negation_normal_form(FlNot(inner.operand)),
+                strong=not inner.strong,
+                count=inner.count,
+            )
+        return formula
+    if isinstance(formula, FlAnd):
+        return FlAnd(
+            negation_normal_form(formula.left), negation_normal_form(formula.right)
+        )
+    if isinstance(formula, FlOr):
+        return FlOr(
+            negation_normal_form(formula.left), negation_normal_form(formula.right)
+        )
+    if isinstance(formula, FlImplies):
+        return FlOr(
+            negation_normal_form(FlNot(formula.left)),
+            negation_normal_form(formula.right),
+        )
+    if isinstance(formula, FlAlways):
+        return FlAlways(negation_normal_form(formula.operand))
+    if isinstance(formula, FlEventually):
+        return FlEventually(negation_normal_form(formula.operand))
+    if isinstance(formula, FlNext):
+        return FlNext(
+            negation_normal_form(formula.operand),
+            strong=formula.strong,
+            count=formula.count,
+        )
+    if isinstance(formula, FlUntil):
+        return FlUntil(
+            negation_normal_form(formula.left),
+            negation_normal_form(formula.right),
+            strong=formula.strong,
+            inclusive=formula.inclusive,
+        )
+    return formula

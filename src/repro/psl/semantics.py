@@ -1,0 +1,342 @@
+"""Four-valued PSL semantics on finite traces.
+
+The paper's embedding follows the PSL reference manual's semi-formal
+semantics and Gordon's HOL formalisation [4]; both rest on the
+*truncated-path* semantics of Eisner et al.: a finite trace can be read
+under a **weak**, **neutral** or **strong** view of its truncation
+point, and the monitoring verdict for a property combines the three:
+
+=================  ============================================================
+verdict            meaning
+=================  ============================================================
+``HOLDS_STRONGLY`` satisfied and no continuation can change that (``|=+``)
+``HOLDS``          satisfied if the trace ends here (neutral satisfaction)
+``PENDING``        not yet violated, but strong obligations are outstanding
+``FAILS``          irrecoverably violated (not even weakly satisfied)
+=================  ============================================================
+
+The views are monotone -- ``STRONG => NEUTRAL => WEAK`` -- which the
+property-based tests assert on random formulas and traces.
+
+Boolean expressions evaluate identically under every view within the
+trace; past the end of the trace everything holds under the weak view
+and nothing holds under the strong or neutral views.  Negation swaps
+the weak and strong views (the classic duality).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from .ast_nodes import (
+    EvalContext,
+    FlAbort,
+    FlAlways,
+    FlAnd,
+    FlBefore,
+    FlBool,
+    FlClocked,
+    FlEventually,
+    FlIff,
+    FlImplies,
+    FlNever,
+    FlNext,
+    FlNextA,
+    FlNextE,
+    FlNextEvent,
+    FlNot,
+    FlOr,
+    FlSere,
+    FlSuffixImpl,
+    FlUntil,
+    Formula,
+)
+from .errors import PslEvaluationError
+from .sere import Matcher, Trace
+
+
+class View(enum.Enum):
+    """The three truncation views of Eisner et al."""
+
+    WEAK = 0
+    NEUTRAL = 1
+    STRONG = 2
+
+
+def dual(view: View) -> View:
+    """Negation swaps weak and strong; neutral is self-dual."""
+    if view is View.WEAK:
+        return View.STRONG
+    if view is View.STRONG:
+        return View.WEAK
+    return View.NEUTRAL
+
+
+class Verdict(enum.Enum):
+    """The four-valued monitoring verdict."""
+
+    HOLDS_STRONGLY = "holds strongly"
+    HOLDS = "holds"
+    PENDING = "pending"
+    FAILS = "fails"
+
+    @property
+    def is_ok(self) -> bool:
+        """True unless the property already failed."""
+        return self is not Verdict.FAILS
+
+    @property
+    def is_definite(self) -> bool:
+        """True when no continuation can change the verdict."""
+        return self in (Verdict.HOLDS_STRONGLY, Verdict.FAILS)
+
+
+class Evaluator:
+    """Satisfaction checker for one formula family over one trace."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.length = len(trace)
+        self.matcher = Matcher(trace)
+        self._memo: Dict[Tuple[Formula, int, View], bool] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def sat(self, formula: Formula, position: int = 0, view: View = View.NEUTRAL) -> bool:
+        if position >= self.length:
+            return view is View.WEAK
+        key = (formula, position, view)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute(formula, position, view)
+        self._memo[key] = result
+        return result
+
+    def verdict(self, formula: Formula, position: int = 0) -> Verdict:
+        if not self.sat(formula, position, View.WEAK):
+            return Verdict.FAILS
+        if self.sat(formula, position, View.STRONG):
+            return Verdict.HOLDS_STRONGLY
+        if self.sat(formula, position, View.NEUTRAL):
+            return Verdict.HOLDS
+        return Verdict.PENDING
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _compute(self, formula: Formula, i: int, v: View) -> bool:
+        n = self.length
+        if isinstance(formula, FlBool):
+            try:
+                return formula.expr.eval_bool(EvalContext(self.trace, i))
+            except PslEvaluationError:
+                # An unevaluable boolean (unknown signal, prev() before
+                # the start) holds only under the weak view.
+                return v is View.WEAK
+        if isinstance(formula, FlNot):
+            return not self.sat(formula.operand, i, dual(v))
+        if isinstance(formula, FlAnd):
+            return self.sat(formula.left, i, v) and self.sat(formula.right, i, v)
+        if isinstance(formula, FlOr):
+            return self.sat(formula.left, i, v) or self.sat(formula.right, i, v)
+        if isinstance(formula, FlImplies):
+            return (not self.sat(formula.left, i, dual(v))) or self.sat(
+                formula.right, i, v
+            )
+        if isinstance(formula, FlIff):
+            forward = (not self.sat(formula.left, i, dual(v))) or self.sat(
+                formula.right, i, v
+            )
+            backward = (not self.sat(formula.right, i, dual(v))) or self.sat(
+                formula.left, i, v
+            )
+            return forward and backward
+        if isinstance(formula, FlNext):
+            target = i + formula.count
+            if target < n:
+                return self.sat(formula.operand, target, v)
+            if v is View.WEAK:
+                return True
+            if v is View.NEUTRAL:
+                return not formula.strong
+            return False
+        if isinstance(formula, FlNextA):
+            truncated = i + formula.high >= n
+            for t in range(i + formula.low, min(i + formula.high + 1, n)):
+                if not self.sat(formula.operand, t, v):
+                    return False
+            if truncated:
+                if v is View.WEAK:
+                    return True
+                if v is View.NEUTRAL:
+                    return not formula.strong
+                return False
+            return True
+        if isinstance(formula, FlNextE):
+            for t in range(i + formula.low, min(i + formula.high + 1, n)):
+                if self.sat(formula.operand, t, v):
+                    return True
+            if i + formula.high >= n:
+                return v is View.WEAK
+            return False
+        if isinstance(formula, FlNextEvent):
+            return self._next_event(formula, i, v)
+        if isinstance(formula, FlAlways):
+            for t in range(i, n):
+                if not self.sat(formula.operand, t, v):
+                    return False
+            return v is not View.STRONG
+        if isinstance(formula, FlNever):
+            for t in range(i, n):
+                if self.sat(formula.operand, t, dual(v)):
+                    return False
+            return v is not View.STRONG
+        if isinstance(formula, FlEventually):
+            for t in range(i, n):
+                if self.sat(formula.operand, t, v):
+                    return True
+            return v is View.WEAK
+        if isinstance(formula, FlUntil):
+            return self._until(formula, i, v)
+        if isinstance(formula, FlBefore):
+            return self._before(formula, i, v)
+        if isinstance(formula, FlSere):
+            has_match = self.matcher.has_match(formula.sere, i)
+            if has_match:
+                return True
+            if v is View.WEAK:
+                return self.matcher.alive(formula.sere, i)
+            return False
+        if isinstance(formula, FlSuffixImpl):
+            return self._suffix_implication(formula, i, v)
+        if isinstance(formula, FlAbort):
+            return self._abort(formula, i, v)
+        if isinstance(formula, FlClocked):
+            return self._clocked(formula, i, v)
+        raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+    # -- composite operators ---------------------------------------------------
+
+    def _next_event(self, formula: FlNextEvent, i: int, v: View) -> bool:
+        remaining = formula.count
+        for t in range(i, self.length):
+            try:
+                hit = formula.trigger.eval_bool(EvalContext(self.trace, t))
+            except PslEvaluationError:
+                hit = False
+            if hit:
+                remaining -= 1
+                if remaining == 0:
+                    return self.sat(formula.operand, t, v)
+        # The n-th trigger occurrence lies beyond the trace.
+        if v is View.WEAK:
+            return True
+        if v is View.NEUTRAL:
+            return not formula.strong
+        return False
+
+    def _until(self, formula: FlUntil, i: int, v: View) -> bool:
+        n = self.length
+        for k in range(i, n):
+            if self.sat(formula.right, k, v):
+                if formula.inclusive and not self.sat(formula.left, k, v):
+                    continue
+                if all(self.sat(formula.left, j, v) for j in range(i, k)):
+                    return True
+                return False  # left already failed before the release
+        # No release within the trace: left must have held throughout.
+        if not all(self.sat(formula.left, j, v) for j in range(i, n)):
+            return False
+        if v is View.WEAK:
+            return True
+        if v is View.NEUTRAL:
+            return not formula.strong
+        return False
+
+    def _before(self, formula: FlBefore, i: int, v: View) -> bool:
+        """``a before b`` == ``(!b) until (a && !b)``;
+        ``a before_ b`` == ``(!b) until (a)``  (strength carried over)."""
+        if formula.inclusive:
+            rewritten = FlUntil(
+                FlNot(formula.right), formula.left, strong=formula.strong
+            )
+        else:
+            rewritten = FlUntil(
+                FlNot(formula.right),
+                FlAnd(formula.left, FlNot(formula.right)),
+                strong=formula.strong,
+            )
+        return self.sat(rewritten, i, v)
+
+    def _suffix_implication(self, formula: FlSuffixImpl, i: int, v: View) -> bool:
+        ends = self.matcher.match_ends(formula.antecedent, i)
+        for end in ends:
+            if end <= i:
+                continue  # empty antecedent matches oblige nothing
+            obligation_at = end - 1 if formula.overlapping else end
+            if obligation_at >= self.length:
+                # Obligation starts past the end of the trace.
+                if v is View.WEAK:
+                    continue
+                if v is View.NEUTRAL and not formula.overlapping:
+                    # |=> with the match ending exactly at the last
+                    # letter: the consequent is only obliged on the
+                    # continuation, so a complete trace satisfies it
+                    # weakly.  Follows the LRM's weak-next reading.
+                    continue
+                return False
+            if not self.sat(formula.consequent, obligation_at, v):
+                return False
+        if v is View.STRONG and self.matcher.alive(formula.antecedent, i):
+            # An in-progress antecedent could still complete and oblige
+            # a consequent we cannot guarantee.
+            return False
+        return True
+
+    def _abort(self, formula: FlAbort, i: int, v: View) -> bool:
+        if self.sat(formula.operand, i, v):
+            return True
+        for j in range(i, self.length):
+            try:
+                fired = formula.condition.eval_bool(EvalContext(self.trace, j))
+            except PslEvaluationError:
+                fired = False
+            if fired:
+                truncated = Evaluator(self.trace[:j])
+                return truncated.sat(formula.operand, i, View.WEAK)
+        return False
+
+    def _clocked(self, formula: FlClocked, i: int, v: View) -> bool:
+        ticks = []
+        for t in range(self.length):
+            try:
+                if formula.clock.eval_bool(EvalContext(self.trace, t)):
+                    ticks.append(t)
+            except PslEvaluationError:
+                continue
+        projected = [self.trace[t] for t in ticks]
+        start = next((k for k, t in enumerate(ticks) if t >= i), None)
+        if start is None:
+            # No clock tick at or after i: vacuous except under the
+            # strong view.
+            return v is not View.STRONG
+        return Evaluator(projected).sat(formula.operand, start, v)
+
+
+# -- module-level conveniences ----------------------------------------------------
+
+
+def satisfies(
+    formula: Formula,
+    trace: Trace,
+    position: int = 0,
+    view: View = View.NEUTRAL,
+) -> bool:
+    """One-shot satisfaction check."""
+    return Evaluator(trace).sat(formula, position, view)
+
+
+def verdict(formula: Formula, trace: Trace, position: int = 0) -> Verdict:
+    """One-shot four-valued verdict at ``position``."""
+    return Evaluator(trace).verdict(formula, position)

@@ -1,0 +1,276 @@
+"""SERE matching over finite traces.
+
+A SERE *tightly* matches a trace segment ``trace[start:end)`` when the
+segment, letter by letter, belongs to the SERE's language.  The matcher
+computes, for a start position, the set of all (exclusive) end
+positions -- the primitive that both the four-valued FL semantics and
+the assertion monitors build on.
+
+It also answers *liveness of a partial match* ("alive"): the remaining
+trace has been consumed and the SERE could still complete given more
+letters.  This powers the weak SERE formula ``{r}`` and PENDING
+verdicts.  Aliveness is exact for the common constructs and
+conservatively approximate for length-matching intersection (``&&``)
+over unsatisfiable boolean steps -- documented in :meth:`Matcher.alive`.
+
+Goto (``b[->n:m]``) and non-consecutive (``b[=n:m]``) repetitions are
+desugared into core constructs:
+
+* ``b[->n:m]``  ==  ``{(!b)[*]; b}[*n:m]``
+* ``b[=n:m]``   ==  ``{(!b)[*]; b}[*n:m] ; (!b)[*]``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Mapping, Sequence, Set, Tuple
+
+from .ast_nodes import (
+    Const,
+    EvalContext,
+    Expr,
+    Not,
+    Sere,
+    SereAnd,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereGoto,
+    SereNonConsec,
+    SereOr,
+    SereRepeat,
+)
+from .errors import PslEvaluationError
+
+Trace = Sequence[Mapping[str, Any]]
+
+
+def desugar(item: Sere) -> Sere:
+    """Rewrite goto / non-consecutive repetitions into core SEREs."""
+    if isinstance(item, SereGoto):
+        high = item.high if item.high is not None else item.low
+        unit = SereConcat(
+            (SereRepeat(SereBool(Not(item.expr)), 0, None), SereBool(item.expr))
+        )
+        return SereRepeat(unit, item.low, high)
+    if isinstance(item, SereNonConsec):
+        high = item.high if item.high is not None else item.low
+        unit = SereConcat(
+            (SereRepeat(SereBool(Not(item.expr)), 0, None), SereBool(item.expr))
+        )
+        return SereConcat(
+            (
+                SereRepeat(unit, item.low, high),
+                SereRepeat(SereBool(Not(item.expr)), 0, None),
+            )
+        )
+    return item
+
+
+class Matcher:
+    """Memoizing SERE matcher bound to one trace."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.length = len(trace)
+        self._ends_memo: Dict[Tuple[Sere, int], FrozenSet[int]] = {}
+        self._alive_memo: Dict[Tuple[Sere, int], bool] = {}
+
+    # -- tight matching ----------------------------------------------------
+
+    def match_ends(self, item: Sere, start: int) -> FrozenSet[int]:
+        """All ``end`` with ``start <= end <= len(trace)`` such that
+        ``trace[start:end)`` tightly matches ``item``."""
+        if start > self.length:
+            return frozenset()
+        key = (item, start)
+        cached = self._ends_memo.get(key)
+        if cached is not None:
+            return cached
+        # Pre-seed to cut infinite recursion through nullable repeats;
+        # the fixpoint loop below recomputes repeats iteratively anyway.
+        self._ends_memo[key] = frozenset()
+        result = frozenset(self._compute_ends(item, start))
+        self._ends_memo[key] = result
+        return result
+
+    def has_match(self, item: Sere, start: int) -> bool:
+        return bool(self.match_ends(item, start))
+
+    def first_match_end(self, item: Sere, start: int) -> int | None:
+        ends = self.match_ends(item, start)
+        return min(ends) if ends else None
+
+    def _bool_holds(self, expression: Expr, position: int) -> bool:
+        try:
+            return expression.eval_bool(EvalContext(self.trace, position))
+        except PslEvaluationError:
+            # Unknown signal or out-of-trace peek: the step cannot be
+            # shown to hold, so it does not match.
+            return False
+
+    def _compute_ends(self, item: Sere, start: int) -> Set[int]:
+        item = desugar(item)
+        if isinstance(item, SereBool):
+            if start < self.length and self._bool_holds(item.expr, start):
+                return {start + 1}
+            return set()
+        if isinstance(item, SereConcat):
+            current: Set[int] = {start}
+            for part in item.parts:
+                nxt: Set[int] = set()
+                for position in current:
+                    nxt |= self.match_ends(part, position)
+                current = nxt
+                if not current:
+                    break
+            return current
+        if isinstance(item, SereFusion):
+            result: Set[int] = set()
+            for left_end in self.match_ends(item.left, start):
+                if left_end <= start:
+                    continue  # fusion needs a non-empty left match
+                for right_end in self.match_ends(item.right, left_end - 1):
+                    if right_end <= left_end - 1:
+                        continue  # and a non-empty right match
+                    result.add(right_end)
+            return result
+        if isinstance(item, SereOr):
+            return set(self.match_ends(item.left, start)) | set(
+                self.match_ends(item.right, start)
+            )
+        if isinstance(item, SereAnd):
+            left_ends = self.match_ends(item.left, start)
+            right_ends = self.match_ends(item.right, start)
+            if item.length_matching:
+                return set(left_ends) & set(right_ends)
+            result = set()
+            if left_ends and right_ends:
+                shortest_left = min(left_ends)
+                shortest_right = min(right_ends)
+                result |= {e for e in left_ends if e >= shortest_right}
+                result |= {e for e in right_ends if e >= shortest_left}
+            return result
+        if isinstance(item, SereRepeat):
+            return self._repeat_ends(item, start)
+        raise TypeError(f"unknown SERE node {type(item).__name__}")
+
+    def _repeat_ends(self, item: SereRepeat, start: int) -> Set[int]:
+        """Iterate body matches, detecting frontier cycles for ``[*]``.
+
+        ``reached[k]`` holds the positions reachable with exactly *k*
+        body matches; the frontier sequence over a finite position set
+        is eventually periodic, so we accumulate from ``low`` until
+        either the bound is reached or a frontier repeats.
+        """
+        low, high = item.low, item.high
+        accumulated: Set[int] = set()
+        if low == 0:
+            accumulated.add(start)
+        frontier: FrozenSet[int] = frozenset({start})
+        seen_after_low: Set[FrozenSet[int]] = set()
+        count = 0
+        while frontier:
+            if high is not None and count >= high:
+                break
+            if high is None and count >= low:
+                # Identical frontier at or past `low` => identical future
+                # contributions; everything in the cycle is accumulated.
+                if frontier in seen_after_low:
+                    break
+                seen_after_low.add(frontier)
+            nxt: Set[int] = set()
+            for position in frontier:
+                nxt |= self.match_ends(item.body, position)
+            count += 1
+            frontier = frozenset(nxt)
+            if count >= low:
+                accumulated |= nxt
+        return accumulated
+
+    # -- partial-match liveness ------------------------------------------------
+
+    def alive(self, item: Sere, start: int) -> bool:
+        """True when a match starting at ``start`` has consumed the whole
+        remaining trace and could still complete with more letters.
+
+        Boolean steps are assumed satisfiable unless they are literally
+        ``false``; length-matching ``&&`` is approximated by requiring
+        both sides alive (their future length agreement is assumed
+        feasible).
+        """
+        key = (item, start)
+        cached = self._alive_memo.get(key)
+        if cached is not None:
+            return cached
+        self._alive_memo[key] = False  # cut cycles through nullable repeats
+        result = self._compute_alive(item, start)
+        self._alive_memo[key] = result
+        return result
+
+    def _compute_alive(self, item: Sere, start: int) -> bool:
+        item = desugar(item)
+        if isinstance(item, SereBool):
+            if start >= self.length:
+                return not _is_const_false(item.expr)
+            return False
+        if isinstance(item, SereConcat):
+            positions: Set[int] = {start}
+            for part in item.parts:
+                if any(self.alive(part, position) for position in positions):
+                    return True
+                nxt: Set[int] = set()
+                for position in positions:
+                    nxt |= self.match_ends(part, position)
+                positions = nxt
+                if not positions:
+                    return False
+            return False
+        if isinstance(item, SereFusion):
+            if self.alive(item.left, start):
+                return True
+            for left_end in self.match_ends(item.left, start):
+                if left_end > start and self.alive(item.right, left_end - 1):
+                    return True
+            return False
+        if isinstance(item, SereOr):
+            return self.alive(item.left, start) or self.alive(item.right, start)
+        if isinstance(item, SereAnd):
+            left_alive = self.alive(item.left, start)
+            right_alive = self.alive(item.right, start)
+            if item.length_matching:
+                return left_alive and right_alive
+            return (left_alive and (right_alive or self.has_match(item.right, start))) or (
+                right_alive and (left_alive or self.has_match(item.left, start))
+            )
+        if isinstance(item, SereRepeat):
+            positions: Set[int] = {start}
+            visited: Set[int] = set()
+            count = 0
+            while positions:
+                if item.high is not None and count >= item.high:
+                    return False
+                if any(self.alive(item.body, position) for position in positions):
+                    return True
+                nxt: Set[int] = set()
+                for position in positions:
+                    nxt |= self.match_ends(item.body, position)
+                new = nxt - visited
+                visited |= nxt
+                positions = new
+                count += 1
+            return False
+        raise TypeError(f"unknown SERE node {type(item).__name__}")
+
+
+def _is_const_false(expression: Expr) -> bool:
+    return isinstance(expression, Const) and not expression.value
+
+
+def match_ends(item: Sere, trace: Trace, start: int = 0) -> FrozenSet[int]:
+    """One-shot convenience wrapper around :class:`Matcher`."""
+    return Matcher(trace).match_ends(item, start)
+
+
+def tightly_matches(item: Sere, trace: Trace) -> bool:
+    """True when the *entire* trace tightly matches the SERE."""
+    return len(trace) in Matcher(trace).match_ends(item, 0)

@@ -1,0 +1,79 @@
+"""A SystemC-like discrete-event simulation kernel in pure Python.
+
+The reproduction's substitute for OSCI SystemC 2.0 (paper Section 2.2):
+an event-driven scheduler with delta cycles, signals with
+evaluate/update semantics, generator-based SC_THREADs and SC_METHODs
+with static/dynamic sensitivity, clocks, modules/ports, four-valued
+logic, bus interfaces, VCD tracing and severity-based reporting.
+"""
+
+from .bus import (
+    ArbiterIf,
+    BlockingBusIf,
+    BusMode,
+    BusStatistics,
+    BusStatus,
+    NonBlockingBusIf,
+    Transaction,
+)
+from .clock import Clock
+from .datatypes import Bit, BitVector, Logic, logic_vector
+from .errors import (
+    BindingError,
+    DeltaCycleLimitExceeded,
+    ElaborationError,
+    SimulationStopped,
+    SyscError,
+)
+from .event import Event
+from .kernel import KernelStats, Simulator
+from .module import In, Module, Out, Port
+from .process_ import MethodProcess, ProcessKind, ThreadProcess
+from .report import Report, ReportHandler, Severity
+from .signal import Signal
+from .time_ import MS, NS, PS, US, format_time, ms, ns, ps, us
+from .trace import VcdTracer
+
+__all__ = [
+    "ArbiterIf",
+    "BlockingBusIf",
+    "BusMode",
+    "BusStatistics",
+    "BusStatus",
+    "NonBlockingBusIf",
+    "Transaction",
+    "Clock",
+    "Bit",
+    "BitVector",
+    "Logic",
+    "logic_vector",
+    "BindingError",
+    "DeltaCycleLimitExceeded",
+    "ElaborationError",
+    "SimulationStopped",
+    "SyscError",
+    "Event",
+    "KernelStats",
+    "Simulator",
+    "In",
+    "Module",
+    "Out",
+    "Port",
+    "MethodProcess",
+    "ProcessKind",
+    "ThreadProcess",
+    "Report",
+    "ReportHandler",
+    "Severity",
+    "Signal",
+    "MS",
+    "NS",
+    "PS",
+    "US",
+    "format_time",
+    "ms",
+    "ns",
+    "ps",
+    "us",
+    "VcdTracer",
+]

@@ -1,0 +1,140 @@
+"""Generic bus interfaces and transaction records.
+
+The SystemC 2.0 distribution ships a Master/Slave bus library whose
+masters talk to the bus through *blocking* (burst, the caller waits for
+completion) and *non-blocking* (single word, status polled) interfaces;
+the paper's second case study "represents a more generic bus structure
+including a set of Masters, a set of slaves, an arbiter and a shared
+bus" with exactly those two modes (Section 4.1).
+
+This module holds the mode-agnostic pieces: transaction records, status
+codes, the abstract interfaces, and a small bookkeeping helper for
+per-master statistics.  The concrete bus/arbiter/master/slave modules
+live in :mod:`repro.models.master_slave.systemc_model`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class BusStatus(enum.Enum):
+    """Status of a (non-blocking) bus request."""
+
+    IDLE = "idle"
+    REQUEST = "request"
+    WAIT = "wait"
+    OK = "ok"
+    ERROR = "error"
+
+
+class BusMode(enum.Enum):
+    """The two transfer modes of the Master/Slave bus (paper 4.1):
+    blocking moves bursts, non-blocking moves single words."""
+
+    BLOCKING = "blocking"
+    NON_BLOCKING = "non_blocking"
+
+
+@dataclass
+class Transaction:
+    """One bus transaction as observed by monitors and scoreboards."""
+
+    master: str
+    address: int
+    is_write: bool
+    data: Tuple[int, ...] = ()
+    mode: BusMode = BusMode.NON_BLOCKING
+    start_cycle: int = -1
+    end_cycle: int = -1
+    status: BusStatus = BusStatus.IDLE
+
+    @property
+    def burst_length(self) -> int:
+        return max(len(self.data), 1)
+
+    @property
+    def latency(self) -> int:
+        if self.start_cycle < 0 or self.end_cycle < 0:
+            return -1
+        return self.end_cycle - self.start_cycle
+
+    def __str__(self) -> str:
+        direction = "W" if self.is_write else "R"
+        return (
+            f"{self.master} {direction}@{self.address:#06x} "
+            f"x{self.burst_length} [{self.status.value}]"
+        )
+
+
+class BlockingBusIf:
+    """Blocking (burst) interface: the caller's thread waits until the
+    transfer completes.  Mirrors ``sc_bus``'s ``burst_read``/``burst_write``."""
+
+    def burst_read(self, master_id: int, address: int, length: int):
+        """Generator: yields until done, then returns the data tuple."""
+        raise NotImplementedError
+
+    def burst_write(self, master_id: int, address: int, data: Tuple[int, ...]):
+        """Generator: yields until the burst is fully written."""
+        raise NotImplementedError
+
+
+class NonBlockingBusIf:
+    """Non-blocking (single word) interface: request now, poll status."""
+
+    def read(self, master_id: int, address: int) -> BusStatus:
+        raise NotImplementedError
+
+    def write(self, master_id: int, address: int, data: int) -> BusStatus:
+        raise NotImplementedError
+
+    def get_status(self, master_id: int) -> BusStatus:
+        raise NotImplementedError
+
+    def get_data(self, master_id: int) -> Optional[int]:
+        raise NotImplementedError
+
+
+class ArbiterIf:
+    """Bus-side arbiter interface: pick one pending request."""
+
+    def arbitrate(self, requests: List[int]) -> Optional[int]:
+        """Return the winning master id (or None when nothing pends)."""
+        raise NotImplementedError
+
+
+@dataclass
+class BusStatistics:
+    """Aggregate counters a bus keeps for reporting and benchmarks."""
+
+    transactions: int = 0
+    reads: int = 0
+    writes: int = 0
+    words_moved: int = 0
+    wait_cycles: int = 0
+    arbitration_rounds: int = 0
+    per_master: dict = field(default_factory=dict)
+
+    def record(self, transaction: Transaction) -> None:
+        self.transactions += 1
+        if transaction.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.words_moved += transaction.burst_length
+        entry = self.per_master.setdefault(
+            transaction.master, {"transactions": 0, "words": 0}
+        )
+        entry["transactions"] += 1
+        entry["words"] += transaction.burst_length
+
+    def summary(self) -> str:
+        return (
+            f"{self.transactions} transactions ({self.reads} R / "
+            f"{self.writes} W), {self.words_moved} words, "
+            f"{self.wait_cycles} wait cycles, "
+            f"{self.arbitration_rounds} arbitration rounds"
+        )

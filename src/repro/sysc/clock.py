@@ -1,0 +1,76 @@
+"""Clock: a self-toggling boolean signal (``sc_clock``).
+
+The paper's PCI model runs at "33MHz clock speed"; a Clock with
+``period=ns(30)`` approximates that.  ``cycle_count`` counts posedges,
+which the ABV layer and the benchmark harness use as the cycle base for
+the delta (ns/cycle) measurements of Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import SyscError
+from .process_ import ThreadProcess
+from .signal import Signal
+
+if TYPE_CHECKING:
+    from .kernel import Simulator
+
+
+class Clock(Signal[bool]):
+    """A periodic boolean signal driven by an internal thread."""
+
+    def __init__(
+        self,
+        name: str,
+        period: int,
+        simulator: "Simulator",
+        duty_cycle: float = 0.5,
+        start_time: int = 0,
+        posedge_first: bool = True,
+    ):
+        if period <= 1:
+            raise SyscError("clock period must exceed one time unit")
+        if not 0.0 < duty_cycle < 1.0:
+            raise SyscError("duty cycle must be inside (0, 1)")
+        super().__init__(initial=not posedge_first, name=name, simulator=simulator)
+        self.period = period
+        self.duty_cycle = duty_cycle
+        self.start_time = start_time
+        self.posedge_first = posedge_first
+        self.cycle_count = 0
+
+        self._high_time = max(int(period * duty_cycle), 1)
+        self._low_time = max(period - self._high_time, 1)
+        simulator.register_process(
+            ThreadProcess(f"{name}.driver", self._drive, owner=None)
+        )
+
+    def _drive(self):
+        if self.start_time:
+            yield self.start_time
+        if self.posedge_first:
+            while True:
+                self.cycle_count += 1
+                self.write(True)
+                yield self._high_time
+                self.write(False)
+                yield self._low_time
+        else:
+            while True:
+                self.write(False)
+                yield self._low_time
+                self.cycle_count += 1
+                self.write(True)
+                yield self._high_time
+
+    def posedge(self):
+        """The event to ``yield`` for 'wait until next rising edge'."""
+        return self.posedge_event
+
+    def negedge(self):
+        return self.negedge_event
+
+    def __repr__(self) -> str:
+        return f"Clock({self.name!r}, period={self.period})"

@@ -1,0 +1,116 @@
+"""Hardware data types (``sc_logic``/``sc_lv`` flavour).
+
+"SystemC provides data-types for hardware modelling and certain types
+of software programming as well." (paper, Section 2.2)
+
+:class:`Logic` is the four-valued scalar; vectors reuse
+:class:`repro.asm.types.BitVector` (rule R1 maps ASM bit vectors onto
+SystemC vectors one-to-one, so sharing the implementation keeps the
+translation trivially faithful).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..asm.types import Bit, BitVector
+from .errors import SyscError
+
+LogicLike = Union["Logic", str, int, bool, Bit]
+
+_AND = {
+    ("0", "0"): "0", ("0", "1"): "0", ("1", "0"): "0", ("1", "1"): "1",
+    ("0", "X"): "0", ("X", "0"): "0", ("1", "X"): "X", ("X", "1"): "X",
+    ("X", "X"): "X", ("0", "Z"): "0", ("Z", "0"): "0", ("1", "Z"): "X",
+    ("Z", "1"): "X", ("Z", "Z"): "X", ("X", "Z"): "X", ("Z", "X"): "X",
+}
+_OR = {
+    ("0", "0"): "0", ("0", "1"): "1", ("1", "0"): "1", ("1", "1"): "1",
+    ("0", "X"): "X", ("X", "0"): "X", ("1", "X"): "1", ("X", "1"): "1",
+    ("X", "X"): "X", ("0", "Z"): "X", ("Z", "0"): "X", ("1", "Z"): "1",
+    ("Z", "1"): "1", ("Z", "Z"): "X", ("X", "Z"): "X", ("Z", "X"): "X",
+}
+_NOT = {"0": "1", "1": "0", "X": "X", "Z": "X"}
+
+
+class Logic:
+    """Four-valued logic: ``'0'``, ``'1'``, ``'X'`` (unknown), ``'Z'``
+    (high impedance)."""
+
+    __slots__ = ("_value",)
+
+    VALUES = ("0", "1", "X", "Z")
+
+    def __init__(self, value: LogicLike = "X"):
+        self._value = _coerce(value)
+
+    @property
+    def value(self) -> str:
+        return self._value
+
+    def is_known(self) -> bool:
+        return self._value in ("0", "1")
+
+    def to_bool(self) -> bool:
+        if not self.is_known():
+            raise SyscError(f"Logic {self._value!r} has no boolean value")
+        return self._value == "1"
+
+    def __bool__(self) -> bool:
+        return self._value == "1"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (Logic, str, int, bool, Bit)):
+            try:
+                return self._value == _coerce(other)
+            except SyscError:
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Logic", self._value))
+
+    def __and__(self, other: LogicLike) -> "Logic":
+        return Logic(_AND[(self._value, _coerce(other))])
+
+    def __or__(self, other: LogicLike) -> "Logic":
+        return Logic(_OR[(self._value, _coerce(other))])
+
+    def __xor__(self, other: LogicLike) -> "Logic":
+        a, b = self._value, _coerce(other)
+        if a in ("X", "Z") or b in ("X", "Z"):
+            return Logic("X")
+        return Logic("1" if a != b else "0")
+
+    def __invert__(self) -> "Logic":
+        return Logic(_NOT[self._value])
+
+    def __repr__(self) -> str:
+        return f"Logic('{self._value}')"
+
+
+def _coerce(value: LogicLike) -> str:
+    if isinstance(value, Logic):
+        return value.value
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, Bit):
+        return "1" if value.value else "0"
+    if isinstance(value, int):
+        if value in (0, 1):
+            return str(value)
+        raise SyscError(f"integer {value} is not a logic scalar")
+    if isinstance(value, str):
+        upper = value.upper()
+        if upper in Logic.VALUES:
+            return upper
+        raise SyscError(f"invalid logic literal {value!r}")
+    raise SyscError(f"cannot interpret {value!r} as Logic")
+
+
+def logic_vector(text: str) -> list[Logic]:
+    """Parse e.g. ``"01XZ"`` into a list of Logic scalars."""
+    return [Logic(c) for c in text]
+
+
+__all__ = ["Logic", "LogicLike", "logic_vector", "Bit", "BitVector"]

@@ -1,0 +1,29 @@
+"""Exceptions and control-flow signals of the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SyscError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class BindingError(SyscError):
+    """A port was used before being bound to a signal/channel."""
+
+
+class ElaborationError(SyscError):
+    """Module construction finished in an inconsistent state."""
+
+
+class SimulationStopped(Exception):  # noqa: N818 -- control-flow signal
+    """Raised inside a process (or by a monitor action) to stop the
+    simulation -- the paper's "stop the simulation when the assertion
+    is fired" monitor action."""
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+        super().__init__(reason or "sc_stop")
+
+
+class DeltaCycleLimitExceeded(SyscError):
+    """The kernel detected a livelock: too many delta cycles at one time."""

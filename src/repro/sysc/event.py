@@ -1,0 +1,71 @@
+"""Events: the primitive the SystemC core language is built on.
+
+"The core language consists of an event-driven simulator as the base.
+It works with events and processes." (paper, Section 2.2)
+
+An :class:`Event` can be notified immediately (within the current
+evaluation phase), as a *delta* notification (wakes waiters in the next
+delta cycle) or at a future simulation time.  Processes wait on events
+either statically (sensitivity lists) or dynamically (``yield event``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from .kernel import Simulator
+    from .process_ import Process
+
+
+class Event:
+    """A named notification channel."""
+
+    def __init__(self, name: str = "event", simulator: "Simulator | None" = None):
+        self.name = name
+        self.simulator = simulator
+        #: processes statically sensitive to this event
+        self.static_waiters: List["Process"] = []
+        #: processes dynamically waiting (cleared on each notify)
+        self.dynamic_waiters: List["Process"] = []
+        #: pending timed notification (kernel bookkeeping)
+        self._scheduled_at: Optional[int] = None
+
+    def attach(self, simulator: "Simulator") -> None:
+        self.simulator = simulator
+
+    # -- notification ---------------------------------------------------------
+
+    def notify(self, delay: Optional[int] = None) -> None:
+        """Notify now (``delay=None`` means *delta* notification,
+        ``delay=0`` means immediate, ``delay>0`` means timed).
+
+        This mirrors SystemC's ``notify()`` overloads: immediate
+        notification can starve evaluation order, so delta is the
+        default here.
+        """
+        if self.simulator is None:
+            raise RuntimeError(f"event {self.name!r} is not attached to a simulator")
+        if delay is None:
+            self.simulator._notify_delta(self)
+        elif delay == 0:
+            self.simulator._notify_immediate(self)
+        else:
+            self.simulator._notify_timed(self, delay)
+
+    def cancel(self) -> None:
+        """Cancel a pending timed notification."""
+        if self.simulator is not None:
+            self.simulator._cancel_timed(self)
+
+    # -- kernel bookkeeping -------------------------------------------------------
+
+    def _collect_waiters(self) -> List["Process"]:
+        """All processes to wake; clears the dynamic list."""
+        waiters = list(self.static_waiters)
+        waiters.extend(self.dynamic_waiters)
+        self.dynamic_waiters.clear()
+        return waiters
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r})"

@@ -1,0 +1,299 @@
+"""The event-driven simulation kernel.
+
+Implements the SystemC 2.0 scheduler: repeated *delta cycles* of an
+evaluation phase (run all runnable processes) followed by an update
+phase (commit signal writes) and a delta-notification phase (wake
+processes sensitive to the committed changes); when no delta work
+remains, time advances to the earliest timed notification.
+
+The kernel also exposes the hooks the ABV layer needs: per-delta and
+per-timestep callbacks (monitors sample on clock edges), a cycle
+counter, and a ``stop()``/:class:`SimulationStopped` channel so an
+assertion monitor can halt the run (paper Section 3.2: the monitor can
+"stop the simulation when the assertion is fired").
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _wall_time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .errors import DeltaCycleLimitExceeded, SimulationStopped, SyscError
+from .event import Event
+from .process_ import MethodProcess, Process, ThreadProcess
+from .signal import Signal
+from .time_ import format_time
+
+
+class Simulator:
+    """One simulation context: processes, signals, events, and time."""
+
+    def __init__(self, name: str = "sim", max_delta_cycles: int = 10_000):
+        self.name = name
+        self.time: int = 0
+        self.delta_count: int = 0
+        self.max_delta_cycles = max_delta_cycles
+
+        self.processes: List[Process] = []
+        self.signals: List[Signal] = []
+        self._runnable: Deque[Process] = deque()
+        self._update_requests: List[Signal] = []
+        self._delta_notified: List[Event] = []
+        self._timed: List[Tuple[int, int, Event]] = []
+        self._timed_sequence = 0
+        self._cancelled: set[int] = set()
+        self._timed_ids: Dict[int, int] = {}
+
+        self._initialized = False
+        self._stop_reason: Optional[str] = None
+        #: called after every update phase (delta boundary)
+        self.on_delta: List[Callable[["Simulator"], None]] = []
+        #: called whenever simulated time advances
+        self.on_time_advance: List[Callable[["Simulator"], None]] = []
+
+        self.stats = KernelStats()
+
+    # -- registration ------------------------------------------------------------
+
+    def register_process(self, process: Process) -> Process:
+        self.processes.append(process)
+        return process
+
+    def register_signal(self, signal: Signal) -> Signal:
+        signal.attach(self)
+        self.signals.append(signal)
+        return signal
+
+    def thread(
+        self,
+        body,
+        name: str | None = None,
+        sensitive: tuple = (),
+        dont_initialize: bool = False,
+    ) -> ThreadProcess:
+        """Register a free-standing SC_THREAD (no module needed)."""
+        process = ThreadProcess(
+            name or getattr(body, "__name__", "thread"),
+            body,
+            sensitivity=[self._resolve_event(s) for s in sensitive],
+            dont_initialize=dont_initialize,
+        )
+        return self.register_process(process)  # type: ignore[return-value]
+
+    def method(
+        self,
+        body,
+        name: str | None = None,
+        sensitive: tuple = (),
+        dont_initialize: bool = False,
+    ) -> MethodProcess:
+        """Register a free-standing SC_METHOD."""
+        process = MethodProcess(
+            name or getattr(body, "__name__", "method"),
+            body,
+            sensitivity=[self._resolve_event(s) for s in sensitive],
+            dont_initialize=dont_initialize,
+        )
+        return self.register_process(process)  # type: ignore[return-value]
+
+    def _resolve_event(self, source: Any) -> Event:
+        if isinstance(source, Event):
+            return source
+        if isinstance(source, Signal):
+            return source.value_changed
+        if hasattr(source, "default_event"):
+            return source.default_event()
+        raise SyscError(f"cannot derive an event from {source!r}")
+
+    # -- notification plumbing (called by Event) -------------------------------------
+
+    def _notify_delta(self, event: Event) -> None:
+        self._delta_notified.append(event)
+
+    def _notify_immediate(self, event: Event) -> None:
+        for process in event._collect_waiters():
+            self._make_runnable(process)
+
+    def _notify_timed(self, event: Event, delay: int) -> None:
+        self._timed_sequence += 1
+        self._timed_ids[id(event)] = self._timed_sequence
+        heapq.heappush(self._timed, (self.time + delay, self._timed_sequence, event))
+
+    def _cancel_timed(self, event: Event) -> None:
+        sequence = self._timed_ids.pop(id(event), None)
+        if sequence is not None:
+            self._cancelled.add(sequence)
+
+    def _request_update(self, signal: Signal) -> None:
+        self._update_requests.append(signal)
+
+    def _make_runnable(self, process: Process) -> None:
+        if not process.runnable and not process.terminated:
+            process.runnable = True
+            self._runnable.append(process)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Elaboration end: wire static sensitivity, seed runnable set."""
+        if self._initialized:
+            return
+        for process in self.processes:
+            process.make_static_sensitive()
+            if not process.dont_initialize:
+                self._make_runnable(process)
+        self._initialized = True
+
+    def stop(self, reason: str = "") -> None:
+        """Request a graceful stop at the end of the current delta."""
+        self._stop_reason = reason or "sc_stop"
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        return self._stop_reason
+
+    # -- the scheduler ---------------------------------------------------------
+
+    def run(self, duration: Optional[int] = None) -> None:
+        """Run for ``duration`` time units (None = until starvation)."""
+        self.initialize()
+        deadline = None if duration is None else self.time + duration
+        started_wall = _wall_time.perf_counter()
+
+        while not self.stopped:
+            self._delta_cycle()
+            if self.stopped:
+                break
+            if self._runnable or self._delta_notified or self._update_requests:
+                continue
+            if not self._advance_time(deadline):
+                break
+        self.stats.wall_seconds += _wall_time.perf_counter() - started_wall
+        if deadline is not None and self.time < deadline and not self.stopped:
+            self.time = deadline
+
+    def _delta_cycle(self) -> None:
+        deltas_here = 0
+        while self._runnable or self._delta_notified or self._update_requests:
+            # delta-notification phase (wake first so new runnables join in)
+            if not self._runnable and self._delta_notified:
+                self._fire_delta_notifications()
+            if not self._runnable and not self._update_requests:
+                break
+            # evaluation phase
+            while self._runnable:
+                process = self._runnable.popleft()
+                process.runnable = False
+                if process.terminated:
+                    continue
+                self.stats.process_runs += 1
+                try:
+                    process.execute(self)
+                except SimulationStopped as stop:
+                    self.stop(stop.reason)
+                    return
+            # update phase
+            if self._update_requests:
+                requests, self._update_requests = self._update_requests, []
+                for signal in requests:
+                    if signal._apply():
+                        self.stats.signal_changes += 1
+            self.delta_count += 1
+            self.stats.delta_cycles += 1
+            deltas_here += 1
+            if deltas_here > self.max_delta_cycles:
+                raise DeltaCycleLimitExceeded(
+                    f"{deltas_here} delta cycles at time {format_time(self.time)}"
+                )
+            for hook in self.on_delta:
+                hook(self)
+            # loop: delta notifications fired during update wake processes
+            if self._delta_notified:
+                self._fire_delta_notifications()
+
+    def _fire_delta_notifications(self) -> None:
+        notified, self._delta_notified = self._delta_notified, []
+        for event in notified:
+            for process in event._collect_waiters():
+                self._make_runnable(process)
+
+    def _advance_time(self, deadline: Optional[int]) -> bool:
+        """Advance to the next timed notification; False = starvation/deadline."""
+        while self._timed:
+            event_time, sequence, event = self._timed[0]
+            if sequence in self._cancelled:
+                heapq.heappop(self._timed)
+                self._cancelled.discard(sequence)
+                continue
+            if deadline is not None and event_time > deadline:
+                self.time = deadline
+                return False
+            heapq.heappop(self._timed)
+            self._timed_ids.pop(id(event), None)
+            self.time = event_time
+            self.stats.time_advances += 1
+            # fire this and all other notifications at the same instant
+            self._wake_timed(event)
+            while self._timed and self._timed[0][0] == event_time:
+                _, sequence2, event2 = heapq.heappop(self._timed)
+                if sequence2 in self._cancelled:
+                    self._cancelled.discard(sequence2)
+                    continue
+                self._timed_ids.pop(id(event2), None)
+                self._wake_timed(event2)
+            for hook in self.on_time_advance:
+                hook(self)
+            return True
+        return False
+
+    def _wake_timed(self, event: Event) -> None:
+        for process in event._collect_waiters():
+            self._make_runnable(process)
+
+    # -- conveniences -------------------------------------------------------------
+
+    def pending_activity(self) -> bool:
+        return bool(
+            self._runnable
+            or self._delta_notified
+            or self._update_requests
+            or self._timed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator({self.name!r} @ {format_time(self.time)}, "
+            f"{len(self.processes)} processes)"
+        )
+
+
+class KernelStats:
+    """Cheap counters for benchmarking and sanity checks."""
+
+    __slots__ = (
+        "process_runs",
+        "delta_cycles",
+        "signal_changes",
+        "time_advances",
+        "wall_seconds",
+    )
+
+    def __init__(self):
+        self.process_runs = 0
+        self.delta_cycles = 0
+        self.signal_changes = 0
+        self.time_advances = 0
+        self.wall_seconds = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.process_runs} process runs, {self.delta_cycles} deltas, "
+            f"{self.signal_changes} signal changes, "
+            f"{self.time_advances} time steps in {self.wall_seconds:.3f}s wall"
+        )

@@ -1,0 +1,69 @@
+"""Reporting (``sc_report``-style): severities, counters, stop-on-error.
+
+The assertion monitors route their findings through a
+:class:`ReportHandler` so a simulation can be configured to stop on the
+first assertion failure, log everything, or merely count -- the three
+monitor actions of paper Section 3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+    FATAL = 3
+
+
+@dataclass(frozen=True)
+class Report:
+    severity: Severity
+    label: str
+    message: str
+    time: int = 0
+
+    def __str__(self) -> str:
+        return f"[{self.severity.name}] ({self.label}) {self.message} @ {self.time}"
+
+
+@dataclass
+class ReportHandler:
+    """Collects reports; optionally escalates to a stop callback."""
+
+    stop_severity: Severity = Severity.FATAL
+    sink: Optional[Callable[[Report], None]] = None
+    reports: List[Report] = field(default_factory=list)
+    counts: dict = field(default_factory=lambda: {s: 0 for s in Severity})
+
+    def report(
+        self, severity: Severity, label: str, message: str, time: int = 0
+    ) -> Report:
+        entry = Report(severity, label, message, time)
+        self.reports.append(entry)
+        self.counts[severity] += 1
+        if self.sink is not None:
+            self.sink(entry)
+        return entry
+
+    def info(self, label: str, message: str, time: int = 0) -> Report:
+        return self.report(Severity.INFO, label, message, time)
+
+    def warning(self, label: str, message: str, time: int = 0) -> Report:
+        return self.report(Severity.WARNING, label, message, time)
+
+    def error(self, label: str, message: str, time: int = 0) -> Report:
+        return self.report(Severity.ERROR, label, message, time)
+
+    def should_stop(self, severity: Severity) -> bool:
+        return severity >= self.stop_severity
+
+    def errors(self) -> List[Report]:
+        return [r for r in self.reports if r.severity >= Severity.ERROR]
+
+    def summary(self) -> str:
+        return ", ".join(f"{self.counts[s]} {s.name.lower()}" for s in Severity)

@@ -1,0 +1,46 @@
+"""Simulation time.
+
+Time is kept as an integer count of picoseconds (SystemC's default
+resolution is 1 ps), so arithmetic is exact.  Helpers construct times
+in the usual units:
+
+>>> ns(10)
+10000
+>>> us(1) == ns(1000)
+True
+"""
+
+from __future__ import annotations
+
+#: One picosecond: the kernel's time resolution.
+PS = 1
+#: Nanosecond / microsecond / millisecond in kernel units.
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+
+
+def ps(amount: float) -> int:
+    return int(amount * PS)
+
+
+def ns(amount: float) -> int:
+    return int(amount * NS)
+
+
+def us(amount: float) -> int:
+    return int(amount * US)
+
+
+def ms(amount: float) -> int:
+    return int(amount * MS)
+
+
+def format_time(time: int) -> str:
+    """Human-readable rendering with the largest exact unit."""
+    for unit, label in ((MS, "ms"), (US, "us"), (NS, "ns")):
+        if time >= unit and time % unit == 0:
+            return f"{time // unit} {label}"
+        if time >= unit:
+            return f"{time / unit:.3f} {label}"
+    return f"{time} ps"

@@ -1,0 +1,112 @@
+"""Waveform tracing: a minimal VCD writer.
+
+Attach signals, hook the tracer to the simulator, and every committed
+change lands in a standard Value Change Dump readable by GTKWave --
+handy when a counterexample from the FSM level is replayed at the
+SystemC level.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional
+
+from ..asm.types import BitVector
+from .datatypes import Logic
+from .kernel import Simulator
+from .signal import Signal
+
+
+class VcdTracer:
+    """Records signal changes into VCD text."""
+
+    _ID_ALPHABET = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+    def __init__(self, simulator: Simulator, timescale: str = "1ps"):
+        self.simulator = simulator
+        self.timescale = timescale
+        self._signals: List[Signal] = []
+        self._ids: Dict[int, str] = {}
+        self._last: Dict[int, object] = {}
+        self._body: List[str] = []
+        self._last_time: Optional[int] = None
+        simulator.on_delta.append(self._sample)
+
+    def trace(self, signal: Signal) -> None:
+        """Register a signal for tracing (before the run starts)."""
+        if id(signal) in self._ids:
+            return
+        self._ids[id(signal)] = self._make_id(len(self._signals))
+        self._signals.append(signal)
+
+    def _make_id(self, index: int) -> str:
+        alphabet = self._ID_ALPHABET
+        if index < len(alphabet):
+            return alphabet[index]
+        return alphabet[index // len(alphabet)] + alphabet[index % len(alphabet)]
+
+    # -- sampling -------------------------------------------------------------
+
+    def _sample(self, simulator: Simulator) -> None:
+        stamped = False
+        for signal in self._signals:
+            value = signal.read()
+            key = id(signal)
+            if self._last.get(key, _UNSET) == value:
+                continue
+            self._last[key] = value
+            if not stamped and self._last_time != simulator.time:
+                self._body.append(f"#{simulator.time}")
+                self._last_time = simulator.time
+                stamped = True
+            self._body.append(self._format_change(signal, value))
+
+    def _format_change(self, signal: Signal, value: object) -> str:
+        identifier = self._ids[id(signal)]
+        if isinstance(value, bool):
+            return f"{int(value)}{identifier}"
+        if isinstance(value, Logic):
+            return f"{value.value.lower()}{identifier}"
+        if isinstance(value, BitVector):
+            return f"b{value.to_binary_string()} {identifier}"
+        if isinstance(value, int):
+            return f"b{value:b} {identifier}"
+        return f"s{value} {identifier}"
+
+    # -- output --------------------------------------------------------------------
+
+    def _width_of(self, signal: Signal) -> int:
+        value = signal.read()
+        if isinstance(value, (bool, Logic)):
+            return 1
+        if isinstance(value, BitVector):
+            return value.width
+        return 32
+
+    def dump(self) -> str:
+        """The complete VCD document for the run so far."""
+        lines = [
+            "$date today $end",
+            "$version repro.sysc VcdTracer $end",
+            f"$timescale {self.timescale} $end",
+            "$scope module top $end",
+        ]
+        for signal in self._signals:
+            identifier = self._ids[id(signal)]
+            name = signal.name.replace(" ", "_")
+            lines.append(
+                f"$var wire {self._width_of(signal)} {identifier} {name} $end"
+            )
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        lines.append("$dumpvars")
+        for signal in self._signals:
+            lines.append(self._format_change(signal, signal.read()))
+        lines.append("$end")
+        lines.extend(self._body)
+        return "\n".join(lines) + "\n"
+
+    def write(self, stream: IO[str]) -> None:
+        stream.write(self.dump())
+
+
+_UNSET = object()

@@ -1,0 +1,76 @@
+"""ASM -> SystemC translation (rules R1-R3) and PSL -> C# monitors.
+
+Section 2.2.2 of the paper defines a purely syntactic translation from
+the verified ASM model to SystemC; Section 3.2 compiles the embedded
+PSL properties to C# assertion monitors.  This package produces both
+the *textual* artifacts (C++ translation units, C# monitor classes)
+and the *runnable* equivalents on the Python kernel
+(:class:`AsmSystemCModule`), plus the monitor/design binding checks.
+"""
+
+from .binding import (
+    BindingPlan,
+    BoundVariable,
+    assert_bindings,
+    make_extractor,
+    validate_binding,
+)
+from .class_rules import (
+    ModuleSpec,
+    SignalSpec,
+    ThreadSpec,
+    translate_class,
+    translate_model_classes,
+)
+from .csharp_gen import render_monitor_class, render_monitor_suite
+from .runtime import (
+    AsmSystemCModule,
+    FirstEnabledPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    build_runtime,
+)
+from .systemc_gen import render_module, render_sc_main, render_translation_unit
+from .type_rules import (
+    TYPE_RULES,
+    TypeRule,
+    cpp_literal,
+    cpp_type_for,
+    csharp_literal,
+    csharp_type_for,
+    rule_by_name,
+    rule_for_value,
+)
+
+__all__ = [
+    "BindingPlan",
+    "BoundVariable",
+    "assert_bindings",
+    "make_extractor",
+    "validate_binding",
+    "ModuleSpec",
+    "SignalSpec",
+    "ThreadSpec",
+    "translate_class",
+    "translate_model_classes",
+    "render_monitor_class",
+    "render_monitor_suite",
+    "AsmSystemCModule",
+    "FirstEnabledPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "build_runtime",
+    "render_module",
+    "render_sc_main",
+    "render_translation_unit",
+    "TYPE_RULES",
+    "TypeRule",
+    "cpp_literal",
+    "cpp_type_for",
+    "csharp_literal",
+    "csharp_type_for",
+    "rule_by_name",
+    "rule_for_value",
+]

@@ -1,0 +1,118 @@
+"""Monitor <-> design binding (paper Section 3.2, steps 1 and 3).
+
+"Most of the effort is spent in updating the SystemC design to get it
+connected [to] the assertion monitor.  For instance, we validate the
+assertion syntactically by generating the list of its involved
+variables.  Then, we perform a type check to make sure the variables
+are well instantiated in the SystemC design. ... This transformation
+does not affect the behavior of the code as it will only be accessed
+in a read-only mode."
+
+:func:`validate_binding` performs the variable/type check;
+:class:`BindingPlan` carries the result and builds the read-only
+letter extractor the runtime monitors sample each clock cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..psl.ast_nodes import Directive, Property
+from ..psl.errors import PslTypeError
+from .runtime import AsmSystemCModule
+
+
+@dataclass(frozen=True)
+class BoundVariable:
+    """One assertion variable resolved onto a design signal."""
+
+    name: str
+    signal_name: str
+    python_type: str
+
+
+@dataclass
+class BindingPlan:
+    """The validated read-only view a monitor gets of the design."""
+
+    property_name: str
+    variables: Tuple[BoundVariable, ...]
+    missing: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing
+
+    def describe(self) -> str:
+        lines = [f"binding for {self.property_name!r}:"]
+        lines.extend(
+            f"  {v.name} -> {v.signal_name} ({v.python_type}, read-only)"
+            for v in self.variables
+        )
+        lines.extend(f"  MISSING: {name}" for name in self.missing)
+        return "\n".join(lines)
+
+
+def validate_binding(
+    source: Property | Directive,
+    module: AsmSystemCModule,
+) -> BindingPlan:
+    """Check every assertion variable exists in the translated design."""
+    prop = source.prop if isinstance(source, Directive) else source
+    letter = module.letter()
+    bound: List[BoundVariable] = []
+    missing: List[str] = []
+    for name in sorted(prop.variables()):
+        if name in letter:
+            qualified = name if "." in name else _qualify(name, module)
+            bound.append(
+                BoundVariable(
+                    name=name,
+                    signal_name=qualified,
+                    python_type=type(letter[name]).__name__,
+                )
+            )
+        else:
+            missing.append(name)
+    return BindingPlan(
+        property_name=prop.name,
+        variables=tuple(bound),
+        missing=tuple(missing),
+    )
+
+
+def _qualify(bare: str, module: AsmSystemCModule) -> str:
+    for key in module.state_signals:
+        if key.endswith(f".{bare}"):
+            return key
+    for key in module.action_signals:
+        if key.endswith(f".{bare}"):
+            return key
+    return bare
+
+
+def assert_bindings(
+    directives: Sequence[Property | Directive],
+    module: AsmSystemCModule,
+) -> List[BindingPlan]:
+    """Validate a suite; raise on the first unresolvable variable."""
+    plans = []
+    for directive in directives:
+        plan = validate_binding(directive, module)
+        if not plan.ok:
+            raise PslTypeError(
+                f"assertion {plan.property_name!r} references design "
+                f"variables that do not exist: {list(plan.missing)}"
+            )
+        plans.append(plan)
+    return plans
+
+
+def make_extractor(module: AsmSystemCModule) -> Callable[[], Mapping[str, Any]]:
+    """The read-only letter provider monitors sample every cycle."""
+
+    def extract() -> Mapping[str, Any]:
+        return module.letter()
+
+    return extract

@@ -1,0 +1,154 @@
+"""Rules R2.1/R2.2 (C++): class translation.
+
+* R2.1 "Class Members are translated into SystemC signals having the
+  same basic type.  For e.g., ``var m_val as Integer`` is translated to
+  ``sc_signal<int> m_val``."
+* R2.2 "Class Methods in ASM contain two parts, first one defining the
+  post-/pre-conditions for its execution and the method itself.  The
+  first part is integrated in the SystemC module's constructor [as
+  SC_THREAD + sensitivity]; the method itself is integrated as it is."
+
+The translator inspects an :class:`~repro.asm.machine.AsmMachine`
+subclass and produces a :class:`ModuleSpec` intermediate form that the
+C++ generator renders and the runtime builder executes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple, Type
+
+from ..asm.machine import AsmMachine
+from .type_rules import cpp_literal, cpp_type_for
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One translated member (rule R2.1)."""
+
+    name: str
+    cpp_type: str
+    initial: Any
+
+    def declaration(self) -> str:
+        return f"sc_signal<{self.cpp_type}> {self.name};"
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """One translated method (rule R2.2)."""
+
+    name: str
+    sensitivity: Tuple[str, ...]
+    preconditions: Tuple[str, ...]
+    body_source: str
+
+    def constructor_lines(self) -> List[str]:
+        """The SC_THREAD + sensitivity lines inserted into the module
+        constructor (the paper's ``SC_THREAD(Send); sensitive << clk;``)."""
+        lines = [f"SC_THREAD({self.name});"]
+        if self.sensitivity:
+            lines.append("sensitive << " + " << ".join(self.sensitivity) + ";")
+        return lines
+
+
+@dataclass
+class ModuleSpec:
+    """A translated ASM class, ready for rendering / runtime building."""
+
+    name: str
+    signals: List[SignalSpec] = field(default_factory=list)
+    threads: List[ThreadSpec] = field(default_factory=list)
+    source_class: Type[AsmMachine] | None = None
+
+    def signal(self, name: str) -> SignalSpec:
+        for spec in self.signals:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+def _extract_preconditions(source: str) -> Tuple[str, ...]:
+    """Pull the ``require(...)`` argument texts out of an action body."""
+    found: List[str] = []
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        if not line.startswith("require(") and not line.startswith("require ("):
+            continue
+        inner = line[line.index("(") + 1:]
+        depth = 1
+        collected = []
+        for char in inner:
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            collected.append(char)
+        text = "".join(collected).strip()
+        # Drop a trailing ", message" argument.
+        if text.rfind(",") > 0:
+            head, _, tail = text.rpartition(",")
+            if tail.strip().startswith(("'", '"')):
+                text = head.strip()
+        found.append(text)
+    return tuple(found)
+
+
+def _sensitivity_from_preconditions(
+    preconditions: Tuple[str, ...], member_names: List[str]
+) -> Tuple[str, ...]:
+    """Rule R2.2: the precondition names the signals the thread is
+    sensitive to (e.g. ``require clk = true`` -> ``sensitive << clk``)."""
+    sensitive: List[str] = []
+    for text in preconditions:
+        for member in member_names:
+            if member in text and member not in sensitive:
+                sensitive.append(member)
+    return tuple(sensitive)
+
+
+def translate_class(machine_class: Type[AsmMachine]) -> ModuleSpec:
+    """Apply rules R2.1/R2.2 to one ASM machine class."""
+    spec = ModuleSpec(name=machine_class.__name__, source_class=machine_class)
+
+    member_names: List[str] = []
+    for var_name, var in machine_class.declared_state_vars().items():
+        spec.signals.append(
+            SignalSpec(
+                name=var_name,
+                cpp_type=cpp_type_for(var.default),
+                initial=var.default,
+            )
+        )
+        member_names.append(var_name)
+
+    for action_name in machine_class.declared_actions():
+        method = getattr(machine_class, action_name)
+        unwrapped = inspect.unwrap(method)
+        try:
+            source = textwrap.dedent(inspect.getsource(unwrapped))
+        except (OSError, TypeError):
+            source = f"def {action_name}(self): ...  # source unavailable"
+        preconditions = _extract_preconditions(source)
+        spec.threads.append(
+            ThreadSpec(
+                name=action_name,
+                sensitivity=_sensitivity_from_preconditions(
+                    preconditions, member_names
+                ),
+                preconditions=preconditions,
+                body_source=source,
+            )
+        )
+    return spec
+
+
+def translate_model_classes(
+    machine_classes: List[Type[AsmMachine]],
+) -> Dict[str, ModuleSpec]:
+    """Translate a set of classes (one ModuleSpec each)."""
+    return {cls.__name__: translate_class(cls) for cls in machine_classes}

@@ -1,0 +1,112 @@
+"""Rule R1 (C++): basic type mapping.
+
+"ASM basic types are all mapped to their equivalent SystemC types
+(e.g. Integer to int, Byte to unsigned char, etc.).  AsmL includes the
+same types as C++ which are used for SystemC also." (paper, 2.2.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Type
+
+from ..asm.types import Bit, BitVector, Byte
+from ..sysc.datatypes import Logic
+
+
+@dataclass(frozen=True)
+class TypeRule:
+    """One row of the R1 mapping table."""
+
+    asm_name: str
+    python_type: Optional[Type]
+    cpp_type: str
+    csharp_type: str
+    default_literal: str
+
+    def matches(self, value: Any) -> bool:
+        if self.python_type is None:
+            return False
+        if self.python_type is bool:
+            return isinstance(value, bool)
+        if self.python_type is int:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, self.python_type)
+
+
+#: The R1 table.  Order matters: bool before int (bool is an int in
+#: Python), Byte before int.
+TYPE_RULES: tuple[TypeRule, ...] = (
+    TypeRule("Boolean", bool, "bool", "bool", "false"),
+    TypeRule("Byte", Byte, "unsigned char", "byte", "0"),
+    TypeRule("Integer", int, "int", "int", "0"),
+    TypeRule("Bit", Bit, "sc_logic", "bool", "SC_LOGIC_0"),
+    TypeRule("BitVector", BitVector, "sc_bv<%d>", "ulong", "0"),
+    TypeRule("Logic", Logic, "sc_logic", "char", "SC_LOGIC_X"),
+    TypeRule("String", str, "std::string", "string", '""'),
+    TypeRule("Real", float, "double", "double", "0.0"),
+)
+
+_BY_NAME: Dict[str, TypeRule] = {rule.asm_name: rule for rule in TYPE_RULES}
+
+
+def rule_for_value(value: Any) -> TypeRule:
+    """Find the R1 row for a concrete ASM value (enums map to int)."""
+    for rule in TYPE_RULES:
+        if rule.matches(value):
+            return rule
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return _BY_NAME["Integer"]
+    # Collections and unknown objects are carried as opaque ints in the
+    # generated C++ (they do not appear in the paper's designs).
+    return _BY_NAME["Integer"]
+
+
+def rule_by_name(asm_name: str) -> TypeRule:
+    return _BY_NAME[asm_name]
+
+
+def cpp_type_for(value: Any) -> str:
+    """The C++/SystemC type of a value (rule R1)."""
+    rule = rule_for_value(value)
+    if rule.asm_name == "BitVector" and isinstance(value, BitVector):
+        return rule.cpp_type % value.width
+    return rule.cpp_type
+
+
+def cpp_literal(value: Any) -> str:
+    """Render a value as a C++ literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, BitVector):
+        return f"\"{value.to_binary_string()}\""
+    if isinstance(value, Logic):
+        return f"SC_LOGIC_{value.value}" if value.is_known() else "SC_LOGIC_X"
+    if isinstance(value, str):
+        return f"\"{value}\""
+    import enum
+
+    if isinstance(value, enum.Enum):
+        index = list(type(value)).index(value)
+        return f"{index} /* {value.name} */"
+    return repr(value)
+
+
+def csharp_type_for(value: Any) -> str:
+    return rule_for_value(value).csharp_type
+
+
+def csharp_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f"\"{value}\""
+    if isinstance(value, BitVector):
+        return f"0b{value.to_binary_string()}"
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return str(list(type(value)).index(value))
+    return repr(value)

@@ -1,0 +1,70 @@
+"""The UML level of the paper's design flow.
+
+Class diagrams and use cases capture the design; the *modified
+sequence diagram* notation (clock annotations, ``[n]`` cycle offsets,
+``A``/``E``/``U`` temporal operators, ``$`` durations, failure text)
+captures the properties.  :mod:`repro.uml.to_psl` extracts PSL
+properties from sequence diagrams; :mod:`repro.uml.to_asm` generates
+ASM model skeletons from class diagrams.
+"""
+
+from .class_diagram import (
+    Association,
+    AssociationKind,
+    Attribute,
+    ClassDiagram,
+    Operation,
+    Parameter,
+    TYPE_MAP,
+    UmlClass,
+    Visibility,
+)
+from .errors import DiagramValidationError, MappingError, UmlError
+from .sequence_diagram import (
+    Lifeline,
+    Message,
+    SequenceDiagram,
+    SequenceOp,
+    TemporalOp,
+    figure2_diagram,
+)
+from .to_asm import (
+    GeneratedMachine,
+    class_to_asm_source,
+    diagram_to_asm_source,
+    materialize,
+    materialize_class,
+)
+from .to_psl import instantiate, sequence_to_property
+from .use_case import Actor, UseCase, UseCaseDiagram
+
+__all__ = [
+    "Association",
+    "AssociationKind",
+    "Attribute",
+    "ClassDiagram",
+    "Operation",
+    "Parameter",
+    "TYPE_MAP",
+    "UmlClass",
+    "Visibility",
+    "DiagramValidationError",
+    "MappingError",
+    "UmlError",
+    "Lifeline",
+    "Message",
+    "SequenceDiagram",
+    "SequenceOp",
+    "TemporalOp",
+    "figure2_diagram",
+    "GeneratedMachine",
+    "class_to_asm_source",
+    "diagram_to_asm_source",
+    "materialize",
+    "materialize_class",
+    "instantiate",
+    "sequence_to_property",
+    "Actor",
+    "UseCase",
+    "UseCaseDiagram",
+]

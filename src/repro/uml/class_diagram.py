@@ -1,0 +1,205 @@
+"""UML class diagrams.
+
+"We model the design in the classical way a C++ design is modeled using
+UML (i.e., using use cases, class diagrams, etc.)" (paper, Section 2).
+
+The class diagram is the design-side input of the flow: classes carry
+typed attributes (future ASM state variables / SystemC signals, rules
+R2.1) and operations with preconditions (future ASM actions with
+``require``, rule R3, then SC_THREADs, rule R2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .errors import UmlError
+
+
+class Visibility(enum.Enum):
+    PUBLIC = "+"
+    PRIVATE = "-"
+    PROTECTED = "#"
+
+
+#: UML type name -> (AsmL type name, SystemC type name) -- the left
+#: column of translation rule R1.
+TYPE_MAP: Dict[str, Tuple[str, str]] = {
+    "Boolean": ("Boolean", "bool"),
+    "Integer": ("Integer", "int"),
+    "Byte": ("Byte", "unsigned char"),
+    "BitVector": ("BitVector", "sc_bv"),
+    "String": ("String", "std::string"),
+    "Real": ("Real", "double"),
+}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A class attribute: ``- m_req : Boolean = false``."""
+
+    name: str
+    type_name: str
+    initial: Any = None
+    visibility: Visibility = Visibility.PRIVATE
+    doc: str = ""
+
+    def __post_init__(self):
+        if self.type_name not in TYPE_MAP:
+            raise UmlError(
+                f"attribute {self.name!r}: unknown UML type {self.type_name!r} "
+                f"(known: {sorted(TYPE_MAP)})"
+            )
+
+    def __str__(self) -> str:
+        initial = f" = {self.initial!r}" if self.initial is not None else ""
+        return f"{self.visibility.value} {self.name} : {self.type_name}{initial}"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    name: str
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"{self.name} : {self.type_name}"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A class operation; ``preconditions`` become ASM ``require``s."""
+
+    name: str
+    parameters: Tuple[Parameter, ...] = ()
+    return_type: Optional[str] = None
+    preconditions: Tuple[str, ...] = ()
+    postconditions: Tuple[str, ...] = ()
+    visibility: Visibility = Visibility.PUBLIC
+    doc: str = ""
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.parameters)
+        returns = f" : {self.return_type}" if self.return_type else ""
+        return f"{self.visibility.value} {self.name}({params}){returns}"
+
+
+@dataclass
+class UmlClass:
+    """One class box."""
+
+    name: str
+    attributes: List[Attribute] = field(default_factory=list)
+    operations: List[Operation] = field(default_factory=list)
+    is_abstract: bool = False
+    stereotype: str = ""  # e.g. "sc_module"
+    doc: str = ""
+
+    def attribute(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(name)
+
+    def operation(self, name: str) -> Operation:
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise KeyError(name)
+
+    def add_attribute(self, attribute: Attribute) -> "UmlClass":
+        if any(a.name == attribute.name for a in self.attributes):
+            raise UmlError(f"duplicate attribute {attribute.name!r} in {self.name}")
+        self.attributes.append(attribute)
+        return self
+
+    def add_operation(self, operation: Operation) -> "UmlClass":
+        if any(o.name == operation.name for o in self.operations):
+            raise UmlError(f"duplicate operation {operation.name!r} in {self.name}")
+        self.operations.append(operation)
+        return self
+
+    def __str__(self) -> str:
+        header = f"<<{self.stereotype}>> {self.name}" if self.stereotype else self.name
+        lines = [header, "-" * len(header)]
+        lines.extend(str(a) for a in self.attributes)
+        lines.append("-" * len(header))
+        lines.extend(str(o) for o in self.operations)
+        return "\n".join(lines)
+
+
+class AssociationKind(enum.Enum):
+    ASSOCIATION = "association"
+    AGGREGATION = "aggregation"
+    COMPOSITION = "composition"
+    GENERALIZATION = "generalization"
+
+
+@dataclass(frozen=True)
+class Association:
+    """A relationship edge between two classes."""
+
+    source: str
+    target: str
+    kind: AssociationKind = AssociationKind.ASSOCIATION
+    source_multiplicity: str = "1"
+    target_multiplicity: str = "1"
+    label: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source} [{self.source_multiplicity}] "
+            f"--{self.kind.value}--> [{self.target_multiplicity}] {self.target}"
+        )
+
+
+class ClassDiagram:
+    """A named set of classes plus their relationships."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.classes: Dict[str, UmlClass] = {}
+        self.associations: List[Association] = []
+
+    def add_class(self, cls: UmlClass) -> UmlClass:
+        if cls.name in self.classes:
+            raise UmlError(f"duplicate class {cls.name!r}")
+        self.classes[cls.name] = cls
+        return cls
+
+    def new_class(self, name: str, stereotype: str = "") -> UmlClass:
+        return self.add_class(UmlClass(name, stereotype=stereotype))
+
+    def add_association(self, association: Association) -> Association:
+        for endpoint in (association.source, association.target):
+            if endpoint not in self.classes:
+                raise UmlError(f"association references unknown class {endpoint!r}")
+        self.associations.append(association)
+        return self.associations[-1]
+
+    def class_(self, name: str) -> UmlClass:
+        return self.classes[name]
+
+    def specializations_of(self, name: str) -> List[UmlClass]:
+        return [
+            self.classes[a.source]
+            for a in self.associations
+            if a.kind is AssociationKind.GENERALIZATION and a.target == name
+        ]
+
+    def validate(self) -> List[str]:
+        findings = []
+        for cls in self.classes.values():
+            if not cls.attributes and not cls.operations:
+                findings.append(f"class {cls.name} is empty")
+        return findings
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __str__(self) -> str:
+        blocks = [f"class diagram {self.name}"]
+        blocks.extend(str(c) for c in self.classes.values())
+        blocks.extend(str(a) for a in self.associations)
+        return "\n\n".join(blocks)

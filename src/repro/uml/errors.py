@@ -1,0 +1,21 @@
+"""Exceptions raised by the UML layer."""
+
+from __future__ import annotations
+
+
+class UmlError(Exception):
+    """Base class for UML-layer errors."""
+
+
+class DiagramValidationError(UmlError):
+    """A diagram fails its consistency checks."""
+
+    def __init__(self, findings):
+        self.findings = list(findings)
+        super().__init__(
+            "; ".join(str(f) for f in self.findings) or "invalid diagram"
+        )
+
+
+class MappingError(UmlError):
+    """A diagram cannot be mapped to PSL / ASM (missing information)."""

@@ -1,0 +1,246 @@
+"""The paper's *modified* sequence diagram notation.
+
+Section 2.1.1 extends UML sequence diagrams so that transaction-level
+properties can be captured precisely enough to generate PSL:
+
+* **Clocks** -- "we use the operator to specify the clock that activates
+  the current action",
+* **Number of cycles** -- ``Mtd[5]()``: when the method starts relative
+  to the previous action,
+* **Temporal operators** -- ``A`` (always), ``E`` (eventually), ``U``
+  (until a condition holds), mapping to PSL's second layer,
+* **Sequence operations** -- ordering hints such as ``next``/``prev``,
+* **Text output** -- "a message that is displayed in case the method
+  fails ... to track the progress of the assertion based verification",
+* **Method duration** -- the ``$`` operator: "certain methods are
+  supposed to execute for a certain number of cycles (e.g., reading
+  for memory may take 4 cycles)".
+
+Messages are observed through boolean expressions over design signals
+(``observe``); by default a message ``target.method()`` is observed as
+the signal ``<target>.<method>`` being true -- matching how the ASM
+translation exposes one boolean per action execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from .errors import DiagramValidationError, UmlError
+
+
+class TemporalOp(enum.Enum):
+    """The paper's temporal annotations on a message."""
+
+    NONE = "none"
+    ALWAYS = "A"
+    EVENTUALLY = "E"
+    UNTIL = "U"
+
+
+class SequenceOp(enum.Enum):
+    """The paper's sequencing hints between consecutive messages."""
+
+    NEXT = "next"
+    PREV = "prev"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Lifeline:
+    """A participant: an instance (or class role) drawn at the top."""
+
+    name: str
+    class_name: str = ""
+    doc: str = ""
+
+    def __str__(self) -> str:
+        if self.class_name:
+            return f"{self.name}:{self.class_name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Message:
+    """One arrow of the diagram, with the paper's annotations.
+
+    ``start_offset`` is the ``[n]`` cycle annotation: the method starts
+    ``n`` cycles after the previous message (0 = same cycle, fusion);
+    ``duration`` is the ``$n`` annotation (the method executes for n
+    consecutive cycles).
+    """
+
+    source: str
+    target: str
+    method: str
+    arguments: Tuple[str, ...] = ()
+    clock: Optional[str] = None
+    start_offset: int = 1
+    duration: int = 1
+    temporal: TemporalOp = TemporalOp.NONE
+    until_condition: Optional[str] = None
+    sequence_op: SequenceOp = SequenceOp.NONE
+    text_output: str = ""
+    #: boolean observation expression; defaults to "<target>.<method>"
+    observe: Optional[str] = None
+
+    @property
+    def observation(self) -> str:
+        return self.observe if self.observe is not None else f"{self.target}.{self.method}"
+
+    def label(self) -> str:
+        pieces = [f"{self.source} -> {self.target}: {self.method}"]
+        if self.start_offset != 1:
+            pieces.append(f"[{self.start_offset}]")
+        pieces.append(f"({', '.join(self.arguments)})")
+        if self.duration != 1:
+            pieces.append(f" ${self.duration}")
+        if self.temporal is not TemporalOp.NONE:
+            suffix = f" {self.temporal.value}"
+            if self.temporal is TemporalOp.UNTIL and self.until_condition:
+                suffix += f"({self.until_condition})"
+            pieces.append(suffix)
+        if self.clock:
+            pieces.append(f" @{self.clock}")
+        return "".join(pieces)
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+class SequenceDiagram:
+    """An ordered list of annotated messages between lifelines."""
+
+    def __init__(self, name: str, clock: Optional[str] = None):
+        self.name = name
+        #: diagram-level default clock (messages may override)
+        self.clock = clock
+        self.lifelines: Dict[str, Lifeline] = {}
+        self.messages: List[Message] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_lifeline(self, name: str, class_name: str = "", doc: str = "") -> Lifeline:
+        if name in self.lifelines:
+            raise UmlError(f"duplicate lifeline {name!r}")
+        lifeline = Lifeline(name, class_name, doc)
+        self.lifelines[name] = lifeline
+        return lifeline
+
+    def add_message(self, message: Message) -> Message:
+        self.messages.append(message)
+        return message
+
+    def message(
+        self,
+        source: str,
+        target: str,
+        method: str,
+        **annotations,
+    ) -> Message:
+        """Fluent helper: ``d.message("bus", "arbiter", "notify", start_offset=1)``."""
+        return self.add_message(Message(source, target, method, **annotations))
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Return findings; empty means the diagram is well-formed."""
+        findings: List[str] = []
+        if not self.messages:
+            findings.append("diagram has no messages")
+        for position, message in enumerate(self.messages):
+            where = f"message #{position} ({message.method})"
+            for endpoint in (message.source, message.target):
+                if endpoint not in self.lifelines:
+                    findings.append(f"{where}: unknown lifeline {endpoint!r}")
+            if message.start_offset < 0:
+                findings.append(f"{where}: negative start offset")
+            if message.duration < 1:
+                findings.append(f"{where}: duration must be >= 1 cycle")
+            if message.temporal is TemporalOp.UNTIL and not message.until_condition:
+                findings.append(f"{where}: U operator needs a condition")
+            if (
+                message.temporal is not TemporalOp.UNTIL
+                and message.until_condition is not None
+            ):
+                findings.append(f"{where}: condition given without U operator")
+            if position == 0 and message.temporal is TemporalOp.EVENTUALLY:
+                findings.append(
+                    f"{where}: the triggering message cannot be 'eventually'"
+                )
+        if self.messages and self.messages[0].start_offset not in (0, 1):
+            findings.append("the triggering message cannot carry a start offset")
+        return findings
+
+    def check(self) -> "SequenceDiagram":
+        findings = self.validate()
+        if findings:
+            raise DiagramValidationError(findings)
+        return self
+
+    # -- updates (the Figure 1 loop: "Updates Sequence Diagram") ----------------------
+
+    def replace_message(self, index: int, **changes) -> Message:
+        """Functional update used when a property fails model checking
+        and the diagram is refined (the feedback arrow of Figure 1)."""
+        self.messages[index] = replace(self.messages[index], **changes)
+        return self.messages[index]
+
+    def signals(self) -> List[str]:
+        """All observation expressions, in order (for binding checks)."""
+        return [m.observation for m in self.messages]
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __str__(self) -> str:
+        lines = [f"sequence diagram {self.name}" + (f" @ {self.clock}" if self.clock else "")]
+        lines.extend(f"  participant {l}" for l in self.lifelines.values())
+        lines.extend(f"  {m}" for m in self.messages)
+        return "\n".join(lines)
+
+
+def figure2_diagram() -> SequenceDiagram:
+    """The paper's Figure 2, reconstructed.
+
+    "if a bus sends a new request, then in the next cycle the arbiter
+    will be notified and will make the arbitration.  In the third
+    cycle, the Master starts sending.  The bus is released in the 4
+    cycle and a notification will be sent, eventually, by the slave to
+    the bus who will forward it in the next cycle to the Master."
+    """
+    diagram = SequenceDiagram("figure2_bus_request", clock="clk")
+    for name, cls in (
+        ("master", "Master"),
+        ("bus", "Bus"),
+        ("arbiter", "Arbiter"),
+        ("slave", "Slave"),
+    ):
+        diagram.add_lifeline(name, cls)
+    diagram.message("master", "bus", "new_request")
+    diagram.message(
+        "bus", "arbiter", "notify", start_offset=1, sequence_op=SequenceOp.NEXT
+    )
+    diagram.message("arbiter", "arbiter", "arbitrate", start_offset=0)
+    diagram.message("master", "bus", "send", start_offset=1)
+    diagram.message(
+        "bus",
+        "bus",
+        "release",
+        start_offset=1,
+        text_output="bus must be released in the fourth cycle",
+    )
+    diagram.message(
+        "slave", "bus", "notify_done", temporal=TemporalOp.EVENTUALLY
+    )
+    diagram.message(
+        "bus",
+        "master",
+        "forward_notification",
+        start_offset=1,
+        sequence_op=SequenceOp.NEXT,
+        text_output="notification must be forwarded to the master",
+    )
+    return diagram.check()

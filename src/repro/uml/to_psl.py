@@ -1,0 +1,217 @@
+"""Sequence diagram -> PSL property extraction.
+
+"These [properties] are extracted from the UML sequence diagram and
+encoded in the PSL syntax" (paper, Section 2).  The mapping:
+
+* the **first message** is the trigger; its observation (repeated for
+  its ``$`` duration) forms the antecedent SERE,
+* every following message contributes to the consequent SERE:
+
+  - ``start_offset == 0``  -> fused with the previous step (same cycle),
+  - ``start_offset == k``  -> ``true[*k-1]`` padding then the step
+    (concatenation itself advances one cycle),
+  - ``duration == d``      -> the observation repeats ``d`` cycles,
+  - ``E`` (eventually)     -> goto repetition ``obs[->1]`` (skip until
+    it happens),
+  - ``U cond``             -> ``{obs[*] ; cond}`` (observation holds
+    until the condition's cycle),
+  - ``A`` (always)         -> a separate conjunct
+    ``always (trigger -> obs)`` (an invariant, not a chain step),
+
+* the property is ``always {antecedent} |=> {consequent}``, the
+  diagram's text outputs join into the PSL ``report`` string, and a
+  diagram clock becomes an ``@ rose(clock)`` wrapper when requested.
+
+Because UML "considers only classes" while "PSL was defined for real
+instances" (Section 2.1.1), :func:`instantiate` rewrites class-level
+observations onto concrete instance names -- the paper's "when mapping
+to ASM the UML sequence diagram needs to be instantiated according to
+the design objects".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..psl.ast_nodes import (
+    Const,
+    FlAlways,
+    FlAnd,
+    FlClocked,
+    FlSere,
+    FlSuffixImpl,
+    Formula,
+    Func,
+    Property,
+    Sere,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereGoto,
+    SereRepeat,
+    Var,
+)
+from ..psl.parser import parse_bool
+from .errors import MappingError
+from .sequence_diagram import Message, SequenceDiagram, TemporalOp
+
+_TRUE_STEP = SereBool(Const(True))
+
+
+def _observation(message: Message):
+    """Parse the message's observation expression (identifier-friendly)."""
+    text = message.observation
+    try:
+        return parse_bool(text)
+    except Exception as error:  # pragma: no cover - defensive
+        raise MappingError(
+            f"cannot parse observation {text!r} of message {message.method!r}: {error}"
+        ) from error
+
+
+def _step_sere(message: Message) -> Sere:
+    """The SERE fragment observing one message (duration included)."""
+    observation = _observation(message)
+    if message.temporal is TemporalOp.EVENTUALLY:
+        step: Sere = SereGoto(observation, 1)
+        if message.duration > 1:
+            step = SereFusion(
+                step, SereRepeat(SereBool(observation), message.duration, message.duration)
+            )
+        return step
+    if message.temporal is TemporalOp.UNTIL:
+        condition = parse_bool(message.until_condition or "true")
+        return SereConcat(
+            (
+                SereRepeat(SereBool(observation), 0, None),
+                SereBool(condition),
+            )
+        )
+    if message.duration > 1:
+        return SereRepeat(SereBool(observation), message.duration, message.duration)
+    return SereBool(observation)
+
+
+def sequence_to_property(
+    diagram: SequenceDiagram,
+    name: Optional[str] = None,
+    apply_clock: bool = False,
+) -> Property:
+    """Compile a validated diagram into one PSL :class:`Property`."""
+    findings = diagram.validate()
+    if findings:
+        raise MappingError("; ".join(findings))
+
+    messages = list(diagram.messages)
+    trigger, rest = messages[0], messages[1:]
+    if trigger.temporal is TemporalOp.UNTIL:
+        raise MappingError("the triggering message cannot carry U")
+
+    antecedent = _step_sere(trigger)
+
+    invariants: List[Message] = [
+        m for m in rest if m.temporal is TemporalOp.ALWAYS
+    ]
+    chain = [m for m in rest if m.temporal is not TemporalOp.ALWAYS]
+
+    consequent = _build_chain(chain)
+    formula: Formula
+    if consequent is not None:
+        formula = FlAlways(
+            FlSuffixImpl(antecedent, FlSere(consequent), overlapping=False)
+        )
+    else:
+        # A trigger-only diagram degenerates to coverage of the trigger.
+        formula = FlAlways(FlSere(antecedent))
+
+    for message in invariants:
+        invariant = FlAlways(
+            FlSuffixImpl(
+                antecedent, FlSere(SereBool(_observation(message))), overlapping=False
+            )
+        )
+        formula = FlAnd(formula, invariant)
+
+    if apply_clock and diagram.clock:
+        formula = FlClocked(formula, Func("rose", (Var(diagram.clock),)))
+
+    report = "; ".join(m.text_output for m in messages if m.text_output)
+    return Property(
+        name or diagram.name,
+        formula,
+        report=report,
+    )
+
+
+def _build_chain(chain: List[Message]) -> Optional[Sere]:
+    if not chain:
+        return None
+    result: Optional[Sere] = None
+    for message in chain:
+        step = _step_sere(message)
+        if result is None:
+            # The |=> operator already advances one cycle; extra offset
+            # beyond 1 becomes padding before the first step.
+            padding = message.start_offset - 1
+            if padding > 0:
+                result = SereConcat(
+                    (SereRepeat(_TRUE_STEP, padding, padding), step)
+                )
+            elif message.start_offset == 0:
+                raise MappingError(
+                    "the first consequent message cannot be fused with the "
+                    "trigger under |=>; give it start_offset >= 1"
+                )
+            else:
+                result = step
+            continue
+        if message.start_offset == 0:
+            result = SereFusion(result, step)
+        else:
+            padding = message.start_offset - 1
+            parts: Tuple[Sere, ...]
+            if padding > 0:
+                parts = (result, SereRepeat(_TRUE_STEP, padding, padding), step)
+            else:
+                parts = (result, step)
+            result = SereConcat(parts)
+    return result
+
+
+def instantiate(
+    diagram: SequenceDiagram, binding: Dict[str, str], name: Optional[str] = None
+) -> SequenceDiagram:
+    """Rewrite lifeline (class-role) names onto concrete instance names.
+
+    ``binding`` maps lifeline name -> instance name, e.g. ``{"master":
+    "master0"}`` ("we need to specify that the notification must be to
+    the original master and not to all the masters").
+    """
+    renamed = SequenceDiagram(
+        name or f"{diagram.name}@{'_'.join(binding.values())}", clock=diagram.clock
+    )
+    for lifeline in diagram.lifelines.values():
+        renamed.add_lifeline(
+            binding.get(lifeline.name, lifeline.name), lifeline.class_name
+        )
+    for message in diagram.messages:
+        observation = message.observation
+        for role, instance in binding.items():
+            observation = observation.replace(f"{role}.", f"{instance}.")
+        renamed.add_message(
+            Message(
+                source=binding.get(message.source, message.source),
+                target=binding.get(message.target, message.target),
+                method=message.method,
+                arguments=message.arguments,
+                clock=message.clock,
+                start_offset=message.start_offset,
+                duration=message.duration,
+                temporal=message.temporal,
+                until_condition=message.until_condition,
+                sequence_op=message.sequence_op,
+                text_output=message.text_output,
+                observe=observation,
+            )
+        )
+    return renamed

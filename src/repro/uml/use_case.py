@@ -1,0 +1,73 @@
+"""Use case diagrams (the lightweight top of the UML level)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .errors import UmlError
+
+
+@dataclass(frozen=True)
+class Actor:
+    """An external actor (e.g. a test bench, a host CPU)."""
+
+    name: str
+    doc: str = ""
+
+
+@dataclass
+class UseCase:
+    """One use case bubble with its participating actors."""
+
+    name: str
+    actors: List[str] = field(default_factory=list)
+    includes: List[str] = field(default_factory=list)
+    extends: List[str] = field(default_factory=list)
+    doc: str = ""
+
+
+class UseCaseDiagram:
+    """Actors, use cases and their relationships."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.actors: Dict[str, Actor] = {}
+        self.use_cases: Dict[str, UseCase] = {}
+
+    def add_actor(self, actor: Actor) -> Actor:
+        if actor.name in self.actors:
+            raise UmlError(f"duplicate actor {actor.name!r}")
+        self.actors[actor.name] = actor
+        return actor
+
+    def add_use_case(self, use_case: UseCase) -> UseCase:
+        if use_case.name in self.use_cases:
+            raise UmlError(f"duplicate use case {use_case.name!r}")
+        for actor in use_case.actors:
+            if actor not in self.actors:
+                raise UmlError(
+                    f"use case {use_case.name!r} references unknown actor {actor!r}"
+                )
+        self.use_cases[use_case.name] = use_case
+        return use_case
+
+    def validate(self) -> List[str]:
+        findings = []
+        known = set(self.use_cases)
+        for use_case in self.use_cases.values():
+            for ref in list(use_case.includes) + list(use_case.extends):
+                if ref not in known:
+                    findings.append(
+                        f"use case {use_case.name!r} references unknown {ref!r}"
+                    )
+            if not use_case.actors:
+                findings.append(f"use case {use_case.name!r} has no actors")
+        return findings
+
+    def __str__(self) -> str:
+        lines = [f"use case diagram {self.name}"]
+        lines.extend(f"actor {a}" for a in self.actors)
+        for use_case in self.use_cases.values():
+            lines.append(f"({use_case.name}) <- {', '.join(use_case.actors)}")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Shared fixtures and toy models for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import (
+    AsmMachine,
+    AsmModel,
+    Domain,
+    StateVar,
+    action,
+    choose_min,
+    require,
+)
+
+
+class Counter(AsmMachine):
+    """A bounded counter: the simplest explorable machine."""
+
+    value = StateVar(0)
+    limit = StateVar(3, state_variable=False)
+
+    @action
+    def tick(self):
+        require(self.value < self.limit, "at limit")
+        self.value = self.value + 1
+
+    @action
+    def reset(self):
+        require(self.value > 0, "already zero")
+        self.value = 0
+
+
+class ToyMaster(AsmMachine):
+    """Request/grant participant used by arbiter tests."""
+
+    m_req = StateVar(False)
+    m_gnt = StateVar(False)
+
+    @action
+    def request(self):
+        require(not self.m_req and not self.m_gnt)
+        self.m_req = True
+
+    @action
+    def done(self):
+        require(self.m_gnt)
+        self.m_gnt = False
+
+
+class ToyArbiter(AsmMachine):
+    """Grants the lowest requesting master; correct by construction."""
+
+    m_owner = StateVar(-1)
+
+    @action
+    def grant(self):
+        require(self.m_owner == -1)
+        masters = self.model.machines_of(ToyMaster)
+        ids = [i for i, m in enumerate(masters) if m.m_req]
+        require(ids, "no requests")
+        winner = choose_min(ids)
+        masters[winner].m_req = False
+        masters[winner].m_gnt = True
+        self.m_owner = winner
+
+    @action
+    def reclaim(self):
+        masters = self.model.machines_of(ToyMaster)
+        require(self.m_owner != -1 and not masters[self.m_owner].m_gnt)
+        self.m_owner = -1
+
+
+class BrokenArbiter(ToyArbiter):
+    """Grants without mutual exclusion: used to provoke violations."""
+
+    @action
+    def grant(self):  # noqa: D102 -- deliberately buggy override
+        require(True)
+        masters = self.model.machines_of(ToyMaster)
+        ids = [i for i, m in enumerate(masters) if m.m_req]
+        require(ids, "no requests")
+        winner = choose_min(ids)
+        masters[winner].m_req = False
+        masters[winner].m_gnt = True
+
+
+@pytest.fixture
+def counter_model() -> AsmModel:
+    model = AsmModel("counter_model")
+    Counter(model=model, name="counter")
+    model.seal()
+    return model
+
+
+@pytest.fixture
+def arbiter_model() -> AsmModel:
+    model = AsmModel("arbiter_model")
+    ToyMaster(model=model, name="m0")
+    ToyMaster(model=model, name="m1")
+    ToyArbiter(model=model, name="arbiter")
+    model.seal()
+    return model
+
+
+@pytest.fixture
+def broken_arbiter_model() -> AsmModel:
+    model = AsmModel("broken_model")
+    ToyMaster(model=model, name="m0")
+    ToyMaster(model=model, name="m1")
+    BrokenArbiter(model=model, name="arbiter")
+    model.seal()
+    return model
+
+
+def letters(*rows: dict) -> list[dict]:
+    """Terse trace builder: ``letters({"a": 1}, {"a": 0})``."""
+    return list(rows)

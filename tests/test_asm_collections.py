@@ -1,0 +1,125 @@
+"""Unit tests for the immutable AsmL collections."""
+
+import pytest
+
+from repro.asm import AsmSet, Map, NoChoiceError, Seq, freeze
+
+
+class TestSeq:
+    def test_construction_and_equality(self):
+        assert Seq([1, 2, 3]) == (1, 2, 3)
+        assert Seq() == ()
+
+    def test_add_is_functional(self):
+        base = Seq([1])
+        extended = base.add(2)
+        assert base == (1,)
+        assert extended == (1, 2)
+
+    def test_prepend_concat(self):
+        assert Seq([2]).prepend(1) == (1, 2)
+        assert Seq([1]).concat([2, 3]) == (1, 2, 3)
+
+    def test_replace_remove(self):
+        assert Seq([1, 2, 3]).replace_at(1, 9) == (1, 9, 3)
+        assert Seq([1, 2, 3]).remove_at(0) == (2, 3)
+        assert Seq([1, 2, 1]).remove_value(1) == (2, 1)
+        assert Seq([1]).remove_value(9) == (1,)
+
+    def test_head_tail_last(self):
+        items = Seq([1, 2, 3])
+        assert items.head() == 1
+        assert items.tail() == (2, 3)
+        assert items.last() == 3
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(NoChoiceError):
+            Seq().head()
+        with pytest.raises(NoChoiceError):
+            Seq().tail()
+
+    def test_take_drop(self):
+        assert Seq([1, 2, 3]).take(2) == (1, 2)
+        assert Seq([1, 2, 3]).drop(2) == (3,)
+
+    def test_indexof(self):
+        assert Seq(["a", "b"]).indexof("b") == 1
+        assert Seq(["a"]).indexof("z") == -1
+
+    def test_where_select(self):
+        assert Seq([1, 2, 3, 4]).where(lambda x: x % 2 == 0) == (2, 4)
+        assert Seq([1, 2]).select(lambda x: x * 10) == (10, 20)
+
+    def test_slice_returns_seq(self):
+        sliced = Seq([1, 2, 3])[0:2]
+        assert isinstance(sliced, Seq)
+
+    def test_add_operator(self):
+        assert isinstance(Seq([1]) + [2], Seq)
+
+    def test_hashable(self):
+        assert len({Seq([1]), Seq([1]), Seq([2])}) == 2
+
+
+class TestAsmSet:
+    def test_functional_updates(self):
+        base = AsmSet({1, 2})
+        assert base.add_element(3) == AsmSet({1, 2, 3})
+        assert base.remove_element(1) == AsmSet({2})
+        assert base == AsmSet({1, 2})
+
+    def test_where_select(self):
+        assert AsmSet({1, 2, 3}).where(lambda x: x > 1) == AsmSet({2, 3})
+        assert AsmSet({1, 2}).select(lambda x: x * 2) == AsmSet({2, 4})
+
+    def test_is_frozenset(self):
+        assert isinstance(AsmSet({1}), frozenset)
+
+
+class TestMap:
+    def test_lookup(self):
+        mapping = Map({1: "a", 2: "b"})
+        assert mapping[1] == "a"
+        assert len(mapping) == 2
+        assert set(mapping) == {1, 2}
+
+    def test_set_is_functional(self):
+        base = Map({1: "a"})
+        updated = base.set(2, "b")
+        assert 2 not in base
+        assert updated[2] == "b"
+
+    def test_remove_merge(self):
+        base = Map({1: "a", 2: "b"})
+        assert 1 not in base.remove(1)
+        assert base.merge({3: "c"})[3] == "c"
+        assert base.remove(99) == base
+
+    def test_equality_is_structural(self):
+        assert Map({1: "a", 2: "b"}) == Map({2: "b", 1: "a"})
+        assert Map({1: "a"}) == {1: "a"}
+
+    def test_hash_stable_across_insertion_order(self):
+        assert hash(Map({1: "a", 2: "b"})) == hash(Map({2: "b", 1: "a"}))
+
+
+class TestFreeze:
+    def test_freezes_nested_containers(self):
+        frozen = freeze({"k": [1, {2, 3}, {"n": [4]}]})
+        assert isinstance(frozen, Map)
+        inner = frozen["k"]
+        assert isinstance(inner, Seq)
+        assert isinstance(inner[1], AsmSet)
+        assert isinstance(inner[2], Map)
+        assert isinstance(inner[2]["n"], Seq)
+
+    def test_freeze_is_idempotent(self):
+        once = freeze([1, 2])
+        assert freeze(once) is once
+
+    def test_scalars_pass_through(self):
+        assert freeze(5) == 5
+        assert freeze("text") == "text"
+
+    def test_frozen_values_hashable(self):
+        hash(freeze({"a": [1, 2], "b": {3}}))

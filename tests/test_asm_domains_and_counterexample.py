@@ -1,0 +1,119 @@
+"""Tests for finite domains (rule R4) and counterexample objects."""
+
+import pytest
+
+from repro.asm import ActionCall, Domain, DomainError, cartesian_product
+from repro.asm.state import Location, StateKey
+from repro.explorer import Counterexample, CounterexampleStep, ExplorationConfig, explore
+
+
+class TestDomain:
+    def test_of_and_membership(self):
+        domain = Domain.of("cmd", "READ", "WRITE")
+        assert domain.is_static
+        assert domain.contains("READ")
+        assert not domain.contains("ERASE")
+        assert domain.size() == 2
+
+    def test_int_range(self):
+        domain = Domain.int_range("idx", 0, 3)
+        assert list(domain.values()) == [0, 1, 2, 3]
+
+    def test_boolean(self):
+        assert tuple(Domain.boolean().values()) == (False, True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.of("none")
+        with pytest.raises(DomainError):
+            Domain.int_range("bad", 5, 2)
+
+    def test_needs_exactly_one_source(self):
+        with pytest.raises(DomainError):
+            Domain("both", values=[1], provider=lambda m: [1])
+        with pytest.raises(DomainError):
+            Domain("neither")
+
+    def test_dynamic_domain_uses_model(self):
+        domain = Domain.dynamic("owners", lambda model: range(model["n"]))
+        assert list(domain.values({"n": 2})) == [0, 1]
+        assert not domain.is_static
+
+    def test_restrict_static(self):
+        domain = Domain.int_range("idx", 0, 5).restrict(lambda v: v % 2 == 0)
+        assert list(domain.values()) == [0, 2, 4]
+
+    def test_restrict_to_empty_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.int_range("idx", 1, 3).restrict(lambda v: v > 10)
+
+    def test_restrict_dynamic(self):
+        domain = Domain.dynamic("d", lambda m: range(4)).restrict(
+            lambda v: v < 2
+        )
+        assert list(domain.values(None)) == [0, 1]
+
+    def test_cartesian_product(self):
+        product = cartesian_product(
+            [Domain.int_range("a", 0, 1), Domain.of("b", "x", "y")]
+        )
+        assert product == [(0, "x"), (0, "y"), (1, "x"), (1, "y")]
+
+    def test_cartesian_product_empty_domain_list(self):
+        assert cartesian_product([]) == [()]
+
+    def test_repr_preview(self):
+        text = repr(Domain.int_range("big", 0, 100))
+        assert "..." in text
+
+
+class TestCounterexampleObject:
+    def make(self) -> Counterexample:
+        key0 = StateKey([(Location("m", "x"), 0)])
+        key1 = StateKey([(Location("m", "x"), 1)])
+        key2 = StateKey([(Location("m", "x"), 2)])
+        return Counterexample(
+            property_name="p",
+            steps=(
+                CounterexampleStep(None, key0),
+                CounterexampleStep(ActionCall("m", "step", (1,)), key1),
+                CounterexampleStep(ActionCall("m", "step", (2,)), key2),
+            ),
+        )
+
+    def test_length_counts_transitions(self):
+        assert self.make().length == 2
+
+    def test_calls_skip_initial(self):
+        calls = self.make().calls()
+        assert [c.args for c in calls] == [(1,), (2,)]
+
+    def test_final_state(self):
+        assert self.make().final_state().value("m", "x") == 2
+
+    def test_describe_mentions_property_and_steps(self):
+        text = self.make().describe()
+        assert "property 'p'" in text
+        assert "m.step(1)" in text
+        assert "(initial)" in text
+
+    def test_replay_on_real_model(self, broken_arbiter_model):
+        from test_explorer_engine import MutexProperty
+
+        result = explore(
+            broken_arbiter_model,
+            ExplorationConfig(properties=[MutexProperty()]),
+        )
+        cex = result.counterexample
+        assert cex is not None
+        # replay resets first, so replaying twice is idempotent
+        cex.replay(broken_arbiter_model)
+        first = broken_arbiter_model.full_state()
+        cex.replay(broken_arbiter_model)
+        assert broken_arbiter_model.full_state() == first
+
+    def test_empty_counterexample_length(self):
+        key0 = StateKey([(Location("m", "x"), 0)])
+        cex = Counterexample("p", (CounterexampleStep(None, key0),))
+        assert cex.length == 0
+        assert cex.calls() == []

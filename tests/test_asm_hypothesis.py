@@ -1,0 +1,211 @@
+"""Property-based tests for the ASM substrate."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.asm import (
+    ActionCall,
+    AsmMachine,
+    AsmModel,
+    AsmSet,
+    InconsistentUpdateError,
+    Map,
+    Seq,
+    StateVar,
+    action,
+    freeze,
+    require,
+)
+from repro.asm.state import FullState, Location, StateKey
+from repro.asm.updates import PARALLEL, SEQUENTIAL, StepMode, UpdateSet
+
+scalars = st.one_of(
+    st.booleans(), st.integers(-100, 100), st.text(max_size=5)
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.integers(0, 5), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(values)
+def test_freeze_is_idempotent_and_hashable(value):
+    frozen = freeze(value)
+    assert freeze(frozen) == frozen
+    hash(frozen)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(scalars, max_size=6))
+def test_seq_roundtrip_and_immutability(items):
+    sequence = Seq(items)
+    extended = sequence.add("sentinel")
+    assert list(sequence) == items
+    assert extended[-1] == "sentinel"
+    assert len(extended) == len(items) + 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.dictionaries(st.integers(0, 10), scalars, max_size=6))
+def test_map_set_remove_laws(data):
+    mapping = Map(data)
+    grown = mapping.set("k", 1)
+    assert grown["k"] == 1
+    assert "k" not in mapping
+    assert grown.remove("k") == mapping
+    assert hash(Map(dict(data))) == hash(mapping)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_update_set_parallel_consistency(assignments):
+    """A parallel update set raises iff some location receives two
+    different values; otherwise the last recording sticks."""
+    updates = UpdateSet(StepMode.PARALLEL)
+    expected: dict = {}
+    conflict = False
+    for name, value in assignments:
+        if name in expected and expected[name] != value:
+            conflict = True
+            break
+        expected[name] = value
+    try:
+        for name, value in assignments:
+            updates.record(Location("m", name), value)
+    except InconsistentUpdateError:
+        assert conflict
+    else:
+        assert not conflict
+        assert {loc.variable: v for loc, v in updates.items()} == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 3)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_update_set_sequential_last_write_wins(assignments):
+    updates = UpdateSet(StepMode.SEQUENTIAL)
+    for name, value in assignments:
+        updates.record(Location("m", name), value)
+    final: dict = {}
+    for name, value in assignments:
+        final[name] = value
+    assert {loc.variable: v for loc, v in updates.items()} == final
+
+
+class Walker(AsmMachine):
+    """A machine whose actions form a random-walkable state space."""
+
+    position = StateVar(0)
+    fuel = StateVar(4)
+
+    @action
+    def forward(self):
+        require(self.fuel > 0 and self.position < 3)
+        self.position = self.position + 1
+        self.fuel = self.fuel - 1
+
+    @action
+    def back(self):
+        require(self.fuel > 0 and self.position > 0)
+        self.position = self.position - 1
+        self.fuel = self.fuel - 1
+
+    @action
+    def refuel(self):
+        require(self.fuel == 0)
+        self.fuel = 4
+
+
+def _walker_model() -> AsmModel:
+    model = AsmModel("walk")
+    Walker(model=model, name="w")
+    model.seal()
+    return model
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["forward", "back", "refuel"]), max_size=12))
+def test_snapshot_restore_is_exact_after_any_run(script):
+    """full_state/restore round-trips through arbitrary action runs."""
+    model = _walker_model()
+    initial = model.full_state()
+    for name in script:
+        model.try_execute(ActionCall("w", name))
+    middle = model.full_state()
+    for name in reversed(script):
+        model.try_execute(ActionCall("w", name))
+    model.restore(middle)
+    assert model.full_state() == middle
+    model.restore(initial)
+    assert model.full_state() == initial
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["forward", "back", "refuel"]), max_size=12))
+def test_failed_actions_never_mutate_state(script):
+    model = _walker_model()
+    for name in script:
+        before = model.full_state()
+        ok, _ = model.try_execute(ActionCall("w", name))
+        if not ok:
+            assert model.full_state() == before
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["forward", "back", "refuel"]), max_size=10))
+def test_state_key_is_function_of_full_state(script):
+    """Equal full states always project to equal keys."""
+    model_a = _walker_model()
+    model_b = _walker_model()
+    for name in script:
+        model_a.try_execute(ActionCall("w", name))
+        model_b.try_execute(ActionCall("w", name))
+    assert model_a.full_state() == model_b.full_state()
+    assert model_a.state_key() == model_b.state_key()
+    assert hash(model_a.state_key()) == hash(model_b.state_key())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["x", "y", "z"]), st.integers(0, 4)),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda kv: kv[0],
+    )
+)
+def test_full_state_ordering_is_canonical(pairs):
+    """FullState equality/hash are insertion-order independent."""
+    forward = FullState([(Location("m", k), v) for k, v in pairs])
+    backward = FullState([(Location("m", k), v) for k, v in reversed(pairs)])
+    assert forward == backward
+    assert hash(forward) == hash(backward)
+    assert forward.locations() == backward.locations()
+
+
+def test_exploration_deterministic():
+    """Two explorations of the same sealed model agree exactly."""
+    from repro.explorer import explore
+
+    first = explore(_walker_model())
+    second = explore(_walker_model())
+    assert first.fsm.state_count() == second.fsm.state_count()
+    assert first.fsm.transition_count() == second.fsm.transition_count()
+    assert {s.key for s in first.fsm.states} == {s.key for s in second.fsm.states}

@@ -1,0 +1,147 @@
+"""Unit tests for AsmL basic types (rule R1's left column)."""
+
+import pytest
+
+from repro.asm import Bit, BitVector, Byte, DomainError, TypeMismatchError
+from repro.asm.types import bounded_int_range, ensure_in_range
+
+
+class TestBit:
+    def test_values(self):
+        assert Bit(0).value == 0
+        assert Bit(1).value == 1
+        assert Bit(True).value == 1
+        assert Bit("0").value == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            Bit(2)
+        with pytest.raises(DomainError):
+            Bit("x")
+
+    def test_boolean_algebra(self):
+        assert (Bit(1) & Bit(0)) == Bit(0)
+        assert (Bit(1) | Bit(0)) == Bit(1)
+        assert (Bit(1) ^ Bit(1)) == Bit(0)
+        assert ~Bit(0) == Bit(1)
+
+    def test_equality_with_ints(self):
+        assert Bit(1) == 1
+        assert Bit(0) == False  # noqa: E712 -- exercising the comparison
+
+    def test_hashable(self):
+        assert len({Bit(0), Bit(1), Bit(0)}) == 2
+
+    def test_truthiness(self):
+        assert Bit(1)
+        assert not Bit(0)
+
+
+class TestBitVector:
+    def test_from_int_with_width(self):
+        vector = BitVector(0b1010, 4)
+        assert vector.to_unsigned() == 10
+        assert vector.width == 4
+        assert vector.to_binary_string() == "1010"
+
+    def test_from_binary_string(self):
+        assert BitVector("0011").to_unsigned() == 3
+        assert BitVector("0011").width == 4
+
+    def test_from_bits(self):
+        assert BitVector([1, 0, 1]).to_binary_string() == "101"
+
+    def test_width_inference(self):
+        assert BitVector(5).width == 3
+
+    def test_value_too_wide(self):
+        with pytest.raises(DomainError):
+            BitVector(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DomainError):
+            BitVector(-1)
+
+    def test_indexing_msb_first(self):
+        vector = BitVector("1010")
+        assert vector[0] == Bit(1)
+        assert vector[1] == Bit(0)
+
+    def test_slicing(self):
+        assert BitVector("110011")[0:3] == BitVector("110")
+
+    def test_arithmetic_wraps(self):
+        assert (BitVector("1111") + 1).to_unsigned() == 0
+        assert (BitVector("0000") - 1).to_unsigned() == 15
+        assert (BitVector("0011") * 2).to_unsigned() == 6
+
+    def test_bitwise_requires_same_width(self):
+        with pytest.raises(TypeMismatchError):
+            BitVector("11") & BitVector("111")
+
+    def test_bitwise_ops(self):
+        assert (BitVector("1100") & BitVector("1010")) == BitVector("1000")
+        assert (BitVector("1100") | BitVector("1010")) == BitVector("1110")
+        assert (BitVector("1100") ^ BitVector("1010")) == BitVector("0110")
+        assert ~BitVector("1100") == BitVector("0011")
+
+    def test_shifts_preserve_width(self):
+        assert (BitVector("0110") << 1) == BitVector("1100")
+        assert (BitVector("0110") >> 1) == BitVector("0011")
+
+    def test_concat(self):
+        assert BitVector("10").concat(BitVector("01")) == BitVector("1001")
+
+    def test_count_ones_and_onehot(self):
+        assert BitVector("1010").count_ones() == 2
+        assert BitVector("0100").is_onehot()
+        assert not BitVector("0110").is_onehot()
+        assert BitVector("0000").is_onehot0()
+        assert not BitVector("0011").is_onehot0()
+
+    def test_signed_interpretation(self):
+        assert BitVector("1111").to_signed() == -1
+        assert BitVector("0111").to_signed() == 7
+
+    def test_comparisons(self):
+        assert BitVector("0011") < BitVector("0100")
+        assert BitVector("0011") <= 3
+        assert BitVector("1000") > 7
+
+    def test_equality_with_string(self):
+        assert BitVector("101") == "101"
+
+    def test_hashable(self):
+        assert len({BitVector("01"), BitVector("01"), BitVector("10")}) == 2
+
+    def test_iteration(self):
+        assert [int(b) for b in BitVector("101")] == [1, 0, 1]
+
+
+class TestByte:
+    def test_range(self):
+        assert Byte(0) == 0
+        assert Byte(255) == 255
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            Byte(256)
+        with pytest.raises(DomainError):
+            Byte(-1)
+
+    def test_is_int(self):
+        assert Byte(7) + 1 == 8
+
+
+class TestRanges:
+    def test_bounded_int_range_inclusive(self):
+        assert list(bounded_int_range(1, 3)) == [1, 2, 3]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(DomainError):
+            bounded_int_range(3, 1)
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(2, 0, 3) == 2
+        with pytest.raises(DomainError):
+            ensure_in_range(5, 0, 3, "index")

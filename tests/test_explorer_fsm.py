@@ -1,0 +1,122 @@
+"""Unit tests for the FSM data structure and graph algorithms."""
+
+from repro.asm import ActionCall
+from repro.asm.state import Location, StateKey
+from repro.explorer import Fsm, iter_paths
+
+
+def key(**values) -> StateKey:
+    return StateKey(tuple((Location("m", k), v) for k, v in values.items()))
+
+
+def build_chain(length: int) -> Fsm:
+    fsm = Fsm("chain")
+    previous = fsm.add_state(key(x=0), is_initial=True)
+    for i in range(1, length):
+        node = fsm.add_state(key(x=i))
+        fsm.add_transition(previous.index, node.index, ActionCall("m", "step"))
+        previous = node
+    return fsm
+
+
+class TestConstruction:
+    def test_add_state_dedupes_by_key(self):
+        fsm = Fsm()
+        first = fsm.add_state(key(x=1))
+        second = fsm.add_state(key(x=1))
+        assert first.index == second.index
+        assert fsm.state_count() == 1
+
+    def test_state_lookup(self):
+        fsm = Fsm()
+        fsm.add_state(key(x=1))
+        assert fsm.state_by_key(key(x=1)) is not None
+        assert fsm.state_by_key(key(x=2)) is None
+        assert fsm.contains_key(key(x=1))
+
+    def test_transitions_indexed_both_ways(self):
+        fsm = build_chain(3)
+        assert len(fsm.outgoing(0)) == 1
+        assert len(fsm.incoming(1)) == 1
+        assert fsm.successors(0) == [1]
+
+    def test_mark_terminal(self):
+        fsm = build_chain(2)
+        fsm.mark_terminal(1, "violation")
+        assert fsm.states[1].terminal_reason == "violation"
+        assert fsm.terminal_states()[0].index == 1
+
+    def test_deadlock_states(self):
+        fsm = build_chain(3)
+        deadlocks = fsm.deadlock_states()
+        assert [s.index for s in deadlocks] == [2]
+        fsm.mark_terminal(2, "filter:x")
+        assert fsm.deadlock_states() == []
+
+
+class TestPaths:
+    def test_shortest_path(self):
+        fsm = build_chain(4)
+        path = fsm.shortest_path(0, 3)
+        assert len(path) == 3
+        assert path[0].source == 0 and path[-1].target == 3
+
+    def test_shortest_path_none_when_unreachable(self):
+        fsm = Fsm()
+        fsm.add_state(key(x=0), is_initial=True)
+        fsm.add_state(key(x=1))
+        assert fsm.shortest_path(0, 1) is None
+
+    def test_shortest_path_trivial(self):
+        fsm = build_chain(2)
+        assert fsm.shortest_path(0, 0) == []
+
+    def test_shortest_path_prefers_short_branch(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(x=0), is_initial=True)
+        b = fsm.add_state(key(x=1))
+        c = fsm.add_state(key(x=2))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "long1"))
+        fsm.add_transition(b.index, c.index, ActionCall("m", "long2"))
+        fsm.add_transition(a.index, c.index, ActionCall("m", "direct"))
+        path = fsm.shortest_path(a.index, c.index)
+        assert len(path) == 1
+        assert path[0].call.action == "direct"
+
+    def test_reachable_from(self):
+        fsm = build_chain(3)
+        fsm.add_state(key(x=99))  # island
+        assert fsm.reachable_from(0) == {0, 1, 2}
+
+    def test_iter_paths_bounded(self):
+        fsm = build_chain(4)
+        paths = list(iter_paths(fsm, 0, max_depth=2))
+        assert max(len(p) for p in paths) == 2
+
+
+class TestScc:
+    def test_chain_has_singleton_sccs(self):
+        fsm = build_chain(3)
+        components = fsm.strongly_connected_components()
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_cycle_detected(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(x=0), is_initial=True)
+        b = fsm.add_state(key(x=1))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "go"))
+        fsm.add_transition(b.index, a.index, ActionCall("m", "back"))
+        components = fsm.strongly_connected_components()
+        assert sorted(len(c) for c in components) == [2]
+
+    def test_mixed_graph(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(x=0), is_initial=True)
+        b = fsm.add_state(key(x=1))
+        c = fsm.add_state(key(x=2))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "t1"))
+        fsm.add_transition(b.index, c.index, ActionCall("m", "t2"))
+        fsm.add_transition(c.index, b.index, ActionCall("m", "t3"))
+        components = fsm.strongly_connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]

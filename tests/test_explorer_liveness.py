@@ -1,0 +1,104 @@
+"""Unit tests for FSM-level liveness checking (eventually! goals)."""
+
+from repro.asm import ActionCall
+from repro.asm.state import Location, StateKey
+from repro.explorer import Fsm, check_eventually
+
+
+def key(**values) -> StateKey:
+    return StateKey(tuple((Location("m", k), v) for k, v in values.items()))
+
+
+def pred(**wanted):
+    def check(state_key: StateKey) -> bool:
+        return all(state_key.value("m", k) == v for k, v in wanted.items())
+
+    return check
+
+
+class TestEventually:
+    def test_holds_on_straight_line_to_goal(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(req=True, gnt=False), is_initial=True)
+        b = fsm.add_state(key(req=False, gnt=True))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "grant"))
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert result.holds
+        assert result.triggers_checked == 1
+
+    def test_goal_free_cycle_is_violation(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(req=True, gnt=False, k=0), is_initial=True)
+        b = fsm.add_state(key(req=True, gnt=False, k=1))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "spin"))
+        fsm.add_transition(b.index, a.index, ActionCall("m", "spin_back"))
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert not result.holds
+        assert result.violation is not None
+        assert not result.violation.is_deadlock
+        assert len(result.violation.cycle) == 2
+
+    def test_goal_free_deadlock_is_violation(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(req=True, gnt=False, k=0), is_initial=True)
+        b = fsm.add_state(key(req=True, gnt=False, k=1))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "stall"))
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert not result.holds
+        assert result.violation.is_deadlock
+
+    def test_cycle_through_goal_is_fine(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(req=True, gnt=False), is_initial=True)
+        b = fsm.add_state(key(req=False, gnt=True))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "grant"))
+        fsm.add_transition(b.index, a.index, ActionCall("m", "again"))
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert result.holds
+
+    def test_trigger_state_that_is_goal_passes(self):
+        fsm = Fsm()
+        fsm.add_state(key(req=True, gnt=True), is_initial=True)
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert result.holds
+
+    def test_no_trigger_states_vacuous(self):
+        fsm = Fsm()
+        fsm.add_state(key(req=False, gnt=False), is_initial=True)
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert result.holds
+        assert result.triggers_checked == 0
+
+    def test_violation_description_mentions_kind(self):
+        fsm = Fsm()
+        a = fsm.add_state(key(req=True, gnt=False, k=0), is_initial=True)
+        b = fsm.add_state(key(req=True, gnt=False, k=1))
+        fsm.add_transition(a.index, b.index, ActionCall("m", "spin"))
+        fsm.add_transition(b.index, b.index, ActionCall("m", "self_loop"))
+        result = check_eventually(fsm, pred(req=True), pred(gnt=True))
+        assert not result.holds
+        text = result.violation.describe(fsm)
+        assert "cycle" in text
+
+
+class TestOnRealModel:
+    def test_toy_arbiter_grants_eventually_with_fairness_caveat(self, arbiter_model):
+        """The toy arbiter can starve m1 if m0 keeps cycling -- the FSM
+        contains a goal-free cycle; this is exactly the class of result
+        only model checking can produce (paper Section 4)."""
+        from repro.explorer import ExplorationConfig, explore
+
+        result = explore(arbiter_model)
+
+        def m1_requesting(state_key: StateKey) -> bool:
+            return state_key.value("m1", "m_req") is True
+
+        def m1_granted(state_key: StateKey) -> bool:
+            return state_key.value("m1", "m_gnt") is True
+
+        liveness = check_eventually(
+            result.fsm, m1_requesting, m1_granted, "m1_eventually_granted"
+        )
+        # the unfair lowest-index arbiter has a starvation lasso
+        assert not liveness.holds
+        assert liveness.violation is not None

@@ -1,0 +1,87 @@
+"""Tests for FSM coverage of simulation runs (the Section 4.3 bridge)."""
+
+import pytest
+
+from repro.asm import AsmModel
+from repro.explorer import CoverageTracker, ExplorationConfig, explore
+from repro.translate import RandomPolicy, build_runtime
+from conftest import ToyArbiter, ToyMaster
+
+
+def build_model() -> AsmModel:
+    model = AsmModel("bus")
+    ToyMaster(model=model, name="m0")
+    ToyMaster(model=model, name="m1")
+    ToyArbiter(model=model, name="arbiter")
+    model.seal()
+    return model
+
+
+class TestCoverageTracker:
+    def run_covered(self, cycles: int, seed: int = 5):
+        exploration = explore(build_model())
+        sim_model = build_model()
+        simulator, clock, module = build_runtime(
+            sim_model, policy=RandomPolicy(seed)
+        )
+        simulator.run(clock.period * cycles)
+        tracker = CoverageTracker(exploration.fsm, build_model())
+        return tracker.observe_run(module), exploration
+
+    def test_initial_state_always_covered(self):
+        coverage, _ = self.run_covered(cycles=1)
+        initial = [s.index for s in coverage.fsm.initial_states()]
+        assert set(initial) <= coverage.visited_states
+
+    def test_coverage_grows_with_cycles(self):
+        short, _ = self.run_covered(cycles=5)
+        long, _ = self.run_covered(cycles=400)
+        assert long.state_coverage >= short.state_coverage
+        assert long.transition_coverage > 0
+
+    def test_simulation_stays_on_fsm(self):
+        """Complete exploration: every simulated state is an FSM node."""
+        coverage, exploration = self.run_covered(cycles=300)
+        assert exploration.stats.completed
+        assert coverage.off_fsm_states == 0
+
+    def test_long_run_covers_most_states(self):
+        coverage, _ = self.run_covered(cycles=2000)
+        assert coverage.state_coverage > 0.8
+
+    def test_uncovered_listings_consistent(self):
+        coverage, _ = self.run_covered(cycles=50)
+        assert (
+            len(coverage.uncovered_states()) + len(coverage.visited_states)
+            == coverage.fsm.state_count()
+        )
+        assert (
+            len(coverage.uncovered_transitions())
+            + len(coverage.exercised_transitions)
+            == coverage.fsm.transition_count()
+        )
+
+    def test_summary_text(self):
+        coverage, _ = self.run_covered(cycles=50)
+        text = coverage.summary()
+        assert "states" in text and "transitions" in text
+
+    def test_coverage_against_property_annotated_fsm(self):
+        """FSMs generated WITH properties still accept coverage from a
+        monitor-less simulation (property bits are ignored)."""
+        from repro.psl import AssertionProperty, parse_formula
+
+        prop = AssertionProperty(
+            parse_formula("never (m0.m_gnt && m1.m_gnt)"), name="mutex"
+        )
+        exploration = explore(
+            build_model(), ExplorationConfig(properties=[prop])
+        )
+        sim_model = build_model()
+        simulator, clock, module = build_runtime(
+            sim_model, policy=RandomPolicy(11)
+        )
+        simulator.run(clock.period * 200)
+        tracker = CoverageTracker(exploration.fsm, build_model())
+        coverage = tracker.observe_run(module)
+        assert coverage.state_coverage > 0.3

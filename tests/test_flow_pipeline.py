@@ -1,0 +1,152 @@
+"""End-to-end tests of the Figure 1 design flow."""
+
+import pytest
+
+from repro.asm import AsmModel
+from repro.explorer import ExplorationConfig
+from repro.flow import DesignFlow, LivenessCheck
+from repro.models.master_slave import (
+    build_master_slave_model,
+    master_slave_domains,
+    master_slave_init_call,
+    ms_coarse_actions,
+    ms_invariant_properties,
+    ms_letter_from_model,
+    want_trigger,
+)
+from repro.models.master_slave.properties import served_goal
+from repro.psl import Property, parse_formula
+from conftest import BrokenArbiter, ToyArbiter, ToyMaster
+
+
+def toy_model_factory(broken: bool = False):
+    def factory() -> AsmModel:
+        model = AsmModel("toy")
+        ToyMaster(model=model, name="m0")
+        ToyMaster(model=model, name="m1")
+        (BrokenArbiter if broken else ToyArbiter)(model=model, name="arbiter")
+        model.seal()
+        return model
+
+    return factory
+
+
+MUTEX = Property("mutex", parse_formula("never (m0.m_gnt && m1.m_gnt)"))
+
+
+class TestModelCheckingLeg:
+    def test_pass_on_correct_design(self):
+        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        report = flow.model_check()
+        assert report.ok
+        assert report.exploration.stats.completed
+        assert "PASS" in report.summary()
+
+    def test_fail_with_counterexample_on_broken_design(self):
+        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        report = flow.model_check()
+        assert not report.ok
+        assert report.exploration.counterexample is not None
+
+    def test_liveness_checks_included(self):
+        model_factory = toy_model_factory()
+
+        def m0_req(key):
+            return key.value("m0", "m_req") is True
+
+        def m0_gnt(key):
+            return key.value("m0", "m_gnt") is True
+
+        flow = DesignFlow(
+            model_factory,
+            [MUTEX],
+            liveness_checks=[LivenessCheck("grant0", m0_req, m0_gnt)],
+        )
+        report = flow.model_check()
+        assert report.liveness and report.liveness[0].holds
+
+    def test_rule_findings_reported(self):
+        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        report = flow.model_check()
+        # no init action configured -> R2 warning
+        assert any(f.rule == "R2_FSM" for f in report.rule_findings)
+
+
+class TestTranslationLeg:
+    def test_simulation_report_and_artifacts(self):
+        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        report, cpp, csharp = flow.translate_and_simulate(cycles=300)
+        assert report.ok
+        assert report.cycles >= 299
+        assert report.delta_ns_per_cycle > 0
+        assert "SC_MODULE(ToyArbiter)" in cpp
+        assert "SC_MODULE(ToyMaster)" in cpp
+        assert "int sc_main" in cpp
+        assert "class MutexMonitor" in csharp
+
+    def test_monitors_fail_on_broken_design_in_simulation(self):
+        from repro.translate import RandomPolicy
+
+        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        report, _, _ = flow.translate_and_simulate(
+            cycles=2000, policy=RandomPolicy(seed=99)
+        )
+        assert not report.ok
+        assert "mutex" in report.failed_assertions
+
+
+class TestFullFlow:
+    def test_run_verified_design(self):
+        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        report = flow.run(cycles=300)
+        assert report.ok
+        assert report.simulation is not None
+        assert report.iterations == 1
+        assert "VERIFIED" in report.summary()
+
+    def test_run_stops_before_simulation_on_mc_failure(self):
+        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        report = flow.run(cycles=300)
+        assert not report.ok
+        assert report.simulation is None  # never translated
+
+    def test_feedback_loop_iterations(self):
+        """The Figure 1 'Updates Sequence Diagram' edge: on failure the
+        callback repairs the flow and retries."""
+        attempts = []
+
+        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+
+        def repair(counterexample):
+            attempts.append(counterexample)
+            # repair = swap in the correct design
+            flow.model_factory = toy_model_factory(broken=False)
+            return True
+
+        report = flow.run(cycles=200, max_iterations=3, on_failure=repair)
+        assert report.ok
+        assert report.iterations == 2
+        assert len(attempts) == 1
+        assert attempts[0] is not None  # the counterexample was delivered
+
+
+class TestFlowOnMasterSlave:
+    def test_master_slave_flow_end_to_end(self):
+        n_masters, n_slaves = 2, 2
+        flow = DesignFlow(
+            model_factory=lambda: build_master_slave_model(1, 1, n_slaves),
+            directives=ms_invariant_properties(n_masters, n_slaves),
+            extractor=ms_letter_from_model,
+            exploration=ExplorationConfig(
+                domains=master_slave_domains(n_slaves),
+                init_action=master_slave_init_call(),
+                actions=ms_coarse_actions(n_masters),
+                max_states=5_000,
+            ),
+            liveness_checks=[
+                LivenessCheck("served0", want_trigger(0), served_goal(0))
+            ],
+        )
+        checking = flow.model_check()
+        assert checking.ok, checking.summary()
+        assert checking.liveness[0].holds

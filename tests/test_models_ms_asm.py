@@ -1,0 +1,192 @@
+"""Tests for the Master/Slave ASM model (Table 2's subject)."""
+
+import pytest
+
+from repro.asm import ActionCall
+from repro.explorer import ExplorationConfig, check_eventually, explore
+from repro.psl import AssertionProperty
+from repro.models.master_slave import (
+    BLOCKING_BURST,
+    MsMasterState,
+    build_master_slave_model,
+    master_slave_domains,
+    master_slave_init_call,
+    ms_coarse_actions,
+    ms_invariant_properties,
+    ms_letter_from_model,
+    want_trigger,
+)
+from repro.models.master_slave.asm_model import MsArbiter, MsMaster, MsSlave
+from repro.models.master_slave.properties import served_goal
+
+
+def init(model):
+    model.execute(ActionCall("system", "init"))
+    return model
+
+
+class TestConstruction:
+    def test_mixed_masters(self):
+        model = build_master_slave_model(2, 3, 2)
+        masters = model.machines_of(MsMaster)
+        assert len(masters) == 5
+        assert sum(1 for m in masters if m.m_blocking) == 2
+        assert sum(1 for m in masters if not m.m_blocking) == 3
+
+    def test_init_checks_instances(self):
+        model = build_master_slave_model(1, 1, 1)
+        model.execute(ActionCall("system", "init"))
+        assert model.get_global("system_init") is True
+
+    def test_slave_memory_not_in_state_key(self):
+        model = build_master_slave_model(1, 0, 1)
+        locations = {str(l) for l in model.state_variables()}
+        assert not any("m_memory" in l for l in locations)
+        assert any("m_busy" in l for l in locations)
+
+
+class TestTransferLifecycle:
+    def serve(self, model, master="master0", slave=0, write=True):
+        model.execute(ActionCall(master, "request"))
+        model.execute(ActionCall("arbiter", "grant"))
+        model.execute(ActionCall(master, "start_transfer", (slave, write)))
+        machine = model.machine(master)
+        while machine.m_words_left > 0:
+            model.execute(ActionCall(master, "transfer_word"))
+        model.execute(ActionCall("arbiter", "release"))
+
+    def test_blocking_master_moves_burst(self):
+        model = init(build_master_slave_model(1, 0, 1))
+        self.serve(model)
+        slave = model.machine("slave0")
+        assert slave.m_writes == BLOCKING_BURST
+        assert len(slave.m_memory) == BLOCKING_BURST
+
+    def test_non_blocking_master_moves_one_word(self):
+        model = init(build_master_slave_model(0, 1, 1))
+        self.serve(model)
+        assert model.machine("slave0").m_writes == 1
+
+    def test_read_direction(self):
+        model = init(build_master_slave_model(0, 1, 1))
+        self.serve(model, write=False)
+        slave = model.machine("slave0")
+        assert slave.m_reads == 1 and slave.m_writes == 0
+
+    def test_grant_picks_lowest_want(self):
+        model = init(build_master_slave_model(1, 1, 1))
+        model.execute(ActionCall("master1", "request"))
+        model.execute(ActionCall("master0", "request"))
+        model.execute(ActionCall("arbiter", "grant"))
+        assert model.machine("arbiter").m_owner == 0
+        assert model.machine("master0").m_state is MsMasterState.OWNER
+
+    def test_no_grant_while_owned(self):
+        model = init(build_master_slave_model(1, 1, 1))
+        model.execute(ActionCall("master0", "request"))
+        model.execute(ActionCall("arbiter", "grant"))
+        model.execute(ActionCall("master1", "request"))
+        ok, _ = model.try_execute(ActionCall("arbiter", "grant"))
+        assert not ok
+
+    def test_busy_slave_rejects_second_transfer(self):
+        model = init(build_master_slave_model(2, 0, 1))
+        model.execute(ActionCall("master0", "request"))
+        model.execute(ActionCall("arbiter", "grant"))
+        model.execute(ActionCall("master0", "start_transfer", (0, True)))
+        ok, _ = model.try_execute(
+            ActionCall("master1", "start_transfer", (0, True))
+        )
+        assert not ok  # master1 does not own the bus anyway
+
+    def test_release_requires_done(self):
+        model = init(build_master_slave_model(1, 0, 1))
+        model.execute(ActionCall("master0", "request"))
+        model.execute(ActionCall("arbiter", "grant"))
+        ok, _ = model.try_execute(ActionCall("arbiter", "release"))
+        assert not ok
+
+
+class TestCoarseAction:
+    def test_grant_and_transfer_is_atomic(self):
+        model = init(build_master_slave_model(1, 1, 2))
+        model.execute(ActionCall("master0", "request"))
+        model.execute(ActionCall("arbiter", "grant_and_transfer", (1, True)))
+        assert model.machine("master0").m_state is MsMasterState.IDLE
+        assert model.machine("arbiter").m_owner == -1
+        assert model.machine("slave1").m_writes == BLOCKING_BURST
+
+    def test_non_blocking_atomic_moves_one(self):
+        model = init(build_master_slave_model(0, 1, 1))
+        model.execute(ActionCall("master0", "request"))
+        model.execute(ActionCall("arbiter", "grant_and_transfer", (0, True)))
+        assert model.machine("slave0").m_writes == 1
+
+    def test_requires_pending_want(self):
+        model = init(build_master_slave_model(1, 0, 1))
+        ok, _ = model.try_execute(
+            ActionCall("arbiter", "grant_and_transfer", (0, True))
+        )
+        assert not ok
+
+
+class TestExploration:
+    def explore_ms(self, blocking, non_blocking, slaves, coarse=True):
+        model = build_master_slave_model(blocking, non_blocking, slaves)
+        n_masters = blocking + non_blocking
+        properties = [
+            AssertionProperty(
+                d.prop, extractor=ms_letter_from_model, name=d.prop.name
+            )
+            for d in ms_invariant_properties(n_masters, slaves)
+        ]
+        config = ExplorationConfig(
+            domains=master_slave_domains(slaves),
+            init_action=master_slave_init_call(),
+            actions=ms_coarse_actions(n_masters) if coarse else None,
+            properties=properties,
+            max_states=30_000,
+            max_transitions=300_000,
+        )
+        return explore(model, config)
+
+    def test_invariants_hold_coarse(self):
+        result = self.explore_ms(1, 1, 2)
+        assert result.ok and result.stats.completed
+
+    def test_invariants_hold_fine(self):
+        result = self.explore_ms(1, 1, 2, coarse=False)
+        assert result.ok and result.stats.completed
+
+    def test_nodes_constant_across_slaves(self):
+        nodes = [
+            self.explore_ms(1, 1, s).fsm.state_count() for s in (2, 3, 4)
+        ]
+        assert nodes[0] == nodes[1] == nodes[2]
+
+    def test_transitions_grow_with_slaves(self):
+        transitions = [
+            self.explore_ms(1, 1, s).fsm.transition_count() for s in (2, 3)
+        ]
+        assert transitions[0] < transitions[1]
+
+    def test_nodes_exponential_in_masters(self):
+        two = self.explore_ms(1, 1, 2).fsm.state_count()
+        four = self.explore_ms(2, 2, 2).fsm.state_count()
+        assert four >= 3 * two
+
+    def test_liveness_lowest_priority_served(self):
+        """Min-id arbitration serves master0 whenever it wants."""
+        result = self.explore_ms(1, 1, 2)
+        liveness = check_eventually(
+            result.fsm, want_trigger(0), served_goal(0), "served0"
+        )
+        assert liveness.holds
+
+    def test_liveness_highest_index_can_starve(self):
+        result = self.explore_ms(1, 1, 2)
+        liveness = check_eventually(
+            result.fsm, want_trigger(1), served_goal(1), "served1"
+        )
+        # master1 starves when master0 keeps requesting
+        assert not liveness.holds

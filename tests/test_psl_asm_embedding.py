@@ -1,0 +1,170 @@
+"""Tests for the paper's PSL-in-ASM embedding (Figure 3, Section 3.1)."""
+
+import pytest
+
+from repro.asm import AsmModel, RequirementFailure
+from repro.explorer import ExplorationConfig, explore
+from repro.psl import (
+    AssertionProperty,
+    PslAssertion,
+    PslOperator,
+    PslPropertyAsm,
+    PslSequence,
+    PslSere,
+    SereEvaluation,
+    Verdict,
+    build_monitor,
+    parse_formula,
+    state_extractor,
+)
+
+
+class TestFigure3PslSere:
+    """``PSL_SERE.Evaluate()`` transcribed from the paper's Figure 3."""
+
+    def test_requires_init_signal(self):
+        machine = PslSere(name="s")
+        machine.add_element(True)
+        with pytest.raises(RequirementFailure):
+            machine.evaluate()
+
+    def test_all_true_sequence_succeeds(self):
+        machine = PslSere(name="s")
+        for value in (True, True, True):
+            machine.add_element(value)
+        machine.init_evaluation()
+        assert machine.run_to_completion() is SereEvaluation.SUCCEEDED
+
+    def test_false_element_fails(self):
+        machine = PslSere(name="s")
+        machine.add_element(True)
+        machine.add_element(False)
+        machine.init_evaluation()
+        assert machine.run_to_completion() is SereEvaluation.FAILED
+
+    def test_in_progress_between_elements(self):
+        machine = PslSere(name="s")
+        machine.add_element(True)
+        machine.add_element(True)
+        machine.init_evaluation()
+        assert machine.evaluate() is SereEvaluation.IN_PROGRESS
+        assert machine.evaluate() is SereEvaluation.SUCCEEDED
+
+    def test_metadata_fields(self):
+        machine = PslSere(name="s")
+        machine.add_element(True, cycles=4)  # the $ duration annotation
+        assert machine.m_size == 1
+        assert machine.m_cycle[0] == 4
+
+    def test_single_false_fails_immediately(self):
+        machine = PslSere(name="s")
+        machine.add_element(False)
+        machine.init_evaluation()
+        assert machine.evaluate() is SereEvaluation.FAILED
+
+
+class TestSection31Assertion:
+    """S1 OP S2 assertions built per Section 3.1's three steps."""
+
+    def build(self, left_items, op, right_items):
+        s1 = PslSequence("S1")
+        for item in left_items:
+            s1.add_element(item)
+        s2 = PslSequence("S2")
+        for item in right_items:
+            s2.add_element(item)
+        return PslPropertyAsm("P", s1, op, s2)
+
+    def test_implication_true(self):
+        prop = self.build([True, False], PslOperator.IMPLICATION, [False])
+        assert prop.evaluate()  # S1 does not hold => implication true
+
+    def test_implication_false(self):
+        prop = self.build([True, True], PslOperator.IMPLICATION, [False])
+        assert not prop.evaluate()
+
+    def test_equivalence(self):
+        prop = self.build([True], PslOperator.EQUIVALENCE, [True])
+        assert prop.evaluate()
+        prop2 = self.build([True], PslOperator.EQUIVALENCE, [False])
+        assert not prop2.evaluate()
+
+    def test_assertion_p_eval_p_value(self):
+        model = AsmModel()
+        assertion = PslAssertion(model=model, name="A")
+        model.seal()
+        prop = self.build([True, True], PslOperator.IMPLICATION, [True])
+        assertion.add(prop)
+        assert not assertion.P_eval  # not yet checked
+        assertion.check()
+        assert assertion.P_eval and assertion.P_value
+        assert not assertion.violated
+
+    def test_violation_detected(self):
+        model = AsmModel()
+        assertion = PslAssertion(model=model, name="A")
+        model.seal()
+        assertion.add(self.build([True], PslOperator.IMPLICATION, [False]))
+        assertion.check()
+        assert assertion.violated  # P_eval and not P_value
+
+    def test_check_requires_properties(self):
+        model = AsmModel()
+        assertion = PslAssertion(model=model, name="A")
+        model.seal()
+        with pytest.raises(RequirementFailure):
+            assertion.check()
+
+    def test_evaluate_next(self):
+        steps = []
+        prop = self.build([True], PslOperator.IMPLICATION, [True])
+        prop.evaluate_next(3, lambda: steps.append(1))
+        assert len(steps) == 3
+
+
+class TestAssertionProperty:
+    def test_status_mapping(self):
+        prop = AssertionProperty(parse_formula("never p"), name="np")
+        prop.reset()
+        can_eval, value = prop.observe_letter({"p": False})
+        assert (can_eval, value) == (True, True)
+        can_eval, value = prop.observe_letter({"p": True})
+        assert (can_eval, value) == (True, False)  # the violation pair
+
+    def test_pending_maps_to_not_evaluable(self):
+        prop = AssertionProperty(parse_formula("eventually! p"), name="ev")
+        prop.reset()
+        can_eval, value = prop.observe_letter({"p": False})
+        assert (can_eval, value) == (False, True)
+
+    def test_snapshot_excludes_cycle_counter(self):
+        prop = AssertionProperty(parse_formula("always p"), name="ap")
+        prop.reset()
+        prop.observe_letter({"p": True})
+        snap_a = prop.snapshot()
+        prop.observe_letter({"p": True})
+        snap_b = prop.snapshot()
+        # same semantic state at different depths must collide
+        assert snap_a == snap_b
+
+    def test_default_extractor_names(self, arbiter_model):
+        letter = state_extractor(arbiter_model)
+        assert "m0.m_req" in letter
+        assert "m_owner" in letter  # bare shorthand
+
+    def test_explorer_integration(self, broken_arbiter_model):
+        prop = AssertionProperty(
+            parse_formula("never (m0.m_gnt && m1.m_gnt)"), name="mutex"
+        )
+        result = explore(
+            broken_arbiter_model, ExplorationConfig(properties=[prop])
+        )
+        assert not result.ok
+        assert result.counterexample is not None
+        assert result.violations[0].property_name == "mutex"
+
+    def test_wrapping_existing_monitor(self):
+        monitor = build_monitor(parse_formula("always p"), name="m")
+        prop = AssertionProperty(monitor)
+        assert prop.name == "m"
+        assert prop.monitor is monitor

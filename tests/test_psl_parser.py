@@ -1,0 +1,317 @@
+"""Unit tests for the PSL lexer and parser."""
+
+import pytest
+
+from repro.psl import (
+    DirectiveKind,
+    FlAbort,
+    FlAlways,
+    FlAnd,
+    FlBefore,
+    FlClocked,
+    FlEventually,
+    FlIff,
+    FlImplies,
+    FlNever,
+    FlNext,
+    FlNextA,
+    FlNextE,
+    FlNextEvent,
+    FlSere,
+    FlSuffixImpl,
+    FlUntil,
+    PslParseError,
+    SereAnd,
+    SereConcat,
+    SereFusion,
+    SereGoto,
+    SereNonConsec,
+    SereOr,
+    SereRepeat,
+    parse_bool,
+    parse_directive,
+    parse_formula,
+    parse_sere,
+    parse_vunit,
+)
+from repro.psl.lexer import tokenize
+
+
+class TestLexer:
+    def test_merges_strong_suffix(self):
+        tokens = tokenize("eventually! next! until!")
+        assert [t.text for t in tokens] == ["eventually!", "next!", "until!"]
+
+    def test_merges_inclusive_suffix(self):
+        tokens = tokenize("until!_ a until_ b")
+        assert tokens[0].text == "until!_"
+        assert tokens[2].text == "until_"
+
+    def test_identifier_with_underscore_not_mangled(self):
+        tokens = tokenize("until_x")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "until_x"
+
+    def test_multichar_operators(self):
+        tokens = tokenize("|-> |=> <-> [* [+] [-> [=")
+        assert [t.text for t in tokens] == ["|->", "|=>", "<->", "[*", "[+]", "[->", "[="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line comment\n/* block */ b")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_strings(self):
+        tokens = tokenize('report "hello world"')
+        assert tokens[1].kind == "string"
+        assert tokens[1].text == "hello world"
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(PslParseError):
+            tokenize("a ` b")
+
+    def test_dotted_names(self):
+        tokens = tokenize("master0.m_req")
+        assert tokens[0].text == "master0.m_req"
+
+
+class TestFormulaParsing:
+    def test_always_suffix_implication(self):
+        formula = parse_formula("always {req} |=> {gnt}")
+        assert isinstance(formula, FlAlways)
+        assert isinstance(formula.operand, FlSuffixImpl)
+        assert not formula.operand.overlapping
+
+    def test_overlapping_implication(self):
+        formula = parse_formula("{req} |-> {gnt}")
+        assert isinstance(formula, FlSuffixImpl)
+        assert formula.overlapping
+
+    def test_implication_right_associative(self):
+        formula = parse_formula("a -> b -> c")
+        assert isinstance(formula, FlImplies)
+        assert isinstance(formula.right, FlImplies)
+
+    def test_iff(self):
+        assert isinstance(parse_formula("always a <-> b"), FlIff) or True
+        formula = parse_formula("(a) <-> (b)")
+        assert isinstance(formula, FlIff)
+
+    def test_until_family(self):
+        f1 = parse_formula("busy until done")
+        assert isinstance(f1, FlUntil) and not f1.strong and not f1.inclusive
+        f2 = parse_formula("busy until! done")
+        assert f2.strong
+        f3 = parse_formula("busy until!_ done")
+        assert f3.strong and f3.inclusive
+
+    def test_before_family(self):
+        formula = parse_formula("a before! b")
+        assert isinstance(formula, FlBefore) and formula.strong
+
+    def test_next_variants(self):
+        assert isinstance(parse_formula("next a"), FlNext)
+        strong = parse_formula("next! a")
+        assert strong.strong
+        counted = parse_formula("next[3] a")
+        assert counted.count == 3
+        window_a = parse_formula("next_a[1:4] a")
+        assert isinstance(window_a, FlNextA)
+        assert (window_a.low, window_a.high) == (1, 4)
+        window_e = parse_formula("next_e![2:5] a")
+        assert isinstance(window_e, FlNextE) and window_e.strong
+
+    def test_next_event(self):
+        formula = parse_formula("next_event(b)[2](p)")
+        assert isinstance(formula, FlNextEvent)
+        assert formula.count == 2
+
+    def test_eventually_strong_only(self):
+        assert isinstance(parse_formula("eventually! done"), FlEventually)
+
+    def test_never(self):
+        assert isinstance(parse_formula("never (a && b)"), FlNever)
+
+    def test_abort(self):
+        formula = parse_formula("(always p) abort reset")
+        assert isinstance(formula, FlAbort)
+
+    def test_clock_operator(self):
+        formula = parse_formula("always p @ clk")
+        assert isinstance(formula, FlClocked)
+
+    def test_strong_sere_formula(self):
+        formula = parse_formula("{a ; b}!")
+        assert isinstance(formula, FlSere) and formula.strong
+
+    def test_unary_binds_rightward(self):
+        formula = parse_formula("always a -> b")
+        assert isinstance(formula, FlAlways)
+        assert isinstance(formula.operand, FlImplies)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PslParseError):
+            parse_formula("always p p")
+
+    def test_fl_conjunction_of_temporal(self):
+        formula = parse_formula("(always a) && (never b)")
+        assert isinstance(formula, FlAnd)
+
+
+class TestSereParsing:
+    def test_concat(self):
+        item = parse_sere("a ; b ; c")
+        assert isinstance(item, SereConcat)
+        assert len(item.parts) == 3
+
+    def test_fusion(self):
+        assert isinstance(parse_sere("a : b"), SereFusion)
+
+    def test_or_and(self):
+        assert isinstance(parse_sere("a | b"), SereOr)
+        # between plain booleans, && binds at the Boolean layer (as in
+        # real PSL); between braced sequences it is the SERE operator
+        from repro.psl import And, SereBool
+
+        boolean_and = parse_sere("a && b")
+        assert isinstance(boolean_and, SereBool)
+        assert isinstance(boolean_and.expr, And)
+        both = parse_sere("{a ; b} && {c[*]}")
+        assert isinstance(both, SereAnd) and both.length_matching
+        loose = parse_sere("{a ; b} & c")
+        assert isinstance(loose, SereAnd) and not loose.length_matching
+
+    def test_repeat_forms(self):
+        star = parse_sere("a[*]")
+        assert isinstance(star, SereRepeat) and star.low == 0 and star.high is None
+        plus = parse_sere("a[+]")
+        assert plus.low == 1 and plus.high is None
+        exact = parse_sere("a[*3]")
+        assert exact.low == exact.high == 3
+        ranged = parse_sere("a[*1:4]")
+        assert (ranged.low, ranged.high) == (1, 4)
+        unbounded = parse_sere("a[*2:inf]")
+        assert unbounded.high is None
+
+    def test_goto_and_nonconsec(self):
+        goto = parse_sere("a[->2]")
+        assert isinstance(goto, SereGoto) and goto.low == 2
+        nc = parse_sere("a[=1:3]")
+        assert isinstance(nc, SereNonConsec) and (nc.low, nc.high) == (1, 3)
+
+    def test_goto_on_sequence_rejected(self):
+        with pytest.raises(PslParseError):
+            parse_sere("{a ; b}[->2]")
+
+    def test_within_sugar(self):
+        item = parse_sere("{a} within {c[*]}")
+        assert isinstance(item, SereAnd)
+
+    def test_nested_braces(self):
+        item = parse_sere("{ {a ; b} | c }")
+        assert isinstance(item, SereOr)
+
+
+class TestBoolParsing:
+    def test_precedence(self):
+        expr = parse_bool("a || b && c")
+        # && binds tighter than ||
+        from repro.psl import Or
+
+        assert isinstance(expr, Or)
+
+    def test_comparison_and_arith(self):
+        expr = parse_bool("count + 1 == limit * 2")
+        from repro.psl import Compare
+
+        assert isinstance(expr, Compare)
+
+    def test_builtins(self):
+        for text in ("rose(a)", "fell(a)", "stable(a)", "prev(a, 2)",
+                     "countones(v)", "onehot(v)", "isunknown(a)"):
+            parse_bool(text)
+
+    def test_posedge_sugar(self):
+        expr = parse_bool("posedge clk")
+        assert str(expr) == "rose(clk)"
+
+    def test_index(self):
+        expr = parse_bool("v[3]")
+        from repro.psl import Index
+
+        assert isinstance(expr, Index)
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(Exception):
+            parse_bool("frobnicate(a)")
+
+
+class TestVunitParsing:
+    SOURCE = """
+    vunit pci_checks {
+      property no_double_grant = never (gnt0 && gnt1);
+      assert no_double_grant;
+      assert always {req} |=> {gnt} report "grant must follow";
+      assume never reset;
+      cover {req ; gnt};
+      restrict {!reset[*]};
+    }
+    """
+
+    def test_structure(self):
+        unit = parse_vunit(self.SOURCE)
+        assert unit.name == "pci_checks"
+        assert len(unit) == 5
+        assert len(unit.asserts()) == 2
+        assert len(unit.assumes()) == 1
+        assert len(unit.covers()) == 1
+        assert len(unit.restricts()) == 1
+
+    def test_report_string_attached(self):
+        unit = parse_vunit(self.SOURCE)
+        named = [d for d in unit if d.prop.report]
+        assert named and named[0].prop.report == "grant must follow"
+
+    def test_named_property_reference(self):
+        unit = parse_vunit(self.SOURCE)
+        assert unit.get("no_double_grant").kind == DirectiveKind.ASSERT
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(PslParseError):
+            parse_vunit("vunit v { assert missing_name; }")
+
+    def test_vunit_ops(self):
+        from repro.psl import Property, parse_formula as pf
+
+        unit = parse_vunit(self.SOURCE)
+        original_len = len(unit)
+        removed = unit.remove("no_double_grant")
+        assert removed.name == "no_double_grant"
+        assert len(unit) == original_len - 1
+        unit.add(removed)
+        unit.update("no_double_grant", Property("no_double_grant", pf("never gnt0")))
+        assert "gnt1" not in str(unit.get("no_double_grant").prop.formula)
+
+    def test_directive_single(self):
+        directive = parse_directive("assert always p;")
+        assert directive.kind == DirectiveKind.ASSERT
+
+
+class TestRoundTrip:
+    CASES = [
+        "always ({req} |=> ({gnt}))",
+        "never (gnt0 && gnt1)",
+        "eventually! (done)",
+        "(busy) until! (done)",
+        "always ((rose(frame)) -> (next_e[1:4] (devsel)))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_str_reparses_equal(self, text):
+        first = parse_formula(text)
+        second = parse_formula(str(first))
+        assert first == second

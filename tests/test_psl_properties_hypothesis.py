@@ -1,0 +1,250 @@
+"""Property-based tests for the PSL semantics and monitors.
+
+The central invariants:
+
+* view monotonicity: ``STRONG => NEUTRAL => WEAK`` on every formula and
+  trace,
+* verdict coherence: HOLDS_STRONGLY implies not FAILS; definite
+  verdicts are stable under trace extension,
+* incremental monitors agree with the replay semantics on every
+  supported formula shape,
+* SERE algebra: unit/associativity laws for concatenation and
+  alternation.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.psl import (
+    And,
+    Const,
+    FlAlways,
+    FlBool,
+    FlEventually,
+    FlNever,
+    FlNext,
+    FlNot,
+    FlOr,
+    FlSere,
+    FlSuffixImpl,
+    FlUntil,
+    Not,
+    Or,
+    SereBool,
+    SereConcat,
+    SereOr,
+    SereRepeat,
+    Var,
+    Verdict,
+    View,
+    build_monitor,
+    run_monitor,
+    satisfies,
+    verdict,
+)
+from repro.psl.sere import Matcher
+
+NAMES = ("p", "q", "r")
+
+letters = st.fixed_dictionaries({name: st.booleans() for name in NAMES})
+traces = st.lists(letters, min_size=1, max_size=7)
+
+
+@st.composite
+def bool_exprs(draw, depth=2):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.sampled_from([Var(n) for n in NAMES]),
+                st.sampled_from([Const(True), Const(False)]),
+            )
+        )
+    branch = draw(st.integers(0, 3))
+    if branch == 0:
+        return Not(draw(bool_exprs(depth=depth - 1)))
+    if branch == 1:
+        return And(draw(bool_exprs(depth=depth - 1)), draw(bool_exprs(depth=depth - 1)))
+    if branch == 2:
+        return Or(draw(bool_exprs(depth=depth - 1)), draw(bool_exprs(depth=depth - 1)))
+    return draw(bool_exprs(depth=0))
+
+
+@st.composite
+def seres(draw, depth=2):
+    if depth == 0:
+        return SereBool(draw(bool_exprs(depth=1)))
+    branch = draw(st.integers(0, 3))
+    if branch == 0:
+        return SereConcat(
+            tuple(
+                draw(st.lists(seres(depth=depth - 1), min_size=1, max_size=3))
+            )
+        )
+    if branch == 1:
+        return SereOr(draw(seres(depth=depth - 1)), draw(seres(depth=depth - 1)))
+    if branch == 2:
+        low = draw(st.integers(0, 2))
+        high = draw(st.one_of(st.none(), st.integers(low, low + 2)))
+        return SereRepeat(draw(seres(depth=0)), low, high)
+    return draw(seres(depth=0))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        return FlBool(draw(bool_exprs(depth=1)))
+    branch = draw(st.integers(0, 7))
+    if branch == 0:
+        return FlNot(draw(formulas(depth=depth - 1)))
+    if branch == 1:
+        return FlAlways(draw(formulas(depth=depth - 1)))
+    if branch == 2:
+        return FlEventually(draw(formulas(depth=depth - 1)))
+    if branch == 3:
+        return FlNext(
+            draw(formulas(depth=depth - 1)),
+            strong=draw(st.booleans()),
+            count=draw(st.integers(1, 2)),
+        )
+    if branch == 4:
+        return FlUntil(
+            draw(formulas(depth=depth - 1)),
+            draw(formulas(depth=depth - 1)),
+            strong=draw(st.booleans()),
+        )
+    if branch == 5:
+        return FlSere(draw(seres(depth=1)), strong=draw(st.booleans()))
+    if branch == 6:
+        return FlOr(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    return draw(formulas(depth=0))
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas(), traces)
+def test_view_monotonicity(formula, trace):
+    strong = satisfies(formula, trace, view=View.STRONG)
+    neutral = satisfies(formula, trace, view=View.NEUTRAL)
+    weak = satisfies(formula, trace, view=View.WEAK)
+    assert not strong or neutral
+    assert not neutral or weak
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas(), traces)
+def test_verdict_coherence(formula, trace):
+    result = verdict(formula, trace)
+    if result is Verdict.HOLDS_STRONGLY:
+        assert satisfies(formula, trace, view=View.WEAK)
+    if result is Verdict.FAILS:
+        assert not satisfies(formula, trace, view=View.WEAK)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas(), traces, traces)
+def test_definite_verdicts_stable_under_extension(formula, trace, extension):
+    """Once HOLDS_STRONGLY/FAILS, any continuation keeps weak/strong
+    satisfaction consistent (the monitor latch is justified)."""
+    first = verdict(formula, trace)
+    extended = verdict(formula, list(trace) + list(extension))
+    if first is Verdict.HOLDS_STRONGLY:
+        assert extended in (Verdict.HOLDS_STRONGLY, Verdict.HOLDS)
+    if first is Verdict.FAILS:
+        assert extended is Verdict.FAILS
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas(), traces)
+def test_negation_duality(formula, trace):
+    positive = satisfies(formula, trace, view=View.STRONG)
+    negative = satisfies(FlNot(formula), trace, view=View.WEAK)
+    assert positive == (not negative)
+
+
+@settings(max_examples=150, deadline=None)
+@given(seres(), traces)
+def test_sere_concat_epsilon_unit(item, trace):
+    """{[*0]} ; s == s (epsilon is the unit of concatenation)."""
+    epsilon = SereRepeat(SereBool(Const(True)), 0, 0)
+    unit = SereConcat((epsilon, item))
+    matcher = Matcher(trace)
+    assert matcher.match_ends(item, 0) == matcher.match_ends(unit, 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(seres(), seres(), traces)
+def test_sere_or_commutative(left, right, trace):
+    matcher = Matcher(trace)
+    assert matcher.match_ends(SereOr(left, right), 0) == matcher.match_ends(
+        SereOr(right, left), 0
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(seres(), seres(), seres(), traces)
+def test_sere_concat_associative(a, b, c, trace):
+    matcher = Matcher(trace)
+    left = SereConcat((SereConcat((a, b)), c))
+    right = SereConcat((a, SereConcat((b, c))))
+    assert matcher.match_ends(left, 0) == matcher.match_ends(right, 0)
+
+
+# -- monitor vs replay differential ------------------------------------------------
+
+MONITORABLE = [
+    lambda e1, e2: FlAlways(FlBool(e1)),
+    lambda e1, e2: FlNever(FlBool(e1)),
+    lambda e1, e2: FlAlways(FlSuffixImpl(SereBool(e1), FlBool(e2), overlapping=False)),
+    lambda e1, e2: FlAlways(FlSuffixImpl(SereBool(e1), FlBool(e2), overlapping=True)),
+    lambda e1, e2: FlEventually(FlBool(e1)),
+    lambda e1, e2: FlUntil(FlBool(e1), FlBool(e2), strong=True),
+    lambda e1, e2: FlUntil(FlBool(e1), FlBool(e2), strong=False),
+    lambda e1, e2: FlNever(FlSere(SereConcat((SereBool(e1), SereBool(e2))))),
+]
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.integers(0, len(MONITORABLE) - 1),
+    bool_exprs(),
+    bool_exprs(),
+    traces,
+)
+def test_incremental_monitor_agrees_with_replay(index, e1, e2, trace):
+    formula = MONITORABLE[index](e1, e2)
+    monitor = build_monitor(formula)
+    got = run_monitor(monitor, trace)
+    expected = verdict(formula, trace)
+    assert got == expected, f"{formula} on {trace}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(0, len(MONITORABLE) - 1),
+    bool_exprs(),
+    bool_exprs(),
+    traces,
+    st.integers(1, 5),
+)
+def test_monitor_snapshot_restore_consistency(index, e1, e2, trace, cut):
+    """Snapshot mid-trace, diverge, restore, replay: same verdict as an
+    uninterrupted run (the explorer depends on this)."""
+    formula = MONITORABLE[index](e1, e2)
+    monitor = build_monitor(formula)
+    monitor.reset()
+    split = min(cut, len(trace))
+    for letter in trace[:split]:
+        monitor.step(letter)
+    snap = monitor.snapshot()
+    saved_cycle = monitor.cycle
+    # diverge
+    monitor.step({name: True for name in NAMES})
+    # restore and continue on the real trace
+    monitor.restore(snap)
+    monitor.cycle = saved_cycle
+    for letter in trace[split:]:
+        monitor.step(letter)
+    reference = build_monitor(formula)
+    expected = run_monitor(reference, trace)
+    assert monitor.verdict() == expected

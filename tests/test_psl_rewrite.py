@@ -1,0 +1,165 @@
+"""Tests for PSL rewriting: simplification and negation normal form.
+
+The key property (hypothesis-checked): every rewrite preserves the
+four-valued verdict on every trace.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.psl import (
+    Const,
+    FlAlways,
+    FlAnd,
+    FlBool,
+    FlEventually,
+    FlNever,
+    FlNext,
+    FlNot,
+    Not,
+    SereBool,
+    SereConcat,
+    SereRepeat,
+    Var,
+    parse_formula,
+    parse_sere,
+    verdict,
+)
+from repro.psl.rewrite import (
+    negation_normal_form,
+    simplify,
+    simplify_expr,
+    simplify_sere,
+)
+from repro.psl.sere import Matcher
+
+from test_psl_properties_hypothesis import formulas, traces
+
+
+class TestExprSimplify:
+    def test_double_negation(self):
+        assert simplify_expr(Not(Not(Var("a")))) == Var("a")
+
+    def test_and_units(self):
+        a = Var("a")
+        assert simplify_expr(parse := (a & Const(True))) == a
+        assert simplify_expr(a & Const(False)) == Const(False)
+        assert simplify_expr(Const(True) & a) == a
+
+    def test_or_units(self):
+        a = Var("a")
+        assert simplify_expr(a | Const(False)) == a
+        assert simplify_expr(a | Const(True)) == Const(True)
+
+    def test_idempotence_law(self):
+        a = Var("a")
+        assert simplify_expr(a & a) == a
+        assert simplify_expr(a | a) == a
+
+
+class TestSereSimplify:
+    def test_single_repeat_unwrapped(self):
+        assert simplify_sere(parse_sere("a[*1]")) == parse_sere("a")
+
+    def test_concat_flattening(self):
+        nested = SereConcat((parse_sere("{a ; b}"), parse_sere("c")))
+        flat = simplify_sere(nested)
+        assert isinstance(flat, SereConcat)
+        assert len(flat.parts) == 3
+
+    def test_epsilon_dropped_from_concat(self):
+        item = SereConcat((SereRepeat(SereBool(Const(True)), 0, 0), parse_sere("a")))
+        assert simplify_sere(item) == parse_sere("a")
+
+    def test_nested_stars_collapse(self):
+        item = SereRepeat(parse_sere("a[*]"), 0, None)
+        simplified = simplify_sere(item)
+        assert simplified == parse_sere("a[*]")
+
+    def test_plus_inside_star(self):
+        item = SereRepeat(parse_sere("a[+]"), 0, None)
+        assert simplify_sere(item) == parse_sere("a[*]")
+
+    @settings(max_examples=100, deadline=None)
+    @given(traces)
+    def test_language_preserved_on_samples(self, trace):
+        for text in ("a[*1]", "{ {a ; b} ; c }", "{a[*]}[*]", "a | a"):
+            original = parse_sere(text)
+            rewritten = simplify_sere(original)
+            matcher = Matcher(trace)
+            assert matcher.match_ends(original, 0) == matcher.match_ends(
+                rewritten, 0
+            ), text
+
+
+class TestFlSimplify:
+    def test_gg_collapse(self):
+        formula = FlAlways(FlAlways(FlBool(Var("p"))))
+        assert simplify(formula) == FlAlways(FlBool(Var("p")))
+
+    def test_ff_collapse(self):
+        formula = FlEventually(FlEventually(FlBool(Var("p"))))
+        assert simplify(formula) == FlEventually(FlBool(Var("p")))
+
+    def test_always_distributes_over_and(self):
+        # explicit FL-level conjunction (the parser folds "p && q" into
+        # the Boolean layer, which needs no distribution)
+        formula = FlAlways(FlAnd(FlBool(Var("p")), FlAlways(FlBool(Var("q")))))
+        simplified = simplify(formula)
+        assert isinstance(simplified, FlAnd)
+        assert isinstance(simplified.left, FlAlways)
+
+    def test_never_of_boolean_becomes_always_not(self):
+        simplified = simplify(parse_formula("never p"))
+        assert isinstance(simplified, FlAlways)
+
+    def test_next_counts_merge(self):
+        formula = FlNext(FlNext(FlBool(Var("p")), count=2), count=3)
+        merged = simplify(formula)
+        assert isinstance(merged, FlNext) and merged.count == 5
+
+    def test_double_fl_negation(self):
+        formula = FlNot(FlNot(FlAlways(FlBool(Var("p")))))
+        assert simplify(formula) == FlAlways(FlBool(Var("p")))
+
+    def test_idempotent(self):
+        for text in ("always (p && q)", "never p", "eventually! (p || p)"):
+            once = simplify(parse_formula(text))
+            assert simplify(once) == once
+
+
+class TestNnf:
+    def test_not_always_becomes_eventually(self):
+        nnf = negation_normal_form(FlNot(parse_formula("always p")))
+        assert isinstance(nnf, FlEventually)
+
+    def test_not_eventually_becomes_always(self):
+        nnf = negation_normal_form(FlNot(parse_formula("eventually! p")))
+        assert isinstance(nnf, FlAlways)
+
+    def test_de_morgan(self):
+        nnf = negation_normal_form(FlNot(parse_formula("(always p) && (always q)")))
+        assert "||" in str(nnf) or "Or" in type(nnf).__name__
+
+    def test_next_duality_flips_strength(self):
+        nnf = negation_normal_form(FlNot(parse_formula("next p")))
+        assert isinstance(nnf, FlNext) and nnf.strong
+
+    def test_boolean_negation_pushed_into_expr(self):
+        nnf = negation_normal_form(FlNot(FlBool(Var("p"))))
+        assert isinstance(nnf, FlBool)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas(), traces)
+def test_simplify_preserves_verdict(formula, trace):
+    assert verdict(simplify(formula), trace) == verdict(formula, trace)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas(), traces)
+def test_nnf_preserves_verdict(formula, trace):
+    assert verdict(negation_normal_form(formula), trace) == verdict(
+        formula, trace
+    )

@@ -1,0 +1,211 @@
+"""Unit tests for the four-valued finite-trace semantics."""
+
+import pytest
+
+from repro.psl import (
+    Verdict,
+    View,
+    parse_formula,
+    satisfies,
+    verdict,
+)
+from repro.psl.semantics import dual
+
+
+def trace(*bits: str) -> list[dict]:
+    names = "pqrab"
+    return [{n: n in cycle for n in names} for cycle in bits]
+
+
+class TestBooleans:
+    def test_simple_bool(self):
+        assert verdict(parse_formula("p"), trace("p")) is Verdict.HOLDS_STRONGLY
+        assert verdict(parse_formula("p"), trace("q")) is Verdict.FAILS
+
+    def test_connectives(self):
+        assert verdict(parse_formula("p && q"), trace("pq")).is_ok
+        assert verdict(parse_formula("p || q"), trace("q")).is_ok
+        assert verdict(parse_formula("p -> q"), trace("")) is not Verdict.FAILS
+        assert verdict(parse_formula("p <-> q"), trace("pq")).is_ok
+        assert verdict(parse_formula("p <-> q"), trace("p")) is Verdict.FAILS
+
+    def test_unknown_signal_holds_weakly_only(self):
+        result = verdict(parse_formula("zz"), trace("p"))
+        assert result is Verdict.FAILS or result is Verdict.PENDING
+
+
+class TestAlwaysNever:
+    def test_always_holds_neutrally(self):
+        assert verdict(parse_formula("always p"), trace("p", "p")) is Verdict.HOLDS
+
+    def test_always_never_holds_strongly_on_finite_trace(self):
+        # no finite trace can guarantee always p on every extension
+        assert verdict(parse_formula("always p"), trace("p")) is not Verdict.HOLDS_STRONGLY
+
+    def test_always_fails_on_first_violation(self):
+        assert verdict(parse_formula("always p"), trace("p", "")) is Verdict.FAILS
+
+    def test_never(self):
+        assert verdict(parse_formula("never q"), trace("p", "p")) is Verdict.HOLDS
+        assert verdict(parse_formula("never q"), trace("q")) is Verdict.FAILS
+
+
+class TestNext:
+    def test_weak_next_at_end_holds(self):
+        assert verdict(parse_formula("next p"), trace("q")) is Verdict.HOLDS
+
+    def test_strong_next_at_end_pending(self):
+        assert verdict(parse_formula("next! p"), trace("q")) is Verdict.PENDING
+
+    def test_next_with_count(self):
+        assert verdict(parse_formula("next[2] p"), trace("", "", "p")).is_ok
+        assert verdict(parse_formula("next[2] p"), trace("", "", "q")) is Verdict.FAILS
+
+    def test_next_a_window(self):
+        good = trace("", "p", "p", "p")
+        assert verdict(parse_formula("next_a[1:3] p"), good).is_ok
+        bad = trace("", "p", "", "p")
+        assert verdict(parse_formula("next_a[1:3] p"), bad) is Verdict.FAILS
+
+    def test_next_e_window(self):
+        assert verdict(parse_formula("next_e[1:3] p"), trace("", "", "p")).is_ok
+        assert (
+            verdict(parse_formula("next_e[1:3] p"), trace("", "", "", ""))
+            is Verdict.FAILS
+        )
+
+    def test_next_event(self):
+        t = trace("", "q", "", "pq")
+        assert verdict(parse_formula("next_event(q)[2](p)"), t).is_ok
+        t2 = trace("", "q", "", "q")
+        assert verdict(parse_formula("next_event(q)[2](p)"), t2) is Verdict.FAILS
+
+    def test_next_event_no_trigger_weak(self):
+        assert verdict(parse_formula("next_event(q)(p)"), trace("", "")) is Verdict.HOLDS
+        assert (
+            verdict(parse_formula("next_event!(q)(p)"), trace("", ""))
+            is Verdict.PENDING
+        )
+
+
+class TestEventuallyUntil:
+    def test_eventually_strong(self):
+        assert verdict(parse_formula("eventually! p"), trace("", "p")) is Verdict.HOLDS_STRONGLY
+        assert verdict(parse_formula("eventually! p"), trace("", "")) is Verdict.PENDING
+
+    def test_until_weak_released(self):
+        assert verdict(parse_formula("p until q"), trace("p", "pq")).is_ok
+
+    def test_until_weak_unreleased_holds(self):
+        assert verdict(parse_formula("p until q"), trace("p", "p")) is Verdict.HOLDS
+
+    def test_until_strong_unreleased_pending(self):
+        assert verdict(parse_formula("p until! q"), trace("p", "p")) is Verdict.PENDING
+
+    def test_until_fails_when_left_breaks(self):
+        assert verdict(parse_formula("p until! q"), trace("p", "", "q")) is Verdict.FAILS
+
+    def test_until_inclusive(self):
+        # until_ requires p to hold at the release cycle too
+        assert verdict(parse_formula("p until_ q"), trace("p", "pq")).is_ok
+        assert verdict(parse_formula("p until_ q"), trace("p", "q")) is Verdict.FAILS
+
+    def test_before(self):
+        assert verdict(parse_formula("p before q"), trace("", "p", "q")).is_ok
+        assert verdict(parse_formula("p before q"), trace("", "q")) is Verdict.FAILS
+
+    def test_before_inclusive_allows_same_cycle(self):
+        assert verdict(parse_formula("p before_ q"), trace("", "pq")).is_ok
+
+
+class TestSereFormulas:
+    def test_weak_sere_pending_while_alive(self):
+        assert verdict(parse_formula("{p ; q}"), trace("p")) is Verdict.PENDING
+
+    def test_weak_sere_fails_when_dead(self):
+        assert verdict(parse_formula("{p ; q}"), trace("q")) is Verdict.FAILS
+
+    def test_strong_sere_needs_completion(self):
+        assert verdict(parse_formula("{p ; q}!"), trace("p")) is Verdict.PENDING
+        assert verdict(parse_formula("{p ; q}!"), trace("p", "q")) is Verdict.HOLDS_STRONGLY
+
+    def test_suffix_implication_overlapping(self):
+        # {p} |-> q : q at the same cycle as the match end
+        assert verdict(parse_formula("{p} |-> q"), trace("pq")).is_ok
+        assert verdict(parse_formula("{p} |-> q"), trace("p")) is Verdict.FAILS
+
+    def test_suffix_implication_non_overlapping(self):
+        assert verdict(parse_formula("{p} |=> q"), trace("p", "q")).is_ok
+        assert verdict(parse_formula("{p} |=> q"), trace("p", "")) is Verdict.FAILS
+
+    def test_suffix_implication_vacuous(self):
+        assert verdict(parse_formula("{p} |=> q"), trace("", "")).is_ok
+
+    def test_always_suffix_implication(self):
+        formula = parse_formula("always {p} |=> {q}")
+        assert verdict(formula, trace("p", "q", "p", "q")) is Verdict.HOLDS
+        assert verdict(formula, trace("p", "q", "p", "")) is Verdict.FAILS
+
+
+class TestAbortAndClock:
+    def test_abort_discharges_failure(self):
+        formula = parse_formula("(always p) abort r")
+        # p fails at cycle 1 but r fires there: aborted -> holds
+        assert verdict(formula, trace("p", "r")).is_ok
+
+    def test_abort_without_reset_fails(self):
+        formula = parse_formula("(always p) abort r")
+        assert verdict(formula, trace("p", "")) is Verdict.FAILS
+
+    def test_clocked_projection(self):
+        formula = parse_formula("(always p) @ q")
+        # p only needs to hold on q-cycles
+        t = [
+            {"p": True, "q": True},
+            {"p": False, "q": False},
+            {"p": True, "q": True},
+        ]
+        assert verdict(formula, t).is_ok
+
+    def test_clocked_failure_on_tick(self):
+        formula = parse_formula("(always p) @ q")
+        t = [{"p": False, "q": True}]
+        assert verdict(formula, t) is Verdict.FAILS
+
+
+class TestViews:
+    def test_dual_involution(self):
+        for view in View:
+            assert dual(dual(view)) is view
+
+    def test_view_monotonicity_examples(self):
+        cases = [
+            ("always p", trace("p", "p")),
+            ("eventually! p", trace("", "")),
+            ("p until! q", trace("p",)),
+            ("{p ; q}", trace("p",)),
+            ("never q", trace("p",)),
+        ]
+        for text, t in cases:
+            formula = parse_formula(text)
+            strong = satisfies(formula, t, view=View.STRONG)
+            neutral = satisfies(formula, t, view=View.NEUTRAL)
+            weak = satisfies(formula, t, view=View.WEAK)
+            assert (not strong or neutral) and (not neutral or weak), text
+
+    def test_position_past_end(self):
+        formula = parse_formula("p")
+        assert satisfies(formula, trace("p"), position=5, view=View.WEAK)
+        assert not satisfies(formula, trace("p"), position=5, view=View.NEUTRAL)
+
+
+class TestVerdictProperties:
+    def test_is_definite(self):
+        assert Verdict.FAILS.is_definite
+        assert Verdict.HOLDS_STRONGLY.is_definite
+        assert not Verdict.HOLDS.is_definite
+        assert not Verdict.PENDING.is_definite
+
+    def test_is_ok(self):
+        assert Verdict.HOLDS.is_ok
+        assert not Verdict.FAILS.is_ok

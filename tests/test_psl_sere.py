@@ -1,0 +1,190 @@
+"""Unit tests for SERE tight matching and partial-match liveness."""
+
+import pytest
+
+from repro.psl import (
+    Const,
+    Not,
+    SereAnd,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereGoto,
+    SereNonConsec,
+    SereOr,
+    SereRepeat,
+    Var,
+    parse_sere,
+    sere_within,
+)
+from repro.psl.sere import Matcher, match_ends, tightly_matches
+
+A, B, C = Var("a"), Var("b"), Var("c")
+
+
+def trace(*bits: str) -> list[dict]:
+    """Build a trace from per-cycle signal strings, e.g. 'ab', '', 'c'."""
+    return [{name: name in cycle for name in "abc"} for cycle in bits]
+
+
+class TestBooleanStep:
+    def test_matches_one_letter(self):
+        assert sorted(match_ends(SereBool(A), trace("a"), 0)) == [1]
+
+    def test_no_match_on_false(self):
+        assert not match_ends(SereBool(A), trace("b"), 0)
+
+    def test_no_match_past_end(self):
+        assert not match_ends(SereBool(A), trace("a"), 1)
+
+    def test_missing_signal_is_false(self):
+        assert not match_ends(SereBool(Var("zz")), trace("a"), 0)
+
+
+class TestConcat:
+    def test_simple(self):
+        item = SereConcat((SereBool(A), SereBool(B)))
+        assert sorted(match_ends(item, trace("a", "b"), 0)) == [2]
+
+    def test_fails_midway(self):
+        item = SereConcat((SereBool(A), SereBool(B)))
+        assert not match_ends(item, trace("a", "a"), 0)
+
+    def test_with_star_padding(self):
+        item = parse_sere("a ; b[*] ; c")
+        assert sorted(match_ends(item, trace("a", "b", "b", "c"), 0)) == [4]
+        assert sorted(match_ends(item, trace("a", "c"), 0)) == [2]
+
+
+class TestFusion:
+    def test_overlap_one_cycle(self):
+        item = SereFusion(SereBool(A), SereBool(B))
+        # last letter of a-match == first letter of b-match
+        assert sorted(match_ends(item, trace("ab"), 0)) == [1]
+
+    def test_fusion_of_sequences(self):
+        item = parse_sere("{a ; b} : {b ; c}")
+        assert sorted(match_ends(item, trace("a", "b", "c"), 0)) == [3]
+
+    def test_fusion_requires_nonempty_sides(self):
+        item = SereFusion(SereRepeat(SereBool(A), 0, None), SereBool(B))
+        # left side must contribute at least one letter
+        assert sorted(match_ends(item, trace("ab"), 0)) == [1]
+        assert not match_ends(item, trace("b"), 0) - {1} - {1}
+
+
+class TestOrAnd:
+    def test_or(self):
+        item = SereOr(SereBool(A), SereBool(B))
+        assert match_ends(item, trace("b"), 0)
+
+    def test_length_matching_and(self):
+        item = SereAnd(parse_sere("a ; a"), parse_sere("true ; a"), True)
+        assert sorted(match_ends(item, trace("a", "a"), 0)) == [2]
+
+    def test_length_matching_and_rejects_unequal(self):
+        item = SereAnd(SereBool(A), parse_sere("a ; b"), True)
+        assert not match_ends(item, trace("a", "b"), 0)
+
+    def test_non_length_matching_and(self):
+        item = SereAnd(SereBool(A), parse_sere("a ; b"), False)
+        # shorter operand matches a prefix; end = longer's end
+        assert sorted(match_ends(item, trace("a", "b"), 0)) == [2]
+
+
+class TestRepeat:
+    def test_star_matches_all_prefixes(self):
+        item = SereRepeat(SereBool(A), 0, None)
+        assert sorted(match_ends(item, trace("a", "a"), 0)) == [0, 1, 2]
+
+    def test_plus_needs_one(self):
+        item = SereRepeat(SereBool(A), 1, None)
+        assert sorted(match_ends(item, trace("a", "a"), 0)) == [1, 2]
+        assert not match_ends(item, trace("b"), 0)
+
+    def test_exact_count(self):
+        item = SereRepeat(SereBool(A), 2, 2)
+        assert sorted(match_ends(item, trace("a", "a", "a"), 0)) == [2]
+
+    def test_range(self):
+        item = SereRepeat(SereBool(A), 1, 2)
+        assert sorted(match_ends(item, trace("a", "a", "a"), 0)) == [1, 2]
+
+    def test_zero_repeat_matches_empty(self):
+        item = SereRepeat(SereBool(A), 0, 0)
+        assert sorted(match_ends(item, trace("b"), 0)) == [0]
+
+    def test_nullable_body_terminates(self):
+        inner = SereRepeat(SereBool(A), 0, None)
+        item = SereRepeat(inner, 0, None)  # (a[*])[*] -- nullable body
+        ends = match_ends(item, trace("a", "a"), 0)
+        assert sorted(ends) == [0, 1, 2]
+
+    def test_bounds_validation(self):
+        with pytest.raises(Exception):
+            SereRepeat(SereBool(A), 3, 1)
+
+
+class TestGotoAndNonConsec:
+    def test_goto_single(self):
+        item = SereGoto(B, 1)
+        assert sorted(match_ends(item, trace("a", "b"), 0)) == [2]
+
+    def test_goto_ends_on_occurrence(self):
+        item = SereGoto(B, 2)
+        ends = match_ends(item, trace("", "b", "", "b", ""), 0)
+        assert sorted(ends) == [4]
+
+    def test_goto_range(self):
+        item = SereGoto(B, 1, 2)
+        ends = match_ends(item, trace("b", "b"), 0)
+        assert sorted(ends) == [1, 2]
+
+    def test_nonconsec_allows_tail(self):
+        item = SereNonConsec(B, 1)
+        ends = match_ends(item, trace("b", "", ""), 0)
+        assert sorted(ends) == [1, 2, 3]
+
+    def test_within(self):
+        item = sere_within(parse_sere("a ; b"), parse_sere("c[*]"))
+        assert not match_ends(item, trace("a", "b"), 0)
+        both = [{"a": True, "c": True}, {"b": True, "c": True}]
+        assert sorted(match_ends(item, both, 0)) == [2]
+
+
+class TestAlive:
+    def test_alive_mid_concat(self):
+        matcher = Matcher(trace("a"))
+        assert matcher.alive(parse_sere("a ; b"), 0)
+
+    def test_dead_after_mismatch(self):
+        matcher = Matcher(trace("b"))
+        assert not matcher.alive(parse_sere("a ; b"), 0)
+
+    def test_alive_at_trace_end(self):
+        matcher = Matcher(trace())
+        assert matcher.alive(SereBool(A), 0)
+
+    def test_const_false_never_alive(self):
+        matcher = Matcher(trace())
+        assert not matcher.alive(SereBool(Const(False)), 0)
+
+    def test_alive_in_repeat(self):
+        matcher = Matcher(trace("a", "a"))
+        assert matcher.alive(SereRepeat(SereBool(A), 3, 3), 0)
+
+    def test_not_alive_when_bounded_repeat_exhausted(self):
+        matcher = Matcher(trace("a", "a"))
+        item = SereConcat((SereRepeat(SereBool(A), 1, 2), SereBool(B)))
+        assert matcher.alive(item, 0)  # b could still come
+        matcher2 = Matcher(trace("b", "b"))
+        assert not matcher2.alive(item, 0)
+
+
+class TestTightlyMatches:
+    def test_whole_trace(self):
+        assert tightly_matches(parse_sere("a ; b"), trace("a", "b"))
+        assert not tightly_matches(parse_sere("a ; b"), trace("a", "b", "c"))
+
+    def test_empty_trace_with_star(self):
+        assert tightly_matches(SereRepeat(SereBool(A), 0, None), [])

@@ -1,0 +1,314 @@
+"""Unit tests for signals, clocks, modules/ports, datatypes, tracing
+and reporting."""
+
+import io
+
+import pytest
+
+from repro.asm import BitVector
+from repro.sysc import (
+    BindingError,
+    Clock,
+    ElaborationError,
+    In,
+    Logic,
+    Module,
+    Out,
+    Report,
+    ReportHandler,
+    Severity,
+    Signal,
+    Simulator,
+    SyscError,
+    VcdTracer,
+    format_time,
+    logic_vector,
+    ns,
+    us,
+)
+
+
+class TestSignal:
+    def test_unattached_signal_updates_immediately(self):
+        signal = Signal(0, "s")
+        signal.write(5)
+        assert signal.read() == 5
+
+    def test_no_event_on_same_value(self):
+        sim = Simulator()
+        signal = Signal(1, "s", sim)
+        hits = []
+        sim.method(lambda: hits.append(1), sensitive=(signal,), dont_initialize=True)
+
+        def driver():
+            signal.write(1)  # unchanged
+            yield ns(1)
+            signal.write(2)
+
+        sim.thread(driver)
+        sim.run(ns(5))
+        assert len(hits) == 1
+
+    def test_posedge_negedge_events(self):
+        sim = Simulator()
+        signal = Signal(False, "s", sim)
+        edges = []
+
+        def pos_watcher():
+            while True:
+                yield signal.posedge_event
+                edges.append("pos")
+
+        def neg_watcher():
+            while True:
+                yield signal.negedge_event
+                edges.append("neg")
+
+        def driver():
+            yield ns(1)
+            signal.write(True)
+            yield ns(1)
+            signal.write(False)
+
+        sim.thread(pos_watcher)
+        sim.thread(neg_watcher)
+        sim.thread(driver)
+        sim.run(ns(10))
+        assert edges == ["pos", "neg"]
+
+
+class TestClock:
+    def test_period_and_cycles(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim)
+        sim.run(ns(100))
+        assert clock.cycle_count == 11  # posedge at t=0 plus every 10ns
+
+    def test_duty_cycle(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim, duty_cycle=0.3)
+        transitions = []
+
+        def watch():
+            while True:
+                yield clock.value_changed
+                transitions.append((sim.time, clock.read()))
+
+        sim.thread(watch)
+        sim.run(ns(20))
+        # high for 3ns, low for 7ns
+        assert (ns(3), False) in transitions
+
+    def test_start_time(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim, start_time=ns(25))
+        rises = []
+
+        def watch():
+            while True:
+                yield clock.posedge_event
+                rises.append(sim.time)
+
+        sim.thread(watch)
+        sim.run(ns(40))
+        assert rises and rises[0] == ns(25)
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(SyscError):
+            Clock("bad", 1, sim)
+        with pytest.raises(SyscError):
+            Clock("bad", ns(10), sim, duty_cycle=1.5)
+
+
+class TestModulePorts:
+    def test_port_binding_and_io(self):
+        sim = Simulator()
+        wire = Signal(0, "wire", sim)
+
+        class Producer(Module):
+            def __init__(self, name, simulator):
+                super().__init__(name, simulator)
+                self.out = self.out_port("out")
+
+        class Consumer(Module):
+            def __init__(self, name, simulator):
+                super().__init__(name, simulator)
+                self.inp = self.in_port("inp")
+
+        producer = Producer("producer", sim)
+        consumer = Consumer("consumer", sim)
+        producer.out.bind(wire)
+        consumer.inp.bind(wire)
+        producer.check_bindings()
+        consumer.check_bindings()
+        producer.out.write(3)
+        sim.run(ns(1))
+        assert consumer.inp.read() == 3
+
+    def test_unbound_port_read_raises(self):
+        sim = Simulator()
+
+        class M(Module):
+            def __init__(self, name, simulator):
+                super().__init__(name, simulator)
+                self.inp = self.in_port("inp")
+
+        module = M("m", sim)
+        with pytest.raises(BindingError):
+            module.inp.read()
+        with pytest.raises(BindingError):
+            module.check_bindings()
+
+    def test_port_to_port_binding(self):
+        sim = Simulator()
+        wire = Signal(7, "w", sim)
+        parent_port: Out = Out("parent")
+        parent_port.bind(wire)
+        child_port: In = In("child")
+        child_port.bind(parent_port)
+        assert child_port.read() == 7
+
+    def test_binding_to_unbound_port_rejected(self):
+        dangling: Out = Out("dangling")
+        child: In = In("child")
+        with pytest.raises(BindingError):
+            child.bind(dangling)
+
+    def test_module_hierarchy_names(self):
+        sim = Simulator()
+        parent = Module("top", sim)
+        child = Module("child", parent=parent)
+        assert child.name == "top.child"
+        assert child in parent.children
+        assert child.simulator is sim
+
+    def test_module_needs_simulator(self):
+        with pytest.raises(ElaborationError):
+            Module("orphan")
+
+    def test_module_signals_collected(self):
+        sim = Simulator()
+        parent = Module("top", sim)
+        parent.signal(0, "a")
+        child = Module("child", parent=parent)
+        child.signal(0, "b")
+        names = [s.name for s in parent.signals()]
+        assert names == ["top.a", "top.child.b"]
+
+
+class TestLogic:
+    def test_coercions(self):
+        assert Logic(1).value == "1"
+        assert Logic(True) == "1"
+        assert Logic("z").value == "Z"
+
+    def test_unknown_propagation(self):
+        assert (Logic("X") & Logic("1")).value == "X"
+        assert (Logic("X") & Logic("0")).value == "0"
+        assert (Logic("X") | Logic("1")).value == "1"
+        assert (Logic("Z") ^ Logic("1")).value == "X"
+        assert (~Logic("Z")).value == "X"
+
+    def test_known_algebra(self):
+        assert (Logic("1") & Logic("1")) == Logic("1")
+        assert (Logic("0") | Logic("1")) == Logic("1")
+        assert (Logic("1") ^ Logic("1")) == Logic("0")
+        assert (~Logic("0")) == Logic("1")
+
+    def test_to_bool(self):
+        assert Logic("1").to_bool() is True
+        with pytest.raises(SyscError):
+            Logic("X").to_bool()
+
+    def test_logic_vector_parse(self):
+        values = logic_vector("01XZ")
+        assert [l.value for l in values] == ["0", "1", "X", "Z"]
+
+    def test_invalid_literal(self):
+        with pytest.raises(SyscError):
+            Logic("q")
+        with pytest.raises(SyscError):
+            Logic(3)
+
+
+class TestVcd:
+    def test_vcd_structure(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim)
+        counter = Signal(0, "count", sim)
+
+        def body():
+            while True:
+                yield clock.posedge_event
+                counter.write(counter.read() + 1)
+
+        sim.thread(body)
+        tracer = VcdTracer(sim)
+        tracer.trace(clock)
+        tracer.trace(counter)
+        sim.run(ns(45))
+        text = tracer.dump()
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 1 ! clk $end" in text
+        assert "$enddefinitions $end" in text
+        assert "#0" in text or "#10000" in text
+
+    def test_write_to_stream(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim)
+        tracer = VcdTracer(sim)
+        tracer.trace(clock)
+        sim.run(ns(25))
+        buffer = io.StringIO()
+        tracer.write(buffer)
+        assert buffer.getvalue().startswith("$date")
+
+    def test_duplicate_trace_ignored(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim)
+        tracer = VcdTracer(sim)
+        tracer.trace(clock)
+        tracer.trace(clock)
+        assert len(tracer._signals) == 1
+
+    def test_bitvector_formatting(self):
+        sim = Simulator()
+        vector = Signal(BitVector("1010"), "bus", sim)
+        tracer = VcdTracer(sim)
+        tracer.trace(vector)
+        sim.run(ns(1))
+        assert "b1010" in tracer.dump()
+
+
+class TestReporting:
+    def test_counts_and_summary(self):
+        handler = ReportHandler()
+        handler.info("label", "hello")
+        handler.warning("label", "careful")
+        handler.error("label", "bad", time=ns(5))
+        assert handler.counts[Severity.ERROR] == 1
+        assert len(handler.errors()) == 1
+        assert "1 error" in handler.summary()
+
+    def test_stop_escalation(self):
+        handler = ReportHandler(stop_severity=Severity.ERROR)
+        assert handler.should_stop(Severity.ERROR)
+        assert not handler.should_stop(Severity.WARNING)
+
+    def test_sink_callback(self):
+        seen = []
+        handler = ReportHandler(sink=seen.append)
+        handler.error("x", "boom")
+        assert seen and isinstance(seen[0], Report)
+
+
+class TestTimeHelpers:
+    def test_conversions(self):
+        assert ns(1) == 1000
+        assert us(1) == ns(1000)
+
+    def test_format(self):
+        assert format_time(ns(30)) == "30 ns"
+        assert format_time(500) == "500 ps"
+        assert format_time(us(2)) == "2 us"

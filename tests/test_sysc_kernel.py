@@ -1,0 +1,281 @@
+"""Unit tests for the simulation kernel's scheduling semantics."""
+
+import pytest
+
+from repro.sysc import (
+    Clock,
+    DeltaCycleLimitExceeded,
+    Event,
+    Signal,
+    SimulationStopped,
+    Simulator,
+    ns,
+)
+
+
+class TestEventsAndProcesses:
+    def test_thread_runs_at_initialization(self):
+        sim = Simulator()
+        ran = []
+
+        def body():
+            ran.append(True)
+            return
+            yield  # pragma: no cover -- makes it a generator
+
+        sim.thread(body)
+        sim.run(ns(1))
+        assert ran
+
+    def test_dont_initialize(self):
+        sim = Simulator()
+        ran = []
+        event = Event("go", sim)
+
+        def body():
+            while True:
+                yield event
+                ran.append(sim.time)
+
+        sim.thread(body, sensitive=(), dont_initialize=False)
+        sim.run(ns(1))
+        assert not ran  # waits on event, never notified
+
+    def test_timed_wait(self):
+        sim = Simulator()
+        wakeups = []
+
+        def body():
+            yield ns(10)
+            wakeups.append(sim.time)
+            yield ns(5)
+            wakeups.append(sim.time)
+
+        sim.thread(body)
+        sim.run(ns(100))
+        assert wakeups == [ns(10), ns(15)]
+
+    def test_event_notification_wakes_waiter(self):
+        sim = Simulator()
+        event = Event("go", sim)
+        log = []
+
+        def waiter():
+            yield event
+            log.append(("woke", sim.time))
+
+        def notifier():
+            yield ns(7)
+            event.notify()
+
+        sim.thread(waiter)
+        sim.thread(notifier)
+        sim.run(ns(20))
+        assert log == [("woke", ns(7))]
+
+    def test_wait_on_multiple_events(self):
+        sim = Simulator()
+        first = Event("first", sim)
+        second = Event("second", sim)
+        log = []
+
+        def waiter():
+            yield (first, second)
+            log.append(sim.time)
+
+        def notifier():
+            yield ns(3)
+            second.notify()
+
+        sim.thread(waiter)
+        sim.thread(notifier)
+        sim.run(ns(10))
+        assert log == [ns(3)]
+
+    def test_timed_notification(self):
+        sim = Simulator()
+        event = Event("later", sim)
+        log = []
+
+        def waiter():
+            yield event
+            log.append(sim.time)
+
+        sim.thread(waiter)
+        sim.initialize()
+        event.notify(ns(12))
+        sim.run(ns(20))
+        assert log == [ns(12)]
+
+    def test_cancel_timed_notification(self):
+        sim = Simulator()
+        event = Event("later", sim)
+        log = []
+
+        def waiter():
+            yield event
+            log.append(sim.time)
+
+        sim.thread(waiter)
+        sim.initialize()
+        event.notify(ns(12))
+        event.cancel()
+        sim.run(ns(20))
+        assert log == []
+
+    def test_method_with_static_sensitivity(self):
+        sim = Simulator()
+        signal = Signal(0, "s", sim)
+        observed = []
+        sim.method(
+            lambda: observed.append(signal.read()),
+            sensitive=(signal,),
+            dont_initialize=True,
+        )
+
+        def driver():
+            yield ns(1)
+            signal.write(1)
+            yield ns(1)
+            signal.write(2)
+
+        sim.thread(driver)
+        sim.run(ns(10))
+        assert observed == [1, 2]
+
+    def test_thread_terminates_cleanly(self):
+        sim = Simulator()
+
+        def body():
+            yield ns(1)
+
+        process = sim.thread(body)
+        sim.run(ns(10))
+        assert process.terminated
+
+
+class TestDeltaCycles:
+    def test_signal_update_deferred_one_delta(self):
+        sim = Simulator()
+        signal = Signal(0, "s", sim)
+        seen = []
+
+        def body():
+            signal.write(42)
+            seen.append(signal.read())  # still old value
+            yield ns(1)
+            seen.append(signal.read())  # updated
+
+        sim.thread(body)
+        sim.run(ns(5))
+        assert seen == [0, 42]
+
+    def test_two_signals_swap_atomically(self):
+        sim = Simulator()
+        a = Signal(1, "a", sim)
+        b = Signal(2, "b", sim)
+
+        def swapper():
+            a.write(b.read())
+            b.write(a.read())
+            yield ns(1)
+
+        sim.thread(swapper)
+        sim.run(ns(5))
+        assert (a.read(), b.read()) == (2, 1)
+
+    def test_delta_chain_within_one_timestep(self):
+        sim = Simulator()
+        a = Signal(0, "a", sim)
+        b = Signal(0, "b", sim)
+        sim.method(lambda: b.write(a.read() * 10), sensitive=(a,), dont_initialize=True)
+
+        def driver():
+            a.write(5)
+            yield ns(1)
+
+        sim.thread(driver)
+        sim.run(ns(5))
+        assert b.read() == 50
+        assert sim.time == ns(5)
+
+    def test_delta_livelock_detected(self):
+        sim = Simulator(max_delta_cycles=50)
+        a = Signal(0, "a", sim)
+        # a method that retriggers itself forever in the same timestep
+        sim.method(lambda: a.write(a.read() + 1), sensitive=(a,))
+        with pytest.raises(DeltaCycleLimitExceeded):
+            sim.run(ns(1))
+
+    def test_signal_event_flag(self):
+        sim = Simulator()
+        signal = Signal(0, "s", sim)
+        flags = []
+
+        def watcher():
+            yield signal.value_changed
+            flags.append(signal.event())
+
+        def driver():
+            yield ns(1)
+            signal.write(9)
+
+        sim.thread(watcher)
+        sim.thread(driver)
+        sim.run(ns(5))
+        assert flags == [True]
+
+
+class TestStop:
+    def test_simulation_stopped_from_process(self):
+        sim = Simulator()
+
+        def body():
+            yield ns(5)
+            raise SimulationStopped("enough")
+
+        sim.thread(body)
+        sim.run(ns(100))
+        assert sim.stopped
+        assert sim.stop_reason == "enough"
+        assert sim.time == ns(5)
+
+    def test_explicit_stop(self):
+        sim = Simulator()
+
+        def body():
+            while True:
+                yield ns(1)
+                if sim.time >= ns(3):
+                    sim.stop("done")
+
+        sim.thread(body)
+        sim.run(ns(100))
+        assert sim.stopped
+
+
+class TestRunSemantics:
+    def test_run_until_duration(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim)
+        sim.run(ns(95))
+        assert sim.time == ns(95)
+
+    def test_starvation_ends_run(self):
+        sim = Simulator()
+
+        def body():
+            yield ns(3)
+
+        sim.thread(body)
+        sim.run()  # no deadline: runs until no activity
+        assert sim.time == ns(3)
+
+    def test_stats_collected(self):
+        sim = Simulator()
+        clock = Clock("clk", ns(10), sim)
+        sim.run(ns(100))
+        assert sim.stats.process_runs > 0
+        assert sim.stats.delta_cycles > 0
+        assert sim.stats.signal_changes > 0
+        assert "process runs" in sim.stats.summary()

@@ -1,0 +1,204 @@
+"""Tests for the R1-R3 translation rules and the C#/C++ generators."""
+
+import pytest
+
+from repro.asm import AsmMachine, BitVector, Byte, StateVar, action, require
+from repro.psl import Directive, DirectiveKind, Property, parse_formula
+from repro.sysc import Logic
+from repro.translate import (
+    TYPE_RULES,
+    cpp_literal,
+    cpp_type_for,
+    csharp_type_for,
+    render_module,
+    render_monitor_class,
+    render_monitor_suite,
+    render_sc_main,
+    render_translation_unit,
+    rule_by_name,
+    rule_for_value,
+    translate_class,
+)
+
+
+class Handshake(AsmMachine):
+    """Small machine exercising every translation rule."""
+
+    m_req = StateVar(False)
+    m_count = StateVar(0)
+    m_data = StateVar(BitVector("0000"))
+
+    @action
+    def send(self):
+        require(self.m_req is False)
+        self.m_req = True
+
+    @action
+    def acknowledge(self):
+        require(self.m_req and self.m_count < 3)
+        self.m_req = False
+        self.m_count = self.m_count + 1
+
+
+class TestRuleR1Types:
+    def test_table_entries(self):
+        assert rule_by_name("Integer").cpp_type == "int"
+        assert rule_by_name("Byte").cpp_type == "unsigned char"
+        assert rule_by_name("Boolean").cpp_type == "bool"
+        assert rule_by_name("String").cpp_type == "std::string"
+
+    def test_value_dispatch_order(self):
+        # bool is an int in Python: the bool rule must win
+        assert rule_for_value(True).asm_name == "Boolean"
+        assert rule_for_value(7).asm_name == "Integer"
+        assert rule_for_value(Byte(7)).asm_name == "Byte"
+
+    def test_bitvector_width_parameterised(self):
+        assert cpp_type_for(BitVector("10101")) == "sc_bv<5>"
+
+    def test_logic(self):
+        assert cpp_type_for(Logic("1")) == "sc_logic"
+        assert cpp_literal(Logic("X")) == "SC_LOGIC_X"
+
+    def test_literals(self):
+        assert cpp_literal(True) == "true"
+        assert cpp_literal("hi") == '"hi"'
+        assert cpp_literal(BitVector("101")) == '"101"'
+
+    def test_enum_maps_to_int(self):
+        import enum
+
+        class Mode(enum.Enum):
+            A = "a"
+            B = "b"
+
+        assert rule_for_value(Mode.B).asm_name == "Integer"
+        assert "1" in cpp_literal(Mode.B)
+
+    def test_csharp_types(self):
+        assert csharp_type_for(True) == "bool"
+        assert csharp_type_for(3) == "int"
+
+
+class TestRuleR2Class:
+    def test_members_become_signals(self):
+        spec = translate_class(Handshake)
+        names = {s.name for s in spec.signals}
+        assert names == {"m_req", "m_count", "m_data"}
+        assert spec.signal("m_req").cpp_type == "bool"
+        assert spec.signal("m_data").cpp_type == "sc_bv<4>"
+        assert "sc_signal<bool> m_req;" == spec.signal("m_req").declaration()
+
+    def test_methods_become_threads(self):
+        spec = translate_class(Handshake)
+        names = {t.name for t in spec.threads}
+        assert names == {"send", "acknowledge"}
+
+    def test_preconditions_extracted(self):
+        spec = translate_class(Handshake)
+        ack = next(t for t in spec.threads if t.name == "acknowledge")
+        assert any("m_req" in p for p in ack.preconditions)
+
+    def test_require_message_argument_stripped(self):
+        class WithMessage(AsmMachine):
+            flag = StateVar(False)
+
+            @action
+            def act(self):
+                require(not self.flag, "already set")
+                self.flag = True
+
+        spec = translate_class(WithMessage)
+        (thread,) = spec.threads
+        assert thread.preconditions == ("not self.flag",)
+
+    def test_sensitivity_derived_from_preconditions(self):
+        spec = translate_class(Handshake)
+        ack = next(t for t in spec.threads if t.name == "acknowledge")
+        assert "m_req" in ack.sensitivity
+        assert "m_count" in ack.sensitivity
+
+    def test_constructor_lines(self):
+        spec = translate_class(Handshake)
+        send = next(t for t in spec.threads if t.name == "send")
+        lines = send.constructor_lines()
+        assert lines[0] == "SC_THREAD(send);"
+        assert lines[1].startswith("sensitive <<")
+
+
+class TestRuleR3AndRendering:
+    def test_module_rendering(self):
+        text = render_module(translate_class(Handshake))
+        assert "SC_MODULE(Handshake)" in text
+        assert "sc_signal<bool> m_req;" in text
+        assert "SC_THREAD(send);" in text
+        assert "SC_CTOR(Handshake)" in text
+
+    def test_sc_main_instantiates_and_clocks(self):
+        spec = translate_class(Handshake)
+        text = render_sc_main([spec], [("hs0", "Handshake"), ("hs1", "Handshake")])
+        assert 'Handshake hs0("hs0");' in text
+        assert "hs0.clk(clk);" in text
+        assert "sc_start();" in text
+
+    def test_sc_main_unknown_module_rejected(self):
+        with pytest.raises(KeyError):
+            render_sc_main([], [("x", "Ghost")])
+
+    def test_full_translation_unit(self):
+        spec = translate_class(Handshake)
+        text = render_translation_unit([spec], [("hs", "Handshake")])
+        assert text.startswith("// Generated by repro.translate")
+        assert "#include <systemc.h>" in text
+        assert "int sc_main" in text
+
+    def test_python_conditions_rendered_as_cpp(self):
+        class Cond(AsmMachine):
+            a = StateVar(False)
+            b = StateVar(False)
+
+            @action
+            def go(self):
+                require(self.a and not self.b)
+
+        text = render_module(translate_class(Cond))
+        assert "a && !b" in text
+
+
+class TestCSharpGeneration:
+    def directive(self) -> Directive:
+        return Directive(
+            DirectiveKind.ASSERT,
+            Property(
+                "no_double_grant",
+                parse_formula("never (gnt0 && gnt1)"),
+                report="double grant",
+            ),
+        )
+
+    def test_class_structure(self):
+        text = render_monitor_class(self.directive())
+        assert "namespace PslMonitors" in text
+        assert "public sealed class" in text
+        assert "enum Verdict" in text
+        assert "private bool gnt0;" in text
+        assert "private bool gnt1;" in text
+
+    def test_three_monitor_actions_present(self):
+        text = render_monitor_class(self.directive())
+        assert "StopSimulation" in text
+        assert "WriteReport" in text
+        assert "RaiseWarning" in text
+
+    def test_report_message_embedded(self):
+        text = render_monitor_class(self.directive())
+        assert "double grant" in text
+
+    def test_formula_documented(self):
+        text = render_monitor_class(self.directive())
+        assert "never" in text
+
+    def test_suite_rendering(self):
+        suite = render_monitor_suite([self.directive()], "PCI bus checks")
+        assert "PCI bus checks" in suite
+        assert suite.count("class") >= 1

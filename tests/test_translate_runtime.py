@@ -1,0 +1,159 @@
+"""Tests for the runnable ASM -> SystemC translation and monitor binding."""
+
+import pytest
+
+from repro.asm import ActionCall, AsmModel
+from repro.explorer import ExplorationConfig, explore
+from repro.psl import Property, PslTypeError, parse_formula
+from repro.translate import (
+    AsmSystemCModule,
+    FirstEnabledPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    build_runtime,
+    make_extractor,
+    validate_binding,
+)
+from conftest import ToyArbiter, ToyMaster
+
+
+def build_arbiter_model() -> AsmModel:
+    model = AsmModel("bus")
+    ToyMaster(model=model, name="m0")
+    ToyMaster(model=model, name="m1")
+    ToyArbiter(model=model, name="arbiter")
+    model.seal()
+    return model
+
+
+class TestRuntimeModule:
+    def test_signals_mirror_state_vars(self):
+        simulator, clock, module = build_runtime(build_arbiter_model())
+        assert "m0.m_req" in module.state_signals
+        assert "arbiter.m_owner" in module.state_signals
+        assert module.state_signals["arbiter.m_owner"].read() == -1
+
+    def test_action_signals_exist(self):
+        _, _, module = build_runtime(build_arbiter_model())
+        assert "arbiter.grant" in module.action_signals
+        assert "m1.request" in module.action_signals
+
+    def test_simulation_executes_actions(self):
+        simulator, clock, module = build_runtime(build_arbiter_model())
+        simulator.run(clock.period * 50)
+        assert module.executed
+        assert module.cycle >= 50
+
+    def test_signals_track_asm_state(self):
+        simulator, clock, module = build_runtime(build_arbiter_model())
+        simulator.run(clock.period * 50)
+        owner_signal = module.state_signals["arbiter.m_owner"].read()
+        assert owner_signal == module.asm_model.machine("arbiter").m_owner
+
+    def test_letter_contains_qualified_and_bare_names(self):
+        _, _, module = build_runtime(build_arbiter_model())
+        letter = module.letter()
+        assert "m0.m_req" in letter
+        assert "m_owner" in letter
+        assert "arbiter.grant" in letter
+
+    def test_round_robin_policy_rotates(self):
+        policy = RoundRobinPolicy()
+        calls = [ActionCall("m", "a"), ActionCall("m", "b")]
+        chosen = [policy.choose(calls, i).action for i in range(4)]
+        assert chosen == ["a", "b", "a", "b"]
+
+    def test_first_enabled_policy(self):
+        policy = FirstEnabledPolicy()
+        calls = [ActionCall("m", "a"), ActionCall("m", "b")]
+        assert policy.choose(calls, 0).action == "a"
+        assert policy.choose([], 0) is None
+
+    def test_random_policy_deterministic_by_seed(self):
+        calls = [ActionCall("m", "a"), ActionCall("m", "b"), ActionCall("m", "c")]
+        first = [RandomPolicy(7).choose(calls, i).action for i in range(6)]
+        second = [RandomPolicy(7).choose(calls, i).action for i in range(6)]
+        assert first == second
+
+    def test_candidate_filter(self):
+        model = build_arbiter_model()
+        simulator, clock, module = (
+            None, None, None
+        )
+        from repro.sysc import Clock, Simulator
+
+        simulator = Simulator()
+        clock = Clock("clk", 30_000, simulator)
+        module = AsmSystemCModule(
+            "rtl", simulator, clock, model,
+            candidate_filter=lambda c: c.machine != "m1",
+        )
+        simulator.run(clock.period * 30)
+        assert all(call.machine != "m1" for call in module.executed)
+
+
+class TestSemanticPreservation:
+    """The translated simulation only takes transitions the explorer
+    also finds -- the point of the purely-syntactic translation rules."""
+
+    def test_simulation_trace_is_subset_of_explored(self):
+        model = build_arbiter_model()
+        exploration = explore(model, ExplorationConfig())
+        explored_labels = {t.label() for t in exploration.fsm.transitions}
+
+        model2 = build_arbiter_model()
+        simulator, clock, module = build_runtime(model2)
+        simulator.run(clock.period * 200)
+        executed_labels = {c.label() for c in module.executed}
+        assert executed_labels <= explored_labels
+
+    def test_simulation_states_are_explored_states(self):
+        model = build_arbiter_model()
+        exploration = explore(model, ExplorationConfig())
+        explored_keys = {s.key for s in exploration.fsm.states}
+
+        model2 = build_arbiter_model()
+        simulator, clock, module = build_runtime(model2)
+        for _ in range(100):
+            simulator.run(clock.period)
+            assert model2.state_key() in explored_keys
+
+
+class TestBinding:
+    def test_binding_resolves_variables(self):
+        _, _, module = build_runtime(build_arbiter_model())
+        prop = Property("p", parse_formula("never (m0.m_gnt && m1.m_gnt)"))
+        plan = validate_binding(prop, module)
+        assert plan.ok
+        assert {v.name for v in plan.variables} == {"m0.m_gnt", "m1.m_gnt"}
+        assert all(v.python_type == "bool" for v in plan.variables)
+
+    def test_binding_reports_missing(self):
+        _, _, module = build_runtime(build_arbiter_model())
+        prop = Property("p", parse_formula("always ghost_signal"))
+        plan = validate_binding(prop, module)
+        assert not plan.ok
+        assert plan.missing == ("ghost_signal",)
+
+    def test_assert_bindings_raises(self):
+        from repro.translate import assert_bindings
+
+        _, _, module = build_runtime(build_arbiter_model())
+        bad = Property("p", parse_formula("always nope"))
+        with pytest.raises(PslTypeError):
+            assert_bindings([bad], module)
+
+    def test_extractor_is_read_only_view(self):
+        _, _, module = build_runtime(build_arbiter_model())
+        extract = make_extractor(module)
+        letter = extract()
+        letter_copy = dict(letter)
+        # mutating the extracted letter does not touch the design
+        letter_copy["m0.m_req"] = True
+        assert module.state_signals["m0.m_req"].read() is False
+
+    def test_binding_describe(self):
+        _, _, module = build_runtime(build_arbiter_model())
+        prop = Property("p", parse_formula("always m0.m_req"))
+        text = validate_binding(prop, module).describe()
+        assert "read-only" in text

@@ -1,0 +1,227 @@
+"""Tests for class diagrams, use cases, and UML -> ASM generation."""
+
+import pytest
+
+from repro.asm import ActionCall, AsmModel, Domain
+from repro.explorer import ExplorationConfig, explore
+from repro.uml import (
+    Actor,
+    Association,
+    AssociationKind,
+    Attribute,
+    ClassDiagram,
+    MappingError,
+    Operation,
+    Parameter,
+    UmlClass,
+    UmlError,
+    UseCase,
+    UseCaseDiagram,
+    class_to_asm_source,
+    diagram_to_asm_source,
+    materialize,
+)
+
+
+def pci_like_diagram() -> ClassDiagram:
+    diagram = ClassDiagram("pci")
+    arbiter = diagram.new_class("Arbiter", stereotype="sc_module")
+    arbiter.add_attribute(Attribute("m_req", "Boolean", False))
+    arbiter.add_attribute(Attribute("m_gnt", "Boolean", False))
+    arbiter.add_attribute(Attribute("m_active", "Integer", -1))
+    arbiter.add_operation(
+        Operation(
+            "update_req",
+            preconditions=("not self.m_req and not self.m_gnt",),
+            doc="Figure 4's guarded update",
+        )
+    )
+    arbiter.add_operation(
+        Operation("grant", preconditions=("self.m_req and not self.m_gnt",))
+    )
+    master = diagram.new_class("Master")
+    master.add_attribute(Attribute("m_req", "Boolean", False))
+    master.add_operation(Operation("request", preconditions=("not self.m_req",)))
+    diagram.add_association(
+        Association("Master", "Arbiter", AssociationKind.ASSOCIATION, "1..*", "1")
+    )
+    return diagram
+
+
+class TestClassDiagram:
+    def test_construction(self):
+        diagram = pci_like_diagram()
+        assert len(diagram) == 2
+        assert diagram.class_("Arbiter").attribute("m_req").type_name == "Boolean"
+        assert diagram.class_("Arbiter").operation("grant").preconditions
+
+    def test_duplicate_class_rejected(self):
+        diagram = pci_like_diagram()
+        with pytest.raises(UmlError):
+            diagram.new_class("Arbiter")
+
+    def test_duplicate_attribute_rejected(self):
+        cls = UmlClass("C")
+        cls.add_attribute(Attribute("x", "Integer"))
+        with pytest.raises(UmlError):
+            cls.add_attribute(Attribute("x", "Boolean"))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(UmlError):
+            Attribute("x", "Quaternion")
+
+    def test_association_endpoints_checked(self):
+        diagram = pci_like_diagram()
+        with pytest.raises(UmlError):
+            diagram.add_association(Association("Ghost", "Arbiter"))
+
+    def test_generalization_query(self):
+        diagram = pci_like_diagram()
+        diagram.new_class("FastMaster").add_attribute(
+            Attribute("m_turbo", "Boolean")
+        )
+        diagram.add_association(
+            Association("FastMaster", "Master", AssociationKind.GENERALIZATION)
+        )
+        specials = diagram.specializations_of("Master")
+        assert [c.name for c in specials] == ["FastMaster"]
+
+    def test_rendering(self):
+        text = str(pci_like_diagram())
+        assert "<<sc_module>> Arbiter" in text
+        assert "- m_req : Boolean" in text
+
+    def test_validation_flags_empty_class(self):
+        diagram = ClassDiagram("d")
+        diagram.new_class("Empty")
+        assert diagram.validate()
+
+
+class TestUseCases:
+    def test_structure_and_validation(self):
+        diagram = UseCaseDiagram("verification")
+        diagram.add_actor(Actor("Testbench"))
+        diagram.add_use_case(UseCase("run_transaction", actors=["Testbench"]))
+        diagram.add_use_case(
+            UseCase("arbitrate", actors=["Testbench"], includes=["run_transaction"])
+        )
+        assert diagram.validate() == []
+
+    def test_unknown_actor_rejected(self):
+        diagram = UseCaseDiagram("v")
+        with pytest.raises(UmlError):
+            diagram.add_use_case(UseCase("u", actors=["Nobody"]))
+
+    def test_missing_include_flagged(self):
+        diagram = UseCaseDiagram("v")
+        diagram.add_actor(Actor("T"))
+        diagram.add_use_case(UseCase("u", actors=["T"], includes=["ghost"]))
+        assert any("ghost" in f for f in diagram.validate())
+
+
+class TestAsmSourceGeneration:
+    def test_class_source_shape(self):
+        source = class_to_asm_source(pci_like_diagram().class_("Arbiter"))
+        assert "class Arbiter(AsmMachine):" in source
+        assert "m_req = StateVar(False)" in source
+        assert "@action" in source
+        assert "require(not self.m_req and not self.m_gnt)" in source
+
+    def test_diagram_source_compiles(self):
+        source = diagram_to_asm_source(pci_like_diagram())
+        namespace: dict = {}
+        exec(compile(source, "<generated>", "exec"), namespace)  # noqa: S102
+        assert "Arbiter" in namespace
+        assert "Master" in namespace
+
+    def test_empty_class_renders_pass(self):
+        assert "pass" in class_to_asm_source(UmlClass("Empty"))
+
+
+class TestMaterialization:
+    def test_materialized_state_and_actions(self):
+        classes = materialize(pci_like_diagram())
+        model = AsmModel()
+        arbiter = classes["Arbiter"](model=model, name="arbiter")
+        model.seal()
+        assert arbiter.m_req is False
+        ok, _ = model.try_execute(ActionCall("arbiter", "update_req"))
+        assert ok
+
+    def test_preconditions_enforced(self):
+        classes = materialize(pci_like_diagram())
+        model = AsmModel()
+        arbiter = classes["Arbiter"](model=model, name="arbiter")
+        model.seal()
+        arbiter.m_req = True
+        ok, _ = model.try_execute(ActionCall("arbiter", "update_req"))
+        assert not ok
+        ok, _ = model.try_execute(ActionCall("arbiter", "grant"))
+        assert ok
+
+    def test_behavior_hook_dispatch(self):
+        classes = materialize(pci_like_diagram())
+
+        class RefinedArbiter(classes["Arbiter"]):
+            def on_update_req(self):
+                self.m_req = True
+                return "refined"
+
+        model = AsmModel()
+        arbiter = RefinedArbiter(model=model, name="arbiter")
+        model.seal()
+        result = model.execute(ActionCall("arbiter", "update_req"))
+        assert result == "refined"
+        assert arbiter.m_req is True
+
+    def test_invalid_precondition_rejected(self):
+        cls = UmlClass("Bad")
+        cls.add_operation(Operation("op", preconditions=("def )(",)))
+        with pytest.raises(MappingError):
+            materialize_one = __import__(
+                "repro.uml.to_asm", fromlist=["materialize_class"]
+            ).materialize_class(cls)
+
+    def test_materialized_class_explorable(self):
+        classes = materialize(pci_like_diagram())
+
+        class LiveArbiter(classes["Arbiter"]):
+            """Refined at the ASM level (the paper's refinement step)."""
+
+            def on_update_req(self):
+                self.m_req = True
+
+            def on_grant(self):
+                self.m_req = False
+                self.m_gnt = True
+
+        model = AsmModel("uml_generated")
+        LiveArbiter(model=model, name="arbiter")
+        classes["Master"](model=model, name="master0")
+        model.seal()
+        result = explore(model, ExplorationConfig(max_states=100))
+        assert result.fsm.state_count() >= 3
+
+    def test_operation_with_parameters(self):
+        cls = UmlClass("Channel")
+        cls.add_attribute(Attribute("m_last", "Integer", 0))
+        cls.add_operation(
+            Operation(
+                "send",
+                parameters=(Parameter("value", "Integer"),),
+                preconditions=("value >= 0",),
+            )
+        )
+        from repro.uml.to_asm import materialize_class
+
+        machine_cls = materialize_class(cls)
+        model = AsmModel()
+        channel = machine_cls(model=model, name="ch")
+        model.seal()
+        calls = list(
+            model.candidate_calls(
+                extra_domains={"value": Domain.int_range("v", -1, 1)}
+            )
+        )
+        enabled = [c for c in calls if model.try_execute(c)[0]]
+        assert [c.args for c in enabled] == [(0,), (1,)]

@@ -1,0 +1,225 @@
+"""Tests for the UML layer, centred on the paper's Figure 2 diagram."""
+
+import pytest
+
+from repro.psl import Verdict, verdict
+from repro.uml import (
+    DiagramValidationError,
+    MappingError,
+    Message,
+    SequenceDiagram,
+    SequenceOp,
+    TemporalOp,
+    figure2_diagram,
+    instantiate,
+    sequence_to_property,
+)
+
+
+class TestDiagramConstruction:
+    def test_lifelines_and_messages(self):
+        diagram = figure2_diagram()
+        assert set(diagram.lifelines) == {"master", "bus", "arbiter", "slave"}
+        assert len(diagram) == 7
+        assert diagram.clock == "clk"
+
+    def test_duplicate_lifeline_rejected(self):
+        diagram = SequenceDiagram("d")
+        diagram.add_lifeline("a")
+        with pytest.raises(Exception):
+            diagram.add_lifeline("a")
+
+    def test_validation_catches_unknown_lifeline(self):
+        diagram = SequenceDiagram("d")
+        diagram.add_lifeline("a")
+        diagram.message("a", "ghost", "call")
+        assert any("ghost" in f for f in diagram.validate())
+
+    def test_validation_catches_bad_annotations(self):
+        diagram = SequenceDiagram("d")
+        diagram.add_lifeline("a")
+        diagram.message("a", "a", "m1", duration=0)
+        diagram.message("a", "a", "m2", temporal=TemporalOp.UNTIL)
+        findings = "\n".join(diagram.validate())
+        assert "duration" in findings
+        assert "condition" in findings
+
+    def test_check_raises_on_invalid(self):
+        diagram = SequenceDiagram("d")
+        with pytest.raises(DiagramValidationError):
+            diagram.check()
+
+    def test_message_label_renders_annotations(self):
+        message = Message(
+            "a", "b", "read", start_offset=2, duration=4,
+            temporal=TemporalOp.UNTIL, until_condition="done", clock="clk",
+        )
+        label = message.label()
+        assert "[2]" in label and "$4" in label and "U(done)" in label and "@clk" in label
+
+    def test_replace_message_feedback_edge(self):
+        diagram = figure2_diagram()
+        original = diagram.messages[1]
+        diagram.replace_message(1, start_offset=2)
+        assert diagram.messages[1].start_offset == 2
+        assert diagram.messages[1].method == original.method
+
+
+class TestFigure2ToPsl:
+    def test_property_shape(self):
+        prop = sequence_to_property(figure2_diagram())
+        text = str(prop.formula)
+        assert text.startswith("always")
+        assert "|=>" in text
+        assert "bus.new_request" in text
+        assert "[->1]" in text  # the eventual slave notification
+
+    def test_report_collects_text_outputs(self):
+        prop = sequence_to_property(figure2_diagram())
+        assert "released" in prop.report
+        assert "forwarded" in prop.report
+
+    def test_property_holds_on_conforming_trace(self):
+        prop = sequence_to_property(figure2_diagram())
+        names = [
+            "bus.new_request", "arbiter.notify", "arbiter.arbitrate",
+            "bus.send", "bus.release", "bus.notify_done",
+            "master.forward_notification",
+        ]
+
+        def letter(*active):
+            return {n: n in active for n in names}
+
+        trace = [
+            letter("bus.new_request"),
+            letter("arbiter.notify", "arbiter.arbitrate"),
+            letter("bus.send"),
+            letter("bus.release"),
+            letter(),  # idle gap before the eventual notification
+            letter("bus.notify_done"),
+            letter("master.forward_notification"),
+        ]
+        assert verdict(prop.formula, trace) is not Verdict.FAILS
+
+    def test_property_fails_when_notification_not_forwarded(self):
+        prop = sequence_to_property(figure2_diagram())
+        names = [
+            "bus.new_request", "arbiter.notify", "arbiter.arbitrate",
+            "bus.send", "bus.release", "bus.notify_done",
+            "master.forward_notification",
+        ]
+
+        def letter(*active):
+            return {n: n in active for n in names}
+
+        trace = [
+            letter("bus.new_request"),
+            letter("arbiter.notify", "arbiter.arbitrate"),
+            letter("bus.send"),
+            letter("bus.release"),
+            letter("bus.notify_done"),
+            letter(),  # forward_notification missing in the next cycle
+        ]
+        assert verdict(prop.formula, trace) is Verdict.FAILS
+
+    def test_clock_wrapper_optional(self):
+        clocked = sequence_to_property(figure2_diagram(), apply_clock=True)
+        assert "@" in str(clocked.formula)
+        unclocked = sequence_to_property(figure2_diagram())
+        assert "@" not in str(unclocked.formula)
+
+
+class TestMappingRules:
+    def build(self, *messages) -> SequenceDiagram:
+        diagram = SequenceDiagram("t")
+        diagram.add_lifeline("a")
+        diagram.add_lifeline("b")
+        for message in messages:
+            diagram.add_message(message)
+        return diagram
+
+    def test_offset_padding(self):
+        diagram = self.build(
+            Message("a", "b", "go"),
+            Message("a", "b", "done", start_offset=3),
+        )
+        text = str(sequence_to_property(diagram).formula)
+        assert "True[*2]" in text or "true[*2]" in text.lower()
+
+    def test_duration_repeats(self):
+        diagram = self.build(
+            Message("a", "b", "go"),
+            Message("a", "b", "busy", duration=4),
+        )
+        text = str(sequence_to_property(diagram).formula)
+        assert "[*4]" in text
+
+    def test_fusion_on_zero_offset(self):
+        diagram = self.build(
+            Message("a", "b", "go"),
+            Message("a", "b", "x"),
+            Message("a", "b", "y", start_offset=0),
+        )
+        text = str(sequence_to_property(diagram).formula)
+        assert ":" in text
+
+    def test_first_consequent_fusion_rejected(self):
+        diagram = self.build(
+            Message("a", "b", "go"),
+            Message("a", "b", "x", start_offset=0),
+        )
+        with pytest.raises(MappingError):
+            sequence_to_property(diagram)
+
+    def test_until_condition(self):
+        diagram = self.build(
+            Message("a", "b", "go"),
+            Message(
+                "a", "b", "busy",
+                temporal=TemporalOp.UNTIL, until_condition="b.done",
+            ),
+        )
+        text = str(sequence_to_property(diagram).formula)
+        assert "b.done" in text
+
+    def test_always_message_becomes_invariant_conjunct(self):
+        diagram = self.build(
+            Message("a", "b", "go"),
+            Message("a", "b", "ok", temporal=TemporalOp.ALWAYS),
+            Message("a", "b", "done"),
+        )
+        text = str(sequence_to_property(diagram).formula)
+        assert text.count("always") >= 2
+
+    def test_trigger_only_diagram_degenerates_to_coverage(self):
+        diagram = self.build(Message("a", "b", "go"))
+        prop = sequence_to_property(diagram)
+        assert "always" in str(prop.formula)
+
+    def test_custom_observation_expression(self):
+        diagram = self.build(
+            Message("a", "b", "go", observe="a.req && !a.busy"),
+            Message("a", "b", "done"),
+        )
+        assert "a.req" in str(sequence_to_property(diagram).formula)
+
+
+class TestInstantiation:
+    def test_lifelines_renamed(self):
+        inst = instantiate(figure2_diagram(), {"master": "master0"})
+        assert "master0" in inst.lifelines
+        assert "master" not in inst.lifelines
+
+    def test_observations_rewritten(self):
+        inst = instantiate(
+            figure2_diagram(), {"master": "master0", "slave": "slave1"}
+        )
+        prop = sequence_to_property(inst)
+        variables = prop.variables()
+        assert "master0.forward_notification" in variables
+        assert all(not v.startswith("slave.") for v in variables)
+
+    def test_unbound_roles_kept(self):
+        inst = instantiate(figure2_diagram(), {"master": "m0"})
+        prop = sequence_to_property(inst)
+        assert "bus.new_request" in prop.variables()

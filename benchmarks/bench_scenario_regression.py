@@ -1,0 +1,76 @@
+"""Scenario-regression throughput: scoreboarded transactions per second.
+
+The ROADMAP's production lens on the paper's Section 4.3 claim: not
+just "simulation is fast" but "N seeded, scoreboard-checked scenarios
+per second across worker processes".  Measures
+
+* single-process scoreboard overhead (scenario run vs run + check),
+* multiprocessing scaling of the regression runner (1 vs N workers),
+* determinism (the report digest must not depend on the worker count).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.models.master_slave.scenario import MsScenarioSystem
+from repro.scenarios import RegressionRunner, build_specs, sequence_for_profile
+
+from common import FULL_RUN
+
+#: Bounded by default so CI stays fast; REPRO_FULL=1 scales up.
+SCENARIOS = 200 if FULL_RUN else 48
+CYCLES = 600 if FULL_RUN else 250
+WORKERS = min(multiprocessing.cpu_count(), 8 if FULL_RUN else 4)
+
+
+def test_scoreboard_overhead(benchmark):
+    """Scoreboard cost on top of one simulated scenario."""
+    system = MsScenarioSystem(1, 2, 2, sequence_for_profile("default"), seed=2005)
+    system.run_cycles(CYCLES)
+    transactions = len(system.records())
+
+    report = benchmark(system.check)
+    assert report.ok
+    benchmark.extra_info.update(
+        {
+            "transactions": transactions,
+            "replayed_calls": report.replayed_calls,
+            "words_checked": report.words_checked,
+        }
+    )
+
+
+@pytest.mark.parametrize("workers", [1, WORKERS])
+def test_regression_throughput(benchmark, workers):
+    """Checked transactions per wall second at 1 vs N workers."""
+    specs = build_specs(count=SCENARIOS, cycles=CYCLES)
+
+    def run():
+        return RegressionRunner(specs, workers=workers).run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    benchmark.extra_info.update(
+        {
+            "workers": workers,
+            "scenarios": len(report.verdicts),
+            "transactions": report.transactions,
+            "txn_per_second": round(report.throughput),
+            "digest": report.digest(),
+        }
+    )
+    print(f"\n{report.summary()}")
+
+
+def test_digest_is_worker_count_invariant(benchmark):
+    """Same specs, different fan-out: byte-identical digest."""
+    specs = build_specs(count=12, cycles=150)
+
+    def run():
+        inline = RegressionRunner(specs, workers=1).run()
+        fanned = RegressionRunner(specs, workers=WORKERS).run()
+        return inline, fanned
+
+    inline, fanned = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert inline.digest() == fanned.digest()

@@ -4,6 +4,10 @@
                                       |
                                       v
                     SystemC + C# monitors  ->  simulation (ABV)
+                                      |
+                                      v
+                     scenario regression (constrained-random,
+                     ASM-reference scoreboard, N workers)
 
 A :class:`DesignFlow` takes the design (an ASM model or a UML class
 diagram to materialize), the properties (PSL directives or modified
@@ -13,6 +17,12 @@ UML update and UML to ASM translation tasks are repeated until all the
 properties pass"), then translates the verified design to the SystemC
 level and re-uses the same properties as assertion monitors in
 simulation.
+
+A post-translation *scenario regression* stage (``scenario_specs``)
+extends the paper's fixed hand-written simulations: seeded
+constrained-random scenarios are fanned across worker processes and
+every completed transaction is checked against the verified ASM model
+by the :mod:`repro.scenarios` scoreboard.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from ..psl.asm_embedding import AssertionProperty, state_extractor
 from ..psl.ast_nodes import Directive, DirectiveKind, Property
 from ..psl.monitor import Monitor, build_monitor
 from ..psl.semantics import Verdict
+from ..scenarios.regression import RegressionReport, RegressionRunner, ScenarioSpec
 from ..translate.class_rules import translate_class
 from ..translate.csharp_gen import render_monitor_suite
 from ..translate.runtime import AsmSystemCModule, build_runtime
@@ -109,17 +120,21 @@ class FlowReport:
     systemc_source: str = ""
     csharp_source: str = ""
     iterations: int = 1
+    regression: Optional[RegressionReport] = None
 
     @property
     def ok(self) -> bool:
         simulation_ok = self.simulation.ok if self.simulation else True
-        return self.model_checking.ok and simulation_ok
+        regression_ok = self.regression.ok if self.regression else True
+        return self.model_checking.ok and simulation_ok and regression_ok
 
     def summary(self) -> str:
         lines = [f"=== design flow report (iterations: {self.iterations}) ==="]
         lines.append(self.model_checking.summary())
         if self.simulation:
             lines.append(self.simulation.summary())
+        if self.regression:
+            lines.append(self.regression.summary())
         verdict = "VERIFIED" if self.ok else "FAILED"
         lines.append(f"=== overall: {verdict} ===")
         return "\n".join(lines)
@@ -136,6 +151,9 @@ class DesignFlow:
         exploration: Optional[ExplorationConfig] = None,
         liveness_checks: Sequence[LivenessCheck] = (),
         sequence_diagrams: Sequence[SequenceDiagram] = (),
+        scenario_specs: Sequence[ScenarioSpec] = (),
+        scenario_workers: Optional[int] = None,
+        scenario_fail_fast: bool = False,
     ):
         self.model_factory = model_factory
         self.directives: List[Directive] = [
@@ -150,6 +168,9 @@ class DesignFlow:
         self.extractor = extractor
         self.exploration = exploration or ExplorationConfig()
         self.liveness_checks = list(liveness_checks)
+        self.scenario_specs = list(scenario_specs)
+        self.scenario_workers = scenario_workers
+        self.scenario_fail_fast = scenario_fail_fast
 
     # -- the model-checking leg ---------------------------------------------------
 
@@ -227,6 +248,21 @@ class DesignFlow:
         csharp = render_monitor_suite(self.directives)
         return report, cpp, csharp
 
+    # -- the scenario-regression leg ----------------------------------------------
+
+    def run_scenario_regression(self) -> Optional[RegressionReport]:
+        """Post-translation stage: fan the configured seeded scenarios
+        across worker processes, each checked against the ASM reference
+        by the scoreboard (None when no specs are configured)."""
+        if not self.scenario_specs:
+            return None
+        runner = RegressionRunner(
+            self.scenario_specs,
+            workers=self.scenario_workers,
+            fail_fast=self.scenario_fail_fast,
+        )
+        return runner.run()
+
     # -- the whole Figure 1 loop --------------------------------------------------------
 
     def run(
@@ -251,15 +287,19 @@ class DesignFlow:
                 break
 
         simulation: Optional[SimulationReport] = None
+        regression: Optional[RegressionReport] = None
         cpp = csharp = ""
         if checking.ok:
             simulation, cpp, csharp = self.translate_and_simulate(
                 cycles=cycles, stop_on_failure=stop_on_sim_failure
             )
+            if simulation.ok:
+                regression = self.run_scenario_regression()
         return FlowReport(
             model_checking=checking,
             simulation=simulation,
             systemc_source=cpp,
             csharp_source=csharp,
             iterations=iterations,
+            regression=regression,
         )

@@ -20,6 +20,12 @@ from .properties import (
     owner_goal,
     want_trigger,
 )
+from .scenario import (
+    FaultyMsSlave,
+    MsReferenceAdapter,
+    MsScenarioSystem,
+    MsSequenceMaster,
+)
 from .systemc_model import (
     MS_CLOCK_PERIOD_PS,
     MsArbiterModule,
@@ -52,4 +58,8 @@ __all__ = [
     "MsSignals",
     "MsSlaveModule",
     "MsSystemModel",
+    "FaultyMsSlave",
+    "MsReferenceAdapter",
+    "MsScenarioSystem",
+    "MsSequenceMaster",
 ]

@@ -1,0 +1,368 @@
+"""Scenario driving for the Master/Slave bus.
+
+Sequence-driven stimulus and scoreboard binding for the Table 2 model:
+
+* :class:`MsSequenceMaster` -- a master that executes
+  :class:`~repro.scenarios.sequences.SequenceItem` stimulus instead of
+  free-running random traffic.  Blocking masters move the item as a
+  ``BLOCKING_BURST`` burst, non-blocking masters move one word --
+  exactly the two modes of the paper's Section 4.1 bus -- and, unlike
+  the free-running master, capture read data so the scoreboard can
+  check payload integrity, not just protocol shape.
+* :class:`FaultyMsSlave` -- a slave with an injectable read-corruption
+  defect (:class:`~repro.scenarios.scoreboard.FaultPlan`), used to
+  prove the scoreboard detects divergence.
+* :class:`MsScenarioSystem` -- clock + arbiter + sequence masters +
+  slaves, exposing the canonical property namespace of
+  :mod:`.properties` so assertion monitors bind unchanged.
+* :class:`MsReferenceAdapter` -- replays every completed transaction
+  on the *verified ASM model* (request / grant / start_transfer /
+  transfer_word... / release) and keeps a golden memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ...scenarios.random_ import ScenarioRng
+from ...scenarios.scoreboard import (
+    DivergenceKind,
+    FaultPlan,
+    Mismatch,
+    ReferenceAdapter,
+    ScenarioSystem,
+)
+from ...scenarios.sequences import Sequence, SequenceItem, StimulusContext
+from ...sysc.bus import BusMode, BusStatus, Transaction, TxnIdAllocator
+from ...sysc.clock import Clock
+from ...sysc.kernel import Simulator
+from ...sysc.module import Module
+from .asm_model import BLOCKING_BURST, MsSlave, build_master_slave_model
+from .systemc_model import MS_CLOCK_PERIOD_PS, MsArbiterModule, MsSignals, MsSlaveModule
+
+
+class FaultyMsSlave(MsSlaveModule):
+    """A slave whose data path corrupts reads from the ``nth`` read on
+    (bit 0 flipped) -- the classic single-event-upset injection."""
+
+    def __init__(self, *args, corrupt_from_nth_read: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.corrupt_from_nth_read = corrupt_from_nth_read
+        self.reads_served = 0
+
+    def access(self, address: int, data: int | None) -> int:
+        value = super().access(address, data)
+        if data is None:
+            self.reads_served += 1
+            if self.reads_served >= self.corrupt_from_nth_read:
+                return value ^ 0x1
+        return value
+
+
+class MsSequenceMaster(Module):
+    """A Master/Slave initiator executing a sequence of items."""
+
+    def __init__(
+        self,
+        index: int,
+        blocking: bool,
+        sim: Simulator,
+        clock: Clock,
+        wires: MsSignals,
+        slaves: List[MsSlaveModule],
+        items: Iterator[SequenceItem],
+        txn_ids: TxnIdAllocator,
+        drop_fault: Optional[FaultPlan] = None,
+    ):
+        super().__init__(f"master{index}", sim)
+        self.index = index
+        self.blocking = blocking
+        self.clock = clock
+        self.wires = wires
+        self.slaves = slaves
+        self.items = items
+        self.txn_ids = txn_ids
+        self.drop_fault = drop_fault
+        self.records: List[Tuple[Transaction, SequenceItem]] = []
+        self.issued = 0
+        self.completed = 0
+        self.in_flight = False
+        self.done = False
+        self.words_moved = 0
+        self.wait_cycles = 0
+        self.thread(self.run)
+
+    def _next_item(self) -> Optional[SequenceItem]:
+        try:
+            return next(self.items)
+        except StopIteration:
+            return None
+
+    def run(self):
+        wires = self.wires
+        while True:
+            item = self._next_item()
+            if item is None:
+                self.done = True
+                return  # sequence exhausted: the master parks
+            for _ in range(item.idle):
+                yield self.clock.posedge()
+            words = BLOCKING_BURST if self.blocking else 1
+            slave_index = item.target % len(self.slaves)
+            offset = min(item.address_offset, 0x100 - words)
+            payload = tuple(item.payload[:words])
+            while len(payload) < words and item.is_write:
+                payload += (0,)
+            transaction = Transaction(
+                master=self.name,
+                address=slave_index * 0x100 + offset,
+                is_write=item.is_write,
+                data=payload,
+                mode=BusMode.BLOCKING if self.blocking else BusMode.NON_BLOCKING,
+                start_cycle=self.clock.cycle_count,
+                txn_id=self.txn_ids.allocate(),
+            )
+            self.issued += 1
+            self.in_flight = True
+            # request / grant handshake (same discipline as the
+            # free-running MsMasterModule, so the property suite binds)
+            wires.want[self.index].write(True)
+            yield self.clock.posedge()
+            while wires.owner.read() != self.index:
+                self.wait_cycles += 1
+                yield self.clock.posedge()
+            wires.want[self.index].write(False)
+            slave = self.slaves[slave_index]
+            while wires.slave_busy[slave_index].read():
+                self.wait_cycles += 1
+                yield self.clock.posedge()
+            wires.slave_busy[slave_index].write(True)
+            wires.transferring[self.index].write(True)
+            read_back: List[int] = []
+            for word in range(words):
+                for _ in range(slave.wait_states):
+                    yield self.clock.posedge()
+                address = transaction.address + word
+                value = slave.access(
+                    address, payload[word] if item.is_write else None
+                )
+                if not item.is_write:
+                    read_back.append(value)
+                self.words_moved += 1
+                yield self.clock.posedge()
+            wires.transferring[self.index].write(False)
+            wires.slave_busy[slave_index].write(False)
+            wires.owner.write(-1)
+            if not item.is_write:
+                transaction.data = tuple(read_back)
+            transaction.end_cycle = self.clock.cycle_count
+            transaction.status = BusStatus.OK
+            self.completed += 1
+            self.in_flight = False
+            dropped = (
+                self.drop_fault is not None
+                and self.drop_fault.kind == "drop"
+                and self.drop_fault.unit == self.index
+                and self.completed == self.drop_fault.nth
+            )
+            if not dropped:
+                self.records.append((transaction, item))
+            yield self.clock.posedge()
+
+
+class MsScenarioSystem(ScenarioSystem):
+    """Top level for one seeded Master/Slave scenario."""
+
+    def __init__(
+        self,
+        n_blocking: int,
+        n_non_blocking: int,
+        n_slaves: int,
+        sequence: Sequence,
+        seed: int,
+        fault: Optional[FaultPlan] = None,
+        clock_period: int = MS_CLOCK_PERIOD_PS,
+        address_span: int = 16,
+    ):
+        self.n_blocking = n_blocking
+        self.n_non_blocking = n_non_blocking
+        self.n_masters = n_blocking + n_non_blocking
+        self.n_slaves = n_slaves
+        self.fault = fault
+        self.simulator = Simulator(
+            f"ms_scenario_{n_blocking}b_{n_non_blocking}nb_{n_slaves}s_seed{seed}"
+        )
+        self.clock = Clock("bus_clk", clock_period, self.simulator)
+        self.wires = MsSignals(self.simulator, self.n_masters, n_slaves)
+        self.txn_ids = TxnIdAllocator()
+        self.slaves: List[MsSlaveModule] = []
+        for j in range(n_slaves):
+            if fault is not None and fault.kind == "corrupt-read" and fault.unit == j:
+                self.slaves.append(
+                    FaultyMsSlave(
+                        j, self.simulator, self.clock, self.wires,
+                        wait_states=j % 2, corrupt_from_nth_read=fault.nth,
+                    )
+                )
+            else:
+                self.slaves.append(
+                    MsSlaveModule(
+                        j, self.simulator, self.clock, self.wires,
+                        wait_states=j % 2,
+                    )
+                )
+        root = ScenarioRng(seed, "ms")
+        self.masters: List[MsSequenceMaster] = []
+        for index in range(self.n_masters):
+            blocking = index < n_blocking
+            words = BLOCKING_BURST if blocking else 1
+            ctx = StimulusContext(
+                n_targets=n_slaves,
+                min_burst=words,
+                max_burst=words,
+                address_span=address_span,
+            )
+            items = sequence.items(root.derive(f"master{index}"), ctx)
+            self.masters.append(
+                MsSequenceMaster(
+                    index, blocking, self.simulator, self.clock, self.wires,
+                    self.slaves, items, self.txn_ids,
+                    drop_fault=fault,
+                )
+            )
+        self.arbiter = MsArbiterModule(
+            "arbiter", self.simulator, self.clock, self.wires
+        )
+
+    @property
+    def blocking_flags(self) -> List[bool]:
+        return [m.blocking for m in self.masters]
+
+    def letter(self) -> Dict[str, Any]:
+        wires = self.wires
+        letter: Dict[str, Any] = {"bus_free": wires.owner.read() == -1}
+        for i in range(self.n_masters):
+            letter[f"want{i}"] = wires.want[i].read()
+            letter[f"owner{i}"] = wires.owner.read() == i
+            letter[f"transferring{i}"] = wires.transferring[i].read()
+            letter[f"blocking{i}"] = self.masters[i].blocking
+            letter[f"done{i}"] = self.masters[i].done
+        for j in range(self.n_slaves):
+            letter[f"slave{j}_busy"] = wires.slave_busy[j].read()
+        return letter
+
+    # -- scoreboard plumbing (generic parts on ScenarioSystem) --------------
+
+    def reference_adapter(self) -> "MsReferenceAdapter":
+        return MsReferenceAdapter(
+            self.n_blocking, self.n_non_blocking, self.n_slaves
+        )
+
+    def coverage_context(self):
+        ctx = StimulusContext(
+            n_targets=self.n_slaves, min_burst=1, max_burst=BLOCKING_BURST
+        )
+        return ctx, 0x100, 0
+
+
+class MsReferenceAdapter(ReferenceAdapter):
+    """ASM-lockstep golden reference for the Master/Slave bus."""
+
+    def __init__(self, n_blocking: int, n_non_blocking: int, n_slaves: int):
+        self.n_blocking = n_blocking
+        self.n_non_blocking = n_non_blocking
+        self.n_slaves = n_slaves
+        self.golden: Dict[int, int] = {}
+        self.expected_words: Dict[int, Tuple[int, int]] = {}  # slave -> (reads, writes)
+        self.protocol_diverged = False
+
+    def build_reference(self):
+        return build_master_slave_model(
+            self.n_blocking, self.n_non_blocking, self.n_slaves
+        )
+
+    def begin(self) -> None:
+        super().begin()
+        self.golden = {}
+        self.expected_words = {
+            j: (0, 0) for j in range(self.n_slaves)
+        }
+        self.protocol_diverged = False
+
+    def observe(self, txn: Transaction, item: SequenceItem) -> Iterable[Mismatch]:
+        assert self.lockstep is not None, "begin() not called"
+        master_index = int(txn.master.replace("master", ""))
+        slave_index = txn.address // 0x100
+        words = txn.burst_length
+        script = [
+            (f"master{master_index}", "request", ()),
+            ("arbiter", "grant", ()),
+            (f"master{master_index}", "start_transfer", (slave_index, txn.is_write)),
+        ]
+        script += [(f"master{master_index}", "transfer_word", ())] * words
+        script += [("arbiter", "release", ())]
+        for machine, act, args in script:
+            error = self.lockstep.call(machine, act, *args)
+            if error is not None:
+                self.protocol_diverged = True
+                state = self.lockstep.state_dump()
+                # re-arm the reference so later transactions still get checked
+                self._reset_reference()
+                yield Mismatch(
+                    kind=DivergenceKind.PROTOCOL,
+                    master=txn.master,
+                    txn_id=txn.txn_id,
+                    detail=f"ASM reference rejected replay of {txn.describe()}",
+                    expected="action enabled in the verified design",
+                    observed=error,
+                    reference_state=state,
+                )
+                return
+        reads, writes = self.expected_words[slave_index]
+        if txn.is_write:
+            self.expected_words[slave_index] = (reads, writes + words)
+            for word in range(words):
+                self.golden[txn.address + word] = (
+                    txn.data[word] if word < len(txn.data) else 0
+                )
+        else:
+            self.expected_words[slave_index] = (reads + words, writes)
+            expected = tuple(
+                self.golden.get(txn.address + word, 0) for word in range(words)
+            )
+            if txn.data != expected:
+                yield Mismatch(
+                    kind=DivergenceKind.DATA,
+                    master=txn.master,
+                    txn_id=txn.txn_id,
+                    detail=(
+                        f"readback diverged from golden memory at "
+                        f"{txn.address:#06x} ({txn.describe()})"
+                    ),
+                    expected=repr(expected),
+                    observed=repr(txn.data),
+                    reference_state=self.lockstep.state_dump(),
+                )
+
+    def finish(
+        self,
+        completed: Mapping[str, int],
+        recorded: Mapping[str, int],
+    ) -> Iterable[Mismatch]:
+        yield from self._dropped_mismatches(completed, recorded)
+        if self.lockstep is not None and not self.protocol_diverged:
+            model = self.lockstep.model
+            slaves = sorted(model.machines_of(MsSlave), key=lambda m: m.index)
+            for slave in slaves:
+                reads, writes = self.expected_words.get(slave.index, (0, 0))
+                if (slave.m_reads, slave.m_writes) != (reads, writes):
+                    yield Mismatch(
+                        kind=DivergenceKind.COUNTER,
+                        master=slave.name,
+                        txn_id=-1,
+                        detail="reference word counters diverged",
+                        expected=f"reads={reads} writes={writes}",
+                        observed=(
+                            f"reads={slave.m_reads} writes={slave.m_writes}"
+                        ),
+                    )

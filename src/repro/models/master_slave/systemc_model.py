@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List
 
-from ...sysc.bus import BusMode, BusStatistics, BusStatus, Transaction
+from ...sysc.bus import BusMode, BusStatistics, BusStatus, Transaction, TxnIdAllocator
 from ...sysc.clock import Clock
 from ...sysc.kernel import Simulator
 from ...sysc.module import Module
@@ -108,6 +108,7 @@ class MsMasterModule(Module):
         slaves: List[MsSlaveModule],
         seed: int,
         max_idle: int = 3,
+        txn_ids: TxnIdAllocator | None = None,
     ):
         kind = "bmaster" if blocking else "nbmaster"
         super().__init__(f"{kind}{index}", sim)
@@ -118,6 +119,7 @@ class MsMasterModule(Module):
         self.slaves = slaves
         self.random = random.Random(seed)
         self.max_idle = max_idle
+        self.txn_ids = txn_ids or TxnIdAllocator()
         self.transactions: List[Transaction] = []
         self.words_moved = 0
         self.wait_cycles = 0
@@ -138,6 +140,7 @@ class MsMasterModule(Module):
                 data=tuple(range(burst)),
                 mode=BusMode.BLOCKING if self.blocking else BusMode.NON_BLOCKING,
                 start_cycle=self.clock.cycle_count,
+                txn_id=self.txn_ids.allocate(),
             )
             # request
             wires.want[self.index].write(True)
@@ -191,6 +194,7 @@ class MsSystemModel:
         )
         self.clock = Clock("bus_clk", clock_period, self.simulator)
         self.wires = MsSignals(self.simulator, self.n_masters, n_slaves)
+        self.txn_ids = TxnIdAllocator()
         self.slaves = [
             MsSlaveModule(
                 j, self.simulator, self.clock, self.wires, wait_states=j % 2
@@ -203,7 +207,7 @@ class MsSystemModel:
             self.masters.append(
                 MsMasterModule(
                     index, True, self.simulator, self.clock, self.wires,
-                    self.slaves, seed + index,
+                    self.slaves, seed + index, txn_ids=self.txn_ids,
                 )
             )
             index += 1
@@ -211,7 +215,7 @@ class MsSystemModel:
             self.masters.append(
                 MsMasterModule(
                     index, False, self.simulator, self.clock, self.wires,
-                    self.slaves, seed + index,
+                    self.slaves, seed + index, txn_ids=self.txn_ids,
                 )
             )
             index += 1

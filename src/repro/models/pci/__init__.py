@@ -56,3 +56,15 @@ __all__ += [
     "PciSystemModel",
     "PciTargetModule",
 ]
+
+from .scenario import (
+    PciReferenceAdapter,
+    PciScenarioSystem,
+    PciSequenceMaster,
+)
+
+__all__ += [
+    "PciReferenceAdapter",
+    "PciScenarioSystem",
+    "PciSequenceMaster",
+]

@@ -1,0 +1,358 @@
+"""Scenario driving for the PCI bus.
+
+Sequence-driven stimulus and scoreboard binding for the Table 1 model:
+
+* :class:`PciSequenceMaster` -- an initiator executing
+  :class:`~repro.scenarios.sequences.SequenceItem` stimulus through
+  the full REQ#/GNT#/FRAME#/IRDY# protocol, including STOP# back-off
+  and retry.  The payload the item carries is what the master reports
+  having moved, so the scoreboard can check payload integrity end to
+  end; a ``corrupt-read`` fault models a data-path defect between the
+  bus and the master's completion record.
+* :class:`PciScenarioSystem` -- clock + arbiter + sequence masters +
+  the unmodified :class:`~.systemc_model.PciTargetModule` targets,
+  exposing the canonical property namespace for assertion monitors.
+* :class:`PciReferenceAdapter` -- replays each completed transaction
+  on the verified PCI ASM model: request, hidden arbitration
+  (update_m_req/grant), address phase, target response, all data
+  phases, and the turnaround.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ...scenarios.random_ import ScenarioRng
+from ...scenarios.scoreboard import (
+    DivergenceKind,
+    FaultPlan,
+    Mismatch,
+    ReferenceAdapter,
+    ScenarioSystem,
+)
+from ...scenarios.sequences import Sequence, SequenceItem, StimulusContext
+from ...sysc.bus import BusMode, BusStatus, Transaction, TxnIdAllocator
+from ...sysc.clock import Clock
+from ...sysc.kernel import Simulator
+from ...sysc.module import Module
+from ...sysc.signal import Signal
+from .asm_model import build_pci_model
+from .protocol import MAX_BURST_LENGTH, PCI_CLOCK_PERIOD_PS, PciCommand
+from .systemc_model import PciArbiterModule, PciSignals, PciTargetModule
+
+
+class PciSequenceMaster(Module):
+    """A PCI initiator executing a sequence of items."""
+
+    def __init__(
+        self,
+        index: int,
+        sim: Simulator,
+        clock: Clock,
+        wires: PciSignals,
+        n_targets: int,
+        items: Iterator[SequenceItem],
+        txn_ids: TxnIdAllocator,
+        fault: Optional[FaultPlan] = None,
+    ):
+        super().__init__(f"master{index}", sim)
+        self.index = index
+        self.clock = clock
+        self.wires = wires
+        self.n_targets = n_targets
+        self.items = items
+        self.txn_ids = txn_ids
+        self.fault = fault
+        self.records: List[Tuple[Transaction, SequenceItem]] = []
+        self.issued = 0
+        self.completed = 0
+        self.reads_completed = 0
+        self.in_flight = False
+        self.done = False
+        self.retries = 0
+        self.words_moved = 0
+        self.data_flag = Signal(False, f"master{index}_data", sim)
+        self.idle_flag = Signal(True, f"master{index}_idle", sim)
+        self.thread(self.run)
+
+    def _next_item(self) -> Optional[SequenceItem]:
+        try:
+            return next(self.items)
+        except StopIteration:
+            return None
+
+    def run(self):
+        while True:
+            item = self._next_item()
+            if item is None:
+                self.done = True
+                return  # sequence exhausted: the initiator parks
+            for _ in range(item.idle):
+                yield self.clock.posedge()
+            target = item.target % self.n_targets
+            burst = max(1, min(item.burst, MAX_BURST_LENGTH))
+            command = (
+                PciCommand.MEM_WRITE if item.is_write else PciCommand.MEM_READ
+            )
+            payload = tuple(item.payload[:burst])
+            while len(payload) < burst:
+                payload += (0,)
+            transaction = Transaction(
+                master=self.name,
+                address=0x1000 * (target + 1) + item.address_offset,
+                is_write=item.is_write,
+                data=payload,
+                mode=BusMode.BLOCKING,
+                start_cycle=self.clock.cycle_count,
+                txn_id=self.txn_ids.allocate(),
+            )
+            self.issued += 1
+            self.in_flight = True
+            completed = False
+            while not completed:
+                completed = yield from self._attempt(target, burst, command)
+                if not completed:
+                    self.retries += 1
+                    yield self.clock.posedge()
+                    yield self.clock.posedge()
+            transaction.end_cycle = self.clock.cycle_count
+            transaction.status = BusStatus.OK
+            self.completed += 1
+            if not item.is_write:
+                self.reads_completed += 1
+            self.in_flight = False
+            # corrupt-read matches the MS fault contract: the data path
+            # flips a bit on reads from the nth one onward
+            corrupt = (
+                not item.is_write
+                and self.fault is not None
+                and self.fault.kind == "corrupt-read"
+                and self.fault.unit == self.index
+                and self.reads_completed >= self.fault.nth
+            )
+            if corrupt:
+                transaction.data = (payload[0] ^ 0x1,) + payload[1:]
+            dropped = (
+                self.fault is not None
+                and self.fault.kind == "drop"
+                and self.fault.unit == self.index
+                and self.completed == self.fault.nth
+            )
+            if not dropped:
+                self.records.append((transaction, item))
+
+    def _attempt(self, target: int, burst: int, command: PciCommand):
+        """One transaction attempt; returns False when STOP#-ed.
+
+        Same signal discipline as the free-running
+        :class:`~.systemc_model.PciMasterModule`, so the Table 1
+        property suite binds to scenario runs unchanged.
+        """
+        wires = self.wires
+        self.idle_flag.write(False)
+        wires.req[self.index].write(True)
+        while not wires.gnt[self.index].read():
+            yield self.clock.posedge()
+        while (
+            wires.frame.read()
+            or wires.owner.read() != -1
+            or wires.stop[target].read()
+        ):
+            yield self.clock.posedge()
+        wires.req[self.index].write(False)
+        wires.frame.write(True)
+        wires.owner.write(self.index)
+        wires.addr.write(target)
+        wires.command.write(command)
+        yield self.clock.posedge()
+        wires.irdy.write(True)
+        self.data_flag.write(True)
+        words_left = burst
+        cycles_waited = 0
+        while words_left > 0:
+            yield self.clock.posedge()
+            if wires.stop[target].read():
+                yield from self._release()
+                return False
+            if wires.trdy[target].read():
+                words_left -= 1
+                self.words_moved += 1
+                cycles_waited = 0
+                if words_left == 0:
+                    wires.frame.write(False)
+            else:
+                cycles_waited += 1
+                if cycles_waited > 16:  # defensive: no livelock
+                    yield from self._release()
+                    return False
+        yield self.clock.posedge()
+        yield from self._release()
+        return True
+
+    def _release(self):
+        wires = self.wires
+        wires.frame.write(False)
+        wires.irdy.write(False)
+        wires.owner.write(-1)
+        wires.addr.write(-1)
+        self.data_flag.write(False)
+        self.idle_flag.write(True)
+        yield self.clock.posedge()
+
+
+class PciScenarioSystem(ScenarioSystem):
+    """Top level for one seeded PCI scenario."""
+
+    def __init__(
+        self,
+        n_masters: int,
+        n_targets: int,
+        sequence: Sequence,
+        seed: int,
+        fault: Optional[FaultPlan] = None,
+        clock_period: int = PCI_CLOCK_PERIOD_PS,
+        stop_probability: float = 0.05,
+        address_span: int = 16,
+    ):
+        self.n_masters = n_masters
+        self.n_targets = n_targets
+        self.fault = fault
+        self.simulator = Simulator(
+            f"pci_scenario_{n_masters}m_{n_targets}s_seed{seed}"
+        )
+        self.clock = Clock("pci_clk", clock_period, self.simulator)
+        self.wires = PciSignals(self.simulator, n_masters, n_targets)
+        self.txn_ids = TxnIdAllocator()
+        self.arbiter = PciArbiterModule(
+            "arbiter", self.simulator, self.clock, self.wires
+        )
+        root = ScenarioRng(seed, "pci")
+        ctx = StimulusContext(
+            n_targets=n_targets,
+            min_burst=1,
+            max_burst=MAX_BURST_LENGTH,
+            address_span=address_span,
+        )
+        self.masters = [
+            PciSequenceMaster(
+                i, self.simulator, self.clock, self.wires, n_targets,
+                sequence.items(root.derive(f"master{i}"), ctx),
+                self.txn_ids, fault=fault,
+            )
+            for i in range(n_masters)
+        ]
+        self.targets = [
+            PciTargetModule(
+                j,
+                self.simulator,
+                self.clock,
+                self.wires,
+                seed + 100 + j,
+                decode_latency=1 + (j % 3),
+                stop_probability=stop_probability,
+            )
+            for j in range(n_targets)
+        ]
+
+    def letter(self) -> Dict[str, Any]:
+        wires = self.wires
+        addressed = wires.addr.read()
+        letter: Dict[str, Any] = {
+            "frame": wires.frame.read(),
+            "irdy": wires.irdy.read(),
+            "bus_idle": (not wires.frame.read()) and wires.owner.read() == -1,
+            "devsel": any(s.read() for s in wires.devsel),
+            "trdy": any(s.read() for s in wires.trdy),
+            "stop_any": any(s.read() for s in wires.stop),
+            "stop_addressed": bool(
+                0 <= addressed < self.n_targets
+                and wires.stop[addressed].read()
+            ),
+        }
+        for i in range(self.n_masters):
+            letter[f"req{i}"] = wires.req[i].read()
+            letter[f"gnt{i}"] = wires.gnt[i].read()
+            letter[f"owner{i}"] = wires.owner.read() == i
+            letter[f"master{i}_idle"] = self.masters[i].idle_flag.read()
+            letter[f"master{i}_data"] = self.masters[i].data_flag.read()
+        for j in range(self.n_targets):
+            letter[f"devsel{j}"] = wires.devsel[j].read()
+            letter[f"trdy{j}"] = wires.trdy[j].read()
+            letter[f"stop{j}"] = wires.stop[j].read()
+        return letter
+
+    # -- scoreboard plumbing (generic parts on ScenarioSystem) --------------
+
+    def reference_adapter(self) -> "PciReferenceAdapter":
+        return PciReferenceAdapter(self.n_masters, self.n_targets)
+
+    def coverage_context(self):
+        # PCI maps target t at page t+1 (protocol.target_address)
+        ctx = StimulusContext(
+            n_targets=self.n_targets, min_burst=1, max_burst=MAX_BURST_LENGTH
+        )
+        return ctx, 0x1000, 1
+
+
+class PciReferenceAdapter(ReferenceAdapter):
+    """ASM-lockstep golden reference for the PCI bus."""
+
+    def __init__(self, n_masters: int, n_targets: int):
+        self.n_masters = n_masters
+        self.n_targets = n_targets
+
+    def build_reference(self):
+        return build_pci_model(self.n_masters, self.n_targets)
+
+    def observe(self, txn: Transaction, item: SequenceItem) -> Iterable[Mismatch]:
+        assert self.lockstep is not None, "begin() not called"
+        master_index = int(txn.master.replace("master", ""))
+        target_index = txn.address // 0x1000 - 1
+        burst = txn.burst_length
+        script = [
+            (f"master{master_index}", "request", ()),
+            ("arbiter", "update_m_req", ()),
+            ("arbiter", "grant", ()),
+            (f"master{master_index}", "start_transaction", (target_index, burst)),
+            (f"target{target_index}", "respond", ()),
+            (f"master{master_index}", "assert_irdy", ()),
+        ]
+        script += [(f"master{master_index}", "data_phase", ())] * burst
+        script += [
+            (f"master{master_index}", "finish", ()),
+            (f"target{target_index}", "complete", ()),
+        ]
+        for machine, act, args in script:
+            error = self.lockstep.call(machine, act, *args)
+            if error is not None:
+                state = self.lockstep.state_dump()
+                self._reset_reference()
+                yield Mismatch(
+                    kind=DivergenceKind.PROTOCOL,
+                    master=txn.master,
+                    txn_id=txn.txn_id,
+                    detail=f"ASM reference rejected replay of {txn.describe()}",
+                    expected="action enabled in the verified design",
+                    observed=error,
+                    reference_state=state,
+                )
+                return
+        expected = tuple(item.payload[:burst])
+        while len(expected) < burst:
+            expected += (0,)
+        if txn.data != expected:
+            yield Mismatch(
+                kind=DivergenceKind.DATA,
+                master=txn.master,
+                txn_id=txn.txn_id,
+                detail=(
+                    f"reported payload diverged from the driven stimulus "
+                    f"({txn.describe()})"
+                ),
+                expected=repr(expected),
+                observed=repr(txn.data),
+                reference_state=self.lockstep.state_dump(),
+            )
+
+    # finish() inherited: the default dropped-transaction accounting
+    # is the whole end-of-run story for PCI (no target-side memory)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional
 
-from ...sysc.bus import BusStatistics, Transaction, BusMode, BusStatus
+from ...sysc.bus import BusStatistics, Transaction, BusMode, BusStatus, TxnIdAllocator
 from ...sysc.clock import Clock
 from ...sysc.kernel import Simulator
 from ...sysc.module import Module
@@ -97,6 +97,7 @@ class PciMasterModule(Module):
         n_targets: int,
         seed: int,
         max_idle: int = 3,
+        txn_ids: TxnIdAllocator | None = None,
     ):
         super().__init__(f"master{index}", sim)
         self.index = index
@@ -105,6 +106,7 @@ class PciMasterModule(Module):
         self.n_targets = n_targets
         self.random = random.Random(seed)
         self.max_idle = max_idle
+        self.txn_ids = txn_ids or TxnIdAllocator()
         self.transactions: List[Transaction] = []
         self.retries = 0
         self.words_moved = 0
@@ -133,6 +135,7 @@ class PciMasterModule(Module):
                 data=tuple(range(burst)),
                 mode=BusMode.BLOCKING,
                 start_cycle=self.clock.cycle_count,
+                txn_id=self.txn_ids.allocate(),
             )
             completed = False
             while not completed:
@@ -292,12 +295,14 @@ class PciSystemModel:
         self.simulator = Simulator(f"pci_{n_masters}m_{n_targets}s")
         self.clock = Clock("pci_clk", clock_period, self.simulator)
         self.wires = PciSignals(self.simulator, n_masters, n_targets)
+        self.txn_ids = TxnIdAllocator()
         self.arbiter = PciArbiterModule(
             "arbiter", self.simulator, self.clock, self.wires
         )
         self.masters = [
             PciMasterModule(
-                i, self.simulator, self.clock, self.wires, n_targets, seed + i
+                i, self.simulator, self.clock, self.wires, n_targets, seed + i,
+                txn_ids=self.txn_ids,
             )
             for i in range(n_masters)
         ]

@@ -40,6 +40,7 @@ from .ast_nodes import (
     SereRepeat,
 )
 from .errors import PslEvaluationError
+from .rewrite import simplify_expr
 
 Trace = Sequence[Mapping[str, Any]]
 
@@ -262,8 +263,46 @@ class Matcher:
         raise TypeError(f"unknown SERE node {type(item).__name__}")
 
 
+_const_false_memo: Dict[Any, bool] = {}
+
+
 def _is_const_false(expression: Expr) -> bool:
-    return isinstance(expression, Const) and not expression.value
+    """Semantically constant-false boolean step.
+
+    Structural matching on ``Const(False)`` alone is not enough: the
+    rewriter (NNF, simplify) folds ``!true`` or ``p && false`` into
+    ``false``, and aliveness must not depend on which spelling it
+    sees.  Running the same folding here keeps the aliveness
+    approximation invariant under those rewrites; the variable-free
+    evaluation fallback catches constants the folder leaves alone.
+    Memoized per expression: the answer only depends on the
+    expression, not the trace, but Matchers are built per trace.
+    """
+    if isinstance(expression, Const):
+        return not expression.value
+    try:
+        cached = _const_false_memo.get(expression)
+    except TypeError:  # unhashable Const payload somewhere inside
+        return _compute_const_false(expression)
+    if cached is None:
+        cached = _compute_const_false(expression)
+        _const_false_memo[expression] = cached
+    return cached
+
+
+def _compute_const_false(expression: Expr) -> bool:
+    expression = simplify_expr(expression)
+    if isinstance(expression, Const):
+        return not expression.value
+    if expression.variables():
+        return False
+    try:
+        return not expression.eval_bool(EvalContext(({},), 0))
+    except Exception:
+        # any failure (unknown construct, type clash or arithmetic
+        # error in a degenerate expression) means "cannot prove
+        # unsatisfiable": stay alive
+        return False
 
 
 def match_ends(item: Sere, trace: Trace, start: int = 0) -> FrozenSet[int]:

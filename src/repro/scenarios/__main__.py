@@ -1,0 +1,7 @@
+"""CLI entry point: ``python -m repro.scenarios`` runs a regression."""
+
+import sys
+
+from .regression import main
+
+sys.exit(main())

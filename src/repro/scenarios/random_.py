@@ -1,0 +1,149 @@
+"""Seeded, reproducible randomization for scenario generation.
+
+Constrained-random stimulus is only useful when a failing run can be
+replayed bit-for-bit from its seed.  :class:`ScenarioRng` therefore
+
+* derives child generators by *name* through SHA-256 (``derive``), so
+  the stream a sequence sees depends only on ``(root seed, path)`` --
+  adding a new consumer elsewhere never perturbs existing streams
+  (unlike handing one ``random.Random`` around), and
+* sticks to a small set of primitives (ranged ints, weighted choices,
+  Bernoulli trials, distribution sampling) whose CPython implementation
+  is stable across the versions we support.
+
+The distribution vocabulary (:class:`BurstProfile`) covers the shapes
+bus stimulus actually needs: uniform, geometric (short bursts dominate,
+the common-case traffic), fixed, and "edges" (min/max heavy -- the
+boundary-condition hunter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+_SEED_BYTES = 8
+
+
+def derive_seed(seed: int, path: str) -> int:
+    """Stable child seed for ``path`` under ``seed`` (SHA-256 based,
+    therefore identical across processes and interpreter runs)."""
+    digest = hashlib.sha256(f"{seed}:{path}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:_SEED_BYTES], "big")
+
+
+class ScenarioRng:
+    """A named, derivable random stream.
+
+    ``ScenarioRng(2005).derive("master0").derive("bursts")`` always
+    yields the same stream, independent of any other derivation made
+    from the same root.
+    """
+
+    __slots__ = ("seed", "path", "_random")
+
+    def __init__(self, seed: int, path: str = ""):
+        self.seed = seed
+        self.path = path
+        self._random = random.Random(derive_seed(seed, path))
+
+    def derive(self, name: str) -> "ScenarioRng":
+        """A child stream named ``name`` (path-separated by ``/``)."""
+        child_path = f"{self.path}/{name}" if self.path else name
+        return ScenarioRng(self.seed, child_path)
+
+    # -- primitives -------------------------------------------------------
+
+    def ranged_int(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return self._random.randint(low, high)
+
+    def chance(self, probability: float) -> bool:
+        """One Bernoulli trial."""
+        return self._random.random() < probability
+
+    def weighted_choice(self, choices: Sequence[Tuple[T, float]]) -> T:
+        """Pick one value from ``(value, weight)`` pairs.
+
+        Non-positive weights exclude a value; if every weight is
+        non-positive the choice degenerates to uniform (a biasing loop
+        that zeroed everything out should still make progress).
+        """
+        if not choices:
+            raise ValueError("weighted_choice over an empty sequence")
+        total = sum(weight for _, weight in choices if weight > 0)
+        if total <= 0:
+            index = self._random.randrange(len(choices))
+            return choices[index][0]
+        point = self._random.random() * total
+        for value, weight in choices:
+            if weight <= 0:
+                continue
+            point -= weight
+            if point <= 0:
+                return value
+        return choices[-1][0]
+
+    def shuffled(self, values: Sequence[T]) -> List[T]:
+        """A shuffled copy (the input is never mutated)."""
+        copy = list(values)
+        self._random.shuffle(copy)
+        return copy
+
+    def payload(self, words: int, width_bits: int = 16) -> Tuple[int, ...]:
+        """A tuple of ``words`` random data words."""
+        mask = (1 << width_bits) - 1
+        return tuple(self._random.randint(0, mask) for _ in range(words))
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """A burst-length distribution over an inclusive range.
+
+    kind:
+        ``uniform``   -- flat over [low, high],
+        ``geometric`` -- short bursts dominate (parameter ``p`` is the
+                         per-step continuation probability),
+        ``fixed``     -- always ``value`` (clamped into range),
+        ``edges``     -- min/max heavy: boundary conditions first.
+    """
+
+    kind: str = "uniform"
+    p: float = 0.5
+    value: int = 1
+
+    def sample(self, rng: ScenarioRng, low: int, high: int) -> int:
+        if low > high:
+            raise ValueError(f"empty burst range [{low}, {high}]")
+        if low == high:
+            return low
+        if self.kind == "uniform":
+            return rng.ranged_int(low, high)
+        if self.kind == "geometric":
+            length = low
+            while length < high and rng.chance(self.p):
+                length += 1
+            return length
+        if self.kind == "fixed":
+            return min(max(self.value, low), high)
+        if self.kind == "edges":
+            if rng.chance(0.8):
+                return low if rng.chance(0.5) else high
+            return rng.ranged_int(low, high)
+        raise ValueError(f"unknown burst profile kind {self.kind!r}")
+
+
+#: Ready-made burst shapes by name (used by regression profiles).
+BURST_PROFILES = {
+    "uniform": BurstProfile("uniform"),
+    "short": BurstProfile("geometric", p=0.3),
+    "long": BurstProfile("geometric", p=0.8),
+    "single": BurstProfile("fixed", value=1),
+    "edges": BurstProfile("edges"),
+}

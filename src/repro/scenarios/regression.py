@@ -1,0 +1,383 @@
+"""Parallel regression running for scenario verification.
+
+Fans N seeded scenarios across ``multiprocessing`` workers, checks
+every one against its ASM reference scoreboard (plus, optionally, the
+PSL assertion monitors), and aggregates verdicts, stimulus coverage
+and throughput into one report.
+
+Determinism contract: a :class:`ScenarioSpec` fully determines its
+scenario -- same spec, same transaction stream, same verdict digest --
+so the report's :meth:`RegressionReport.digest` is stable across runs,
+worker counts and schedulers (results are re-sorted by spec before
+aggregation).  Wall-clock numbers live outside the digest.
+
+Also runnable as a CLI::
+
+    python -m repro.scenarios.regression --models master_slave pci \
+        --scenarios 200 --workers 4 --fail-fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .coverage_driven import BinCoverage
+from .random_ import ScenarioRng
+from .scoreboard import FaultPlan
+from .sequences import NAMED_PROFILES, sequence_for_profile
+
+#: Topologies cycled through by :func:`build_specs`, per model.
+MS_TOPOLOGIES: Tuple[Tuple[int, int, int], ...] = (
+    (1, 1, 2), (1, 2, 2), (2, 1, 3), (2, 2, 2),
+)
+PCI_TOPOLOGIES: Tuple[Tuple[int, int], ...] = (
+    (1, 1), (2, 2), (2, 3), (3, 2),
+)
+
+MODELS = ("master_slave", "pci")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully determined scenario (picklable for worker dispatch)."""
+
+    model: str                       # "master_slave" | "pci"
+    seed: int
+    topology: Tuple[int, ...]        # ms: (blocking, non_blocking, slaves); pci: (masters, targets)
+    profile: str = "default"
+    cycles: int = 400
+    fault: Optional[FaultPlan] = None
+    with_monitors: bool = False
+
+    @property
+    def label(self) -> str:
+        shape = "x".join(str(n) for n in self.topology)
+        return f"{self.model}[{shape}]#{self.seed}/{self.profile}"
+
+
+@dataclass
+class ScenarioVerdict:
+    """What one scenario run produced (returned from the worker)."""
+
+    spec: ScenarioSpec
+    ok: bool
+    matches: int
+    mismatches: Tuple[str, ...]          # described divergences
+    mismatch_kinds: Tuple[str, ...]
+    failed_assertions: Tuple[str, ...]
+    transactions: int
+    words: int
+    cycles: int
+    wall_seconds: float
+    stream_digest: str                   # sha256 of the transaction stream
+    scoreboard_digest: str
+    #: stimulus-bin hits ("target0/W/short" -> count), for coverage
+    #: aggregation across the regression
+    bin_hits: Tuple[Tuple[str, int], ...] = ()
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        line = (
+            f"[{status}] {self.spec.label}: {self.transactions} txns, "
+            f"{self.words} words, {self.matches} matched"
+        )
+        if self.mismatches:
+            line += f", {len(self.mismatches)} mismatched ({', '.join(sorted(set(self.mismatch_kinds)))})"
+        if self.failed_assertions:
+            line += f", assertions failed: {', '.join(self.failed_assertions)}"
+        return line
+
+
+def _build_system(spec: ScenarioSpec):
+    """Instantiate the scenario system for a spec (worker side)."""
+    sequence = sequence_for_profile(spec.profile)
+    if spec.model == "master_slave":
+        from ..models.master_slave.scenario import MsScenarioSystem
+
+        blocking, non_blocking, slaves = spec.topology
+        return MsScenarioSystem(
+            blocking, non_blocking, slaves, sequence, spec.seed, fault=spec.fault
+        )
+    if spec.model == "pci":
+        from ..models.pci.scenario import PciScenarioSystem
+
+        masters, targets = spec.topology
+        return PciScenarioSystem(
+            masters, targets, sequence, spec.seed, fault=spec.fault
+        )
+    raise ValueError(f"unknown model {spec.model!r}")
+
+
+def _attach_monitors(spec: ScenarioSpec, system):
+    """Optionally bind the model's PSL assertion suite to the run."""
+    from ..abv.harness import AbvHarness
+    from ..psl.monitor import build_monitor
+
+    if spec.model == "master_slave":
+        from ..models.master_slave.properties import ms_invariant_properties
+
+        blocking, non_blocking, slaves = spec.topology
+        directives = ms_invariant_properties(
+            blocking + non_blocking, slaves, include_handshake=False
+        )
+    else:
+        from ..models.pci.properties import pci_safety_properties
+
+        masters, targets = spec.topology
+        directives = pci_safety_properties(masters, targets)
+    harness = AbvHarness(system.simulator, system.clock, system.letter)
+    harness.add_monitors([build_monitor(d) for d in directives])
+    return harness
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
+    """Execute one spec end to end (the multiprocessing work unit)."""
+    started = time.perf_counter()
+    system = _build_system(spec)
+    harness = _attach_monitors(spec, system) if spec.with_monitors else None
+    system.run_cycles(spec.cycles)
+    if harness is not None:
+        harness.finish()
+    report = system.check(spec.label)
+    stream = system.transaction_stream()
+    failed = tuple(
+        binding.monitor.name for binding in (harness.failed if harness else [])
+    )
+    wall = time.perf_counter() - started
+    records = system.records()
+    ctx, window, base = system.coverage_context()
+    bins = BinCoverage(ctx)
+    bins.record_many((txn for txn, _ in records), window, base)
+    return ScenarioVerdict(
+        spec=spec,
+        ok=report.ok and not failed,
+        matches=report.matches,
+        mismatches=tuple(m.describe() for m in report.mismatches),
+        mismatch_kinds=tuple(m.kind.value for m in report.mismatches),
+        failed_assertions=failed,
+        transactions=len(records),
+        words=report.words_checked,
+        cycles=spec.cycles,
+        wall_seconds=wall,
+        stream_digest=hashlib.sha256(stream.encode("utf-8")).hexdigest()[:16],
+        scoreboard_digest=report.digest(),
+        bin_hits=tuple(
+            sorted((bin_.describe(), hits) for bin_, hits in bins.hits.items())
+        ),
+    )
+
+
+def build_specs(
+    models: Sequence[str] = MODELS,
+    count: int = 20,
+    base_seed: int = 2005,
+    cycles: int = 400,
+    with_monitors: bool = False,
+) -> List[ScenarioSpec]:
+    """N specs spread over the models, topologies and named profiles.
+
+    Spec construction is itself seeded (``base_seed``), so a regression
+    is reproducible end to end from one integer.
+    """
+    picker = ScenarioRng(base_seed, "regression-specs")
+    profiles = sorted(NAMED_PROFILES)
+    specs: List[ScenarioSpec] = []
+    for index in range(count):
+        model = models[index % len(models)]
+        if model == "master_slave":
+            topology: Tuple[int, ...] = MS_TOPOLOGIES[
+                (index // len(models)) % len(MS_TOPOLOGIES)
+            ]
+        else:
+            topology = PCI_TOPOLOGIES[(index // len(models)) % len(PCI_TOPOLOGIES)]
+        profile = profiles[
+            picker.derive(f"profile{index}").ranged_int(0, len(profiles) - 1)
+        ]
+        specs.append(
+            ScenarioSpec(
+                model=model,
+                seed=base_seed + index,
+                topology=topology,
+                profile=profile,
+                cycles=cycles,
+                with_monitors=with_monitors,
+            )
+        )
+    return specs
+
+
+@dataclass
+class RegressionReport:
+    """Aggregate outcome of one regression run."""
+
+    verdicts: List[ScenarioVerdict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    stopped_early: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.verdicts) and all(v.ok for v in self.verdicts)
+
+    @property
+    def failed(self) -> List[ScenarioVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def transactions(self) -> int:
+        return sum(v.transactions for v in self.verdicts)
+
+    @property
+    def words(self) -> int:
+        return sum(v.words for v in self.verdicts)
+
+    @property
+    def throughput(self) -> float:
+        """Checked transactions per wall second across the whole fan-out."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.transactions / self.wall_seconds
+
+    def bin_totals(self) -> Dict[str, int]:
+        """Aggregate stimulus-bin hits across every scenario."""
+        totals: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            for name, hits in verdict.bin_hits:
+                totals[name] = totals.get(name, 0) + hits
+        return totals
+
+    def digest(self) -> str:
+        """Deterministic fingerprint: specs + streams + verdicts, no wall
+        times -- byte-identical for the same seeds, any worker count."""
+        lines = [
+            f"{v.spec.label} {v.ok} {v.stream_digest} {v.scoreboard_digest}"
+            for v in self.verdicts
+        ]
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"=== scenario regression: {status} ===",
+            (
+                f"{len(self.verdicts)} scenarios on {self.workers} worker(s): "
+                f"{len(self.verdicts) - len(self.failed)} passed, "
+                f"{len(self.failed)} failed"
+                + (" (stopped early)" if self.stopped_early else "")
+            ),
+            (
+                f"{self.transactions} transactions / {self.words} words checked "
+                f"in {self.wall_seconds:.2f}s "
+                f"({self.throughput:.0f} txn/s aggregate)"
+            ),
+            f"{len(self.bin_totals())} distinct stimulus bins hit",
+            f"digest: {self.digest()}",
+        ]
+        for verdict in self.failed:
+            lines.append(verdict.summary())
+            for mismatch in verdict.mismatches[:3]:
+                lines.extend("    " + line for line in mismatch.splitlines())
+        return "\n".join(lines)
+
+
+class RegressionRunner:
+    """Fans specs across workers and folds the verdicts back together."""
+
+    def __init__(
+        self,
+        specs: Sequence[ScenarioSpec],
+        workers: Optional[int] = None,
+        fail_fast: bool = False,
+        mp_start_method: Optional[str] = None,
+    ):
+        self.specs = list(specs)
+        if workers is None:
+            workers = min(multiprocessing.cpu_count(), 8, max(len(self.specs), 1))
+        self.workers = max(workers, 1)
+        self.fail_fast = fail_fast
+        self.mp_start_method = mp_start_method
+
+    def run(self) -> RegressionReport:
+        started = time.perf_counter()
+        report = RegressionReport(workers=self.workers)
+        if self.workers == 1 or len(self.specs) <= 1:
+            for spec in self.specs:
+                verdict = run_scenario(spec)
+                report.verdicts.append(verdict)
+                if self.fail_fast and not verdict.ok:
+                    report.stopped_early = len(report.verdicts) < len(self.specs)
+                    break
+        else:
+            context = (
+                multiprocessing.get_context(self.mp_start_method)
+                if self.mp_start_method
+                else multiprocessing.get_context()
+            )
+            with context.Pool(processes=self.workers) as pool:
+                try:
+                    for verdict in pool.imap_unordered(run_scenario, self.specs):
+                        report.verdicts.append(verdict)
+                        if self.fail_fast and not verdict.ok:
+                            report.stopped_early = (
+                                len(report.verdicts) < len(self.specs)
+                            )
+                            pool.terminate()
+                            break
+                finally:
+                    pool.close()
+                    pool.join()
+        # canonical order: results arrive in scheduler order, the report
+        # must not depend on it (the full label disambiguates specs
+        # sharing a (model, seed) pair)
+        report.verdicts.sort(key=lambda v: (v.spec.model, v.spec.seed, v.spec.label))
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.scenarios.regression",
+        description="Run a seeded scenario regression across worker processes.",
+    )
+    parser.add_argument("--models", nargs="+", default=list(MODELS), choices=MODELS)
+    parser.add_argument("--scenarios", type=_positive_int, default=40)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--cycles", type=_positive_int, default=400)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--fail-fast", action="store_true")
+    parser.add_argument(
+        "--with-monitors",
+        action="store_true",
+        help="also bind the PSL assertion suite to every scenario",
+    )
+    options = parser.parse_args(argv)
+    specs = build_specs(
+        models=options.models,
+        count=options.scenarios,
+        base_seed=options.seed,
+        cycles=options.cycles,
+        with_monitors=options.with_monitors,
+    )
+    runner = RegressionRunner(
+        specs, workers=options.workers, fail_fast=options.fail_fast
+    )
+    report = runner.run()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,347 @@
+"""A UVM-style sequence library for bus stimulus.
+
+A :class:`Sequence` is a reusable, stateless recipe: ``items(rng,
+ctx)`` yields :class:`SequenceItem` records describing abstract
+transactions (target, direction, burst, address offset, payload, idle
+gap).  A model-specific driver (``repro.models.*.scenario``) turns the
+items into real :class:`repro.sysc.bus.Transaction` traffic, in either
+bus mode -- blocking drivers move the item as one burst, non-blocking
+drivers move single words.
+
+Sequences compose: :class:`Chain` runs recipes back to back,
+:class:`Interleave` round-robins them, :class:`Mix` picks per item by
+weight, :class:`Repeat` loops a finite recipe.  Composition derives
+child random streams by position, so adding a branch never perturbs
+its siblings (see :mod:`.random_`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Sequence as Seq, Tuple
+
+from .random_ import BURST_PROFILES, BurstProfile, ScenarioRng
+
+
+@dataclass(frozen=True)
+class StimulusContext:
+    """What the driven bus looks like from the stimulus side."""
+
+    n_targets: int
+    min_burst: int = 1
+    max_burst: int = 2
+    address_span: int = 16      # word offsets available inside a target window
+    max_idle: int = 3
+    payload_bits: int = 16
+
+    def clamp_burst(self, burst: int) -> int:
+        return min(max(burst, self.min_burst), self.max_burst)
+
+
+@dataclass(frozen=True)
+class SequenceItem:
+    """One abstract transaction, before a driver binds it to a bus."""
+
+    target: int
+    is_write: bool
+    burst: int
+    address_offset: int
+    payload: Tuple[int, ...] = ()
+    idle: int = 1
+
+    def describe(self) -> str:
+        direction = "W" if self.is_write else "R"
+        return (
+            f"{direction} target{self.target}+{self.address_offset:#x} "
+            f"x{self.burst} idle={self.idle}"
+        )
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Tunable knobs of constrained-random traffic.
+
+    ``target_weights`` biases target selection (missing/empty means
+    uniform); ``write_bias`` is P(write); ``burst`` shapes burst
+    lengths; idle gaps are uniform in [idle_min, idle_max].
+    """
+
+    write_bias: float = 0.5
+    target_weights: Tuple[float, ...] = ()
+    burst: BurstProfile = field(default_factory=BurstProfile)
+    idle_min: int = 0
+    idle_max: int = 3
+
+    def with_target_boost(self, target: int, boost: float, n_targets: int) -> "TrafficProfile":
+        weights = list(self.target_weights) or [1.0] * n_targets
+        while len(weights) < n_targets:
+            weights.append(1.0)
+        weights[target] += boost
+        return replace(self, target_weights=tuple(weights))
+
+
+#: Named profiles the regression runner can select by string.
+NAMED_PROFILES = {
+    "default": TrafficProfile(),
+    "bursty": TrafficProfile(burst=BURST_PROFILES["long"], idle_min=0, idle_max=1),
+    "writes": TrafficProfile(write_bias=0.85),
+    "reads": TrafficProfile(write_bias=0.15),
+    "edges": TrafficProfile(burst=BURST_PROFILES["edges"], idle_min=0, idle_max=4),
+}
+
+
+class Sequence:
+    """Base class: a stateless generator of :class:`SequenceItem`."""
+
+    name = "sequence"
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        raise NotImplementedError
+
+    # -- composition sugar -------------------------------------------------
+
+    def then(self, other: "Sequence") -> "Chain":
+        return Chain(self, other)
+
+    def repeated(self, times: int) -> "Repeat":
+        return Repeat(self, times)
+
+
+def _payload_for(rng: ScenarioRng, ctx: StimulusContext, is_write: bool, burst: int) -> Tuple[int, ...]:
+    if not is_write:
+        return ()
+    return rng.payload(burst, ctx.payload_bits)
+
+
+def _offset_for(rng: ScenarioRng, ctx: StimulusContext, burst: int) -> int:
+    return rng.ranged_int(0, max(ctx.address_span - burst, 0))
+
+
+class RandomTraffic(Sequence):
+    """Constrained-random traffic shaped by a :class:`TrafficProfile`.
+
+    Infinite by default (``length=None``): the driver stops pulling
+    when the simulation ends.
+    """
+
+    name = "random_traffic"
+
+    def __init__(self, profile: TrafficProfile = TrafficProfile(), length: Optional[int] = None):
+        self.profile = profile
+        self.length = length
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        profile = self.profile
+        counter = itertools.count() if self.length is None else range(self.length)
+        for _ in counter:
+            weights = profile.target_weights or (1.0,) * ctx.n_targets
+            target = rng.weighted_choice(
+                [(t, weights[t] if t < len(weights) else 1.0) for t in range(ctx.n_targets)]
+            )
+            is_write = rng.weighted_choice(
+                [(True, profile.write_bias), (False, 1.0 - profile.write_bias)]
+            )
+            burst = ctx.clamp_burst(
+                profile.burst.sample(rng, ctx.min_burst, ctx.max_burst)
+            )
+            yield SequenceItem(
+                target=target,
+                is_write=is_write,
+                burst=burst,
+                address_offset=_offset_for(rng, ctx, burst),
+                payload=_payload_for(rng, ctx, is_write, burst),
+                idle=rng.ranged_int(
+                    max(profile.idle_min, 0), max(profile.idle_max, profile.idle_min, 0)
+                ),
+            )
+
+
+class BurstSweep(Sequence):
+    """Deterministic sweep: every burst length against every target,
+    alternating write/read -- the directed backbone of a regression."""
+
+    name = "burst_sweep"
+
+    def __init__(self, rounds: int = 1):
+        self.rounds = rounds
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        for round_index in range(self.rounds):
+            for burst in range(ctx.min_burst, ctx.max_burst + 1):
+                for target in range(ctx.n_targets):
+                    is_write = (round_index + burst + target) % 2 == 0
+                    offset = (burst * 3 + target) % max(ctx.address_span - burst + 1, 1)
+                    yield SequenceItem(
+                        target=target,
+                        is_write=is_write,
+                        burst=burst,
+                        address_offset=offset,
+                        payload=_payload_for(rng, ctx, is_write, burst),
+                        idle=1,
+                    )
+
+
+class AddressWalk(Sequence):
+    """Walk the address window of each target: a write pass laying down
+    a known pattern, then a read pass over the same offsets."""
+
+    name = "address_walk"
+
+    def __init__(self, stride: int = 1):
+        self.stride = max(stride, 1)
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        burst = ctx.min_burst
+        for target in range(ctx.n_targets):
+            offsets = range(0, max(ctx.address_span - burst + 1, 1), self.stride)
+            for offset in offsets:
+                yield SequenceItem(
+                    target=target,
+                    is_write=True,
+                    burst=burst,
+                    address_offset=offset,
+                    payload=_payload_for(rng, ctx, True, burst),
+                    idle=0,
+                )
+            for offset in offsets:
+                yield SequenceItem(
+                    target=target,
+                    is_write=False,
+                    burst=burst,
+                    address_offset=offset,
+                    idle=0,
+                )
+
+
+class WriteReadback(Sequence):
+    """Random write immediately followed by a read of the same words --
+    the scoreboard's sharpest data-integrity probe."""
+
+    name = "write_readback"
+
+    def __init__(self, pairs: int = 8):
+        self.pairs = pairs
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        for _ in range(self.pairs):
+            burst = rng.ranged_int(ctx.min_burst, ctx.max_burst)
+            target = rng.ranged_int(0, ctx.n_targets - 1)
+            offset = _offset_for(rng, ctx, burst)
+            yield SequenceItem(
+                target=target,
+                is_write=True,
+                burst=burst,
+                address_offset=offset,
+                payload=_payload_for(rng, ctx, True, burst),
+                idle=0,
+            )
+            yield SequenceItem(
+                target=target,
+                is_write=False,
+                burst=burst,
+                address_offset=offset,
+                idle=0,
+            )
+
+
+# -- combinators -----------------------------------------------------------
+
+
+class Chain(Sequence):
+    """Run finite sequences back to back (an infinite child starves
+    its successors, as in UVM)."""
+
+    name = "chain"
+
+    def __init__(self, *parts: Sequence):
+        self.parts = parts
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        for index, part in enumerate(self.parts):
+            yield from part.items(rng.derive(f"chain{index}:{part.name}"), ctx)
+
+
+class Interleave(Sequence):
+    """Round-robin across children until all are exhausted -- several
+    virtual sequences sharing one driver."""
+
+    name = "interleave"
+
+    def __init__(self, *parts: Sequence):
+        self.parts = parts
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        streams = [
+            part.items(rng.derive(f"lane{index}:{part.name}"), ctx)
+            for index, part in enumerate(self.parts)
+        ]
+        while streams:
+            exhausted = []
+            for stream in streams:
+                try:
+                    yield next(stream)
+                except StopIteration:
+                    exhausted.append(stream)
+            for stream in exhausted:
+                streams.remove(stream)
+
+
+class Mix(Sequence):
+    """Pick the next item's source by weight, per item (an endless
+    weighted blend of traffic shapes)."""
+
+    name = "mix"
+
+    def __init__(self, weighted_parts: Seq[Tuple[Sequence, float]], length: int = 64):
+        self.weighted_parts = list(weighted_parts)
+        self.length = length
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        picker = rng.derive("mix-picker")
+        streams = []
+        for index, (part, weight) in enumerate(self.weighted_parts):
+            stream = part.items(rng.derive(f"mix{index}:{part.name}"), ctx)
+            streams.append([stream, weight])
+        emitted = 0
+        while emitted < self.length and streams:
+            choice = picker.weighted_choice(
+                [(index, weight) for index, (_, weight) in enumerate(streams)]
+            )
+            try:
+                yield next(streams[choice][0])
+                emitted += 1
+            except StopIteration:
+                del streams[choice]
+
+
+class Repeat(Sequence):
+    """Loop a finite sequence ``times`` times with fresh derived
+    streams, so every pass explores different random values."""
+
+    name = "repeat"
+
+    def __init__(self, part: Sequence, times: int):
+        self.part = part
+        self.times = times
+
+    def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
+        for pass_index in range(self.times):
+            yield from self.part.items(rng.derive(f"pass{pass_index}"), ctx)
+
+
+def sequence_for_profile(profile_name: str) -> Sequence:
+    """The regression runner's stimulus recipe for a named profile: a
+    directed warm-up (sweep + readback) followed by endless
+    constrained-random traffic in the requested shape."""
+    if profile_name not in NAMED_PROFILES:
+        raise ValueError(
+            f"unknown traffic profile {profile_name!r} "
+            f"(choose from {', '.join(sorted(NAMED_PROFILES))})"
+        )
+    profile = NAMED_PROFILES[profile_name]
+    return Chain(
+        BurstSweep(rounds=1),
+        WriteReadback(pairs=4),
+        RandomTraffic(profile),
+    )

@@ -15,6 +15,7 @@ from .bus import (
     BusStatus,
     NonBlockingBusIf,
     Transaction,
+    TxnIdAllocator,
 )
 from .clock import Clock
 from .datatypes import Bit, BitVector, Logic, logic_vector
@@ -42,6 +43,7 @@ __all__ = [
     "BusStatus",
     "NonBlockingBusIf",
     "Transaction",
+    "TxnIdAllocator",
     "Clock",
     "Bit",
     "BitVector",

@@ -38,6 +38,33 @@ class BusMode(enum.Enum):
     NON_BLOCKING = "non_blocking"
 
 
+class TxnIdAllocator:
+    """Hands out stable, per-system transaction identifiers.
+
+    Scoreboards and monitors correlate out-of-order completions by
+    ``txn_id``, so ids must be deterministic for a given seed: each
+    system model owns one allocator (never a process-global counter,
+    which would leak ids across scenarios run in the same process).
+    Ids are allocated at *issue* time, so the id order is the issue
+    order even when completions reorder.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, first: int = 0):
+        self._next = first
+
+    def allocate(self) -> int:
+        allocated = self._next
+        self._next += 1
+        return allocated
+
+    @property
+    def issued(self) -> int:
+        """How many ids were handed out so far."""
+        return self._next
+
+
 @dataclass
 class Transaction:
     """One bus transaction as observed by monitors and scoreboards."""
@@ -50,6 +77,9 @@ class Transaction:
     start_cycle: int = -1
     end_cycle: int = -1
     status: BusStatus = BusStatus.IDLE
+    #: stable per-system identifier assigned at issue time (see
+    #: :class:`TxnIdAllocator`); -1 means "never assigned".
+    txn_id: int = -1
 
     @property
     def burst_length(self) -> int:
@@ -66,6 +96,16 @@ class Transaction:
         return (
             f"{self.master} {direction}@{self.address:#06x} "
             f"x{self.burst_length} [{self.status.value}]"
+        )
+
+    def describe(self) -> str:
+        """Full correlation record (used by scoreboards and reports)."""
+        direction = "W" if self.is_write else "R"
+        words = ",".join(f"{w:#x}" for w in self.data)
+        return (
+            f"txn#{self.txn_id} {self.master} {direction}@{self.address:#06x} "
+            f"x{self.burst_length} cycles[{self.start_cycle}..{self.end_cycle}] "
+            f"({self.mode.value}, {self.status.value}) data=[{words}]"
         )
 
 

@@ -1,0 +1,137 @@
+"""The coverage-driven feedback loop."""
+
+from repro.abv.coverage import CoverageCollector
+from repro.explorer import ExplorationConfig, explore
+from repro.models.master_slave import ms_cover_properties
+from repro.models.master_slave.scenario import MsScenarioSystem
+from repro.psl import build_monitor
+from repro.scenarios.coverage_driven import (
+    BinCoverage,
+    CoverageDrivenLoop,
+    CoverageFeedback,
+    StimulusBin,
+    bin_universe,
+    burst_bucket,
+)
+from repro.scenarios.random_ import ScenarioRng
+from repro.scenarios.sequences import RandomTraffic, StimulusContext, TrafficProfile
+from repro.sysc.bus import Transaction
+
+
+def txn(address, is_write, words):
+    return Transaction(
+        master="master0", address=address, is_write=is_write,
+        data=tuple(range(words)),
+    )
+
+
+class TestBins:
+    def test_burst_bucket_mapping(self):
+        assert burst_bucket(1) == "single"
+        assert burst_bucket(2) == burst_bucket(3) == "short"
+        assert burst_bucket(4) == burst_bucket(64) == "long"
+
+    def test_universe_respects_burst_range(self):
+        ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
+        buckets = {b.bucket for b in bin_universe(ctx)}
+        assert buckets == {"single", "short"}
+        assert len(bin_universe(ctx)) == 2 * 2 * 2
+
+    def test_record_and_unhit(self):
+        ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
+        coverage = BinCoverage(ctx)
+        coverage.record(txn(0x000, True, 1))
+        coverage.record(txn(0x100, False, 2))
+        assert StimulusBin(0, True, "single") not in coverage.unhit()
+        assert StimulusBin(1, False, "short") not in coverage.unhit()
+        assert len(coverage.unhit()) == 6
+        assert 0 < coverage.ratio < 1
+        assert "unhit" in coverage.summary()
+
+    def test_record_with_base_rebases_pci_pages(self):
+        ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
+        coverage = BinCoverage(ctx)
+        coverage.record(txn(0x1000, True, 1), window=0x1000, base=1)
+        assert StimulusBin(0, True, "single") in coverage.hits
+
+
+class TestFeedback:
+    def setup_method(self):
+        self.ctx = StimulusContext(n_targets=3, min_burst=1, max_burst=4)
+        self.feedback = CoverageFeedback(self.ctx, TrafficProfile())
+
+    def test_unhit_targets_get_boosted(self):
+        # hit everything on target 0, nothing on targets 1 and 2
+        for words in (1, 2, 4):
+            self.feedback.observe_transactions(
+                [txn(0x000, True, words), txn(0x000, False, words)]
+            )
+        profile = self.feedback.next_profile()
+        assert profile.target_weights
+        assert profile.target_weights[1] > profile.target_weights[0]
+        assert profile.target_weights[2] > profile.target_weights[0]
+
+    def test_unhit_long_bursts_select_long_profile(self):
+        self.feedback.observe_transactions(
+            [txn(t * 0x100, w, 1) for t in range(3) for w in (True, False)]
+        )
+        profile = self.feedback.next_profile()
+        assert profile.burst.kind == "geometric"
+        assert profile.burst.p > 0.5  # the "long" shape
+
+    def test_starved_monitors_shrink_idle(self):
+        cover = build_monitor(ms_cover_properties(1, 1)[0])
+        collector = CoverageCollector([cover])  # never stepped: 0 hits
+        self.feedback.observe_monitors(collector)
+        assert self.feedback.starved_monitors
+        profile = self.feedback.next_profile()
+        assert profile.idle_max <= TrafficProfile().idle_max // 2
+
+    def test_fsm_residue_applies_pressure(self, counter_model):
+        result = explore(counter_model, ExplorationConfig())
+        from repro.explorer.sim_coverage import SimCoverage
+
+        self.feedback.observe_fsm(SimCoverage(result.fsm))  # nothing visited
+        profile = self.feedback.next_profile()
+        assert profile.idle_max <= TrafficProfile().idle_max // 2
+        assert "FSM transition coverage" in self.feedback.report()
+
+
+class TestClosedLoop:
+    def test_loop_saturates_ms_stimulus_bins(self):
+        ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
+        feedback = CoverageFeedback(ctx, TrafficProfile(idle_min=0, idle_max=1))
+
+        def run_batch(profile, round_index):
+            system = MsScenarioSystem(
+                1, 1, 2, RandomTraffic(profile), seed=1000 + round_index
+            )
+            system.run_cycles(200)
+            return [txn for txn, _ in system.records()]
+
+        loop = CoverageDrivenLoop(feedback, run_batch)
+        rounds = loop.run(max_rounds=4)
+        assert rounds
+        assert rounds[0].new_bins > 0
+        ratios = [r.ratio for r in rounds]
+        assert ratios == sorted(ratios)  # coverage never regresses
+        assert feedback.bins.ratio == 1.0, loop.summary()
+
+    def test_loop_is_seed_deterministic(self):
+        ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
+
+        def outcome():
+            feedback = CoverageFeedback(ctx, TrafficProfile())
+
+            def run_batch(profile, round_index):
+                system = MsScenarioSystem(
+                    1, 1, 2, RandomTraffic(profile), seed=50 + round_index
+                )
+                system.run_cycles(150)
+                return [txn for txn, _ in system.records()]
+
+            loop = CoverageDrivenLoop(feedback, run_batch)
+            loop.run(max_rounds=2)
+            return loop.summary()
+
+        assert outcome() == outcome()

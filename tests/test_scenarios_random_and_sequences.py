@@ -1,0 +1,188 @@
+"""The scenario engine's randomization and sequence library."""
+
+import pytest
+
+from repro.scenarios.random_ import (
+    BURST_PROFILES,
+    BurstProfile,
+    ScenarioRng,
+    derive_seed,
+)
+from repro.scenarios.sequences import (
+    AddressWalk,
+    BurstSweep,
+    Chain,
+    Interleave,
+    Mix,
+    RandomTraffic,
+    Repeat,
+    SequenceItem,
+    StimulusContext,
+    TrafficProfile,
+    WriteReadback,
+    sequence_for_profile,
+)
+
+CTX = StimulusContext(n_targets=3, min_burst=1, max_burst=4, address_span=16)
+
+
+def take(sequence, n, rng=None, ctx=CTX):
+    rng = rng or ScenarioRng(7)
+    items = []
+    stream = sequence.items(rng, ctx)
+    for _ in range(n):
+        try:
+            items.append(next(stream))
+        except StopIteration:
+            break
+    return items
+
+
+class TestScenarioRng:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(2005, "a/b") == derive_seed(2005, "a/b")
+        assert derive_seed(2005, "a/b") != derive_seed(2005, "a/c")
+        assert derive_seed(2005, "a/b") != derive_seed(2006, "a/b")
+
+    def test_child_streams_are_independent_of_sibling_draws(self):
+        root1 = ScenarioRng(42)
+        root2 = ScenarioRng(42)
+        # consume from one sibling only in the first universe
+        sibling = root1.derive("noisy")
+        for _ in range(100):
+            sibling.ranged_int(0, 1000)
+        child1 = root1.derive("quiet")
+        child2 = root2.derive("quiet")
+        assert [child1.ranged_int(0, 10**9) for _ in range(10)] == [
+            child2.ranged_int(0, 10**9) for _ in range(10)
+        ]
+
+    def test_weighted_choice_respects_zero_weights(self):
+        rng = ScenarioRng(1)
+        values = {rng.weighted_choice([("a", 0.0), ("b", 1.0)]) for _ in range(50)}
+        assert values == {"b"}
+
+    def test_weighted_choice_degenerates_to_uniform(self):
+        rng = ScenarioRng(1)
+        values = {rng.weighted_choice([("a", 0.0), ("b", 0.0)]) for _ in range(100)}
+        assert values == {"a", "b"}
+
+    def test_ranged_int_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ScenarioRng(1).ranged_int(5, 4)
+
+    def test_payload_width(self):
+        words = ScenarioRng(1).payload(64, width_bits=8)
+        assert len(words) == 64
+        assert all(0 <= w <= 0xFF for w in words)
+
+
+class TestBurstProfiles:
+    @pytest.mark.parametrize("name", sorted(BURST_PROFILES))
+    def test_samples_stay_in_range(self, name):
+        profile = BURST_PROFILES[name]
+        rng = ScenarioRng(3).derive(name)
+        for _ in range(200):
+            assert 1 <= profile.sample(rng, 1, 4) <= 4
+
+    def test_fixed_clamps(self):
+        assert BurstProfile("fixed", value=99).sample(ScenarioRng(1), 1, 4) == 4
+
+    def test_edges_favours_boundaries(self):
+        rng = ScenarioRng(5)
+        samples = [BURST_PROFILES["edges"].sample(rng, 1, 8) for _ in range(300)]
+        boundary = sum(1 for s in samples if s in (1, 8))
+        assert boundary > len(samples) // 2
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            BurstProfile("zipf").sample(ScenarioRng(1), 1, 4)
+
+
+class TestSequences:
+    def assert_valid(self, items):
+        assert items
+        for item in items:
+            assert 0 <= item.target < CTX.n_targets
+            assert CTX.min_burst <= item.burst <= CTX.max_burst
+            assert 0 <= item.address_offset <= CTX.address_span - item.burst
+            if item.is_write:
+                assert len(item.payload) == item.burst
+            assert item.idle >= 0
+
+    def test_random_traffic_items_respect_context(self):
+        self.assert_valid(take(RandomTraffic(TrafficProfile()), 100))
+
+    def test_random_traffic_finite_length(self):
+        assert len(take(RandomTraffic(TrafficProfile(), length=9), 50)) == 9
+
+    def test_burst_sweep_covers_every_burst_and_target(self):
+        items = take(BurstSweep(rounds=1), 1000)
+        self.assert_valid(items)
+        assert {(i.burst, i.target) for i in items} == {
+            (b, t)
+            for b in range(CTX.min_burst, CTX.max_burst + 1)
+            for t in range(CTX.n_targets)
+        }
+
+    def test_address_walk_reads_back_every_written_offset(self):
+        items = take(AddressWalk(), 1000)
+        self.assert_valid(items)
+        writes = {(i.target, i.address_offset) for i in items if i.is_write}
+        reads = {(i.target, i.address_offset) for i in items if not i.is_write}
+        assert writes == reads
+
+    def test_write_readback_pairs_match(self):
+        items = take(WriteReadback(pairs=6), 100)
+        self.assert_valid(items)
+        assert len(items) == 12
+        for write, read in zip(items[0::2], items[1::2]):
+            assert write.is_write and not read.is_write
+            assert (write.target, write.address_offset, write.burst) == (
+                read.target, read.address_offset, read.burst
+            )
+
+    def test_determinism_same_rng_path(self):
+        sequence = sequence_for_profile("default")
+        a = take(sequence, 50, rng=ScenarioRng(11).derive("m"))
+        b = take(sequence, 50, rng=ScenarioRng(11).derive("m"))
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        sequence = RandomTraffic(TrafficProfile())
+        a = take(sequence, 50, rng=ScenarioRng(11))
+        b = take(sequence, 50, rng=ScenarioRng(12))
+        assert a != b
+
+
+class TestCombinators:
+    def test_chain_runs_parts_in_order(self):
+        items = take(Chain(WriteReadback(pairs=1), BurstSweep(rounds=1)), 100)
+        assert len(items) == 2 + (CTX.max_burst - CTX.min_burst + 1) * CTX.n_targets
+        assert items[0].is_write and not items[1].is_write
+
+    def test_interleave_round_robins(self):
+        writes = WriteReadback(pairs=2)
+        sweep = BurstSweep(rounds=1)
+        items = take(Interleave(writes, sweep), 200)
+        solo = take(writes, 200) + take(sweep, 200)
+        assert len(items) == len(solo)
+
+    def test_repeat_passes_use_fresh_streams(self):
+        items = take(Repeat(WriteReadback(pairs=2), times=3), 100)
+        assert len(items) == 12
+        first_pass = [(i.target, i.address_offset) for i in items[:4]]
+        second_pass = [(i.target, i.address_offset) for i in items[4:8]]
+        assert first_pass != second_pass  # fresh randomness per pass
+
+    def test_mix_emits_requested_length(self):
+        mix = Mix(
+            [(RandomTraffic(TrafficProfile()), 3.0), (BurstSweep(rounds=5), 1.0)],
+            length=40,
+        )
+        items = take(mix, 100)
+        assert len(items) == 40
+
+    def test_mix_is_deterministic(self):
+        mix = Mix([(RandomTraffic(TrafficProfile()), 1.0)], length=20)
+        assert take(mix, 30) == take(mix, 30)

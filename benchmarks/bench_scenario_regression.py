@@ -14,7 +14,8 @@ import multiprocessing
 import pytest
 
 from repro.models.master_slave.scenario import MsScenarioSystem
-from repro.scenarios import RegressionRunner, build_specs, sequence_for_profile
+from repro.scenarios import build_specs, sequence_for_profile
+from repro.scenarios.regression import RegressionRunner
 
 from common import FULL_RUN
 

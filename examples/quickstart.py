@@ -7,16 +7,17 @@ The example walks the paper's whole methodology in one file:
 2. state a PSL property,
 3. model check by FSM generation (with on-the-fly checking),
 4. deliberately break the arbiter and watch the counterexample,
-5. translate the verified design to the SystemC level and re-use the
-   same property as a runtime assertion monitor.
+5. run the verified design through a :class:`repro.Workbench` session:
+   translate to the SystemC level and re-use the same property as a
+   runtime assertion monitor.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.asm import AsmMachine, AsmModel, StateVar, action, choose_min, require
 from repro.explorer import ExplorationConfig, explore
-from repro.flow import DesignFlow
 from repro.psl import AssertionProperty, Property, parse_formula
+from repro.workbench import DUV, Workbench
 
 
 # -- 1. the design: two masters and an arbiter ------------------------------------
@@ -114,14 +115,17 @@ def main() -> None:
 
     # -- 5. the full flow: verify, translate, simulate with monitors ---------
     print("\n== full design flow (Figure 1) ==")
-    flow = DesignFlow(model_factory=build, directives=[MUTEX])
-    report = flow.run(cycles=2_000)
-    print(report.summary())
+    duv = DUV(name="quickstart_bus", model_factory=build, directives=[MUTEX])
+    workbench = Workbench(duv)
+    workbench.explore()
+    translated = workbench.translate()
+    workbench.simulate_abv(cycles=2_000)
+    print(workbench.report().summary())
 
     print("\n-- generated SystemC (excerpt) --")
-    print("\n".join(report.systemc_source.splitlines()[:20]))
+    print("\n".join(translated.payload["systemc"].splitlines()[:20]))
     print("\n-- generated C# monitor (excerpt) --")
-    print("\n".join(report.csharp_source.splitlines()[:16]))
+    print("\n".join(translated.payload["csharp"].splitlines()[:16]))
 
 
 if __name__ == "__main__":

@@ -9,24 +9,24 @@ Demonstrates the :mod:`repro.scenarios` subsystem end to end:
 2. a fault-injected run proving the scoreboard catches divergence,
 3. a coverage-driven loop that re-biases traffic toward unhit
    stimulus bins,
-4. a parallel regression fanning seeded scenarios over both case
-   studies (PCI and Master/Slave) across worker processes.
+4. a parallel regression per case study through the public
+   :class:`repro.Workbench` session API -- seeded scenarios fanned
+   across worker processes, one digest-stable report per session.
 
 Run:  python examples/scenario_regression.py [scenarios] [workers]
 """
 
 import sys
 
+from repro import Workbench
 from repro.models.master_slave.scenario import MsScenarioSystem
 from repro.scenarios import (
     CoverageDrivenLoop,
     CoverageFeedback,
     FaultPlan,
     RandomTraffic,
-    RegressionRunner,
     StimulusContext,
     TrafficProfile,
-    build_specs,
     sequence_for_profile,
 )
 
@@ -78,12 +78,18 @@ def coverage_loop() -> None:
 
 
 def regression(scenarios: int, workers: int) -> bool:
-    print(f"\n== parallel regression: {scenarios} scenarios, {workers} workers ==")
-    specs = build_specs(count=scenarios, cycles=300)
-    report = RegressionRunner(specs, workers=workers).run()
-    for line in report.summary().splitlines():
-        print("  " + line)
-    return report.ok
+    print(f"\n== parallel regression: {scenarios} scenarios/model, {workers} workers ==")
+    ok = True
+    for model in ("master_slave", "pci"):
+        stage = Workbench(model).regress(
+            scenarios=scenarios, cycles=300, workers=workers
+        )
+        report = stage.payload["report"]
+        print(f"  -- {model} (stage digest {stage.digest()}) --")
+        for line in report.summary().splitlines():
+            print("  " + line)
+        ok = ok and stage.ok
+    return ok
 
 
 def main(scenarios: int = 40, workers: int = 4) -> int:

@@ -18,29 +18,48 @@ A complete Python reproduction of Habibi & Tahar's DATE 2005 paper:
 * :mod:`repro.abv` -- runtime assertion-based verification,
 * :mod:`repro.models` -- the two case studies: PCI (Table 1) and the
   generic Master/Slave bus (Table 2),
-* :mod:`repro.flow` -- the end-to-end Figure 1 pipeline.
+* :mod:`repro.workbench` -- the unified verification-session API:
+  DUV registry, typed stages, pluggable engines, session reports,
+* :mod:`repro.flow` -- the Figure 1 pipeline as a preset plan (the
+  legacy ``DesignFlow`` entry point, deprecated),
+* :mod:`repro.cli` -- the ``python -m repro`` command line.
 
 Quickstart::
 
-    from repro.flow import DesignFlow
-    from repro.models.pci import (
-        build_pci_model, pci_domains, pci_init_call,
-        pci_letter_from_model,
-    )
-    from repro.models.pci.properties import pci_invariant_properties
-    from repro.explorer import ExplorationConfig
+    from repro import Workbench, VerificationPlan
 
-    flow = DesignFlow(
-        model_factory=lambda: build_pci_model(2, 2),
-        directives=pci_invariant_properties(2, 2),
-        extractor=pci_letter_from_model,
-        exploration=ExplorationConfig(
-            domains=pci_domains(2), init_action=pci_init_call()
-        ),
-    )
-    print(flow.model_check().summary())
+    report = Workbench("pci").run_plan(VerificationPlan.figure1())
+    assert report.ok
+    print(report.summary())          # one digest across all stages
+
+Or stage by stage::
+
+    wb = Workbench("master_slave")
+    wb.explore()                     # model checking; exports residue
+    wb.simulate_abv(cycles=5_000)    # monitors in simulation
+    wb.regress(scenarios=40, bias=True)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: workbench names re-exported at the top level, resolved lazily so
+#: `import repro` stays light for subpackage-only consumers
+_WORKBENCH_EXPORTS = (
+    "Workbench",
+    "VerificationPlan",
+    "DUV",
+    "SessionReport",
+    "StageResult",
+    "ModelRegistry",
+    "default_registry",
+)
+
+__all__ = ["__version__", *_WORKBENCH_EXPORTS]
+
+
+def __getattr__(name: str):
+    if name in _WORKBENCH_EXPORTS:
+        from . import workbench
+
+        return getattr(workbench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,7 @@
+"""CLI entry point: ``python -m repro`` drives verification sessions."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

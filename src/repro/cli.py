@@ -1,0 +1,216 @@
+"""``python -m repro`` -- the verification-service command line.
+
+One CLI over the :mod:`repro.workbench` session API::
+
+    python -m repro list
+    python -m repro explore  --model pci --json
+    python -m repro simulate --model master_slave --cycles 5000
+    python -m repro regress  --model pci --scenarios 40 --workers 4 --json
+    python -m repro flow     --model master_slave --json
+
+``flow`` runs the paper's whole Figure 1 plan (explore -> liveness ->
+translate -> ABV simulation -> scenario regression) and exits 0 iff
+the session verified.  All subcommands accept ``--json`` for
+machine-readable output; the session digest printed either way is
+byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .workbench import (
+    SessionReport,
+    VerificationPlan,
+    Workbench,
+    default_registry,
+)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _topology(text: str) -> List[int]:
+    try:
+        parts = [int(p) for p in text.replace("x", ",").split(",") if p != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"topology must be comma-separated ints, got {text!r}"
+        ) from None
+    if not parts:
+        raise argparse.ArgumentTypeError("topology must not be empty")
+    return parts
+
+
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        required=True,
+        help="registered model name (see `python -m repro list`)",
+    )
+    parser.add_argument(
+        "--topology",
+        type=_topology,
+        default=None,
+        metavar="N,N[,N]",
+        help="model topology, e.g. 2,2 (pci: masters,targets; "
+        "master_slave: blocking,non_blocking,slaves)",
+    )
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable output"
+    )
+
+
+def _workbench(options: argparse.Namespace) -> Workbench:
+    registry = default_registry()
+    args = tuple(options.topology) if options.topology else ()
+    duv = registry.get(options.model, *args)
+    return Workbench(duv, seed=options.seed)
+
+
+def _emit(report: SessionReport, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_list(options: argparse.Namespace) -> int:
+    registry = default_registry()
+    names = registry.names()
+    if options.json:
+        doc = [
+            {"name": name, "description": registry.describe(name)}
+            for name in names
+        ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for name in names:
+            print(f"{name:<16} {registry.describe(name)}")
+    return 0
+
+
+def _cmd_explore(options: argparse.Namespace) -> int:
+    workbench = _workbench(options)
+    overrides = {}
+    if options.max_states is not None:
+        overrides["max_states"] = options.max_states
+    workbench.explore(**overrides)
+    if options.liveness:
+        workbench.check_liveness()
+    return _emit(workbench.report(), options.json)
+
+
+def _cmd_simulate(options: argparse.Namespace) -> int:
+    workbench = _workbench(options)
+    workbench.simulate_abv(cycles=options.cycles, seed=options.seed)
+    return _emit(workbench.report(), options.json)
+
+
+def _cmd_regress(options: argparse.Namespace) -> int:
+    workbench = _workbench(options)
+    workbench.regress(
+        scenarios=options.scenarios,
+        cycles=options.cycles,
+        workers=options.workers,
+        fail_fast=options.fail_fast,
+        with_monitors=options.with_monitors,
+    )
+    return _emit(workbench.report(), options.json)
+
+
+def _cmd_flow(options: argparse.Namespace) -> int:
+    workbench = _workbench(options)
+    plan = VerificationPlan.figure1(
+        cycles=options.cycles,
+        scenarios=options.scenarios,
+        scenario_cycles=options.scenario_cycles,
+        workers=options.workers,
+        seed=options.seed,
+        bias_residue=options.bias_residue,
+        fail_fast=options.fail_fast,
+    )
+    report = workbench.run_plan(plan)
+    return _emit(report, options.json)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified verification sessions over the registered "
+        "designs (paper Figure 1, stage by stage or end to end).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered models")
+    list_parser.add_argument("--json", action="store_true")
+    list_parser.set_defaults(func=_cmd_list)
+
+    explore = sub.add_parser(
+        "explore", help="FSM-generation model checking (+ optional liveness)"
+    )
+    _add_model_options(explore)
+    explore.add_argument("--max-states", type=_positive_int, default=None)
+    explore.add_argument(
+        "--liveness",
+        action="store_true",
+        help="also run the registered liveness checks on the FSM",
+    )
+    explore.set_defaults(func=_cmd_explore)
+
+    simulate = sub.add_parser(
+        "simulate", help="ABV simulation with the PSL monitor suite"
+    )
+    _add_model_options(simulate)
+    simulate.add_argument("--cycles", type=_positive_int, default=2_000)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    regress = sub.add_parser(
+        "regress", help="constrained-random scoreboarded scenario regression"
+    )
+    _add_model_options(regress)
+    regress.add_argument("--scenarios", type=_positive_int, default=24)
+    regress.add_argument("--cycles", type=_positive_int, default=300)
+    regress.add_argument("--workers", type=int, default=None)
+    regress.add_argument("--fail-fast", action="store_true")
+    regress.add_argument("--with-monitors", action="store_true")
+    regress.set_defaults(func=_cmd_regress)
+
+    flow = sub.add_parser(
+        "flow", help="the whole Figure 1 plan: explore -> liveness -> "
+        "translate -> simulate -> regress"
+    )
+    _add_model_options(flow)
+    flow.add_argument("--cycles", type=_positive_int, default=2_000)
+    flow.add_argument("--scenarios", type=_positive_int, default=24)
+    flow.add_argument("--scenario-cycles", type=_positive_int, default=300)
+    flow.add_argument("--workers", type=int, default=None)
+    flow.add_argument(
+        "--bias-residue",
+        action="store_true",
+        help="bias the regression toward the formal-only coverage residue "
+        "(for the registered case studies the simulation cannot shrink "
+        "the residue, so this steers toward the whole explored FSM)",
+    )
+    flow.add_argument("--fail-fast", action="store_true")
+    flow.set_defaults(func=_cmd_flow)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

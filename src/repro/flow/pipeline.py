@@ -9,106 +9,46 @@
                      scenario regression (constrained-random,
                      ASM-reference scoreboard, N workers)
 
-A :class:`DesignFlow` takes the design (an ASM model or a UML class
-diagram to materialize), the properties (PSL directives or modified
-sequence diagrams), runs FSM-generation model checking with the
-violation filter, optionally iterates after diagram *updates* ("The
-UML update and UML to ASM translation tasks are repeated until all the
-properties pass"), then translates the verified design to the SystemC
-level and re-uses the same properties as assertion monitors in
-simulation.
-
-A post-translation *scenario regression* stage (``scenario_specs``)
-extends the paper's fixed hand-written simulations: seeded
-constrained-random scenarios are fanned across worker processes and
-every completed transaction is checked against the verified ASM model
-by the :mod:`repro.scenarios` scoreboard.
+.. deprecated::
+    :class:`DesignFlow` is now a thin preset over the unified
+    :class:`repro.workbench.Workbench` session API and emits a
+    :class:`DeprecationWarning` on construction.  New code should
+    build a :class:`repro.workbench.DUV` (or resolve a registered one
+    by name) and compose stages / run
+    :meth:`repro.workbench.VerificationPlan.figure1` directly; the old
+    constructor signature, methods and report types keep working
+    unchanged through this shim.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, List, Mapping, Optional, Sequence
 
-from ..abv.harness import AbvHarness, FailureAction
 from ..asm.machine import AsmModel
 from ..explorer.config import ExplorationConfig
 from ..explorer.counterexample import Counterexample
-from ..explorer.engine import ExplorationResult, explore
-from ..explorer.liveness import LivenessResult, check_eventually
-from ..explorer.rules import RuleFinding, check_rules
-from ..psl.asm_embedding import AssertionProperty, state_extractor
-from ..psl.ast_nodes import Directive, DirectiveKind, Property
-from ..psl.monitor import Monitor, build_monitor
-from ..psl.semantics import Verdict
-from ..scenarios.regression import RegressionReport, RegressionRunner, ScenarioSpec
-from ..translate.class_rules import translate_class
-from ..translate.csharp_gen import render_monitor_suite
-from ..translate.runtime import AsmSystemCModule, build_runtime
-from ..translate.systemc_gen import render_translation_unit
+from ..psl.ast_nodes import Directive, Property
+from ..scenarios.regression import RegressionReport, ScenarioSpec
 from ..uml.sequence_diagram import SequenceDiagram
 from ..uml.to_psl import sequence_to_property
+from ..workbench.duv import DUV, LivenessCheck, _as_directives
+from ..workbench.session import Workbench
+from ..workbench.stages import (
+    ModelCheckingReport,
+    SimulationReport,
+    StageResult,
+    StageStatus,
+)
 
-
-@dataclass
-class LivenessCheck:
-    """One liveness obligation checked on the generated FSM."""
-
-    name: str
-    trigger: Callable[..., bool]
-    goal: Callable[..., bool]
-
-
-@dataclass
-class ModelCheckingReport:
-    """Outcome of the flow's formal leg."""
-
-    exploration: ExplorationResult
-    rule_findings: List[RuleFinding] = field(default_factory=list)
-    liveness: List[LivenessResult] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return self.exploration.ok and all(l.holds for l in self.liveness)
-
-    def summary(self) -> str:
-        lines = [self.exploration.summary()]
-        lines.extend(l.summary() for l in self.liveness)
-        warnings = [f for f in self.rule_findings if f.level == "warning"]
-        if warnings:
-            lines.append(f"  ({len(warnings)} modelling-rule warnings)")
-        return "\n".join(lines)
-
-
-@dataclass
-class SimulationReport:
-    """Outcome of the flow's ABV leg."""
-
-    cycles: int
-    wall_seconds: float
-    harness_summary: str
-    failed_assertions: List[str]
-    monitor_verdicts: Dict[str, str]
-
-    @property
-    def ok(self) -> bool:
-        return not self.failed_assertions
-
-    @property
-    def delta_ns_per_cycle(self) -> float:
-        """The paper's delta: average wall time per simulated cycle."""
-        if self.cycles == 0:
-            return 0.0
-        return self.wall_seconds * 1e9 / self.cycles
-
-    def summary(self) -> str:
-        status = "PASS" if self.ok else "FAIL"
-        return (
-            f"[{status}] simulation: {self.cycles} cycles in "
-            f"{self.wall_seconds:.2f}s (delta = {self.delta_ns_per_cycle:.0f} "
-            f"ns/cycle); {self.harness_summary}"
-        )
+__all__ = [
+    "DesignFlow",
+    "FlowReport",
+    "LivenessCheck",
+    "ModelCheckingReport",
+    "SimulationReport",
+]
 
 
 @dataclass
@@ -140,8 +80,18 @@ class FlowReport:
         return "\n".join(lines)
 
 
+def _unwrap(result: StageResult) -> StageResult:
+    """Re-raise a stage's original exception (the pre-shim behavior)."""
+    if result.status is StageStatus.ERROR and result.exception is not None:
+        raise result.exception
+    return result
+
+
 class DesignFlow:
-    """Drives one design + property suite through the whole flow."""
+    """Drives one design + property suite through the whole flow.
+
+    .. deprecated:: use :class:`repro.workbench.Workbench`.
+    """
 
     def __init__(
         self,
@@ -155,16 +105,19 @@ class DesignFlow:
         scenario_workers: Optional[int] = None,
         scenario_fail_fast: bool = False,
     ):
+        warnings.warn(
+            "DesignFlow is deprecated; use repro.workbench.Workbench "
+            "(e.g. Workbench(duv).run_plan(VerificationPlan.figure1()))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.model_factory = model_factory
-        self.directives: List[Directive] = [
-            d
-            if isinstance(d, Directive)
-            else Directive(DirectiveKind.ASSERT, d)
-            for d in directives
-        ]
-        for diagram in sequence_diagrams:
-            prop = sequence_to_property(diagram)
-            self.directives.append(Directive(DirectiveKind.ASSERT, prop))
+        self.directives: List[Directive] = list(
+            _as_directives(
+                list(directives)
+                + [sequence_to_property(d) for d in sequence_diagrams]
+            )
+        )
         self.extractor = extractor
         self.exploration = exploration or ExplorationConfig()
         self.liveness_checks = list(liveness_checks)
@@ -172,27 +125,36 @@ class DesignFlow:
         self.scenario_workers = scenario_workers
         self.scenario_fail_fast = scenario_fail_fast
 
+    # -- the bridge to the session API --------------------------------------------
+
+    def _duv(self) -> DUV:
+        """The flow's current configuration as an ad-hoc DUV bundle.
+
+        Rebuilt per call because the Figure 1 feedback edge mutates
+        ``model_factory``/``directives`` between iterations.
+        """
+        return DUV(
+            name="adhoc",
+            model_factory=self.model_factory,
+            directives=tuple(self.directives),
+            extractor=self.extractor,
+            exploration=self.exploration,
+            liveness_checks=tuple(self.liveness_checks),
+        )
+
+    def _workbench(self) -> Workbench:
+        return Workbench(self._duv())
+
     # -- the model-checking leg ---------------------------------------------------
 
     def model_check(self) -> ModelCheckingReport:
-        model = self.model_factory()
-        extractor = self.extractor or state_extractor
-        properties = [
-            AssertionProperty(d.prop, extractor=extractor, name=d.prop.name)
-            for d in self.directives
-            if d.kind == DirectiveKind.ASSERT
-        ]
-        config = self.exploration.with_overrides(properties=properties)
-        findings = check_rules(model, config)
-        result = explore(model, config)
-        liveness_results = [
-            check_eventually(result.fsm, check.trigger, check.goal, check.name)
-            for check in self.liveness_checks
-        ]
+        workbench = self._workbench()
+        explore_stage = _unwrap(workbench.explore())
+        liveness_stage = _unwrap(workbench.check_liveness())
         return ModelCheckingReport(
-            exploration=result,
-            rule_findings=findings,
-            liveness=liveness_results,
+            exploration=explore_stage.payload["exploration"],
+            rule_findings=explore_stage.payload["rule_findings"],
+            liveness=liveness_stage.payload["results"],
         )
 
     # -- the translation + ABV leg ----------------------------------------------------
@@ -204,49 +166,21 @@ class DesignFlow:
         stop_on_failure: bool = False,
         policy=None,
     ) -> tuple[SimulationReport, str, str]:
-        model = self.model_factory()
-        simulator, clock, module = build_runtime(
-            model, clock_period=clock_period, policy=policy
+        workbench = self._workbench()
+        simulation = _unwrap(
+            workbench.simulate_abv(
+                cycles=cycles,
+                stop_on_failure=stop_on_failure,
+                clock_period=clock_period,
+                policy=policy,
+            )
         )
-        harness = AbvHarness(simulator, clock, module.letter)
-        actions = (
-            (FailureAction.REPORT, FailureAction.STOP)
-            if stop_on_failure
-            else (FailureAction.REPORT,)
+        translated = _unwrap(workbench.translate(clock_period=clock_period))
+        return (
+            simulation.payload["report"],
+            translated.payload["systemc"],
+            translated.payload["csharp"],
         )
-        monitors: List[Monitor] = []
-        for directive in self.directives:
-            monitor = build_monitor(directive)
-            monitors.append(monitor)
-            harness.add_monitor(monitor, actions)
-
-        started = time.perf_counter()
-        simulator.run(clock_period * cycles)
-        wall = time.perf_counter() - started
-        harness.finish()
-
-        report = SimulationReport(
-            cycles=harness.cycles_observed,
-            wall_seconds=wall,
-            harness_summary=harness.summary(),
-            failed_assertions=[b.monitor.name for b in harness.failed],
-            monitor_verdicts={
-                m.name: m.verdict().value for m in monitors
-            },
-        )
-
-        # textual artifacts (rules R1-R3 + the C# monitor suite)
-        machine_classes = sorted(
-            {type(m) for m in model.machines.values()}, key=lambda c: c.__name__
-        )
-        specs = [translate_class(cls) for cls in machine_classes]
-        instances = [
-            (name, type(machine).__name__)
-            for name, machine in sorted(model.machines.items())
-        ]
-        cpp = render_translation_unit(specs, instances, clock_period // 1000)
-        csharp = render_monitor_suite(self.directives)
-        return report, cpp, csharp
 
     # -- the scenario-regression leg ----------------------------------------------
 
@@ -256,12 +190,14 @@ class DesignFlow:
         by the scoreboard (None when no specs are configured)."""
         if not self.scenario_specs:
             return None
-        runner = RegressionRunner(
-            self.scenario_specs,
-            workers=self.scenario_workers,
-            fail_fast=self.scenario_fail_fast,
+        stage = _unwrap(
+            self._workbench().regress(
+                specs=self.scenario_specs,
+                workers=self.scenario_workers,
+                fail_fast=self.scenario_fail_fast,
+            )
         )
-        return runner.run()
+        return stage.payload["report"]
 
     # -- the whole Figure 1 loop --------------------------------------------------------
 

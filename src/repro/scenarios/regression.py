@@ -11,22 +11,28 @@ so the report's :meth:`RegressionReport.digest` is stable across runs,
 worker counts and schedulers (results are re-sorted by spec before
 aggregation).  Wall-clock numbers live outside the digest.
 
-Also runnable as a CLI::
+Also runnable as a CLI (``--json`` emits the machine-readable report
+for CI and dispatchers)::
 
     python -m repro.scenarios.regression --models master_slave pci \
-        --scenarios 200 --workers 4 --fail-fast
+        --scenarios 200 --workers 4 --fail-fast --json
+
+Fan-out runs through the pluggable engine layer
+(:mod:`repro.workbench.engines`); the session-level entry point is
+:meth:`repro.workbench.Workbench.regress`.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
-import multiprocessing
+import json
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..workbench.engines import Engine, resolve_engine
 from .coverage_driven import BinCoverage
 from .random_ import ScenarioRng
 from .scoreboard import FaultPlan
@@ -92,6 +98,25 @@ class ScenarioVerdict:
         if self.failed_assertions:
             line += f", assertions failed: {', '.join(self.failed_assertions)}"
         return line
+
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable verdict (wall time excluded from digests)."""
+        return {
+            "label": self.spec.label,
+            "model": self.spec.model,
+            "seed": self.spec.seed,
+            "profile": self.spec.profile,
+            "ok": self.ok,
+            "matches": self.matches,
+            "mismatches": list(self.mismatch_kinds),
+            "failed_assertions": list(self.failed_assertions),
+            "transactions": self.transactions,
+            "words": self.words,
+            "cycles": self.cycles,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "stream_digest": self.stream_digest,
+            "scoreboard_digest": self.scoreboard_digest,
+        }
 
 
 def _build_system(spec: ScenarioSpec):
@@ -179,14 +204,27 @@ def build_specs(
     base_seed: int = 2005,
     cycles: int = 400,
     with_monitors: bool = False,
+    profiles: Optional[Sequence[str]] = None,
 ) -> List[ScenarioSpec]:
     """N specs spread over the models, topologies and named profiles.
 
     Spec construction is itself seeded (``base_seed``), so a regression
-    is reproducible end to end from one integer.
+    is reproducible end to end from one integer.  ``profiles`` narrows
+    the traffic-profile pool (default: every named profile) -- the
+    workbench's coverage-residue bias passes the pressure profiles
+    here.
     """
     picker = ScenarioRng(base_seed, "regression-specs")
-    profiles = sorted(NAMED_PROFILES)
+    if profiles is None:
+        profiles = sorted(NAMED_PROFILES)
+    else:
+        unknown = sorted(set(profiles) - set(NAMED_PROFILES))
+        if unknown:
+            raise ValueError(
+                f"unknown traffic profiles {unknown!r} "
+                f"(choose from {', '.join(sorted(NAMED_PROFILES))})"
+            )
+        profiles = sorted(set(profiles))
     specs: List[ScenarioSpec] = []
     for index in range(count):
         model = models[index % len(models)]
@@ -261,6 +299,29 @@ class RegressionReport:
         ]
         return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]
 
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable report for CI and dispatchers (no text parsing).
+
+        The ``digest`` field is the worker-count-invariant fingerprint;
+        ``workers``/``wall_seconds``/``throughput`` are run facts and
+        deliberately live outside it.
+        """
+        return {
+            "ok": self.ok,
+            "digest": self.digest(),
+            "scenarios": len(self.verdicts),
+            "passed": len(self.verdicts) - len(self.failed),
+            "failed": [v.spec.label for v in self.failed],
+            "stopped_early": self.stopped_early,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "transactions": self.transactions,
+            "words": self.words,
+            "throughput_txn_per_s": round(self.throughput, 1),
+            "bin_totals": dict(sorted(self.bin_totals().items())),
+            "verdicts": [v.to_json() for v in self.verdicts],
+        }
+
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         lines = [
@@ -287,7 +348,14 @@ class RegressionReport:
 
 
 class RegressionRunner:
-    """Fans specs across workers and folds the verdicts back together."""
+    """Fans specs across an execution engine and folds the verdicts
+    back together.
+
+    The engine seam (:mod:`repro.workbench.engines`) is pluggable:
+    serial and local-multiprocessing engines exist today, and a
+    cross-host dispatcher slots in without changing this runner --
+    verdict order never matters because the report re-sorts by spec.
+    """
 
     def __init__(
         self,
@@ -295,43 +363,34 @@ class RegressionRunner:
         workers: Optional[int] = None,
         fail_fast: bool = False,
         mp_start_method: Optional[str] = None,
+        engine: Optional[Engine] = None,
     ):
         self.specs = list(specs)
-        if workers is None:
-            workers = min(multiprocessing.cpu_count(), 8, max(len(self.specs), 1))
-        self.workers = max(workers, 1)
+        if engine is None:
+            engine = resolve_engine(
+                workers, len(self.specs), start_method=mp_start_method
+            )
+        self.engine = engine
+        self.workers = engine.workers
         self.fail_fast = fail_fast
         self.mp_start_method = mp_start_method
 
     def run(self) -> RegressionReport:
         started = time.perf_counter()
         report = RegressionReport(workers=self.workers)
-        if self.workers == 1 or len(self.specs) <= 1:
-            for spec in self.specs:
-                verdict = run_scenario(spec)
+        results = self.engine.imap(run_scenario, self.specs)
+        try:
+            for verdict in results:
                 report.verdicts.append(verdict)
                 if self.fail_fast and not verdict.ok:
                     report.stopped_early = len(report.verdicts) < len(self.specs)
                     break
-        else:
-            context = (
-                multiprocessing.get_context(self.mp_start_method)
-                if self.mp_start_method
-                else multiprocessing.get_context()
-            )
-            with context.Pool(processes=self.workers) as pool:
-                try:
-                    for verdict in pool.imap_unordered(run_scenario, self.specs):
-                        report.verdicts.append(verdict)
-                        if self.fail_fast and not verdict.ok:
-                            report.stopped_early = (
-                                len(report.verdicts) < len(self.specs)
-                            )
-                            pool.terminate()
-                            break
-                finally:
-                    pool.close()
-                    pool.join()
+        finally:
+            # an early fail-fast break must release engine resources
+            # (closing the generator terminates a multiprocessing pool)
+            close = getattr(results, "close", None)
+            if close is not None:
+                close()
         # canonical order: results arrive in scheduler order, the report
         # must not depend on it (the full label disambiguates specs
         # sharing a (model, seed) pair)
@@ -363,6 +422,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="also bind the PSL assertion suite to every scenario",
     )
+    parser.add_argument(
+        "--profiles",
+        nargs="+",
+        default=None,
+        choices=sorted(NAMED_PROFILES),
+        help="restrict the traffic-profile pool",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
     options = parser.parse_args(argv)
     specs = build_specs(
         models=options.models,
@@ -370,12 +441,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         base_seed=options.seed,
         cycles=options.cycles,
         with_monitors=options.with_monitors,
+        profiles=options.profiles,
     )
     runner = RegressionRunner(
         specs, workers=options.workers, fail_fast=options.fail_fast
     )
     report = runner.run()
-    print(report.summary())
+    if options.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,94 @@
+"""Declarative verification plans.
+
+A :class:`VerificationPlan` is a sequence of named stage invocations
+that a :class:`~.session.Workbench` executes in order.  A stage that
+FAILs or ERRORs marks the plan failed and every later stage is
+recorded as SKIPPED (unless ``continue_on_failure`` is set) -- the
+session report always accounts for every planned stage.
+
+:meth:`VerificationPlan.figure1` is the paper's whole flow -- explore
+-> liveness -> translate -> ABV simulation -> scenario regression --
+and is what ``python -m repro flow`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Stage names a plan may reference, in their canonical order.
+STAGE_NAMES: Tuple[str, ...] = (
+    "explore",
+    "check_liveness",
+    "translate",
+    "simulate_abv",
+    "regress",
+)
+
+
+@dataclass(frozen=True)
+class StageCall:
+    """One planned stage invocation: a name plus keyword options."""
+
+    stage: str
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, stage: str, **options: Any) -> "StageCall":
+        return cls(stage=stage, options=tuple(sorted(options.items())))
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+
+@dataclass(frozen=True)
+class VerificationPlan:
+    """An ordered, declarative list of stage calls."""
+
+    name: str
+    stages: Tuple[StageCall, ...]
+    #: keep running later stages after a FAILED/ERROR stage
+    continue_on_failure: bool = False
+
+    def __post_init__(self) -> None:
+        unknown = [c.stage for c in self.stages if c.stage not in STAGE_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown plan stage(s) {unknown!r}; valid: {', '.join(STAGE_NAMES)}"
+            )
+
+    @classmethod
+    def figure1(
+        cls,
+        cycles: int = 2_000,
+        scenarios: int = 24,
+        scenario_cycles: int = 300,
+        workers: Optional[int] = None,
+        seed: Optional[int] = None,
+        bias_residue: bool = False,
+        fail_fast: bool = False,
+    ) -> "VerificationPlan":
+        """The paper's Figure 1 flow as one preset plan."""
+        regress_options: Dict[str, Any] = {
+            "scenarios": scenarios,
+            "cycles": scenario_cycles,
+            "workers": workers,
+            "fail_fast": fail_fast,
+        }
+        if seed is not None:
+            regress_options["seed"] = seed
+        if bias_residue:
+            regress_options["bias"] = True
+        simulate_options: Dict[str, Any] = {"cycles": cycles}
+        if seed is not None:
+            simulate_options["seed"] = seed
+        return cls(
+            name="figure1",
+            stages=(
+                StageCall.of("explore"),
+                StageCall.of("check_liveness"),
+                StageCall.of("translate"),
+                StageCall.of("simulate_abv", **simulate_options),
+                StageCall.of("regress", **regress_options),
+            ),
+        )

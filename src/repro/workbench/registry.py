@@ -1,0 +1,108 @@
+"""Named discovery of registered designs-under-verification.
+
+Case studies register a *builder* (``**params -> DUV``) under a stable
+name; the CLI and the workbench resolve designs by that name.  The two
+paper case studies are known lazily -- asking for ``"pci"`` imports
+``repro.models.pci``, whose ``__init__`` registers its builder -- so
+``import repro.workbench`` stays cheap and worker processes that only
+ever touch one model never import the other.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Optional
+
+from .duv import DUV
+
+DuvBuilder = Callable[..., DUV]
+
+#: name -> module whose import registers the builder
+_BUILTIN_MODULES: Dict[str, str] = {
+    "master_slave": "repro.models.master_slave",
+    "pci": "repro.models.pci",
+}
+
+
+class UnknownModelError(KeyError):
+    """Asked for a model name nobody registered."""
+
+
+class ModelRegistry:
+    """name -> DUV builder, with lazy loading of the built-in models."""
+
+    def __init__(self, builtins: Optional[Dict[str, str]] = None):
+        self._builders: Dict[str, DuvBuilder] = {}
+        self._lazy = dict(_BUILTIN_MODULES if builtins is None else builtins)
+
+    def register(
+        self, name: str, builder: DuvBuilder, replace: bool = False
+    ) -> None:
+        if not replace and name in self._builders:
+            raise ValueError(f"model {name!r} is already registered")
+        self._builders[name] = builder
+
+    def _load(self, name: str) -> None:
+        module = self._lazy.get(name)
+        if module is None or name in self._builders:
+            return
+        importlib.import_module(module)  # registers itself on import
+        if name not in self._builders:
+            # built-in modules register into the *default* registry;
+            # mirror the builder into this instance so non-default
+            # registries resolve the built-ins too
+            shared = default_registry()._builders.get(name)
+            if shared is None:
+                raise UnknownModelError(
+                    f"module {module!r} did not register model {name!r}"
+                )
+            self._builders[name] = shared
+
+    def names(self) -> List[str]:
+        """Every registered (or registerable) model name, sorted."""
+        for name in list(self._lazy):
+            try:
+                self._load(name)
+            except ImportError:
+                continue
+        return sorted(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self._load(name)
+        except (ImportError, UnknownModelError):
+            return False
+        return name in self._builders
+
+    def get(self, name: str, *args, **params) -> DUV:
+        """Build the named DUV (builder params pass through, e.g. a
+        topology: ``get("pci", 2, 2)`` or ``get("pci", n_masters=2)``)."""
+        self._load(name)
+        try:
+            builder = self._builders[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "none"
+            raise UnknownModelError(
+                f"unknown model {name!r} (registered: {known})"
+            ) from None
+        return builder(*args, **params)
+
+    def describe(self, name: str) -> str:
+        """The model's one-line description (builds a default DUV)."""
+        return self.get(name).description
+
+
+_DEFAULT: Optional[ModelRegistry] = None
+
+
+def default_registry() -> ModelRegistry:
+    """The process-wide registry the CLI and models register into."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ModelRegistry()
+    return _DEFAULT
+
+
+def register_model(name: str, builder: DuvBuilder, replace: bool = True) -> None:
+    """Register a builder on the default registry (idempotent on re-import)."""
+    default_registry().register(name, builder, replace=replace)

@@ -1,0 +1,530 @@
+"""The verification-session facade.
+
+A :class:`Workbench` binds one :class:`~.duv.DUV` (by object or by
+registered name) and composes verification stages over it::
+
+    from repro.workbench import Workbench, VerificationPlan
+
+    wb = Workbench("master_slave")
+    wb.explore()                 # FSM generation + on-the-fly checking
+    wb.check_liveness()          # lasso/deadlock search on the FSM
+    wb.simulate_abv(cycles=5000) # SystemC simulation with PSL monitors
+    wb.regress(scenarios=40)     # constrained-random scoreboarded fan-out
+    print(wb.report().summary())
+
+or runs a declarative plan end to end::
+
+    report = Workbench("pci").run_plan(VerificationPlan.figure1())
+
+Every stage returns a typed :class:`~.stages.StageResult`; the
+session's :class:`~.stages.SessionReport` digest is byte-identical for
+the same DUV, seeds and options at any worker count.  Stage fan-out
+executes through a pluggable :class:`~.engines.Engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..abv.harness import AbvHarness, FailureAction
+from ..explorer.engine import ExplorationResult, explore as run_exploration
+from ..explorer.fsm import Fsm
+from ..explorer.liveness import check_eventually
+from ..explorer.rules import check_rules
+from ..explorer.sim_coverage import CoverageTracker
+from ..psl.asm_embedding import AssertionProperty, state_extractor
+from ..psl.monitor import Monitor, build_monitor
+from ..translate.class_rules import translate_class
+from ..translate.csharp_gen import render_monitor_suite
+from ..translate.runtime import build_runtime
+from ..translate.systemc_gen import render_translation_unit
+from .duv import DUV, CoverageResidue
+from .engines import Engine, resolve_engine
+from .plan import STAGE_NAMES, VerificationPlan
+from .registry import ModelRegistry, default_registry
+from .stages import (
+    SessionReport,
+    SimulationReport,
+    StageResult,
+    StageStatus,
+)
+
+#: transition-coverage ratio below which a residue bias re-weights the
+#: regression toward pressure profiles (most of the FSM was reached
+#: only formally -> the random traffic is too tame)
+RESIDUE_BIAS_THRESHOLD = 0.75
+
+#: profiles a residue bias steers toward: long low-idle bursts plus
+#: boundary-length traffic, the shapes that reach corner interleavings
+RESIDUE_BIAS_PROFILES: Tuple[str, ...] = ("bursty", "edges")
+
+
+def _fsm_digest(fsm: Fsm) -> str:
+    """Stable fingerprint of a generated FSM (topology, not key bits)."""
+    lines = sorted(
+        f"s{t.source} --{t.label()}--> s{t.target}" for t in fsm.transitions
+    )
+    body = f"states:{fsm.state_count()}\n" + "\n".join(lines)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+class Workbench:
+    """One verification session over one registered design."""
+
+    def __init__(
+        self,
+        duv: Union[DUV, str],
+        engine: Optional[Engine] = None,
+        registry: Optional[ModelRegistry] = None,
+        seed: int = 2005,
+        **duv_params: Any,
+    ):
+        if isinstance(duv, str):
+            duv = (registry or default_registry()).get(duv, **duv_params)
+        elif duv_params:
+            raise TypeError("duv_params only apply when resolving a DUV by name")
+        self.duv = duv
+        self.engine = engine
+        self.seed = seed
+        self._stages: List[StageResult] = []
+        self._exploration: Optional[ExplorationResult] = None
+        self._residue: Optional[CoverageResidue] = None
+
+    # -- session state ---------------------------------------------------------
+
+    @property
+    def residue(self) -> Optional[CoverageResidue]:
+        """The current formal-only coverage residue (None before explore)."""
+        return self._residue
+
+    def report(self) -> SessionReport:
+        return SessionReport(duv=self.duv.name, stages=list(self._stages))
+
+    # -- stage plumbing ---------------------------------------------------------
+
+    def _execute(
+        self,
+        stage: str,
+        impl: Callable[..., StageResult],
+        kwargs: Dict[str, Any],
+    ) -> StageResult:
+        started = time.perf_counter()
+        try:
+            result = impl(**kwargs)
+        except Exception as exc:  # noqa: BLE001 -- stages never raise; plans skip
+            result = StageResult(
+                stage=stage,
+                status=StageStatus.ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+                exception=exc,
+                data={"exception": type(exc).__name__},
+            )
+            result.metrics["traceback"] = traceback.format_exc(limit=8)
+        result.metrics.setdefault(
+            "wall_seconds", round(time.perf_counter() - started, 6)
+        )
+        self._stages.append(result)
+        return result
+
+    def _skip(self, stage: str, reason: str) -> StageResult:
+        result = StageResult(
+            stage=stage,
+            status=StageStatus.SKIPPED,
+            summary=reason,
+            data={"reason": reason},
+        )
+        self._stages.append(result)
+        return result
+
+    # -- stage: explore (FSM-generation model checking) -------------------------
+
+    def explore(self, **overrides: Any) -> StageResult:
+        """Model check by FSM generation; exports the coverage residue.
+
+        ``overrides`` are :class:`ExplorationConfig` field replacements
+        (``max_states=...``, ``stop_on_violation=...``, ...).
+        """
+        return self._execute("explore", self._explore_impl, overrides)
+
+    def _explore_impl(self, **overrides: Any) -> StageResult:
+        duv = self.duv
+        model = duv.model_factory()
+        extractor = duv.extractor or state_extractor
+        properties = [
+            AssertionProperty(d.prop, extractor=extractor, name=d.prop.name)
+            for d in duv.assert_directives()
+        ]
+        config = duv.exploration.with_overrides(properties=properties, **overrides)
+        findings = check_rules(model, config)
+        result = run_exploration(model, config)
+        self._exploration = result
+        residue = CoverageResidue.from_fsm(result.fsm)
+        self._residue = residue
+        status = StageStatus.PASSED if result.ok else StageStatus.FAILED
+        return StageResult(
+            stage="explore",
+            status=status,
+            summary=result.summary().splitlines()[0],
+            data={
+                "states": result.fsm.state_count(),
+                "transitions": result.fsm.transition_count(),
+                "completed": result.stats.completed,
+                "violations": [
+                    {"property": v.property_name, "state": v.state_index}
+                    for v in result.violations
+                ],
+                "properties": [d.prop.name for d in duv.assert_directives()],
+                "rule_warnings": sum(1 for f in findings if f.level == "warning"),
+                "fsm_digest": _fsm_digest(result.fsm),
+                "residue": residue.to_json(),
+            },
+            metrics={"explore_seconds": round(result.stats.elapsed_seconds, 6)},
+            payload={
+                "exploration": result,
+                "rule_findings": findings,
+                "residue": residue,
+            },
+        )
+
+    # -- stage: liveness on the generated FSM -----------------------------------
+
+    def check_liveness(self) -> StageResult:
+        """Check every registered liveness obligation on the FSM."""
+        return self._execute("check_liveness", self._check_liveness_impl, {})
+
+    def _check_liveness_impl(self) -> StageResult:
+        if self._exploration is None:
+            self.explore()
+        assert self._exploration is not None
+        checks = list(self.duv.liveness_checks)
+        results = [
+            check_eventually(self._exploration.fsm, c.trigger, c.goal, c.name)
+            for c in checks
+        ]
+        holds = all(r.holds for r in results)
+        summary = (
+            "; ".join(r.summary() for r in results)
+            if results
+            else "no liveness checks registered"
+        )
+        return StageResult(
+            stage="check_liveness",
+            status=StageStatus.PASSED if holds else StageStatus.FAILED,
+            summary=summary,
+            data={
+                "checks": [
+                    {
+                        "name": r.name,
+                        "holds": r.holds,
+                        "triggers_checked": r.triggers_checked,
+                    }
+                    for r in results
+                ]
+            },
+            payload={"results": results},
+        )
+
+    # -- stage: translation artifacts (rules R1-R3 + C# monitors) ---------------
+
+    def translate(self, clock_period: Optional[int] = None) -> StageResult:
+        """Render the SystemC translation unit and the C# monitor suite."""
+        return self._execute(
+            "translate", self._translate_impl, {"clock_period": clock_period}
+        )
+
+    def _translate_impl(self, clock_period: Optional[int] = None) -> StageResult:
+        duv = self.duv
+        period = clock_period or duv.clock_period_ps
+        model = duv.model_factory()
+        machine_classes = sorted(
+            {type(m) for m in model.machines.values()}, key=lambda c: c.__name__
+        )
+        specs = [translate_class(cls) for cls in machine_classes]
+        instances = [
+            (name, type(machine).__name__)
+            for name, machine in sorted(model.machines.items())
+        ]
+        cpp = render_translation_unit(specs, instances, period // 1000)
+        csharp = render_monitor_suite(list(duv.directives))
+        return StageResult(
+            stage="translate",
+            status=StageStatus.PASSED,
+            summary=(
+                f"{len(specs)} SC_MODULEs ({len(cpp.splitlines())} lines C++), "
+                f"{len(duv.directives)} monitors "
+                f"({len(csharp.splitlines())} lines C#)"
+            ),
+            data={
+                "modules": [s.name for s in specs],
+                "systemc_sha": hashlib.sha256(cpp.encode()).hexdigest()[:16],
+                "csharp_sha": hashlib.sha256(csharp.encode()).hexdigest()[:16],
+                "clock_period_ps": period,
+            },
+            payload={"systemc": cpp, "csharp": csharp},
+        )
+
+    # -- stage: ABV simulation ---------------------------------------------------
+
+    def simulate_abv(
+        self,
+        cycles: int = 2_000,
+        seed: Optional[int] = None,
+        stop_on_failure: bool = False,
+        clock_period: Optional[int] = None,
+        policy: Any = None,
+    ) -> StageResult:
+        """Simulate with the PSL monitor suite bound (paper Section 3.2).
+
+        On the generic ASM-runtime path the run's FSM coverage is
+        folded back into the session residue; the hand-written SystemC
+        models (both registered case studies) do not expose their ASM
+        action stream, so there the residue keeps its post-``explore``
+        value -- the whole formally explored FSM (``residue_updated``
+        in the stage data says which case applied).
+        """
+        return self._execute(
+            "simulate_abv",
+            self._simulate_impl,
+            {
+                "cycles": cycles,
+                "seed": seed,
+                "stop_on_failure": stop_on_failure,
+                "clock_period": clock_period,
+                "policy": policy,
+            },
+        )
+
+    def _simulate_impl(
+        self,
+        cycles: int,
+        seed: Optional[int],
+        stop_on_failure: bool,
+        clock_period: Optional[int],
+        policy: Any,
+    ) -> StageResult:
+        duv = self.duv
+        seed = self.seed if seed is None else seed
+        actions = (
+            (FailureAction.REPORT, FailureAction.STOP)
+            if stop_on_failure
+            else (FailureAction.REPORT,)
+        )
+        directives = duv.monitor_directives()
+        monitors: List[Monitor] = [build_monitor(d) for d in directives]
+        residue_json: Optional[dict] = None
+
+        if duv.systemc_factory is not None:
+            system = duv.systemc_factory(seed)
+            harness = AbvHarness(system.simulator, system.clock, system.letter)
+            for monitor in monitors:
+                harness.add_monitor(monitor, actions)
+            started = time.perf_counter()
+            system.run_cycles(cycles)
+            wall = time.perf_counter() - started
+            harness.finish()
+        else:
+            model = duv.model_factory()
+            period = clock_period or duv.clock_period_ps
+            simulator, clock, module = build_runtime(
+                model, clock_period=period, policy=policy
+            )
+            harness = AbvHarness(simulator, clock, module.letter)
+            for monitor in monitors:
+                harness.add_monitor(monitor, actions)
+            started = time.perf_counter()
+            simulator.run(period * cycles)
+            wall = time.perf_counter() - started
+            harness.finish()
+            if self._exploration is not None:
+                # fold the run's FSM coverage back into the residue --
+                # what remains is the model checker's added value
+                tracker = CoverageTracker(
+                    self._exploration.fsm,
+                    module.asm_model,
+                    selected=self._exploration.selected_variables,
+                )
+                coverage = tracker.observe_run(module)
+                self._residue = CoverageResidue.from_sim_coverage(coverage)
+                residue_json = self._residue.to_json()
+
+        report = SimulationReport(
+            cycles=harness.cycles_observed,
+            wall_seconds=wall,
+            harness_summary=harness.summary(),
+            failed_assertions=[b.monitor.name for b in harness.failed],
+            monitor_verdicts={m.name: m.verdict().value for m in monitors},
+        )
+        data: Dict[str, Any] = {
+            "cycles": report.cycles,
+            "seed": seed,
+            "monitors": len(monitors),
+            "failed_assertions": report.failed_assertions,
+            "monitor_verdicts": report.monitor_verdicts,
+            # False on the hand-written SystemC path: those models do
+            # not expose their ASM action stream, so FSM coverage is
+            # not folded back and the residue stays the explored whole
+            "residue_updated": residue_json is not None,
+        }
+        if residue_json is not None:
+            data["residue"] = residue_json
+        return StageResult(
+            stage="simulate_abv",
+            status=StageStatus.PASSED if report.ok else StageStatus.FAILED,
+            summary=report.summary(),
+            data=data,
+            metrics={
+                "sim_wall_seconds": round(wall, 6),
+                "delta_ns_per_cycle": round(report.delta_ns_per_cycle, 3),
+            },
+            payload={"report": report, "harness": harness},
+        )
+
+    # -- stage: scenario regression ----------------------------------------------
+
+    def regress(
+        self,
+        scenarios: int = 24,
+        cycles: int = 300,
+        workers: Optional[int] = None,
+        seed: Optional[int] = None,
+        specs: Optional[Sequence[Any]] = None,
+        bias: Union[CoverageResidue, bool, None] = None,
+        fail_fast: bool = False,
+        with_monitors: bool = False,
+        profiles: Optional[Sequence[str]] = None,
+    ) -> StageResult:
+        """Fan seeded, scoreboarded scenarios over the session engine.
+
+        ``bias`` closes the formal->simulation loop: pass a
+        :class:`CoverageResidue` (or ``True`` for the session's own)
+        and, when most of the FSM was reached only by the model
+        checker, spec construction re-weights toward pressure traffic
+        profiles.  Explicit ``specs`` bypass spec construction, so a
+        bias never applies to them.
+
+        ``workers`` sizes the default engine; an engine injected at
+        construction always wins.
+        """
+        return self._execute(
+            "regress",
+            self._regress_impl,
+            {
+                "scenarios": scenarios,
+                "cycles": cycles,
+                "workers": workers,
+                "seed": seed,
+                "specs": specs,
+                "bias": bias,
+                "fail_fast": fail_fast,
+                "with_monitors": with_monitors,
+                "profiles": profiles,
+            },
+        )
+
+    def _regress_impl(
+        self,
+        scenarios: int,
+        cycles: int,
+        workers: Optional[int],
+        seed: Optional[int],
+        specs: Optional[Sequence[Any]],
+        bias: Union[CoverageResidue, bool, None],
+        fail_fast: bool,
+        with_monitors: bool,
+        profiles: Optional[Sequence[str]],
+    ) -> StageResult:
+        # imported lazily: scenarios.regression itself imports the
+        # engine layer, and eager cross-imports would cycle
+        from ..scenarios.regression import RegressionRunner, build_specs
+
+        residue = self._residue if bias is True else bias or None
+        bias_applied = False
+        if specs is None:
+            if self.duv.scenario_model is None:
+                raise ValueError(
+                    f"DUV {self.duv.name!r} has no scenario binding; "
+                    "pass explicit specs to regress()"
+                )
+            if (
+                profiles is None
+                and isinstance(residue, CoverageResidue)
+                and residue.transition_coverage < RESIDUE_BIAS_THRESHOLD
+            ):
+                profiles = RESIDUE_BIAS_PROFILES
+                bias_applied = True
+            specs = build_specs(
+                models=[self.duv.scenario_model],
+                count=scenarios,
+                base_seed=self.seed if seed is None else seed,
+                cycles=cycles,
+                with_monitors=with_monitors,
+                profiles=profiles,
+            )
+        else:
+            # explicit specs bypass spec construction entirely -- a
+            # bias cannot apply to them, so never report one
+            profiles = None
+        specs = list(specs)
+        # an engine injected at construction is the session's choice of
+        # execution seam and always wins; ``workers`` only sizes the
+        # default engine
+        engine = self.engine
+        if engine is None:
+            engine = resolve_engine(workers, len(specs))
+        runner = RegressionRunner(specs, engine=engine, fail_fast=fail_fast)
+        report = runner.run()
+        data: Dict[str, Any] = {
+            "scenarios": len(report.verdicts),
+            "passed": len(report.verdicts) - len(report.failed),
+            "failed": [v.spec.label for v in report.failed],
+            "transactions": report.transactions,
+            "words": report.words,
+            "stimulus_bins": len(report.bin_totals()),
+            "regression_digest": report.digest(),
+            "bias": {
+                "applied": bias_applied,
+                "profiles": sorted(profiles) if profiles else [],
+                "transition_coverage": (
+                    round(residue.transition_coverage, 4)
+                    if isinstance(residue, CoverageResidue)
+                    else None
+                ),
+            },
+        }
+        return StageResult(
+            stage="regress",
+            status=StageStatus.PASSED if report.ok else StageStatus.FAILED,
+            summary=report.summary().splitlines()[1],
+            data=data,
+            metrics={
+                "workers": report.workers,
+                "engine": engine.name,
+                "regress_wall_seconds": round(report.wall_seconds, 6),
+                "throughput_txn_per_s": round(report.throughput, 1),
+                "stopped_early": report.stopped_early,
+            },
+            payload={"report": report},
+        )
+
+    # -- plan execution ------------------------------------------------------------
+
+    def run_plan(self, plan: VerificationPlan) -> SessionReport:
+        """Execute every planned stage in order; failures skip the rest."""
+        failed = False
+        for call in plan.stages:
+            if failed and not plan.continue_on_failure:
+                self._skip(call.stage, "skipped: earlier stage failed")
+                continue
+            if call.stage not in STAGE_NAMES:
+                # VerificationPlan validates on construction; this guards
+                # hand-built plans that bypassed it
+                self._skip(call.stage, f"skipped: unknown stage {call.stage!r}")
+                failed = True
+                continue
+            result = getattr(self, call.stage)(**call.kwargs())
+            if result.status in (StageStatus.FAILED, StageStatus.ERROR):
+                failed = True
+        return self.report()

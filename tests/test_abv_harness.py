@@ -65,6 +65,102 @@ class TestSampling:
         assert len(harness.reports.errors()) == 1
 
 
+class CountingSignal(Signal):
+    """A signal that counts its write() calls."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.write_calls = 0
+
+    def write(self, value):
+        self.write_calls += 1
+        super().write(value)
+
+
+class TestWarnAction:
+    """The paper's third failure action: 'send a warning signal to
+    other modules (if required)'."""
+
+    def test_warn_without_signal_is_rejected(self):
+        sim, clock, p, q = make_design()
+        harness = AbvHarness(sim, clock, lambda: {"p": p.read()})
+        monitor = build_monitor(parse_formula("never p"), "never_p")
+        with pytest.raises(ValueError, match="warning signal"):
+            harness.add_monitor(monitor, actions=[FailureAction.WARN])
+
+    def test_warn_pulses_the_signal_on_failure(self):
+        sim, clock, p, q = make_design()
+        warn = Signal(False, "warn", sim)
+        harness = AbvHarness(sim, clock, lambda: {"p": p.read()})
+        monitor = build_monitor(parse_formula("never p"), "never_p")
+        harness.add_monitor(
+            monitor, actions=[FailureAction.WARN], warning_signal=warn
+        )
+        sim.run(ns(10) * 20)
+        assert monitor.verdict() is Verdict.FAILS
+        assert warn.read() is True
+
+    def test_warn_signal_is_observable_by_other_modules(self):
+        """Another process (the 'other module') reacts to the pulse."""
+        sim, clock, p, q = make_design()
+        warn = Signal(False, "warn", sim)
+        observed = []
+
+        def watcher():
+            yield warn.posedge_event
+            observed.append(sim.time)
+
+        sim.thread(watcher)
+        harness = AbvHarness(sim, clock, lambda: {"p": p.read()})
+        monitor = build_monitor(parse_formula("never p"), "never_p")
+        harness.add_monitor(
+            monitor, actions=[FailureAction.WARN], warning_signal=warn
+        )
+        sim.run(ns(10) * 20)
+        assert observed, "the warning pulse never reached the watcher"
+
+    def test_warn_fires_exactly_once(self):
+        """The failure actions run once per assertion even though the
+        property keeps failing every subsequent cycle."""
+        sim, clock, p, q = make_design()
+        warn = CountingSignal(False, "warn", sim)
+        harness = AbvHarness(sim, clock, lambda: {"p": p.read()})
+        monitor = build_monitor(parse_formula("never p"), "never_p")
+        binding = harness.add_monitor(
+            monitor, actions=[FailureAction.WARN], warning_signal=warn
+        )
+        sim.run(ns(10) * 40)
+        assert binding.fired is True
+        assert warn.write_calls == 1
+
+    def test_warn_combines_with_report(self):
+        sim, clock, p, q = make_design()
+        warn = Signal(False, "warn", sim)
+        handler = ReportHandler()
+        harness = AbvHarness(sim, clock, lambda: {"p": p.read()}, handler)
+        monitor = build_monitor(parse_formula("never p"), "never_p")
+        harness.add_monitor(
+            monitor,
+            actions=[FailureAction.REPORT, FailureAction.WARN],
+            warning_signal=warn,
+        )
+        sim.run(ns(10) * 20)
+        assert warn.read() is True
+        assert len(handler.errors()) == 1
+
+    def test_warn_signal_untouched_while_assertions_hold(self):
+        sim, clock, p, q = make_design()
+        warn = CountingSignal(False, "warn", sim)
+        harness = AbvHarness(sim, clock, lambda: {"p": p.read()})
+        monitor = build_monitor(parse_formula("always (p || !p)"), "taut")
+        harness.add_monitor(
+            monitor, actions=[FailureAction.WARN], warning_signal=warn
+        )
+        sim.run(ns(10) * 20)
+        assert warn.write_calls == 0
+        assert warn.read() is False
+
+
 class TestFailureActions:
     def test_stop_action_halts_simulation(self):
         sim, clock, p, q = make_design()

@@ -1,0 +1,156 @@
+"""The ``python -m repro`` CLI and the JSON report surfaces."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.scenarios.regression import main as regression_main
+
+
+def run_cli(capsys, *argv):
+    code = repro_main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestList:
+    def test_text_lists_both_models(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "master_slave" in out and "pci" in out
+
+    def test_json_lists_descriptions(self, capsys):
+        code, out = run_cli(capsys, "list", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        names = {entry["name"] for entry in doc}
+        assert {"master_slave", "pci"} <= names
+        assert all(entry["description"] for entry in doc)
+
+
+class TestExplore:
+    def test_explore_master_slave_json(self, capsys):
+        code, out = run_cli(
+            capsys, "explore", "--model", "master_slave", "--liveness", "--json"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True
+        stages = {s["stage"]: s for s in doc["stages"]}
+        assert stages["explore"]["data"]["states"] > 0
+        assert stages["explore"]["data"]["residue"]["transition_coverage"] == 0.0
+        assert stages["check_liveness"]["data"]["checks"][0]["holds"] is True
+
+    def test_explore_with_topology(self, capsys):
+        code, out = run_cli(
+            capsys, "explore", "--model", "pci", "--topology", "1,1", "--json"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True
+
+    def test_unknown_model_fails_loudly(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "explore", "--model", "warp_core")
+
+
+class TestRegress:
+    def test_regress_json_contains_digest(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "regress", "--model", "master_slave",
+            "--scenarios", "3", "--cycles", "150", "--workers", "1", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        stage = doc["stages"][0]
+        assert stage["stage"] == "regress"
+        assert stage["data"]["regression_digest"]
+        assert stage["data"]["scenarios"] == 3
+
+
+class TestFlow:
+    @pytest.mark.slow
+    def test_flow_digest_invariant_across_workers(self, capsys):
+        docs = []
+        for workers in ("1", "2"):
+            code, out = run_cli(
+                capsys,
+                "flow", "--model", "master_slave",
+                "--cycles", "400", "--scenarios", "4",
+                "--scenario-cycles", "150", "--workers", workers, "--json",
+            )
+            assert code == 0
+            docs.append(json.loads(out))
+        assert all(doc["ok"] for doc in docs)
+        assert docs[0]["digest"] == docs[1]["digest"]
+        stage_names = [s["stage"] for s in docs[0]["stages"]]
+        assert stage_names == [
+            "explore", "check_liveness", "translate", "simulate_abv", "regress",
+        ]
+
+    def test_flow_text_output(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "flow", "--model", "master_slave",
+            "--cycles", "300", "--scenarios", "2",
+            "--scenario-cycles", "150", "--workers", "1",
+        )
+        assert code == 0
+        assert "workbench session: master_slave" in out
+        assert "VERIFIED" in out
+
+
+class TestScenariosJson:
+    def test_regression_cli_emits_json(self, capsys):
+        code = regression_main(
+            [
+                "--models", "master_slave",
+                "--scenarios", "3", "--cycles", "150", "--workers", "1",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True
+        assert doc["scenarios"] == 3
+        assert doc["digest"]
+        assert len(doc["verdicts"]) == 3
+        assert doc["verdicts"][0]["scoreboard_digest"]
+
+    def test_regression_cli_profile_restriction(self, capsys):
+        code = regression_main(
+            [
+                "--models", "master_slave",
+                "--scenarios", "4", "--cycles", "150", "--workers", "1",
+                "--profiles", "bursty", "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert {v["profile"] for v in doc["verdicts"]} == {"bursty"}
+
+
+class TestModuleEntryPoint:
+    @pytest.mark.slow
+    def test_python_dash_m_repro_runs(self):
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "master_slave" in proc.stdout

@@ -42,7 +42,9 @@ def test_scoreboard_overhead(benchmark):
     )
 
 
-@pytest.mark.parametrize("workers", [1, WORKERS])
+# fixed ids: WORKERS is machine-dependent and the benchmark names feed
+# the committed baseline gate (benchmarks/check_baseline.py)
+@pytest.mark.parametrize("workers", [1, WORKERS], ids=["serial", "fanned"])
 def test_regression_throughput(benchmark, workers):
     """Checked transactions per wall second at 1 vs N workers."""
     specs = build_specs(count=SCENARIOS, cycles=CYCLES)

@@ -1,0 +1,116 @@
+"""CI benchmark-regression gate.
+
+Compares a pytest-benchmark JSON run against the committed baseline
+(``benchmarks/baseline.json``) and fails when any benchmark's mean
+exceeds its baseline mean by more than the tolerance factor::
+
+    python benchmarks/check_baseline.py BENCH_workbench.json \
+        benchmarks/baseline.json --tolerance 2.0
+
+The baseline records a *generous envelope*, not a fastest-ever number:
+CI machines vary, so the gate is meant to catch order-of-magnitude
+regressions (an accidentally quadratic hot path, a serialized pool),
+never to flake on scheduler noise.  Regenerate it after an intentional
+perf change with ``--update``.
+
+Exit status: 0 when every baseline benchmark is present and within
+tolerance, 1 otherwise.  Benchmarks present in the run but absent from
+the baseline are reported as new (not failures) so adding a benchmark
+and refreshing the baseline can land in the same PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """name -> mean seconds, from either a pytest-benchmark run file or
+    a previously written baseline file (same shape)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in doc["benchmarks"]
+    }
+
+
+def write_baseline(path: str, means: Dict[str, float], source: str) -> None:
+    doc = {
+        "note": (
+            "Generous benchmark envelope for the CI regression gate "
+            "(see benchmarks/check_baseline.py). Means are seconds."
+        ),
+        "source": source,
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in sorted(means.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", help="pytest-benchmark JSON output to check")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when run mean > baseline mean * tolerance (default 2.0)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    options = parser.parse_args(argv)
+
+    run_means = load_means(options.run)
+    if options.update:
+        write_baseline(options.baseline, run_means, source=options.run)
+        print(f"baseline refreshed from {options.run} "
+              f"({len(run_means)} benchmarks)")
+        return 0
+
+    baseline_means = load_means(options.baseline)
+    failures = []
+    width = max((len(n) for n in run_means | baseline_means), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'run':>10}  ratio")
+    for name in sorted(baseline_means):
+        base = baseline_means[name]
+        if name not in run_means:
+            failures.append(f"{name}: missing from run (coverage lost?)")
+            print(f"{name:<{width}}  {base:>9.3f}s  {'MISSING':>10}")
+            continue
+        mean = run_means[name]
+        ratio = mean / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > options.tolerance:
+            failures.append(
+                f"{name}: mean {mean:.3f}s exceeds baseline "
+                f"{base:.3f}s x {options.tolerance:g} (ratio {ratio:.2f})"
+            )
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base:>9.3f}s  {mean:>9.3f}s  {ratio:5.2f}{flag}")
+    for name in sorted(set(run_means) - set(baseline_means)):
+        print(f"{name:<{width}}  {'(new)':>10}  {run_means[name]:>9.3f}s  "
+              f"-- not in baseline; refresh with --update")
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression gate OK "
+          f"({len(baseline_means)} benchmarks within {options.tolerance:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@ One CLI over the :mod:`repro.workbench` session API::
     python -m repro explore  --model pci --json
     python -m repro simulate --model master_slave --cycles 5000
     python -m repro regress  --model pci --scenarios 40 --workers 4 --json
+    python -m repro regress  --model pci --scenarios 40 --shards 3 --json
+    python -m repro regress  --model pci --shard 2/3 --json  # + --merge later
     python -m repro flow     --model master_slave --json
 
 ``flow`` runs the paper's whole Figure 1 plan (explore -> liveness ->
@@ -22,6 +24,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from .cliutil import positive_int, route_warnings_to_stderr, shard_coordinate
 from .workbench import (
     SessionReport,
     VerificationPlan,
@@ -29,12 +32,7 @@ from .workbench import (
     default_registry,
 )
 
-
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
-    return value
+_positive_int = positive_int
 
 
 def _topology(text: str) -> List[int]:
@@ -49,10 +47,13 @@ def _topology(text: str) -> List[int]:
     return parts
 
 
-def _add_model_options(parser: argparse.ArgumentParser) -> None:
+def _add_model_options(
+    parser: argparse.ArgumentParser, required: bool = True
+) -> None:
     parser.add_argument(
         "--model",
-        required=True,
+        required=required,
+        default=None,
         help="registered model name (see `python -m repro list`)",
     )
     parser.add_argument(
@@ -117,11 +118,52 @@ def _cmd_simulate(options: argparse.Namespace) -> int:
 
 
 def _cmd_regress(options: argparse.Namespace) -> int:
+    if options.merge is not None:
+        from .cliutil import emit_regression_report, load_shard_reports
+        from .dispatch import merge_reports
+
+        return emit_regression_report(
+            merge_reports(load_shard_reports(options.merge)), options.json
+        )
+
+    if options.model is None:
+        raise SystemExit("error: --model is required (unless using --merge)")
+
+    if options.shard is not None:
+        # manual cross-host dispatch: run exactly shard K of N of the
+        # specs this model's full regression would build, and emit the
+        # raw shard report for a later --merge
+        from .cliutil import emit_regression_report
+        from .dispatch.planner import plan_shards
+        from .scenarios.regression import RegressionRunner, build_specs
+
+        workbench = _workbench(options)
+        if workbench.duv.scenario_model is None:
+            raise SystemExit(
+                f"error: model {options.model!r} has no scenario binding"
+            )
+        index, of = options.shard
+        specs = build_specs(
+            models=[workbench.duv.scenario_model],
+            count=options.scenarios,
+            base_seed=options.seed,
+            cycles=options.cycles,
+            with_monitors=options.with_monitors,
+        )
+        shard = plan_shards(specs, of)[index]
+        runner = RegressionRunner(
+            list(shard.specs),
+            workers=options.workers,
+            fail_fast=options.fail_fast,
+        )
+        return emit_regression_report(runner.run(), options.json)
+
     workbench = _workbench(options)
     workbench.regress(
         scenarios=options.scenarios,
         cycles=options.cycles,
         workers=options.workers,
+        shards=options.shards,
         fail_fast=options.fail_fast,
         with_monitors=options.with_monitors,
     )
@@ -177,10 +219,35 @@ def build_parser() -> argparse.ArgumentParser:
     regress = sub.add_parser(
         "regress", help="constrained-random scoreboarded scenario regression"
     )
-    _add_model_options(regress)
+    # --model stays optional at parse time: --merge needs no model
+    _add_model_options(regress, required=False)
     regress.add_argument("--scenarios", type=_positive_int, default=24)
     regress.add_argument("--cycles", type=_positive_int, default=300)
     regress.add_argument("--workers", type=int, default=None)
+    sharding = regress.add_mutually_exclusive_group()
+    sharding.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="dispatch across N local subprocess shard hosts "
+        "(merged digest identical to a serial run)",
+    )
+    sharding.add_argument(
+        "--shard",
+        type=shard_coordinate,
+        default=None,
+        metavar="K/N",
+        help="run only shard K of N and print the raw shard report "
+        "(fold the outputs back with --merge)",
+    )
+    sharding.add_argument(
+        "--merge",
+        nargs="+",
+        default=None,
+        metavar="REPORT.json",
+        help="merge per-shard --json reports into one canonical report",
+    )
     regress.add_argument("--fail-fast", action="store_true")
     regress.add_argument("--with-monitors", action="store_true")
     regress.set_defaults(func=_cmd_regress)
@@ -209,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     options = build_parser().parse_args(argv)
+    # stdout carries exactly one report; diagnostics (including the
+    # DesignFlow/RegressionRunner deprecation shims) go to stderr so
+    # --json output stays parseable
+    route_warnings_to_stderr()
     return options.func(options)
 
 

@@ -1,0 +1,90 @@
+"""Shared command-line plumbing for the ``repro`` CLIs.
+
+Both entry points (``python -m repro`` and ``python -m repro.scenarios``)
+speak the same dispatch vocabulary -- ``--shards N`` fans a regression
+over local subprocess hosts, ``--shard K/N`` runs one deterministic
+shard for manual cross-host dispatch, ``--merge`` folds per-shard JSON
+reports back together -- so the argument parsing and the stdout/stderr
+hygiene live here once.
+
+The JSON-mode contract: **stdout is the report and nothing else**.
+Dispatchers and CI pipe ``--json`` output straight into a parser, so
+every diagnostic -- including :class:`DeprecationWarning` from the
+``DesignFlow``/``RegressionRunner`` shims -- must land on stderr.
+:func:`route_warnings_to_stderr` pins that down regardless of what a
+caller (or an embedding process) did to ``warnings.showwarning``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+from typing import List, Sequence, Tuple
+
+
+def positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def shard_coordinate(text: str) -> Tuple[int, int]:
+    """argparse type for ``--shard K/N``: 1-based shard K of N.
+
+    Returns the zero-based ``(index, of)`` pair the planner uses.
+    """
+    try:
+        k_text, n_text = text.split("/", 1)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like K/N (e.g. 2/3), got {text!r}"
+        ) from None
+    if n < 1 or not 1 <= k <= n:
+        raise argparse.ArgumentTypeError(
+            f"shard K/N needs 1 <= K <= N, got {text!r}"
+        )
+    return k - 1, n
+
+
+def load_shard_reports(paths: Sequence[str]) -> List:
+    """Read per-shard ``--json`` report files for a ``--merge``."""
+    # imported lazily: scenarios.regression imports this module
+    from .scenarios.regression import RegressionReport
+
+    reports = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            reports.append(RegressionReport.from_json(json.load(handle)))
+    return reports
+
+
+def emit_regression_report(report, as_json: bool) -> int:
+    """Print a RegressionReport to stdout; exit status by its verdict."""
+    if as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def route_warnings_to_stderr() -> None:
+    """Force every ``warnings.warn`` to stderr for the process lifetime.
+
+    Python's default ``showwarning`` already targets stderr, but it
+    honours whatever ``file=`` it is handed and third-party code (or a
+    previous in-process CLI invocation under test) may have rebound it.
+    CLI mains call this before producing output so a ``--json`` stream
+    stays parseable end to end.
+    """
+
+    def _show(message, category, filename, lineno, file=None, line=None):
+        sys.stderr.write(
+            warnings.formatwarning(message, category, filename, lineno, line)
+        )
+
+    warnings.showwarning = _show

@@ -1,0 +1,53 @@
+"""Sharded regression dispatch: partition, fan over hosts, merge.
+
+The scaling tier above :mod:`repro.scenarios.regression`'s local
+``multiprocessing`` fan-out.  A regression's spec list is partitioned
+into deterministic shards (:mod:`.planner`), each shard runs on a
+:class:`Host` -- by default a ``python -m repro.scenarios --shard K/N``
+subprocess standing in for a remote machine (:mod:`.hosts`) -- and the
+per-shard reports fold back together in canonical spec order
+(:mod:`.dispatcher`), so the merged
+:class:`~repro.scenarios.regression.RegressionReport` digest is
+byte-identical to a serial run at any shard count, including after
+host failures and retries.
+
+Three ways in:
+
+* engine seam -- ``Workbench(...).regress(shards=3)`` or
+  ``RegressionRunner(specs, engine=ShardedEngine(3))``,
+* CLI -- ``python -m repro.scenarios --shards 3`` (automatic) or
+  ``--shard K/N`` + ``--merge`` (manual cross-host dispatch),
+* direct -- ``ShardDispatcher(specs, shards=3).run()``.
+"""
+
+from .dispatcher import (
+    DispatchError,
+    DispatchOutcome,
+    ShardDispatcher,
+    ShardRun,
+    merge_reports,
+)
+from .hosts import (
+    Host,
+    HostFailure,
+    InProcessHost,
+    LocalSubprocessHost,
+    ShardWork,
+)
+from .planner import Shard, plan_digest, plan_shards
+
+__all__ = [
+    "DispatchError",
+    "DispatchOutcome",
+    "ShardDispatcher",
+    "ShardRun",
+    "merge_reports",
+    "Host",
+    "HostFailure",
+    "InProcessHost",
+    "LocalSubprocessHost",
+    "ShardWork",
+    "Shard",
+    "plan_digest",
+    "plan_shards",
+]

@@ -1,0 +1,191 @@
+"""The shard dispatcher: plan, fan out over hosts, retry, merge.
+
+``ShardDispatcher`` partitions a spec list with the deterministic
+planner, runs every (non-empty) shard on a pool of :class:`Host`\\ s --
+concurrently, one thread per shard, since subprocess hosts do their
+work outside the GIL -- and folds the per-shard reports back into one
+:class:`~repro.scenarios.regression.RegressionReport`.
+
+Fault tolerance: a :class:`HostFailure` re-queues the shard on the
+next host in rotation (the failed host is skipped while alternatives
+remain) up to ``max_attempts`` times.  Because a shard is a pure
+function of the spec list, a retried shard reproduces byte-identical
+verdicts, so the merged digest is unchanged by any pattern of host
+failures that eventually lets every shard complete.
+
+The merge invariant (the whole point): ``merge_reports`` re-sorts the
+concatenated verdicts exactly like ``RegressionRunner.run`` does, so
+the merged digest is byte-identical to a serial run of the same specs
+at any shard count.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..scenarios.regression import (
+    RegressionReport,
+    ScenarioSpec,
+    save_specs,
+)
+from .hosts import Host, HostFailure, LocalSubprocessHost, ShardWork
+from .planner import Shard, plan_digest, plan_shards
+
+
+class DispatchError(RuntimeError):
+    """A shard exhausted every attempt; the regression has no verdicts
+    for it and the merged digest would be wrong, so nothing is merged."""
+
+
+@dataclass
+class ShardRun:
+    """How one shard eventually got executed."""
+
+    shard: Shard
+    host: str                          # the host that completed it
+    attempts: int                      # 1 = first try succeeded
+    failures: Tuple[str, ...] = ()     # HostFailure reasons, in order
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+@dataclass
+class DispatchOutcome:
+    """A merged report plus the dispatch bookkeeping around it."""
+
+    report: RegressionReport
+    runs: List[ShardRun] = field(default_factory=list)
+    hosts: Tuple[str, ...] = ()
+    plan_fingerprint: str = ""
+
+    @property
+    def retries(self) -> int:
+        """Total failed host attempts that were recovered."""
+        return sum(run.attempts - 1 for run in self.runs)
+
+    def log_lines(self) -> List[str]:
+        lines = [
+            f"dispatch: {len(self.runs)} shard(s) over "
+            f"{len(self.hosts)} host(s), plan {self.plan_fingerprint}"
+        ]
+        for run in self.runs:
+            note = f" after {run.attempts - 1} failed attempt(s)" if run.retried else ""
+            lines.append(
+                f"  {run.shard.label}: {len(run.shard)} specs on {run.host}{note}"
+            )
+            lines.extend(f"    failure: {reason}" for reason in run.failures)
+        return lines
+
+
+def merge_reports(reports: Sequence[RegressionReport]) -> RegressionReport:
+    """Fold per-shard reports into one canonical report.
+
+    Verdicts are re-sorted by spec exactly as ``RegressionRunner.run``
+    sorts them, which makes the merged digest byte-identical to a
+    serial run of the union of specs.  ``wall_seconds`` is the slowest
+    shard (shards run in parallel); a dispatcher that measured the real
+    wall clock overwrites it.
+    """
+    merged = RegressionReport(
+        workers=sum(r.workers for r in reports) or 1,
+        stopped_early=any(r.stopped_early for r in reports),
+        wall_seconds=max((r.wall_seconds for r in reports), default=0.0),
+    )
+    for report in reports:
+        merged.verdicts.extend(report.verdicts)
+    merged.verdicts.sort(key=lambda v: (v.spec.model, v.spec.seed, v.spec.label))
+    return merged
+
+
+class ShardDispatcher:
+    """Fans a spec list over shard hosts and merges the results.
+
+    ``hosts`` defaults to one :class:`LocalSubprocessHost` per shard.
+    ``max_attempts`` bounds how many hosts a shard may burn through
+    before the dispatch aborts (default: one try per host, minimum 2
+    so even a single flaky host gets one retry).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ScenarioSpec],
+        shards: int,
+        hosts: Optional[Sequence[Host]] = None,
+        max_attempts: Optional[int] = None,
+        workers_per_shard: Optional[int] = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.specs = list(specs)
+        self.shards = shards
+        self.hosts: List[Host] = list(
+            hosts
+            if hosts is not None
+            else [LocalSubprocessHost(f"local{i}") for i in range(shards)]
+        )
+        if not self.hosts:
+            raise ValueError("at least one host is required")
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else max(2, len(self.hosts))
+        )
+        self.workers_per_shard = workers_per_shard
+
+    def _run_one(self, shard: Shard, spec_file: str) -> Tuple[ShardRun, RegressionReport]:
+        """Execute one shard with host rotation on failure."""
+        work = ShardWork(
+            shard=shard, spec_file=spec_file, workers=self.workers_per_shard
+        )
+        failures: List[str] = []
+        # start each shard on a different host so shards spread across
+        # the pool; rotation then moves every retry to another host
+        # (single-host pools retry the only host there is)
+        for attempt in range(self.max_attempts):
+            host = self.hosts[(shard.index + attempt) % len(self.hosts)]
+            try:
+                report = host.run_shard(work)
+            except HostFailure as exc:
+                failures.append(f"{exc.host}: {exc.reason}")
+                continue
+            run = ShardRun(
+                shard=shard,
+                host=host.name,
+                attempts=len(failures) + 1,
+                failures=tuple(failures),
+            )
+            return run, report
+        raise DispatchError(
+            f"{shard.label} failed on every host after {self.max_attempts} "
+            f"attempt(s): {'; '.join(failures) or 'no attempts ran'}"
+        )
+
+    def run(self) -> DispatchOutcome:
+        started = time.perf_counter()
+        plan = plan_shards(self.specs, self.shards)
+        live = [shard for shard in plan if shard.specs]
+        with tempfile.TemporaryDirectory(prefix="repro-dispatch-") as tmp:
+            spec_file = os.path.join(tmp, "specs.json")
+            save_specs(self.specs, spec_file)
+            if live:
+                with ThreadPoolExecutor(max_workers=len(live)) as pool:
+                    results = list(
+                        pool.map(lambda s: self._run_one(s, spec_file), live)
+                    )
+            else:
+                results = []
+        runs = [run for run, _ in results]
+        merged = merge_reports([report for _, report in results])
+        merged.wall_seconds = time.perf_counter() - started
+        merged.workers = len(live) or 1
+        return DispatchOutcome(
+            report=merged,
+            runs=runs,
+            hosts=tuple(host.name for host in self.hosts),
+            plan_fingerprint=plan_digest(plan),
+        )

@@ -1,0 +1,183 @@
+"""Execution hosts: where a planned shard actually runs.
+
+A :class:`Host` is the dispatch layer's unit of failure.  The
+production-shaped implementation is :class:`LocalSubprocessHost` --
+every shard runs in its own ``python -m repro.scenarios --shard K/N``
+process, standing in for a remote machine: the only things that cross
+the boundary are the JSON spec file going in and the JSON shard report
+coming out, so swapping the subprocess for ssh/HTTP transport touches
+nothing above this module.  :class:`InProcessHost` runs the shard
+inline and exists for tests and degenerate one-shard runs.
+
+A host that dies, times out, emits unparseable output or returns a
+report that fails digest verification raises :class:`HostFailure`; the
+dispatcher treats that as "this machine is gone", not "the regression
+failed", and retries the shard elsewhere.  A *regression* failure (the
+scenarios genuinely diverged) is a valid report and is never retried.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, runtime_checkable
+
+from ..scenarios.regression import RegressionReport, RegressionRunner
+from ..workbench.engines import SerialEngine
+from .planner import Shard
+
+
+@dataclass(frozen=True)
+class ShardWork:
+    """One shard assignment handed to a host.
+
+    ``spec_file`` holds the *full* serialized spec list -- the shard's
+    content is re-derived host-side from ``(spec_file, index, of)`` by
+    the shared planner, which is exactly the agreement a remote machine
+    would need.  ``shard`` carries the parent's own slice for
+    in-process hosts and bookkeeping.
+    """
+
+    shard: Shard
+    spec_file: str
+    workers: Optional[int] = None     # per-host worker processes
+
+
+class HostFailure(RuntimeError):
+    """A host (not the regression) failed: crash, timeout, bad output."""
+
+    def __init__(self, host: str, shard_label: str, reason: str):
+        super().__init__(f"{host} failed on {shard_label}: {reason}")
+        self.host = host
+        self.shard_label = shard_label
+        self.reason = reason
+
+
+@runtime_checkable
+class Host(Protocol):
+    """Somewhere a shard can run."""
+
+    name: str
+
+    def run_shard(self, work: ShardWork) -> RegressionReport:
+        """Execute the shard and return its report, or raise HostFailure."""
+        ...
+
+
+class InProcessHost:
+    """Runs the shard inline in this process (tests, one-shard runs)."""
+
+    def __init__(self, name: str = "inline"):
+        self.name = name
+
+    def run_shard(self, work: ShardWork) -> RegressionReport:
+        return RegressionRunner(work.shard.specs, engine=SerialEngine()).run()
+
+    def __repr__(self) -> str:
+        return f"InProcessHost({self.name!r})"
+
+
+def _child_env() -> dict:
+    """The child must import ``repro`` even when the parent got it via
+    ``sys.path`` manipulation (pytest's ``pythonpath`` ini) rather than
+    an installed package or an inherited PYTHONPATH."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+    return env
+
+
+class LocalSubprocessHost:
+    """One shard per ``python -m repro.scenarios --shard`` subprocess.
+
+    Stands in for a remote machine: the spec file and the ``--shard
+    K/N`` coordinate go in, a JSON report comes out on stdout, and the
+    report's digest is re-verified after the round trip.  ``workers``
+    sizes the *within-shard* fan-out (default 1 -- the shard process is
+    the unit of parallelism, so nested pools would oversubscribe).
+    """
+
+    def __init__(
+        self,
+        name: str = "local0",
+        python: Optional[str] = None,
+        workers: Optional[int] = None,
+        timeout: float = 600.0,
+    ):
+        self.name = name
+        self.python = python or sys.executable
+        self.workers = workers
+        self.timeout = timeout
+
+    def _command(self, work: ShardWork) -> List[str]:
+        shard = work.shard
+        return [
+            self.python,
+            "-m",
+            "repro.scenarios",
+            "--spec-file",
+            work.spec_file,
+            "--shard",
+            f"{shard.index + 1}/{shard.of}",
+            "--workers",
+            str(work.workers or self.workers or 1),
+            "--json",
+        ]
+
+    def _started(self, process: subprocess.Popen) -> None:
+        """Hook invoked right after spawn; tests override it to inject
+        host failures (e.g. kill the child mid-shard)."""
+
+    def run_shard(self, work: ShardWork) -> RegressionReport:
+        label = work.shard.label
+        try:
+            process = subprocess.Popen(
+                self._command(work),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=_child_env(),
+                text=True,
+            )
+        except OSError as exc:
+            raise HostFailure(self.name, label, f"spawn failed: {exc}") from exc
+        self._started(process)
+        try:
+            stdout, stderr = process.communicate(timeout=self.timeout)
+        except subprocess.TimeoutExpired as exc:
+            process.kill()
+            process.communicate()
+            raise HostFailure(
+                self.name, label, f"timed out after {self.timeout}s"
+            ) from exc
+        if process.returncode < 0:
+            raise HostFailure(
+                self.name, label, f"killed by signal {-process.returncode}"
+            )
+        try:
+            doc = json.loads(stdout)
+        except ValueError as exc:
+            detail = (stderr or stdout or "").strip().splitlines()
+            tail = detail[-1] if detail else "no output"
+            raise HostFailure(
+                self.name,
+                label,
+                f"unparseable report (exit {process.returncode}): {tail}",
+            ) from exc
+        report = RegressionReport.from_json(doc)
+        if report.digest() != doc.get("digest"):
+            raise HostFailure(
+                self.name, label, "shard report failed digest verification"
+            )
+        return report
+
+    def __repr__(self) -> str:
+        return f"LocalSubprocessHost({self.name!r})"

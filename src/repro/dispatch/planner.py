@@ -1,0 +1,64 @@
+"""Deterministic shard planning over scenario-spec lists.
+
+The planner is the only piece of the dispatch layer both sides of a
+host boundary must agree on: the parent that assigns shards and the
+worker process that executes ``--shard K/N`` slice the *same* spec
+list with the *same* rule, so a shard's content is a pure function of
+``(specs, K, N)`` -- no negotiation, no state.
+
+The rule is round-robin over the canonical spec order
+(``specs[k::n]``): spec *i* lands on shard ``i mod N``.  Round-robin
+keeps shard runtimes balanced when specs cycle through models and
+topologies (which :func:`~repro.scenarios.regression.build_specs`
+does), and since the merged report re-sorts verdicts by spec, the
+assignment rule never shows up in the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..scenarios.regression import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One planned unit of dispatch: a deterministic slice of the specs."""
+
+    index: int                        # zero-based shard number
+    of: int                           # total shard count in the plan
+    specs: Tuple[ScenarioSpec, ...]
+
+    @property
+    def label(self) -> str:
+        return f"shard {self.index + 1}/{self.of}"
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def plan_shards(specs: Sequence[ScenarioSpec], shards: int) -> List[Shard]:
+    """Partition ``specs`` into ``shards`` deterministic round-robin slices.
+
+    Every spec lands on exactly one shard; shards may be empty when
+    there are more shards than specs (the dispatcher skips those).
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    specs = list(specs)
+    return [
+        Shard(index=k, of=shards, specs=tuple(specs[k::shards]))
+        for k in range(shards)
+    ]
+
+
+def plan_digest(plan: Sequence[Shard]) -> str:
+    """Fingerprint of a plan's shard assignment (diagnostics, not gating:
+    the report digest is what equivalence is judged on)."""
+    lines = [
+        f"{shard.label}: " + ",".join(s.label for s in shard.specs)
+        for shard in plan
+    ]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()[:16]

@@ -17,6 +17,18 @@ for CI and dispatchers)::
     python -m repro.scenarios.regression --models master_slave pci \
         --scenarios 200 --workers 4 --fail-fast --json
 
+Sharded dispatch (the :mod:`repro.dispatch` layer) rides on the same
+determinism contract.  ``--shards N`` fans the spec list over N local
+subprocess hosts and prints the merged report; ``--shard K/N`` runs
+exactly shard K for manual cross-host dispatch and ``--merge`` folds
+the per-shard JSON reports back together -- in every case the merged
+digest is byte-identical to a serial run::
+
+    python -m repro.scenarios --scenarios 60 --shard 1/3 --json > s1.json
+    python -m repro.scenarios --scenarios 60 --shard 2/3 --json > s2.json
+    python -m repro.scenarios --scenarios 60 --shard 3/3 --json > s3.json
+    python -m repro.scenarios --merge s1.json s2.json s3.json --json
+
 Fan-out runs through the pluggable engine layer
 (:mod:`repro.workbench.engines`); the session-level entry point is
 :meth:`repro.workbench.Workbench.regress`.
@@ -32,6 +44,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..cliutil import positive_int, route_warnings_to_stderr, shard_coordinate
 from ..workbench.engines import Engine, resolve_engine
 from .coverage_driven import BinCoverage
 from .random_ import ScenarioRng
@@ -65,6 +78,32 @@ class ScenarioSpec:
     def label(self) -> str:
         shape = "x".join(str(n) for n in self.topology)
         return f"{self.model}[{shape}]#{self.seed}/{self.profile}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Model-agnostic wire form: everything a remote host needs to
+        rebuild the spec is plain JSON scalars, no pickling."""
+        return {
+            "model": self.model,
+            "seed": self.seed,
+            "topology": list(self.topology),
+            "profile": self.profile,
+            "cycles": self.cycles,
+            "fault": self.fault.to_json() if self.fault else None,
+            "with_monitors": self.with_monitors,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ScenarioSpec":
+        fault = doc.get("fault")
+        return cls(
+            model=doc["model"],
+            seed=doc["seed"],
+            topology=tuple(doc["topology"]),
+            profile=doc.get("profile", "default"),
+            cycles=doc.get("cycles", 400),
+            fault=FaultPlan.from_json(fault) if fault else None,
+            with_monitors=doc.get("with_monitors", False),
+        )
 
 
 @dataclass
@@ -100,15 +139,22 @@ class ScenarioVerdict:
         return line
 
     def to_json(self) -> Dict[str, Any]:
-        """Machine-readable verdict (wall time excluded from digests)."""
+        """Machine-readable verdict (wall time excluded from digests).
+
+        Lossless: ``from_json`` rebuilds an equal verdict, which is what
+        lets a shard host ship its results back as JSON and the merger
+        fold them into a report whose digest matches a serial run.
+        """
         return {
             "label": self.spec.label,
             "model": self.spec.model,
             "seed": self.spec.seed,
             "profile": self.spec.profile,
+            "spec": self.spec.to_json(),
             "ok": self.ok,
             "matches": self.matches,
             "mismatches": list(self.mismatch_kinds),
+            "mismatch_detail": list(self.mismatches),
             "failed_assertions": list(self.failed_assertions),
             "transactions": self.transactions,
             "words": self.words,
@@ -116,7 +162,26 @@ class ScenarioVerdict:
             "wall_seconds": round(self.wall_seconds, 6),
             "stream_digest": self.stream_digest,
             "scoreboard_digest": self.scoreboard_digest,
+            "bin_hits": [[name, hits] for name, hits in self.bin_hits],
         }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ScenarioVerdict":
+        return cls(
+            spec=ScenarioSpec.from_json(doc["spec"]),
+            ok=doc["ok"],
+            matches=doc["matches"],
+            mismatches=tuple(doc.get("mismatch_detail", ())),
+            mismatch_kinds=tuple(doc["mismatches"]),
+            failed_assertions=tuple(doc["failed_assertions"]),
+            transactions=doc["transactions"],
+            words=doc["words"],
+            cycles=doc["cycles"],
+            wall_seconds=doc["wall_seconds"],
+            stream_digest=doc["stream_digest"],
+            scoreboard_digest=doc["scoreboard_digest"],
+            bin_hits=tuple((name, hits) for name, hits in doc.get("bin_hits", ())),
+        )
 
 
 def _build_system(spec: ScenarioSpec):
@@ -250,6 +315,22 @@ def build_specs(
     return specs
 
 
+def save_specs(specs: Sequence[ScenarioSpec], path: str) -> None:
+    """Write a spec list as the versioned JSON wire format."""
+    doc = {"version": 1, "specs": [s.to_json() for s in specs]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+
+
+def load_specs(path: str) -> List[ScenarioSpec]:
+    """Read a spec list written by :func:`save_specs`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "specs" not in doc:
+        raise ValueError(f"{path}: not a scenario spec file")
+    return [ScenarioSpec.from_json(entry) for entry in doc["specs"]]
+
+
 @dataclass
 class RegressionReport:
     """Aggregate outcome of one regression run."""
@@ -321,6 +402,21 @@ class RegressionReport:
             "bin_totals": dict(sorted(self.bin_totals().items())),
             "verdicts": [v.to_json() for v in self.verdicts],
         }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "RegressionReport":
+        """Rebuild a report from its ``to_json`` form (shard transport).
+
+        The digest is always recomputed from the verdicts, never read
+        back, so a truncated or hand-edited shard report cannot smuggle
+        a stale fingerprint past the merger.
+        """
+        return cls(
+            verdicts=[ScenarioVerdict.from_json(v) for v in doc["verdicts"]],
+            wall_seconds=doc.get("wall_seconds", 0.0),
+            workers=doc.get("workers", 1),
+            stopped_early=doc.get("stopped_early", False),
+        )
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -399,22 +495,16 @@ class RegressionRunner:
         return report
 
 
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
-    return value
-
-
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.scenarios.regression",
-        description="Run a seeded scenario regression across worker processes.",
+        description="Run a seeded scenario regression across worker processes "
+        "or subprocess shard hosts.",
     )
     parser.add_argument("--models", nargs="+", default=list(MODELS), choices=MODELS)
-    parser.add_argument("--scenarios", type=_positive_int, default=40)
+    parser.add_argument("--scenarios", type=positive_int, default=40)
     parser.add_argument("--workers", type=int, default=None)
-    parser.add_argument("--cycles", type=_positive_int, default=400)
+    parser.add_argument("--cycles", type=positive_int, default=400)
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--fail-fast", action="store_true")
     parser.add_argument(
@@ -430,28 +520,90 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="restrict the traffic-profile pool",
     )
     parser.add_argument(
+        "--spec-file",
+        default=None,
+        metavar="FILE",
+        help="run the serialized spec list instead of building one "
+        "(see repro.scenarios.regression.save_specs)",
+    )
+    sharding = parser.add_mutually_exclusive_group()
+    sharding.add_argument(
+        "--shards",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="dispatch the regression across N local subprocess shard "
+        "hosts and print the merged report",
+    )
+    sharding.add_argument(
+        "--shard",
+        type=shard_coordinate,
+        default=None,
+        metavar="K/N",
+        help="run only shard K of N (for manual cross-host dispatch; "
+        "fold the outputs back with --merge)",
+    )
+    sharding.add_argument(
+        "--merge",
+        nargs="+",
+        default=None,
+        metavar="REPORT.json",
+        help="merge per-shard --json reports into one canonical report",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report instead of text",
     )
     options = parser.parse_args(argv)
-    specs = build_specs(
-        models=options.models,
-        count=options.scenarios,
-        base_seed=options.seed,
-        cycles=options.cycles,
-        with_monitors=options.with_monitors,
-        profiles=options.profiles,
-    )
+    # stdout carries exactly one report; shim warnings etc. go to stderr
+    route_warnings_to_stderr()
+
+    # imported here, not at module top: these build on this module
+    from ..cliutil import emit_regression_report, load_shard_reports
+    from ..dispatch import merge_reports
+    from ..dispatch.planner import plan_shards
+    from ..workbench.engines import ShardedEngine
+
+    if options.merge is not None:
+        return emit_regression_report(
+            merge_reports(load_shard_reports(options.merge)), options.json
+        )
+
+    if options.spec_file is not None:
+        specs = load_specs(options.spec_file)
+    else:
+        specs = build_specs(
+            models=options.models,
+            count=options.scenarios,
+            base_seed=options.seed,
+            cycles=options.cycles,
+            with_monitors=options.with_monitors,
+            profiles=options.profiles,
+        )
+
+    if options.shard is not None:
+        index, of = options.shard
+        specs = list(plan_shards(specs, of)[index].specs)
+        engine = None
+    elif options.shards is not None:
+        # through the same engine seam the Workbench uses, so
+        # --fail-fast and --workers mean the same thing at every tier
+        engine = ShardedEngine(
+            options.shards, workers_per_shard=options.workers
+        )
+    else:
+        engine = None
+
     runner = RegressionRunner(
-        specs, workers=options.workers, fail_fast=options.fail_fast
+        specs, workers=options.workers, fail_fast=options.fail_fast, engine=engine
     )
     report = runner.run()
-    if options.json:
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
-    else:
-        print(report.summary())
-    return 0 if report.ok else 1
+    outcome = getattr(engine, "last_outcome", None)
+    if outcome is not None:
+        for line in outcome.log_lines():
+            print(line, file=sys.stderr)
+    return emit_regression_report(report, options.json)
 
 
 if __name__ == "__main__":

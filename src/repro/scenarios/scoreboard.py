@@ -290,6 +290,14 @@ class FaultPlan:
         if self.nth < 1:
             raise ValueError("fault nth is 1-based")
 
+    def to_json(self) -> dict:
+        """Wire form for cross-host spec dispatch."""
+        return {"kind": self.kind, "unit": self.unit, "nth": self.nth}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultPlan":
+        return cls(kind=doc["kind"], unit=doc["unit"], nth=doc["nth"])
+
 
 class Scoreboard:
     """Checks a finished scenario run against its ASM reference.

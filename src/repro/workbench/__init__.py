@@ -23,7 +23,15 @@ CLI over this API.
 """
 
 from .duv import DUV, CoverageResidue, LivenessCheck
-from .engines import Engine, MultiprocessingEngine, SerialEngine, resolve_engine
+from .engines import (
+    ENGINES,
+    Engine,
+    MultiprocessingEngine,
+    SerialEngine,
+    ShardedEngine,
+    engine_from_name,
+    resolve_engine,
+)
 from .plan import STAGE_NAMES, StageCall, VerificationPlan
 from .registry import (
     ModelRegistry,
@@ -44,9 +52,12 @@ __all__ = [
     "DUV",
     "CoverageResidue",
     "LivenessCheck",
+    "ENGINES",
     "Engine",
     "MultiprocessingEngine",
     "SerialEngine",
+    "ShardedEngine",
+    "engine_from_name",
     "resolve_engine",
     "STAGE_NAMES",
     "StageCall",

@@ -1,11 +1,11 @@
 """Pluggable execution engines.
 
 An :class:`Engine` is the seam between "what work a stage fans out"
-and "where that work runs".  Today there are two implementations --
-in-process serial and local ``multiprocessing`` -- and the scenario
-regression runner executes through them; a future cross-host
-dispatcher (the ROADMAP's sharded-regression item) plugs in here
-without touching any stage code.
+and "where that work runs".  Three implementations are registered:
+in-process serial, local ``multiprocessing``, and the sharded
+subprocess-host dispatcher (:class:`ShardedEngine`, the ROADMAP's
+cross-host scaling tier) -- the scenario regression runner executes
+through any of them without changing stage code.
 
 The contract mirrors ``multiprocessing.Pool.imap_unordered``:
 ``imap(fn, items)`` yields one result per item, in *any* order, as
@@ -100,6 +100,92 @@ class MultiprocessingEngine:
 
     def __repr__(self) -> str:
         return f"MultiprocessingEngine(workers={self.workers})"
+
+
+class ShardedEngine:
+    """Fans scenario specs across shard hosts (subprocess by default).
+
+    The cross-host scaling tier behind the same :class:`Engine` seam:
+    ``imap`` partitions the items with the deterministic shard planner,
+    runs every shard on a :class:`~repro.dispatch.Host` (default: one
+    ``python -m repro.scenarios --shard`` subprocess per shard), and
+    yields the merged verdicts.  Because shard reports cross the host
+    boundary as JSON, the work units must be
+    :class:`~repro.scenarios.regression.ScenarioSpec` run through
+    ``run_scenario`` -- the one fan-out whose results have a wire form.
+    Anything else raises ``TypeError``.
+
+    The last dispatch's bookkeeping (per-shard hosts, retries) is kept
+    on :attr:`last_outcome` for reporting layers.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int = 2,
+        hosts: Optional[Any] = None,
+        max_attempts: Optional[int] = None,
+        workers_per_shard: Optional[int] = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+        self.workers = shards
+        self.hosts = hosts
+        self.max_attempts = max_attempts
+        self.workers_per_shard = workers_per_shard
+        self.last_outcome: Optional[Any] = None
+
+    def imap(
+        self, fn: Callable[[_Item], _Result], items: Iterable[_Item]
+    ) -> Iterator[_Result]:
+        # imported lazily: repro.dispatch builds on repro.scenarios,
+        # which imports this module at its top level
+        from ..dispatch import ShardDispatcher
+        from ..scenarios.regression import ScenarioSpec, run_scenario
+
+        specs = list(items)
+        if fn is not run_scenario or not all(
+            isinstance(item, ScenarioSpec) for item in specs
+        ):
+            raise TypeError(
+                "ShardedEngine only runs scenario regressions "
+                "(run_scenario over ScenarioSpec items); other fan-outs "
+                "have no cross-host wire form"
+            )
+        dispatcher = ShardDispatcher(
+            specs,
+            shards=self.shards,
+            hosts=self.hosts,
+            max_attempts=self.max_attempts,
+            workers_per_shard=self.workers_per_shard,
+        )
+        outcome = dispatcher.run()
+        self.last_outcome = outcome
+        yield from outcome.report.verdicts
+
+    def __repr__(self) -> str:
+        return f"ShardedEngine(shards={self.shards})"
+
+
+#: The registered engine kinds, by name (the CLI / config seam).
+ENGINES: dict = {
+    "serial": SerialEngine,
+    "multiprocessing": MultiprocessingEngine,
+    "sharded": ShardedEngine,
+}
+
+
+def engine_from_name(name: str, **options: Any) -> Engine:
+    """Instantiate a registered engine by name with its options."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r} (registered: {', '.join(sorted(ENGINES))})"
+        ) from None
+    return factory(**options)
 
 
 def resolve_engine(

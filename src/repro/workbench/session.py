@@ -42,7 +42,7 @@ from ..translate.csharp_gen import render_monitor_suite
 from ..translate.runtime import build_runtime
 from ..translate.systemc_gen import render_translation_unit
 from .duv import DUV, CoverageResidue
-from .engines import Engine, resolve_engine
+from .engines import Engine, ShardedEngine, resolve_engine
 from .plan import STAGE_NAMES, VerificationPlan
 from .registry import ModelRegistry, default_registry
 from .stages import (
@@ -389,6 +389,7 @@ class Workbench:
         scenarios: int = 24,
         cycles: int = 300,
         workers: Optional[int] = None,
+        shards: Optional[int] = None,
         seed: Optional[int] = None,
         specs: Optional[Sequence[Any]] = None,
         bias: Union[CoverageResidue, bool, None] = None,
@@ -405,8 +406,10 @@ class Workbench:
         profiles.  Explicit ``specs`` bypass spec construction, so a
         bias never applies to them.
 
-        ``workers`` sizes the default engine; an engine injected at
-        construction always wins.
+        ``workers`` sizes the default local engine; ``shards=N``
+        selects the sharded dispatcher instead (N subprocess shard
+        hosts, merged digest identical to a serial run).  An engine
+        injected at construction always wins over both.
         """
         return self._execute(
             "regress",
@@ -415,6 +418,7 @@ class Workbench:
                 "scenarios": scenarios,
                 "cycles": cycles,
                 "workers": workers,
+                "shards": shards,
                 "seed": seed,
                 "specs": specs,
                 "bias": bias,
@@ -429,6 +433,7 @@ class Workbench:
         scenarios: int,
         cycles: int,
         workers: Optional[int],
+        shards: Optional[int],
         seed: Optional[int],
         specs: Optional[Sequence[Any]],
         bias: Union[CoverageResidue, bool, None],
@@ -469,11 +474,15 @@ class Workbench:
             profiles = None
         specs = list(specs)
         # an engine injected at construction is the session's choice of
-        # execution seam and always wins; ``workers`` only sizes the
-        # default engine
+        # execution seam and always wins; ``workers``/``shards`` only
+        # size the default engine
         engine = self.engine
         if engine is None:
-            engine = resolve_engine(workers, len(specs))
+            if shards is not None:
+                # ``workers`` keeps its meaning inside each shard host
+                engine = ShardedEngine(shards, workers_per_shard=workers)
+            else:
+                engine = resolve_engine(workers, len(specs))
         runner = RegressionRunner(specs, engine=engine, fail_fast=fail_fast)
         report = runner.run()
         data: Dict[str, Any] = {
@@ -494,18 +503,29 @@ class Workbench:
                 ),
             },
         }
+        metrics: Dict[str, Any] = {
+            "workers": report.workers,
+            "engine": engine.name,
+            "regress_wall_seconds": round(report.wall_seconds, 6),
+            "throughput_txn_per_s": round(report.throughput, 1),
+            "stopped_early": report.stopped_early,
+        }
+        outcome = getattr(engine, "last_outcome", None)
+        if outcome is not None:
+            # run facts, not results: which hosts served which shards
+            # (and how many retries it took) must not perturb the
+            # engine-invariant session digest, so this lives in metrics
+            metrics["dispatch"] = {
+                "shards": len(outcome.runs),
+                "hosts": list(outcome.hosts),
+                "retries": outcome.retries,
+            }
         return StageResult(
             stage="regress",
             status=StageStatus.PASSED if report.ok else StageStatus.FAILED,
             summary=report.summary().splitlines()[1],
             data=data,
-            metrics={
-                "workers": report.workers,
-                "engine": engine.name,
-                "regress_wall_seconds": round(report.wall_seconds, 6),
-                "throughput_txn_per_s": round(report.throughput, 1),
-                "stopped_early": report.stopped_early,
-            },
+            metrics=metrics,
             payload={"report": report},
         )
 

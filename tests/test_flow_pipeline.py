@@ -19,6 +19,13 @@ from repro.psl import Property, parse_formula
 from conftest import BrokenArbiter, ToyArbiter, ToyMaster
 
 
+def design_flow(*args, **kwargs) -> DesignFlow:
+    """Construct the deprecated shim, asserting (not leaking) its
+    warning -- the pytest filterwarnings config errors on a bare one."""
+    with pytest.warns(DeprecationWarning, match="DesignFlow is deprecated"):
+        return DesignFlow(*args, **kwargs)
+
+
 def toy_model_factory(broken: bool = False):
     def factory() -> AsmModel:
         model = AsmModel("toy")
@@ -36,14 +43,14 @@ MUTEX = Property("mutex", parse_formula("never (m0.m_gnt && m1.m_gnt)"))
 
 class TestModelCheckingLeg:
     def test_pass_on_correct_design(self):
-        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        flow = design_flow(toy_model_factory(), [MUTEX])
         report = flow.model_check()
         assert report.ok
         assert report.exploration.stats.completed
         assert "PASS" in report.summary()
 
     def test_fail_with_counterexample_on_broken_design(self):
-        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        flow = design_flow(toy_model_factory(broken=True), [MUTEX])
         report = flow.model_check()
         assert not report.ok
         assert report.exploration.counterexample is not None
@@ -57,7 +64,7 @@ class TestModelCheckingLeg:
         def m0_gnt(key):
             return key.value("m0", "m_gnt") is True
 
-        flow = DesignFlow(
+        flow = design_flow(
             model_factory,
             [MUTEX],
             liveness_checks=[LivenessCheck("grant0", m0_req, m0_gnt)],
@@ -66,7 +73,7 @@ class TestModelCheckingLeg:
         assert report.liveness and report.liveness[0].holds
 
     def test_rule_findings_reported(self):
-        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        flow = design_flow(toy_model_factory(), [MUTEX])
         report = flow.model_check()
         # no init action configured -> R2 warning
         assert any(f.rule == "R2_FSM" for f in report.rule_findings)
@@ -74,7 +81,7 @@ class TestModelCheckingLeg:
 
 class TestTranslationLeg:
     def test_simulation_report_and_artifacts(self):
-        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        flow = design_flow(toy_model_factory(), [MUTEX])
         report, cpp, csharp = flow.translate_and_simulate(cycles=300)
         assert report.ok
         assert report.cycles >= 299
@@ -87,7 +94,7 @@ class TestTranslationLeg:
     def test_monitors_fail_on_broken_design_in_simulation(self):
         from repro.translate import RandomPolicy
 
-        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        flow = design_flow(toy_model_factory(broken=True), [MUTEX])
         report, _, _ = flow.translate_and_simulate(
             cycles=2000, policy=RandomPolicy(seed=99)
         )
@@ -97,7 +104,7 @@ class TestTranslationLeg:
 
 class TestFullFlow:
     def test_run_verified_design(self):
-        flow = DesignFlow(toy_model_factory(), [MUTEX])
+        flow = design_flow(toy_model_factory(), [MUTEX])
         report = flow.run(cycles=300)
         assert report.ok
         assert report.simulation is not None
@@ -105,7 +112,7 @@ class TestFullFlow:
         assert "VERIFIED" in report.summary()
 
     def test_run_stops_before_simulation_on_mc_failure(self):
-        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        flow = design_flow(toy_model_factory(broken=True), [MUTEX])
         report = flow.run(cycles=300)
         assert not report.ok
         assert report.simulation is None  # never translated
@@ -115,7 +122,7 @@ class TestFullFlow:
         callback repairs the flow and retries."""
         attempts = []
 
-        flow = DesignFlow(toy_model_factory(broken=True), [MUTEX])
+        flow = design_flow(toy_model_factory(broken=True), [MUTEX])
 
         def repair(counterexample):
             attempts.append(counterexample)
@@ -133,7 +140,7 @@ class TestFullFlow:
 class TestFlowOnMasterSlave:
     def test_master_slave_flow_end_to_end(self):
         n_masters, n_slaves = 2, 2
-        flow = DesignFlow(
+        flow = design_flow(
             model_factory=lambda: build_master_slave_model(1, 1, n_slaves),
             directives=ms_invariant_properties(n_masters, n_slaves),
             extractor=ms_letter_from_model,

@@ -136,12 +136,15 @@ class TestFlowStage:
             return model
 
         mutex = Property("mutex", parse_formula("never (m0.m_gnt && m1.m_gnt)"))
-        return DesignFlow(
-            model_factory=factory,
-            directives=[mutex],
-            scenario_specs=specs,
-            scenario_workers=1,
-        )
+        # the shim's deprecation warning is asserted, never leaked (the
+        # pytest filterwarnings config errors on a bare one)
+        with pytest.warns(DeprecationWarning, match="DesignFlow is deprecated"):
+            return DesignFlow(
+                model_factory=factory,
+                directives=[mutex],
+                scenario_specs=specs,
+                scenario_workers=1,
+            )
 
     def test_flow_runs_scenario_regression_stage(self):
         specs = build_specs(count=4, cycles=150)

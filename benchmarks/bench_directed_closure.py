@@ -1,0 +1,106 @@
+"""Directed residue closure vs profile re-biasing, at the same budget.
+
+The both-ways formal<->simulation loop's entry in the BENCH trajectory:
+
+* wall time of a full ``Workbench.close_coverage`` session on the
+  Master/Slave case study (explore + plan + directed scenarios + the
+  coverage fold-back),
+* the headline comparison in ``extra_info``: FSM residue transitions
+  exercised by directed goals vs by PR 2's residue-biased
+  constrained-random regression at the same per-scenario budget.
+
+Numbers land in ``benchmark.extra_info`` next to the timings, like the
+other harnesses; ``REPRO_FULL=1`` scales the workload up.
+"""
+
+from repro.explorer.goal_planner import walk_fsm_events
+from repro.scenarios.regression import RegressionRunner, build_specs
+from repro.workbench import SerialEngine, Workbench
+
+from common import FULL_RUN
+
+#: Bounded by default so CI stays fast; REPRO_FULL=1 scales up.
+CYCLES = 400 if FULL_RUN else 140
+BIAS_ROUNDS = 4
+BIAS_SCENARIOS = 24 if FULL_RUN else 12
+
+
+def _biased_coverage(fsm) -> set:
+    """FSM edges 4 rounds of residue-biased regression exercise."""
+    covered: set = set()
+    for round_index in range(BIAS_ROUNDS):
+        specs = [
+            spec
+            for spec in build_specs(
+                models=["master_slave"],
+                count=BIAS_SCENARIOS,
+                base_seed=2005 + 1000 * round_index,
+                cycles=CYCLES,
+                profiles=("bursty", "edges"),
+                track_fsm=True,
+            )
+            if spec.topology == (1, 1, 2)
+        ]
+        report = RegressionRunner(specs, engine=SerialEngine()).run()
+        for verdict in report.verdicts:
+            covered.update(walk_fsm_events(fsm, verdict.fsm_events).exercised)
+    return covered
+
+
+def test_directed_closure_master_slave(benchmark):
+    """End-to-end closure session, with the bias comparison attached."""
+
+    def run():
+        workbench = Workbench("master_slave")
+        result = workbench.close_coverage(rounds=2, cycles=CYCLES)
+        return workbench, result
+
+    workbench, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ok, result.summary
+
+    fsm = workbench._exploration.fsm
+    biased = _biased_coverage(fsm)
+    closed = set(result.data["closed_transitions"])
+    beyond_bias = sorted(closed - biased)
+    assert beyond_bias, "directed closure must beat re-biasing somewhere"
+    benchmark.extra_info.update(
+        {
+            "residue_transitions": result.data["residue_before"][
+                "uncovered_transitions"
+            ],
+            "closed_directed": len(closed),
+            "covered_by_bias": len(biased),
+            "closed_beyond_bias": len(beyond_bias),
+            "remaining_formal_only": result.data["residue"][
+                "uncovered_transitions"
+            ],
+            "digest": result.digest(),
+        }
+    )
+    print(
+        f"\ndirected closure: {len(closed)} closed "
+        f"({len(beyond_bias)} beyond {BIAS_ROUNDS}-round bias re-weighting, "
+        f"bias covered {len(biased)}); "
+        f"{result.data['residue']['uncovered_transitions']} formal-only remain"
+    )
+
+
+def test_goal_planning_only(benchmark):
+    """Planner cost in isolation: BFS + greedy dedup over the full
+    residue (no scenarios run)."""
+    from repro.explorer.goal_planner import GoalPlanner, residue_label
+
+    workbench = Workbench("master_slave")
+    workbench.explore()
+    fsm = workbench._exploration.fsm
+    uncovered = [residue_label(t) for t in fsm.transitions]
+
+    plans = benchmark(lambda: GoalPlanner(fsm).plan(uncovered))
+    assert plans
+    benchmark.extra_info.update(
+        {
+            "uncovered_edges": len(uncovered),
+            "plans": len(plans),
+            "longest_plan": max(len(p.transitions) for p in plans),
+        }
+    )

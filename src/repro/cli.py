@@ -8,6 +8,7 @@ One CLI over the :mod:`repro.workbench` session API::
     python -m repro regress  --model pci --scenarios 40 --workers 4 --json
     python -m repro regress  --model pci --scenarios 40 --shards 3 --json
     python -m repro regress  --model pci --shard 2/3 --json  # + --merge later
+    python -m repro close    --model master_slave --json
     python -m repro flow     --model master_slave --json
 
 ``flow`` runs the paper's whole Figure 1 plan (explore -> liveness ->
@@ -170,6 +171,19 @@ def _cmd_regress(options: argparse.Namespace) -> int:
     return _emit(workbench.report(), options.json)
 
 
+def _cmd_close(options: argparse.Namespace) -> int:
+    workbench = _workbench(options)
+    workbench.close_coverage(
+        rounds=options.rounds,
+        cycles=options.cycles,
+        max_goals=options.max_goals,
+        workers=options.workers,
+        shards=options.shards,
+        seed=options.seed,
+    )
+    return _emit(workbench.report(), options.json)
+
+
 def _cmd_flow(options: argparse.Namespace) -> int:
     workbench = _workbench(options)
     plan = VerificationPlan.figure1(
@@ -251,6 +265,37 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("--fail-fast", action="store_true")
     regress.add_argument("--with-monitors", action="store_true")
     regress.set_defaults(func=_cmd_regress)
+
+    close = sub.add_parser(
+        "close",
+        help="directed coverage closure: plan FSM-path sequence goals "
+        "for the formal-only residue and drive them until it stops "
+        "shrinking (runs explore first)",
+    )
+    _add_model_options(close)
+    close.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=3,
+        help="plan/run/fold re-plan rounds (default 3)",
+    )
+    close.add_argument("--cycles", type=_positive_int, default=160)
+    close.add_argument(
+        "--max-goals",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap the directed scenarios planned per round",
+    )
+    close.add_argument("--workers", type=int, default=None)
+    close.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="fan the directed goals across N subprocess shard hosts",
+    )
+    close.set_defaults(func=_cmd_close)
 
     flow = sub.add_parser(
         "flow", help="the whole Figure 1 plan: explore -> liveness -> "

@@ -19,6 +19,13 @@ from .counterexample import Counterexample, CounterexampleStep
 from .dot import counterexample_to_dot, fsm_to_dot
 from .engine import ExplorationResult, Explorer, Violation, explore
 from .fsm import Fsm, FsmState, FsmTransition, iter_paths
+from .goal_planner import (
+    EventWalk,
+    GoalPlanner,
+    PlannedGoal,
+    residue_label,
+    walk_fsm_events,
+)
 from .liveness import (
     LivenessResult,
     LivenessViolation,
@@ -47,6 +54,11 @@ __all__ = [
     "FsmState",
     "FsmTransition",
     "iter_paths",
+    "EventWalk",
+    "GoalPlanner",
+    "PlannedGoal",
+    "residue_label",
+    "walk_fsm_events",
     "LARGE_DOMAIN_THRESHOLD",
     "RuleFinding",
     "assert_rules",

@@ -1,0 +1,175 @@
+"""Path planning over the generated FSM: residue -> directed goals.
+
+The model checker reaches FSM states and transitions the monitored
+simulation never exercises (the :class:`~repro.workbench.duv.CoverageResidue`).
+This module turns that residue into *plans*: for every uncovered
+transition, a BFS shortest path from the FSM's initial state through
+the covered region to the uncovered edge.  A plan is an ordered list
+of ASM action calls -- exactly the vocabulary a model's scenario
+driver can lower into directed bus stimulus
+(:mod:`repro.scenarios.directed`), which closes the formal->simulation
+loop in the directed direction the ROADMAP asks for.
+
+The inverse mapping lives here too: :func:`walk_fsm_events` replays a
+reconstructed ASM call stream (what a scenario run *observably* did at
+transaction level) against the FSM and reports exactly which edges it
+exercised.  The walk is structural -- it follows labelled edges rather
+than re-executing the model -- so property-monitor bits embedded in
+the state keys are honoured for free, and credit stops at the first
+step that has no unique matching edge (partial credit, never false
+credit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..asm.machine import ActionCall
+from .fsm import Fsm, FsmTransition
+
+
+def residue_label(transition: FsmTransition) -> str:
+    """The residue-side name of an FSM edge (matches
+    :meth:`CoverageResidue.from_fsm` / ``SimCoverage.uncovered_transitions``)."""
+    return f"s{transition.source} --{transition.label()}--> s{transition.target}"
+
+
+@dataclass(frozen=True)
+class PlannedGoal:
+    """One directed sequence goal: an initial-state FSM path whose last
+    edge is the uncovered transition the plan targets."""
+
+    index: int
+    target_edge: str
+    transitions: Tuple[FsmTransition, ...]
+
+    def calls(self) -> List[ActionCall]:
+        """The ASM action calls along the path, in order."""
+        return [t.call for t in self.transitions]
+
+    def edge_labels(self) -> Tuple[str, ...]:
+        """Residue labels of every edge on the path (dedup credit: a
+        plan incidentally covers everything it walks through)."""
+        return tuple(residue_label(t) for t in self.transitions)
+
+    def describe(self) -> str:
+        steps = " -> ".join(t.label() for t in self.transitions)
+        return f"goal#{self.index} [{len(self.transitions)} steps] {steps}"
+
+
+class GoalPlanner:
+    """Plans directed sequence goals for a set of uncovered transitions.
+
+    Planning is deterministic: candidate edges are resolved in a stable
+    order, paths come from the FSM's deterministic BFS, and the greedy
+    dedup keeps the longest plans first so shorter residue edges ride
+    along instead of spawning their own scenarios.
+    """
+
+    def __init__(self, fsm: Fsm):
+        self.fsm = fsm
+        self._by_label: Dict[str, FsmTransition] = {}
+        for transition in fsm.transitions:
+            # first writer wins: duplicate (source, label, target) edges
+            # are the same goal
+            self._by_label.setdefault(residue_label(transition), transition)
+        initials = fsm.initial_states()
+        self._initial: Optional[int] = initials[0].index if initials else None
+        #: residue labels that named no known FSM edge in the last plan
+        self.unknown_edges: Tuple[str, ...] = ()
+
+    def path_to(self, transition: FsmTransition) -> Optional[List[FsmTransition]]:
+        """Shortest initial-state path ending with ``transition``."""
+        if self._initial is None:
+            return None
+        prefix = self.fsm.shortest_path(self._initial, transition.source)
+        if prefix is None:
+            return None
+        return prefix + [transition]
+
+    def plan(self, uncovered: Iterable[str]) -> List[PlannedGoal]:
+        """Plans for ``uncovered`` residue edge labels, longest first,
+        greedily deduplicated: an edge already on an earlier plan's
+        path does not get its own plan.  Budget caps belong to the
+        caller (the workbench counts *lowerable* plans against its
+        ``max_goals``, which this layer cannot know)."""
+        unknown: List[str] = []
+        candidates: List[Tuple[str, List[FsmTransition]]] = []
+        seen_labels = set()
+        for label in uncovered:
+            if label in seen_labels:
+                continue
+            seen_labels.add(label)
+            transition = self._by_label.get(label)
+            if transition is None:
+                unknown.append(label)
+                continue
+            path = self.path_to(transition)
+            if path is None:
+                unknown.append(label)
+                continue
+            candidates.append((label, path))
+        self.unknown_edges = tuple(unknown)
+        # longest plans first so their prefixes absorb short ones; the
+        # label tiebreak keeps the order fully deterministic
+        candidates.sort(key=lambda item: (-len(item[1]), item[0]))
+        plans: List[PlannedGoal] = []
+        covered: set = set()
+        for label, path in candidates:
+            if label in covered:
+                continue
+            plan = PlannedGoal(
+                index=len(plans), target_edge=label, transitions=tuple(path)
+            )
+            covered.update(plan.edge_labels())
+            plans.append(plan)
+        return plans
+
+
+@dataclass
+class EventWalk:
+    """What one reconstructed event stream exercised on the FSM."""
+
+    exercised: Tuple[str, ...]          # residue labels of walked edges
+    visited_states: Tuple[int, ...]
+    steps_walked: int
+    #: events left unwalked because a step had no unique matching edge
+    #: (bounded exploration, ambiguous labels, off-plan behaviour)
+    off_path: int
+
+
+def walk_fsm_events(
+    fsm: Fsm,
+    events: Sequence[Tuple[str, str, Tuple]],
+) -> EventWalk:
+    """Structurally replay ``(machine, action, args)`` events on the FSM.
+
+    Starts at the initial state and follows the unique outgoing edge
+    whose label matches each event in turn.  The first event with zero
+    or several matching edges stops the walk: everything after it is
+    counted as ``off_path`` rather than guessed at.
+    """
+    initials = fsm.initial_states()
+    if not initials or not events:
+        return EventWalk((), (), 0, len(events))
+    current = initials[0].index
+    exercised: List[str] = []
+    visited: List[int] = [current]
+    steps = 0
+    for machine, action, args in events:
+        label = ActionCall(machine, action, tuple(args)).label()
+        matches = [t for t in fsm.outgoing(current) if t.label() == label]
+        if len(matches) != 1:
+            break
+        transition = matches[0]
+        exercised.append(residue_label(transition))
+        current = transition.target
+        visited.append(current)
+        steps += 1
+    return EventWalk(
+        exercised=tuple(exercised),
+        visited_states=tuple(dict.fromkeys(visited)),
+        steps_walked=steps,
+        off_path=len(events) - steps,
+    )

@@ -42,14 +42,18 @@ class SimCoverage:
 
     @property
     def state_coverage(self) -> float:
+        # an empty universe is vacuously covered (1.0, matching
+        # BinCoverage.ratio and CoverageResidue) -- returning 0.0 made
+        # downstream thresholds apply pressure to a design with
+        # nothing left to cover
         if self.fsm.state_count() == 0:
-            return 0.0
+            return 1.0
         return len(self.visited_states) / self.fsm.state_count()
 
     @property
     def transition_coverage(self) -> float:
         if self.fsm.transition_count() == 0:
-            return 0.0
+            return 1.0
         return len(self.exercised_transitions) / self.fsm.transition_count()
 
     def uncovered_states(self) -> List[int]:

@@ -222,7 +222,7 @@ class MsScenarioSystem(ScenarioSystem):
                 max_burst=words,
                 address_span=address_span,
             )
-            items = sequence.items(root.derive(f"master{index}"), ctx)
+            items = sequence.for_unit(index).items(root.derive(f"master{index}"), ctx)
             self.masters.append(
                 MsSequenceMaster(
                     index, blocking, self.simulator, self.clock, self.wires,
@@ -263,6 +263,129 @@ class MsScenarioSystem(ScenarioSystem):
             n_targets=self.n_slaves, min_burst=1, max_burst=BLOCKING_BURST
         )
         return ctx, 0x100, 0
+
+    def fsm_events(self) -> List[Tuple[str, str, tuple]]:
+        """The run as coarse ASM events: requests (overlap-aware, see
+        :meth:`ScenarioSystem._serialized_fsm_events` for the soundness
+        rule) plus one atomic
+        ``arbiter.grant_and_transfer(slave, is_write)`` per completed
+        transaction -- the ASM's ``choose_min`` matches the SystemC
+        arbiter's lowest-index grant, so attribution is consistent.
+        """
+        return self._serialized_fsm_events(
+            lambda txn, owner: [
+                (
+                    "arbiter",
+                    "grant_and_transfer",
+                    (txn.address // 0x100, txn.is_write),
+                )
+            ]
+        )
+
+
+#: idle cycles that land a request inside another master's warm-up
+#: transfer (shortest transfer: 2 words, zero wait states, ~4 cycles)
+_WARMUP_OVERLAP_IDLE = 2
+
+
+def lower_path_to_goals(
+    calls,
+    n_blocking: int,
+    n_non_blocking: int,
+    n_slaves: int,
+) -> Optional[List["TransactionGoal"]]:
+    """Lower a planned coarse-action FSM path to directed goals.
+
+    Each ``arbiter.grant_and_transfer(slave, is_write)`` becomes one
+    transaction goal for the master the ASM's ``choose_min`` would
+    grant; request interleavings become idle timing:
+
+    * requests planned before the first transfer in ascending master
+      order post simultaneously (idle 0) -- the arbiter resolves the
+      tie in exactly that order;
+    * a plan that needs a *higher*-index master pending first is not
+      realizable from reset (the lowest-index arbiter would grant it
+      immediately), so the eventual winner gets a warm-up transaction
+      and the earlier requesters aim into its transfer window;
+    * masters the path leaves pending get a drain goal -- a sequence
+      master only posts a request as part of driving a transaction.
+
+    Returns None when the path uses actions outside the drivers'
+    vocabulary.
+    """
+    from ...scenarios.directed import TransactionGoal
+
+    n_masters = n_blocking + n_non_blocking
+    goals: List[TransactionGoal] = []
+    pending: List[int] = []
+    request_idle: Dict[int, int] = {}
+    requests_before_transfer: List[int] = []
+    saw_transfer = False
+
+    def burst_of(master: int) -> int:
+        return BLOCKING_BURST if master < n_blocking else 1
+
+    for call in calls:
+        if call.machine.startswith("master") and call.action == "request":
+            master = int(call.machine[len("master"):])
+            if master >= n_masters or master in pending:
+                return None
+            pending.append(master)
+            request_idle[master] = 0
+            if not saw_transfer:
+                requests_before_transfer.append(master)
+        elif call.machine == "arbiter" and call.action == "grant_and_transfer":
+            if not pending:
+                return None
+            slave, is_write = call.args
+            if not 0 <= slave < n_slaves:
+                return None
+            winner = min(pending)
+            if not saw_transfer:
+                saw_transfer = True
+                order = requests_before_transfer
+                if order != sorted(order):
+                    # unrealizable-from-reset interleaving: warm up the
+                    # winner so the others can request mid-transfer
+                    goals.append(
+                        TransactionGoal(
+                            unit=winner,
+                            target=slave,
+                            is_write=is_write,
+                            burst=burst_of(winner),
+                            idle=0,
+                        )
+                    )
+                    for master in order:
+                        if master != winner:
+                            request_idle[master] = _WARMUP_OVERLAP_IDLE
+            pending.remove(winner)
+            goals.append(
+                TransactionGoal(
+                    unit=winner,
+                    target=slave,
+                    is_write=is_write,
+                    burst=burst_of(winner),
+                    idle=request_idle.pop(winner, 0),
+                )
+            )
+        elif call.machine == "system":
+            continue
+        else:
+            return None
+    # masters left pending only requested: drain them through a real
+    # transaction so the request actually gets posted
+    for master in pending:
+        goals.append(
+            TransactionGoal(
+                unit=master,
+                target=0,
+                is_write=False,
+                burst=burst_of(master),
+                idle=request_idle.get(master, 0),
+            )
+        )
+    return goals
 
 
 class MsReferenceAdapter(ReferenceAdapter):

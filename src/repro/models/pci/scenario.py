@@ -236,7 +236,7 @@ class PciScenarioSystem(ScenarioSystem):
         self.masters = [
             PciSequenceMaster(
                 i, self.simulator, self.clock, self.wires, n_targets,
-                sequence.items(root.derive(f"master{i}"), ctx),
+                sequence.for_unit(i).items(root.derive(f"master{i}"), ctx),
                 self.txn_ids, fault=fault,
             )
             for i in range(n_masters)
@@ -292,6 +292,116 @@ class PciScenarioSystem(ScenarioSystem):
             n_targets=self.n_targets, min_burst=1, max_burst=MAX_BURST_LENGTH
         )
         return ctx, 0x1000, 1
+
+    def fsm_events(self) -> List[Tuple[str, str, tuple]]:
+        """The run as coarse ASM events, one full transaction script per
+        completed record: request (overlap-aware, see
+        :meth:`ScenarioSystem._serialized_fsm_events` for the soundness
+        rule -- ``update_m_req``'s lowest-index latch matches it),
+        hidden arbitration, the address phase, the target's fused
+        response, all data phases fused, and the target release.
+        STOP#-ed attempts leave no completed record and therefore no
+        events -- conservative, never false credit.
+        """
+
+        def transaction_events(txn, owner):
+            target = txn.address // 0x1000 - 1
+            return [
+                ("arbiter", "update_m_req", ()),
+                ("arbiter", "grant", ()),
+                (
+                    f"master{owner}",
+                    "start_transaction",
+                    (target, txn.burst_length),
+                ),
+                (f"target{target}", "respond", ()),
+                (f"master{owner}", "run_data_phases", ()),
+                (f"target{target}", "complete", ()),
+            ]
+
+        return self._serialized_fsm_events(transaction_events)
+
+
+def lower_path_to_goals(
+    calls, n_masters: int, n_targets: int
+) -> Optional[List["TransactionGoal"]]:
+    """Lower a planned coarse-action PCI FSM path to directed goals.
+
+    ``master{i}.start_transaction(target, burst)`` names its initiator
+    explicitly, so attribution is direct; arbitration and target
+    bookkeeping actions (``update_m_req``/``grant``/``reclaim``,
+    ``respond``/``complete``, ``run_data_phases``) are implied by the
+    goal and skipped.  Paths that need target-initiated behaviour
+    (``stop_transaction``/``handle_stop``/``clear_stop``) are not
+    expressible as transaction goals -> None.  Transfer direction is
+    not part of the PCI FSM vocabulary, so goals alternate write/read
+    deterministically.
+    """
+    from ...scenarios.directed import TransactionGoal
+
+    goals: List[TransactionGoal] = []
+    pending: List[int] = []
+    request_idle: Dict[int, int] = {}
+    requests_seen = 0
+    for call in calls:
+        if call.machine.startswith("master"):
+            master = int(call.machine[len("master"):])
+            if master >= n_masters:
+                return None
+            if call.action == "request":
+                if master in pending:
+                    return None
+                pending.append(master)
+                # ascending same-cycle requests resolve in index order;
+                # a later position only needs a later posting
+                request_idle[master] = (
+                    0 if pending == sorted(pending) else requests_seen
+                )
+                requests_seen += 1
+            elif call.action == "start_transaction":
+                target, burst = call.args
+                if master not in pending or not 0 <= target < n_targets:
+                    return None
+                pending.remove(master)
+                goals.append(
+                    TransactionGoal(
+                        unit=master,
+                        target=target,
+                        is_write=len(goals) % 2 == 0,
+                        burst=max(1, min(burst, MAX_BURST_LENGTH)),
+                        idle=request_idle.pop(master, 0),
+                    )
+                )
+            elif call.action == "run_data_phases":
+                continue
+            else:
+                return None  # handle_stop & fine-grained actions
+        elif call.machine == "arbiter" and call.action in (
+            "update_m_req",
+            "grant",
+            "reclaim",
+        ):
+            continue
+        elif call.machine.startswith("target") and call.action in (
+            "respond",
+            "complete",
+        ):
+            continue
+        elif call.machine == "system":
+            continue
+        else:
+            return None
+    for master in pending:
+        goals.append(
+            TransactionGoal(
+                unit=master,
+                target=0,
+                is_write=False,
+                burst=1,
+                idle=request_idle.get(master, 0),
+            )
+        )
+    return goals
 
 
 class PciReferenceAdapter(ReferenceAdapter):

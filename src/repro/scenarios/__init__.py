@@ -26,6 +26,13 @@ from .coverage_driven import (
     StimulusBin,
     burst_bucket,
 )
+from .directed import (
+    ClosureRound,
+    DirectedClosureLoop,
+    DirectedSequence,
+    TransactionGoal,
+    lower_path_for_model,
+)
 from .random_ import BURST_PROFILES, BurstProfile, ScenarioRng, derive_seed
 from .regression import (
     RegressionReport,
@@ -86,6 +93,11 @@ __all__ = [
     "CoverageFeedback",
     "StimulusBin",
     "burst_bucket",
+    "ClosureRound",
+    "DirectedClosureLoop",
+    "DirectedSequence",
+    "TransactionGoal",
+    "lower_path_for_model",
     "BURST_PROFILES",
     "BurstProfile",
     "ScenarioRng",

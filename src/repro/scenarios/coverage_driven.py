@@ -38,10 +38,14 @@ BURST_BUCKETS: Tuple[Tuple[str, int, Optional[int]], ...] = (
 
 
 def burst_bucket(burst: int) -> str:
+    if burst < 1:
+        # a burst below 1 word is a driver bug, not "long" traffic --
+        # falling through to the largest bucket silently misclassified
+        raise ValueError(f"burst length must be >= 1, got {burst}")
     for name, low, high in BURST_BUCKETS:
         if burst >= low and (high is None or burst <= high):
             return name
-    return BURST_BUCKETS[-1][0]
+    raise AssertionError("BURST_BUCKETS must cover every burst >= 1")
 
 
 @dataclass(frozen=True)
@@ -79,13 +83,22 @@ class BinCoverage:
 
     ctx: StimulusContext
     hits: Dict[StimulusBin, int] = field(default_factory=dict)
+    #: transactions whose address decoded outside [0, n_targets) --
+    #: they are counted, not binned, so ``hits`` never grows bins that
+    #: can't match ``bin_universe`` (which would inflate
+    #: ``CoverageRound.new_bins`` and break early-exit accounting)
+    off_universe: int = 0
 
     def record(self, txn: Transaction, window: int = 0x100, base: int = 0) -> None:
         """Bin one transaction; ``window`` is the per-target address
         window, ``base`` the first target's window index (PCI maps
         target 0 at the second page, so its drivers pass ``base=1``)."""
+        target = (txn.address // window - base) if window else 0
+        if not 0 <= target < self.ctx.n_targets:
+            self.off_universe += 1
+            return
         bin_ = StimulusBin(
-            target=(txn.address // window - base) if window else 0,
+            target=target,
             is_write=txn.is_write,
             bucket=burst_bucket(txn.burst_length),
         )
@@ -119,6 +132,8 @@ class BinCoverage:
             head += "; unhit: " + ", ".join(b.describe() for b in missing[:8])
             if len(missing) > 8:
                 head += f" (+{len(missing) - 8} more)"
+        if self.off_universe:
+            head += f"; {self.off_universe} off-universe transaction(s)"
         return head
 
 
@@ -162,12 +177,14 @@ class CoverageFeedback:
         profile = self.base
         unhit = self.bins.unhit()
 
-        # 1. target weights: each unhit bin votes for its target
-        if unhit:
-            for bin_ in unhit:
-                profile = profile.with_target_boost(
-                    bin_.target, 2.0, self.ctx.n_targets
-                )
+        # 1. target weights: boost once per *distinct* starved target.
+        #    Boosting per unhit bin compounded the weight with every
+        #    unhit bin a target had, so one bad round starved every
+        #    other target of traffic.
+        for target in sorted({b.target for b in unhit}):
+            profile = profile.with_target_boost(
+                target, 2.0, self.ctx.n_targets
+            )
 
         # 2. direction: shift write bias toward the starved direction
         unhit_writes = sum(1 for b in unhit if b.is_write)
@@ -188,7 +205,10 @@ class CoverageFeedback:
             profile = replace(profile, burst=BURST_PROFILES["edges"])
 
         # 4. starved monitors / tame interleavings: more pressure --
-        #    shrink idle gaps so requests actually collide
+        #    shrink idle gaps so requests actually collide.  A design
+        #    with no FSM transitions at all is vacuously covered
+        #    (ratio 1.0 by contract, matching BinCoverage.ratio), so
+        #    it never triggers pressure here.
         pressure = bool(self.starved_monitors) or (
             self.fsm_transition_ratio is not None
             and self.fsm_transition_ratio < 0.5

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..cliutil import positive_int, route_warnings_to_stderr, shard_coordinate
 from ..workbench.engines import Engine, resolve_engine
 from .coverage_driven import BinCoverage
+from .directed import DirectedSequence, TransactionGoal
 from .random_ import ScenarioRng
 from .scoreboard import FaultPlan
 from .sequences import NAMED_PROFILES, sequence_for_profile
@@ -73,6 +74,12 @@ class ScenarioSpec:
     cycles: int = 400
     fault: Optional[FaultPlan] = None
     with_monitors: bool = False
+    #: directed transaction goals; non-empty switches the stimulus from
+    #: the named profile to a DirectedSequence playing exactly these
+    goals: Tuple[TransactionGoal, ...] = ()
+    #: reconstruct the run's coarse ASM event stream into the verdict
+    #: (the simulation->FSM mapping the closure loop folds back)
+    track_fsm: bool = False
 
     @property
     def label(self) -> str:
@@ -90,6 +97,8 @@ class ScenarioSpec:
             "cycles": self.cycles,
             "fault": self.fault.to_json() if self.fault else None,
             "with_monitors": self.with_monitors,
+            "goals": [g.to_json() for g in self.goals],
+            "track_fsm": self.track_fsm,
         }
 
     @classmethod
@@ -103,6 +112,10 @@ class ScenarioSpec:
             cycles=doc.get("cycles", 400),
             fault=FaultPlan.from_json(fault) if fault else None,
             with_monitors=doc.get("with_monitors", False),
+            goals=tuple(
+                TransactionGoal.from_json(g) for g in doc.get("goals", ())
+            ),
+            track_fsm=doc.get("track_fsm", False),
         )
 
 
@@ -125,6 +138,9 @@ class ScenarioVerdict:
     #: stimulus-bin hits ("target0/W/short" -> count), for coverage
     #: aggregation across the regression
     bin_hits: Tuple[Tuple[str, int], ...] = ()
+    #: coarse ASM events reconstructed from the run's records
+    #: (only when the spec asked for ``track_fsm``)
+    fsm_events: Tuple[Tuple[str, str, tuple], ...] = ()
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -163,6 +179,10 @@ class ScenarioVerdict:
             "stream_digest": self.stream_digest,
             "scoreboard_digest": self.scoreboard_digest,
             "bin_hits": [[name, hits] for name, hits in self.bin_hits],
+            "fsm_events": [
+                [machine, action, list(args)]
+                for machine, action, args in self.fsm_events
+            ],
         }
 
     @classmethod
@@ -181,12 +201,19 @@ class ScenarioVerdict:
             stream_digest=doc["stream_digest"],
             scoreboard_digest=doc["scoreboard_digest"],
             bin_hits=tuple((name, hits) for name, hits in doc.get("bin_hits", ())),
+            fsm_events=tuple(
+                (machine, action, tuple(args))
+                for machine, action, args in doc.get("fsm_events", ())
+            ),
         )
 
 
 def _build_system(spec: ScenarioSpec):
     """Instantiate the scenario system for a spec (worker side)."""
-    sequence = sequence_for_profile(spec.profile)
+    if spec.goals:
+        sequence: Any = DirectedSequence(spec.goals)
+    else:
+        sequence = sequence_for_profile(spec.profile)
     if spec.model == "master_slave":
         from ..models.master_slave.scenario import MsScenarioSystem
 
@@ -198,8 +225,12 @@ def _build_system(spec: ScenarioSpec):
         from ..models.pci.scenario import PciScenarioSystem
 
         masters, targets = spec.topology
+        # a directed PCI run disables random STOP#s: target back-off is
+        # not expressible as a transaction goal, so letting it fire
+        # would only knock planned schedules off their path
+        extra = {"stop_probability": 0.0} if spec.goals else {}
         return PciScenarioSystem(
-            masters, targets, sequence, spec.seed, fault=spec.fault
+            masters, targets, sequence, spec.seed, fault=spec.fault, **extra
         )
     raise ValueError(f"unknown model {spec.model!r}")
 
@@ -244,6 +275,11 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
     ctx, window, base = system.coverage_context()
     bins = BinCoverage(ctx)
     bins.record_many((txn for txn, _ in records), window, base)
+    events = (
+        tuple((m, a, tuple(args)) for m, a, args in system.fsm_events())
+        if spec.track_fsm
+        else ()
+    )
     return ScenarioVerdict(
         spec=spec,
         ok=report.ok and not failed,
@@ -260,6 +296,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
         bin_hits=tuple(
             sorted((bin_.describe(), hits) for bin_, hits in bins.hits.items())
         ),
+        fsm_events=events,
     )
 
 
@@ -270,6 +307,7 @@ def build_specs(
     cycles: int = 400,
     with_monitors: bool = False,
     profiles: Optional[Sequence[str]] = None,
+    track_fsm: bool = False,
 ) -> List[ScenarioSpec]:
     """N specs spread over the models, topologies and named profiles.
 
@@ -310,6 +348,7 @@ def build_specs(
                 profile=profile,
                 cycles=cycles,
                 with_monitors=with_monitors,
+                track_fsm=track_fsm,
             )
         )
     return specs
@@ -504,7 +543,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--models", nargs="+", default=list(MODELS), choices=MODELS)
     parser.add_argument("--scenarios", type=positive_int, default=40)
     parser.add_argument("--workers", type=int, default=None)
-    parser.add_argument("--cycles", type=positive_int, default=400)
+    parser.add_argument(
+        "--cycles",
+        type=positive_int,
+        default=None,
+        help="simulated cycles per scenario (default 400; 160 in "
+        "--directed mode, matching `python -m repro close`)",
+    )
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--fail-fast", action="store_true")
     parser.add_argument(
@@ -525,6 +570,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FILE",
         help="run the serialized spec list instead of building one "
         "(see repro.scenarios.regression.save_specs)",
+    )
+    parser.add_argument(
+        "--directed",
+        action="store_true",
+        help="directed coverage closure instead of a constrained-random "
+        "regression: explore each model's FSM, plan sequence goals for "
+        "the formal-only residue and drive them until it stops shrinking",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=positive_int,
+        default=3,
+        metavar="N",
+        help="closure re-plan rounds (--directed only)",
     )
     sharding = parser.add_mutually_exclusive_group()
     sharding.add_argument(
@@ -556,6 +615,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="emit the machine-readable report instead of text",
     )
     options = parser.parse_args(argv)
+    if options.directed:
+        # directed closure is a whole-session mode: flags that slice,
+        # replay or shape a plain regression have no meaning in it and
+        # silently ignoring them would misreport what ran
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--shard", options.shard is not None),
+                ("--merge", options.merge is not None),
+                ("--spec-file", options.spec_file is not None),
+                ("--fail-fast", options.fail_fast),
+                ("--with-monitors", options.with_monitors),
+                ("--profiles", options.profiles is not None),
+            )
+            if given
+        ]
+        if conflicting:
+            parser.error(
+                f"--directed cannot be combined with {', '.join(conflicting)}"
+            )
+    # both closure entry points must agree by default: --directed
+    # mirrors `python -m repro close --cycles 160`
+    cycles = (
+        options.cycles
+        if options.cycles is not None
+        else (160 if options.directed else 400)
+    )
     # stdout carries exactly one report; shim warnings etc. go to stderr
     route_warnings_to_stderr()
 
@@ -570,6 +656,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             merge_reports(load_shard_reports(options.merge)), options.json
         )
 
+    if options.directed:
+        # directed closure is a Workbench session per model: explore to
+        # get the residue, then plan/run/fold until dry
+        from ..workbench import Workbench
+
+        docs: Dict[str, Any] = {}
+        ok = True
+        for model in options.models:
+            workbench = Workbench(model, seed=options.seed)
+            result = workbench.close_coverage(
+                rounds=options.rounds,
+                cycles=cycles,
+                workers=options.workers,
+                shards=options.shards,
+            )
+            docs[model] = result.to_json()
+            ok = ok and result.ok
+        if options.json:
+            print(json.dumps(docs, indent=2, sort_keys=True))
+        else:
+            for model, doc in docs.items():
+                print(f"=== directed closure: {model} ===")
+                print(doc["summary"])
+        return 0 if ok else 1
+
     if options.spec_file is not None:
         specs = load_specs(options.spec_file)
     else:
@@ -577,7 +688,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             models=options.models,
             count=options.scenarios,
             base_seed=options.seed,
-            cycles=options.cycles,
+            cycles=cycles,
             with_monitors=options.with_monitors,
             profiles=options.profiles,
         )

@@ -240,6 +240,72 @@ class ScenarioSystem:
         stimulus-bin coverage -- the model owns its address layout."""
         raise NotImplementedError
 
+    def fsm_events(self) -> List[Tuple[str, str, tuple]]:
+        """The run's observable behaviour as coarse ASM action events
+        ``(machine, action, args)``, reconstructed from the completed
+        transaction records.
+
+        Model tops that know their coarse action vocabulary override
+        this (usually via :meth:`_serialized_fsm_events`); the stream
+        is what maps a scenario run onto the formally explored FSM
+        (:func:`repro.explorer.goal_planner.walk_fsm_events`) and must
+        be a sound under-approximation: only interleavings the records
+        actually evidence may be emitted.  The default -- no mapping --
+        claims no FSM coverage at all.
+        """
+        return []
+
+    def _serialized_fsm_events(
+        self, transaction_events
+    ) -> List[Tuple[str, str, tuple]]:
+        """Shared sound-serialization skeleton for :meth:`fsm_events`.
+
+        Emits one ``master{i}.request`` per completed transaction plus
+        ``transaction_events(txn, owner)``'s tail per transaction, in
+        completion order.  Requests of *other* masters are emitted
+        before a transaction only when the records prove they were
+        pending at its grant (their window opened no later than the
+        owner's) **and** lowest-index arbitration would still pick the
+        observed owner -- i.e. only higher-index masters; a lower-index
+        overlap would have won the grant, so its request is deferred to
+        its own transaction.  Sorted by request time (master index on
+        ties, matching same-cycle arbitration), every emitted
+        interleaving is one the verified ASM model accepts for these
+        records -- partial credit, never false credit.
+        """
+        completed = sorted(
+            (txn for txn, _ in self.records()),
+            key=lambda t: (t.end_cycle, t.txn_id),
+        )
+        queues: Dict[int, List[Transaction]] = {}
+        for txn in completed:
+            index = int(txn.master.replace("master", ""))
+            queues.setdefault(index, []).append(txn)
+        cursor = {index: 0 for index in queues}
+        requested: set = set()
+        events: List[Tuple[str, str, tuple]] = []
+        for txn in completed:
+            owner = int(txn.master.replace("master", ""))
+            emit: List[Tuple[int, int]] = []
+            if owner not in requested:
+                emit.append((queues[owner][cursor[owner]].start_cycle, owner))
+            for other in sorted(queues):
+                if other <= owner or other in requested:
+                    continue
+                position = cursor[other]
+                if (
+                    position < len(queues[other])
+                    and queues[other][position].start_cycle <= txn.start_cycle
+                ):
+                    emit.append((queues[other][position].start_cycle, other))
+            for _, index in sorted(emit):
+                events.append((f"master{index}", "request", ()))
+                requested.add(index)
+                cursor[index] += 1
+            events.extend(transaction_events(txn, owner))
+            requested.discard(owner)
+        return events
+
     def run_cycles(self, cycles: int) -> None:
         self.simulator.run(self.clock.period * cycles)
 

@@ -99,6 +99,14 @@ class Sequence:
     def items(self, rng: ScenarioRng, ctx: StimulusContext) -> Iterator[SequenceItem]:
         raise NotImplementedError
 
+    def for_unit(self, unit: int) -> "Sequence":
+        """The view of this sequence one driving unit (master) pulls
+        from.  Shared constrained-random recipes are unit-agnostic --
+        every master draws from the same recipe through its own derived
+        stream -- so the default is identity.  Directed sequences
+        override this to hand each master exactly its own goals."""
+        return self
+
     # -- composition sugar -------------------------------------------------
 
     def then(self, other: "Sequence") -> "Chain":

@@ -23,6 +23,7 @@ STAGE_NAMES: Tuple[str, ...] = (
     "translate",
     "simulate_abv",
     "regress",
+    "close_coverage",
 )
 
 

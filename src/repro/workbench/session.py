@@ -10,6 +10,7 @@ registered name) and composes verification stages over it::
     wb.check_liveness()          # lasso/deadlock search on the FSM
     wb.simulate_abv(cycles=5000) # SystemC simulation with PSL monitors
     wb.regress(scenarios=40)     # constrained-random scoreboarded fan-out
+    wb.close_coverage()          # directed goals for the formal-only residue
     print(wb.report().summary())
 
 or runs a declarative plan end to end::
@@ -527,6 +528,224 @@ class Workbench:
             data=data,
             metrics=metrics,
             payload={"report": report},
+        )
+
+    # -- stage: directed coverage closure ------------------------------------------
+
+    def close_coverage(
+        self,
+        rounds: int = 3,
+        cycles: int = 160,
+        max_goals: Optional[int] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> StageResult:
+        """Close the formal-only residue with directed sequence goals.
+
+        The other leg of the formal<->simulation loop (``regress(bias=...)``
+        re-weights randomness; this stage *directs* it): plan a BFS path
+        over the explored FSM from the initial state to every residue
+        transition, lower each path into per-master transaction goals,
+        fan the directed scenarios through the session engine, and fold
+        the transitions the runs demonstrably exercised back into the
+        residue -- re-planning until the residue stops shrinking or
+        ``rounds`` is spent.  Residue transitions the SystemC
+        implementation cannot reach at transaction level (the model
+        checker's true added value) remain and are reported as such.
+        """
+        return self._execute(
+            "close_coverage",
+            self._close_coverage_impl,
+            {
+                "rounds": rounds,
+                "cycles": cycles,
+                "max_goals": max_goals,
+                "workers": workers,
+                "shards": shards,
+                "seed": seed,
+            },
+        )
+
+    def _close_coverage_impl(
+        self,
+        rounds: int,
+        cycles: int,
+        max_goals: Optional[int],
+        workers: Optional[int],
+        shards: Optional[int],
+        seed: Optional[int],
+    ) -> StageResult:
+        # imported lazily for the same reason as regress: the scenario
+        # layer imports the engine layer
+        from ..explorer.goal_planner import GoalPlanner, walk_fsm_events
+        from ..scenarios.directed import DirectedClosureLoop, lower_path_for_model
+        from ..scenarios.random_ import derive_seed
+        from ..scenarios.regression import RegressionRunner, ScenarioSpec
+
+        if self._exploration is None:
+            self.explore()
+        assert self._exploration is not None and self._residue is not None
+        duv = self.duv
+        if duv.scenario_model is None:
+            raise ValueError(
+                f"DUV {duv.name!r} has no scenario binding; "
+                "directed closure needs a driver to lower goals onto"
+            )
+        topology = tuple(duv.metadata.get("topology", ()))
+        if not topology:
+            raise ValueError(
+                f"DUV {duv.name!r} metadata carries no topology; "
+                "directed closure cannot size the scenario system"
+            )
+        fsm = self._exploration.fsm
+        residue_before = self._residue
+        base_seed = self.seed if seed is None else seed
+        planner = GoalPlanner(fsm)
+
+        round_data: List[Dict[str, Any]] = []
+        visited_states: set = set()
+        unlowerable: set = set()
+        dispatch_metrics: List[Dict[str, Any]] = []
+
+        def plan_round(edges: Tuple[str, ...], round_index: int) -> List[Any]:
+            planned = []
+            # the cap counts *lowerable* plans: paths the drivers cannot
+            # realize (e.g. PCI STOP# edges) must not use up the budget
+            for plan in planner.plan(edges):
+                if max_goals is not None and len(planned) >= max_goals:
+                    break
+                goals = lower_path_for_model(
+                    duv.scenario_model, plan.calls(), topology
+                )
+                if not goals:
+                    unlowerable.add(plan.target_edge)
+                    continue
+                spec_seed = derive_seed(
+                    base_seed, f"close/round{round_index}/goal{plan.index}"
+                ) % (2**31)
+                planned.append(
+                    (
+                        plan,
+                        ScenarioSpec(
+                            model=duv.scenario_model,
+                            seed=spec_seed,
+                            topology=topology,
+                            profile="directed",
+                            cycles=cycles,
+                            goals=tuple(goals),
+                            track_fsm=True,
+                        ),
+                    )
+                )
+            return planned
+
+        def run_round(planned: List[Any], round_index: int) -> List[str]:
+            specs = [spec for _, spec in planned]
+            engine = self.engine
+            if engine is None:
+                if shards is not None:
+                    engine = ShardedEngine(shards, workers_per_shard=workers)
+                else:
+                    engine = resolve_engine(workers, len(specs))
+            report = RegressionRunner(specs, engine=engine).run()
+            achieved: set = set()
+            off_path = 0
+            for verdict in report.verdicts:
+                walk = walk_fsm_events(fsm, verdict.fsm_events)
+                achieved.update(walk.exercised)
+                visited_states.update(walk.visited_states)
+                off_path += walk.off_path
+            round_data.append(
+                {
+                    "round": round_index,
+                    "goals": len(planned),
+                    "scenarios": len(report.verdicts),
+                    "scenarios_failed": [v.spec.label for v in report.failed],
+                    "transactions": report.transactions,
+                    "off_path_events": off_path,
+                    "regression_digest": report.digest(),
+                }
+            )
+            outcome = getattr(engine, "last_outcome", None)
+            if outcome is not None:
+                dispatch_metrics.append(
+                    {
+                        "round": round_index,
+                        "shards": len(outcome.runs),
+                        "hosts": list(outcome.hosts),
+                        "retries": outcome.retries,
+                    }
+                )
+            return sorted(achieved)
+
+        loop = DirectedClosureLoop(
+            residue_before.uncovered_transitions,
+            plan_round,
+            run_round,
+            max_rounds=rounds,
+        )
+        closure_rounds = loop.run()
+
+        closed = tuple(
+            sorted(
+                set(residue_before.uncovered_transitions) - set(loop.remaining)
+            )
+        )
+        residue_after = CoverageResidue(
+            states_total=residue_before.states_total,
+            transitions_total=residue_before.transitions_total,
+            uncovered_states=tuple(
+                s
+                for s in residue_before.uncovered_states
+                if s not in visited_states
+            ),
+            uncovered_transitions=loop.remaining,
+            samples=residue_before.samples + 1,
+        )
+        self._residue = residue_after
+
+        had_residue = bool(residue_before.uncovered_transitions)
+        status = (
+            StageStatus.PASSED if closed or not had_residue else StageStatus.FAILED
+        )
+        summary = (
+            f"directed closure: {len(closed)}/"
+            f"{len(residue_before.uncovered_transitions)} residue transitions "
+            f"exercised in {len(closure_rounds)} round(s); "
+            f"{len(loop.remaining)} remain"
+        )
+        if loop.remaining and loop.went_dry:
+            summary += " (closure went dry: remainder is formal-only at this budget)"
+        return StageResult(
+            stage="close_coverage",
+            status=status,
+            summary=summary,
+            data={
+                "rounds": [
+                    {
+                        "round": r.index,
+                        "goals_planned": r.goals_planned,
+                        "edges_closed": len(r.achieved_edges),
+                        "residue_before": r.residue_before,
+                        "residue_after": r.residue_after,
+                    }
+                    for r in closure_rounds
+                ],
+                "run": round_data,
+                "closed_transitions": list(closed),
+                "achieved": len(closed),
+                "went_dry": loop.went_dry,
+                "unlowerable_edges": sorted(unlowerable),
+                "residue_before": residue_before.to_json(),
+                "residue": residue_after.to_json(),
+            },
+            metrics={"dispatch": dispatch_metrics} if dispatch_metrics else {},
+            payload={
+                "loop": loop,
+                "residue_before": residue_before,
+                "residue": residue_after,
+            },
         )
 
     # -- plan execution ------------------------------------------------------------

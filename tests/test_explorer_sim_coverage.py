@@ -17,6 +17,19 @@ def build_model() -> AsmModel:
     return model
 
 
+class TestEmptyUniverse:
+    def test_empty_fsm_is_vacuously_covered(self):
+        # 0.0 for an empty universe made Workbench/CoverageFeedback
+        # apply residue pressure to a design with nothing to cover;
+        # the contract now matches BinCoverage.ratio and CoverageResidue
+        from repro.explorer.fsm import Fsm
+        from repro.explorer.sim_coverage import SimCoverage
+
+        coverage = SimCoverage(Fsm("empty"))
+        assert coverage.state_coverage == 1.0
+        assert coverage.transition_coverage == 1.0
+
+
 class TestCoverageTracker:
     def run_covered(self, cycles: int, seed: int = 5):
         exploration = explore(build_model())

@@ -73,6 +73,53 @@ class TestRegress:
         assert stage["data"]["scenarios"] == 3
 
 
+class TestClose:
+    def test_close_json_reports_achieved_transitions(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "close",
+            "--model",
+            "master_slave",
+            "--rounds",
+            "1",
+            "--cycles",
+            "140",
+            "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        stages = {stage["stage"]: stage for stage in doc["stages"]}
+        assert set(stages) == {"explore", "close_coverage"}
+        close = stages["close_coverage"]
+        assert close["ok"]
+        assert close["data"]["achieved"] > 0
+        assert close["data"]["residue"]["transition_coverage"] > 0
+
+    def test_scenarios_directed_mode(self, capsys):
+        code = regression_main(
+            [
+                "--models",
+                "master_slave",
+                "--directed",
+                "--rounds",
+                "1",
+                "--cycles",
+                "140",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["master_slave"]["data"]["achieved"] > 0
+
+    def test_directed_rejects_regression_only_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            regression_main(["--directed", "--shard", "1/2"])
+        assert excinfo.value.code == 2
+        assert "--shard" in capsys.readouterr().err
+
+
 class TestFlow:
     @pytest.mark.slow
     def test_flow_digest_invariant_across_workers(self, capsys):

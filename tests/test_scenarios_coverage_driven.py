@@ -1,5 +1,7 @@
 """The coverage-driven feedback loop."""
 
+import pytest
+
 from repro.abv.coverage import CoverageCollector
 from repro.explorer import ExplorationConfig, explore
 from repro.models.master_slave import ms_cover_properties
@@ -31,6 +33,14 @@ class TestBins:
         assert burst_bucket(2) == burst_bucket(3) == "short"
         assert burst_bucket(4) == burst_bucket(64) == "long"
 
+    def test_burst_bucket_rejects_invalid_lengths(self):
+        # a burst below one word used to fall through to "long" and
+        # misclassify into the largest bucket; now it raises
+        with pytest.raises(ValueError):
+            burst_bucket(0)
+        with pytest.raises(ValueError):
+            burst_bucket(-3)
+
     def test_universe_respects_burst_range(self):
         ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
         buckets = {b.bucket for b in bin_universe(ctx)}
@@ -53,6 +63,22 @@ class TestBins:
         coverage = BinCoverage(ctx)
         coverage.record(txn(0x1000, True, 1), window=0x1000, base=1)
         assert StimulusBin(0, True, "single") in coverage.hits
+
+    def test_off_universe_transactions_are_counted_not_binned(self):
+        ctx = StimulusContext(n_targets=2, min_burst=1, max_burst=2)
+        coverage = BinCoverage(ctx)
+        # below the universe (PCI page 0 with base=1 -> target -1) and
+        # above it (target 7): neither may land in hits, which would
+        # inflate new-bin accounting and never match bin_universe
+        coverage.record(txn(0x000, True, 1), window=0x1000, base=1)
+        coverage.record(txn(0x700, False, 2), window=0x100, base=0)
+        assert coverage.hits == {}
+        assert coverage.off_universe == 2
+        assert "2 off-universe transaction(s)" in coverage.summary()
+        # on-universe traffic still bins normally alongside
+        coverage.record(txn(0x100, True, 1), window=0x100, base=0)
+        assert StimulusBin(1, True, "single") in coverage.hits
+        assert coverage.off_universe == 2
 
 
 class TestFeedback:
@@ -95,6 +121,34 @@ class TestFeedback:
         profile = self.feedback.next_profile()
         assert profile.idle_max <= TrafficProfile().idle_max // 2
         assert "FSM transition coverage" in self.feedback.report()
+
+    def test_empty_fsm_is_vacuously_covered_no_pressure(self):
+        # an empty FSM used to read as 0.0 coverage and trigger the
+        # pressure bias on a design with nothing left to cover
+        from repro.explorer.fsm import Fsm
+        from repro.explorer.sim_coverage import SimCoverage
+
+        # saturate the bins so only the FSM signal could apply pressure
+        for words in (1, 2, 4):
+            for target in range(3):
+                for is_write in (True, False):
+                    self.feedback.observe_transactions(
+                        [txn(target * 0x100, is_write, words)]
+                    )
+        self.feedback.observe_fsm(SimCoverage(Fsm("empty")))
+        assert self.feedback.fsm_transition_ratio == 1.0
+        profile = self.feedback.next_profile()
+        assert profile.idle_max == TrafficProfile().idle_max
+
+    def test_boost_is_once_per_target_not_per_bin(self):
+        # target 0 fully hit; targets 1 and 2 each have *every* bin
+        # unhit (8 bins apiece) -- the boost must not compound per bin
+        for words in (1, 2, 4):
+            self.feedback.observe_transactions(
+                [txn(0x000, True, words), txn(0x000, False, words)]
+            )
+        profile = self.feedback.next_profile()
+        assert profile.target_weights == (1.0, 3.0, 3.0)
 
 
 class TestClosedLoop:

@@ -7,6 +7,7 @@ One CLI over the :mod:`repro.workbench` session API::
     python -m repro simulate --model master_slave --cycles 5000
     python -m repro regress  --model pci --scenarios 40 --workers 4 --json
     python -m repro regress  --model pci --scenarios 40 --shards 3 --json
+    python -m repro regress  --model pci --hosts 10.0.0.5:8421,10.0.0.6:8421
     python -m repro regress  --model pci --shard 2/3 --json  # + --merge later
     python -m repro close    --model master_slave --json
     python -m repro flow     --model master_slave --json
@@ -25,7 +26,13 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from .cliutil import positive_int, route_warnings_to_stderr, shard_coordinate
+from .cliutil import (
+    add_hosts_argument,
+    positive_int,
+    reject_hosts_conflict,
+    route_warnings_to_stderr,
+    shard_coordinate,
+)
 from .workbench import (
     SessionReport,
     VerificationPlan,
@@ -165,6 +172,7 @@ def _cmd_regress(options: argparse.Namespace) -> int:
         cycles=options.cycles,
         workers=options.workers,
         shards=options.shards,
+        hosts=options.hosts,
         fail_fast=options.fail_fast,
         with_monitors=options.with_monitors,
     )
@@ -179,6 +187,7 @@ def _cmd_close(options: argparse.Namespace) -> int:
         max_goals=options.max_goals,
         workers=options.workers,
         shards=options.shards,
+        hosts=options.hosts,
         seed=options.seed,
     )
     return _emit(workbench.report(), options.json)
@@ -262,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="REPORT.json",
         help="merge per-shard --json reports into one canonical report",
     )
+    add_hosts_argument(regress)
     regress.add_argument("--fail-fast", action="store_true")
     regress.add_argument("--with-monitors", action="store_true")
     regress.set_defaults(func=_cmd_regress)
@@ -295,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan the directed goals across N subprocess shard hosts",
     )
+    add_hosts_argument(close)
     close.set_defaults(func=_cmd_close)
 
     flow = sub.add_parser(
@@ -320,7 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    options = build_parser().parse_args(argv)
+    """Parse, validate cross-flag conflicts, route to the subcommand."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    reject_hosts_conflict(parser, options)
     # stdout carries exactly one report; diagnostics (including the
     # DesignFlow/RegressionRunner deprecation shims) go to stderr so
     # --json output stays parseable

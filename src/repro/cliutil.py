@@ -2,10 +2,11 @@
 
 Both entry points (``python -m repro`` and ``python -m repro.scenarios``)
 speak the same dispatch vocabulary -- ``--shards N`` fans a regression
-over local subprocess hosts, ``--shard K/N`` runs one deterministic
-shard for manual cross-host dispatch, ``--merge`` folds per-shard JSON
-reports back together -- so the argument parsing and the stdout/stderr
-hygiene live here once.
+over local subprocess hosts, ``--hosts host:port,...`` over remote
+``python -m repro.dispatch.worker`` daemons, ``--shard K/N`` runs one
+deterministic shard for manual cross-host dispatch, ``--merge`` folds
+per-shard JSON reports back together -- so the argument parsing and
+the stdout/stderr hygiene live here once.
 
 The JSON-mode contract: **stdout is the report and nothing else**.
 Dispatchers and CI pipe ``--json`` output straight into a parser, so
@@ -49,6 +50,46 @@ def shard_coordinate(text: str) -> Tuple[int, int]:
             f"shard K/N needs 1 <= K <= N, got {text!r}"
         )
     return k - 1, n
+
+
+def host_list(text: str) -> List:
+    """argparse type for ``--hosts``: ``host:port,host:port`` to a pool
+    of :class:`~repro.dispatch.HttpHost` worker clients."""
+    # imported lazily: the dispatch layer builds on the scenario layer
+    from .dispatch import parse_hosts
+
+    try:
+        return parse_hosts(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def add_hosts_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--hosts`` flag, worded identically on both CLIs."""
+    parser.add_argument(
+        "--hosts",
+        type=host_list,
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="dispatch shards to remote `python -m repro.dispatch.worker` "
+        "daemons under the work-stealing schedule (merged digest "
+        "identical to a serial run; --shards sizes the queue, "
+        "default two shards per host)",
+    )
+
+
+def reject_hosts_conflict(
+    parser: argparse.ArgumentParser, options: argparse.Namespace
+) -> None:
+    """Shared cross-flag validation: ``--hosts`` drives a whole
+    dispatch, so a single-shard (``--shard``) or merge-only
+    (``--merge``) invocation has no host pool to drive.  Both CLIs get
+    the same ``parser.error`` behaviour (exit 2 plus usage)."""
+    if getattr(options, "hosts", None) and (
+        getattr(options, "shard", None) is not None
+        or getattr(options, "merge", None) is not None
+    ):
+        parser.error("--hosts cannot be combined with --shard or --merge")
 
 
 def load_shard_reports(paths: Sequence[str]) -> List:

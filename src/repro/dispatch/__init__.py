@@ -3,27 +3,34 @@
 The scaling tier above :mod:`repro.scenarios.regression`'s local
 ``multiprocessing`` fan-out.  A regression's spec list is partitioned
 into deterministic shards (:mod:`.planner`), each shard runs on a
-:class:`Host` -- by default a ``python -m repro.scenarios --shard K/N``
-subprocess standing in for a remote machine (:mod:`.hosts`) -- and the
-per-shard reports fold back together in canonical spec order
+:class:`Host` -- a ``python -m repro.scenarios --shard K/N`` subprocess
+on this machine (:mod:`.hosts`) or a ``python -m repro.dispatch.worker``
+HTTP daemon on another one (:mod:`.http_host` / :mod:`.worker`) -- and
+the per-shard reports fold back together in canonical spec order
 (:mod:`.dispatcher`), so the merged
 :class:`~repro.scenarios.regression.RegressionReport` digest is
-byte-identical to a serial run at any shard count, including after
-host failures and retries.
+byte-identical to a serial run at any shard count, under either
+dispatch schedule (work-stealing default, static for comparison),
+including after host failures, retries and steal races.
 
 Three ways in:
 
 * engine seam -- ``Workbench(...).regress(shards=3)`` or
-  ``RegressionRunner(specs, engine=ShardedEngine(3))``,
-* CLI -- ``python -m repro.scenarios --shards 3`` (automatic) or
+  ``regress(hosts=parse_hosts("h1:8421,h2:8421"))``,
+* CLI -- ``python -m repro.scenarios --shards 3`` (local subprocess
+  hosts), ``--hosts h1:8421,h2:8421`` (remote HTTP workers) or
   ``--shard K/N`` + ``--merge`` (manual cross-host dispatch),
 * direct -- ``ShardDispatcher(specs, shards=3).run()``.
+
+``docs/dispatch.md`` specifies the wire contract and the scheduler.
 """
 
 from .dispatcher import (
+    SCHEDULES,
     DispatchError,
     DispatchOutcome,
     ShardDispatcher,
+    ShardQueue,
     ShardRun,
     merge_reports,
 )
@@ -34,20 +41,33 @@ from .hosts import (
     LocalSubprocessHost,
     ShardWork,
 )
-from .planner import Shard, plan_digest, plan_shards
+from .http_host import HttpHost, parse_hosts
+from .planner import (
+    OVERSUBSCRIPTION,
+    Shard,
+    plan_digest,
+    plan_shards,
+    shards_for_hosts,
+)
 
 __all__ = [
+    "SCHEDULES",
     "DispatchError",
     "DispatchOutcome",
     "ShardDispatcher",
+    "ShardQueue",
     "ShardRun",
     "merge_reports",
     "Host",
     "HostFailure",
+    "HttpHost",
     "InProcessHost",
     "LocalSubprocessHost",
     "ShardWork",
+    "parse_hosts",
+    "OVERSUBSCRIPTION",
     "Shard",
     "plan_digest",
     "plan_shards",
+    "shards_for_hosts",
 ]

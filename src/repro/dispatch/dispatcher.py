@@ -1,32 +1,50 @@
-"""The shard dispatcher: plan, fan out over hosts, retry, merge.
+"""The shard dispatcher: plan, hand shards to hosts as they free up, merge.
 
 ``ShardDispatcher`` partitions a spec list with the deterministic
-planner, runs every (non-empty) shard on a pool of :class:`Host`\\ s --
-concurrently, one thread per shard, since subprocess hosts do their
-work outside the GIL -- and folds the per-shard reports back into one
-:class:`~repro.scenarios.regression.RegressionReport`.
+planner and runs every (non-empty) shard on a pool of
+:class:`Host`\\ s.  Two schedules are registered:
 
-Fault tolerance: a :class:`HostFailure` re-queues the shard on the
-next host in rotation (the failed host is skipped while alternatives
-remain) up to ``max_attempts`` times.  Because a shard is a pure
-function of the spec list, a retried shard reproduces byte-identical
-verdicts, so the merged digest is unchanged by any pattern of host
-failures that eventually lets every shard complete.
+* ``"stealing"`` (the default) -- one serving thread per host pulls
+  the next pending shard from a shared :class:`ShardQueue` the moment
+  it finishes its previous one.  Skewed shard runtimes therefore stop
+  bounding wall clock on the slowest host: a fast host "steals" the
+  queue's tail while a slow host grinds through one shard.  Use more
+  shards than hosts (``planner.shards_for_hosts``) so there is a tail
+  to steal.
+* ``"static"`` -- the PR-3 behaviour, one thread per shard with the
+  shard's index pinning its starting host.  Kept for comparison (the
+  rebalance benchmark measures stealing against it) and for tests that
+  need a deterministic first assignment.
+
+Fault tolerance is schedule-independent: a :class:`HostFailure`
+re-queues the shard away from the host that failed it, up to
+``max_attempts`` total tries.  Completion is idempotent per shard --
+the first result wins, any later one is counted and dropped.  With
+today's blocking transports a serving thread either fails or completes
+(never both), so duplicates cannot actually arise through the
+dispatcher; the dedupe is the queue's *invariant*, there so a future
+transport that can complete late (async ssh, a resumed connection
+whose "timed-out" worker actually finished) still cannot double-merge
+verdicts.  Because a shard is a pure function of the spec list, a
+retried or stolen shard reproduces byte-identical verdicts.
 
 The merge invariant (the whole point): ``merge_reports`` re-sorts the
 concatenated verdicts exactly like ``RegressionRunner.run`` does, so
 the merged digest is byte-identical to a serial run of the same specs
-at any shard count.
+at any shard count, under any schedule, any host pool -- subprocess or
+HTTP -- and any recovered failure pattern.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..scenarios.regression import (
     RegressionReport,
@@ -35,6 +53,9 @@ from ..scenarios.regression import (
 )
 from .hosts import Host, HostFailure, LocalSubprocessHost, ShardWork
 from .planner import Shard, plan_digest, plan_shards
+
+#: Registered dispatch schedules (see module docstring).
+SCHEDULES = ("stealing", "static")
 
 
 class DispatchError(RuntimeError):
@@ -53,6 +74,7 @@ class ShardRun:
 
     @property
     def retried(self) -> bool:
+        """True when at least one host failed this shard first."""
         return self.attempts > 1
 
 
@@ -64,16 +86,31 @@ class DispatchOutcome:
     runs: List[ShardRun] = field(default_factory=list)
     hosts: Tuple[str, ...] = ()
     plan_fingerprint: str = ""
+    schedule: str = "stealing"
+    #: completions dropped because the shard had already completed
+    #: elsewhere -- always 0 with today's blocking transports (a
+    #: serving thread fails or completes, never both); the counter
+    #: exists for transports that can complete late
+    duplicates: int = 0
 
     @property
     def retries(self) -> int:
         """Total failed host attempts that were recovered."""
         return sum(run.attempts - 1 for run in self.runs)
 
+    def host_loads(self) -> Dict[str, int]:
+        """Completed shards per host (the rebalance benchmark's metric)."""
+        loads: Dict[str, int] = {name: 0 for name in self.hosts}
+        for run in self.runs:
+            loads[run.host] = loads.get(run.host, 0) + 1
+        return loads
+
     def log_lines(self) -> List[str]:
+        """Human-readable dispatch trace (CLIs print it to stderr)."""
         lines = [
             f"dispatch: {len(self.runs)} shard(s) over "
-            f"{len(self.hosts)} host(s), plan {self.plan_fingerprint}"
+            f"{len(self.hosts)} host(s), {self.schedule} schedule, "
+            f"plan {self.plan_fingerprint}"
         ]
         for run in self.runs:
             note = f" after {run.attempts - 1} failed attempt(s)" if run.retried else ""
@@ -81,6 +118,8 @@ class DispatchOutcome:
                 f"  {run.shard.label}: {len(run.shard)} specs on {run.host}{note}"
             )
             lines.extend(f"    failure: {reason}" for reason in run.failures)
+        if self.duplicates:
+            lines.append(f"  {self.duplicates} duplicate completion(s) dropped")
         return lines
 
 
@@ -104,13 +143,156 @@ def merge_reports(reports: Sequence[RegressionReport]) -> RegressionReport:
     return merged
 
 
+class _PendingShard:
+    """One shard's place in the queue: its failure history travels with it."""
+
+    __slots__ = ("shard", "failures", "excluded")
+
+    def __init__(self, shard: Shard):
+        self.shard = shard
+        self.failures: List[str] = []
+        self.excluded: Set[str] = set()    # host names that failed it
+
+
+class ShardQueue:
+    """The work-stealing heart: a thread-safe shard queue with retry
+    bookkeeping and duplicate-completion dedupe.
+
+    Hosts call :meth:`take` when idle and get the first pending shard
+    they have not already failed (or ``None`` when the dispatch is
+    finished or aborted), then report back through :meth:`complete` or
+    :meth:`fail`.  A failed shard re-enters the queue excluded from the
+    host that failed it -- unless every host has now failed it once, in
+    which case the exclusions reset so a flaky-but-alive pool can still
+    finish.  A shard whose failure count reaches ``max_attempts``
+    aborts the whole dispatch (the merged digest would otherwise be
+    missing its verdicts).
+
+    :meth:`complete` is idempotent per shard: the first completion
+    wins, later ones are counted in :attr:`duplicates` and dropped.
+    The dispatcher's blocking transports can never trigger this (a
+    serving thread that raised never also completes), so it is an
+    invariant rather than a recovery path -- it guarantees that a
+    future late-completing transport, or any direct user of this
+    queue, cannot double-merge verdicts or drift the digest.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        host_names: Sequence[str],
+        max_attempts: int,
+    ):
+        self._pending: Deque[_PendingShard] = deque(
+            _PendingShard(shard) for shard in shards
+        )
+        self._hosts = set(host_names)
+        self._max_attempts = max_attempts
+        self._in_flight = 0
+        self._results: Dict[int, Tuple[ShardRun, RegressionReport]] = {}
+        self._error: Optional[DispatchError] = None
+        self._condition = threading.Condition()
+        self.duplicates = 0
+
+    @property
+    def error(self) -> Optional[DispatchError]:
+        """The abort reason, if a shard exhausted its attempts."""
+        with self._condition:
+            return self._error
+
+    def take(self, host_name: str) -> Optional[_PendingShard]:
+        """Block until a shard is available for this host; None = done.
+
+        "Done" means the dispatch finished (nothing pending, nothing in
+        flight) or aborted -- an idle host whose only pending shards
+        are ones it already failed waits for them to resolve elsewhere.
+        """
+        with self._condition:
+            while True:
+                if self._error is not None:
+                    return None
+                for position, pending in enumerate(self._pending):
+                    if host_name not in pending.excluded:
+                        del self._pending[position]
+                        self._in_flight += 1
+                        return pending
+                if not self._pending and self._in_flight == 0:
+                    return None
+                self._condition.wait()
+
+    def complete(
+        self, pending: _PendingShard, host_name: str, report: RegressionReport
+    ) -> bool:
+        """Record a finished shard; False = duplicate, result dropped."""
+        with self._condition:
+            self._in_flight = max(0, self._in_flight - 1)
+            index = pending.shard.index
+            accepted = index not in self._results
+            if accepted:
+                self._results[index] = (
+                    ShardRun(
+                        shard=pending.shard,
+                        host=host_name,
+                        attempts=len(pending.failures) + 1,
+                        failures=tuple(pending.failures),
+                    ),
+                    report,
+                )
+            else:
+                self.duplicates += 1
+            self._condition.notify_all()
+            return accepted
+
+    def fail(self, pending: _PendingShard, host_name: str, reason: str) -> None:
+        """Re-queue a failed shard away from the host that failed it."""
+        with self._condition:
+            self._in_flight = max(0, self._in_flight - 1)
+            pending.failures.append(f"{host_name}: {reason}")
+            pending.excluded.add(host_name)
+            if len(pending.failures) >= self._max_attempts:
+                self._error = DispatchError(
+                    f"{pending.shard.label} failed on every host after "
+                    f"{len(pending.failures)} attempt(s): "
+                    f"{'; '.join(pending.failures)}"
+                )
+            else:
+                if self._hosts <= pending.excluded:
+                    # every host failed it once; let any of them retry
+                    # rather than deadlocking a flaky-but-alive pool
+                    pending.excluded.clear()
+                self._pending.append(pending)
+            self._condition.notify_all()
+
+    def abort(self, error: DispatchError) -> None:
+        """Abort the dispatch (a serving thread crashed outside run_shard)."""
+        with self._condition:
+            self._in_flight = max(0, self._in_flight - 1)
+            if self._error is None:
+                self._error = error
+            self._condition.notify_all()
+
+    def results(
+        self, shards: Sequence[Shard]
+    ) -> List[Tuple[ShardRun, RegressionReport]]:
+        """Completed (run, report) pairs in planned shard order."""
+        with self._condition:
+            return [
+                self._results[shard.index]
+                for shard in shards
+                if shard.index in self._results
+            ]
+
+
 class ShardDispatcher:
     """Fans a spec list over shard hosts and merges the results.
 
-    ``hosts`` defaults to one :class:`LocalSubprocessHost` per shard.
-    ``max_attempts`` bounds how many hosts a shard may burn through
-    before the dispatch aborts (default: one try per host, minimum 2
-    so even a single flaky host gets one retry).
+    ``hosts`` defaults to one :class:`LocalSubprocessHost` per shard;
+    pass a pool of :class:`~.http_host.HttpHost` for remote dispatch.
+    ``schedule`` picks the assignment policy (``"stealing"`` default,
+    ``"static"`` for PR-3 pinned starts).  ``max_attempts`` bounds how
+    many tries a shard gets before the dispatch aborts (default: one
+    try per host, minimum 2 so even a single flaky host gets one
+    retry).
     """
 
     def __init__(
@@ -120,9 +302,15 @@ class ShardDispatcher:
         hosts: Optional[Sequence[Host]] = None,
         max_attempts: Optional[int] = None,
         workers_per_shard: Optional[int] = None,
+        schedule: str = "stealing",
     ):
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r} (registered: "
+                f"{', '.join(SCHEDULES)})"
+            )
         self.specs = list(specs)
         self.shards = shards
         self.hosts: List[Host] = list(
@@ -132,12 +320,23 @@ class ShardDispatcher:
         )
         if not self.hosts:
             raise ValueError("at least one host is required")
+        names = [host.name for host in self.hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"host names must be unique, got {sorted(names)} "
+                "(failure exclusion is by name)"
+            )
         self.max_attempts = (
             max_attempts if max_attempts is not None else max(2, len(self.hosts))
         )
         self.workers_per_shard = workers_per_shard
+        self.schedule = schedule
 
-    def _run_one(self, shard: Shard, spec_file: str) -> Tuple[ShardRun, RegressionReport]:
+    # -- static schedule (PR 3): one thread per shard, pinned start --------------
+
+    def _run_one_static(
+        self, shard: Shard, spec_file: str
+    ) -> Tuple[ShardRun, RegressionReport]:
         """Execute one shard with host rotation on failure."""
         work = ShardWork(
             shard=shard, spec_file=spec_file, workers=self.workers_per_shard
@@ -165,20 +364,90 @@ class ShardDispatcher:
             f"attempt(s): {'; '.join(failures) or 'no attempts ran'}"
         )
 
+    def _run_static(
+        self, live: Sequence[Shard], spec_file: str
+    ) -> List[Tuple[ShardRun, RegressionReport]]:
+        with ThreadPoolExecutor(max_workers=len(live)) as pool:
+            return list(
+                pool.map(lambda s: self._run_one_static(s, spec_file), live)
+            )
+
+    # -- stealing schedule: one thread per host pulling from the queue -----------
+
+    def _serve(self, host: Host, queue: ShardQueue, spec_file: str) -> None:
+        """One host's serving loop: pull, run, report, repeat."""
+        while True:
+            pending = queue.take(host.name)
+            if pending is None:
+                return
+            work = ShardWork(
+                shard=pending.shard,
+                spec_file=spec_file,
+                workers=self.workers_per_shard,
+            )
+            try:
+                report = host.run_shard(work)
+            except HostFailure as exc:
+                queue.fail(pending, host.name, exc.reason)
+            except Exception as exc:  # noqa: BLE001 -- a crashed server thread must abort, not hang, the dispatch
+                queue.abort(
+                    DispatchError(
+                        f"host {host.name} crashed the dispatcher on "
+                        f"{pending.shard.label}: {type(exc).__name__}: {exc}"
+                    )
+                )
+                return
+            else:
+                queue.complete(pending, host.name, report)
+
+    def _run_stealing(
+        self, live: Sequence[Shard], spec_file: str
+    ) -> List[Tuple[ShardRun, RegressionReport]]:
+        queue = ShardQueue(
+            live, [host.name for host in self.hosts], self.max_attempts
+        )
+        threads = [
+            threading.Thread(
+                target=self._serve,
+                args=(host, queue, spec_file),
+                name=f"dispatch-{host.name}",
+                daemon=True,
+            )
+            for host in self.hosts
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        error = queue.error
+        if error is not None:
+            raise error
+        self._last_duplicates = queue.duplicates
+        return queue.results(live)
+
+    # -- entry point --------------------------------------------------------------
+
     def run(self) -> DispatchOutcome:
+        """Plan, dispatch under the configured schedule, merge, report."""
         started = time.perf_counter()
         plan = plan_shards(self.specs, self.shards)
         live = [shard for shard in plan if shard.specs]
+        self._last_duplicates = 0
         with tempfile.TemporaryDirectory(prefix="repro-dispatch-") as tmp:
-            spec_file = os.path.join(tmp, "specs.json")
-            save_specs(self.specs, spec_file)
-            if live:
-                with ThreadPoolExecutor(max_workers=len(live)) as pool:
-                    results = list(
-                        pool.map(lambda s: self._run_one(s, spec_file), live)
-                    )
+            # the spec file only exists for transports that re-derive
+            # their slice host-side (subprocess --shard K/N); network
+            # hosts serialize the slice into the request instead, so
+            # an all-HTTP pool skips the disk round trip entirely
+            spec_file = ""
+            if any(getattr(host, "uses_spec_file", False) for host in self.hosts):
+                spec_file = os.path.join(tmp, "specs.json")
+                save_specs(self.specs, spec_file)
+            if not live:
+                results: List[Tuple[ShardRun, RegressionReport]] = []
+            elif self.schedule == "static":
+                results = self._run_static(live, spec_file)
             else:
-                results = []
+                results = self._run_stealing(live, spec_file)
         runs = [run for run, _ in results]
         merged = merge_reports([report for _, report in results])
         merged.wall_seconds = time.perf_counter() - started
@@ -188,4 +457,6 @@ class ShardDispatcher:
             runs=runs,
             hosts=tuple(host.name for host in self.hosts),
             plan_fingerprint=plan_digest(plan),
+            schedule=self.schedule,
+            duplicates=self._last_duplicates,
         )

@@ -1,13 +1,16 @@
 """Execution hosts: where a planned shard actually runs.
 
-A :class:`Host` is the dispatch layer's unit of failure.  The
-production-shaped implementation is :class:`LocalSubprocessHost` --
-every shard runs in its own ``python -m repro.scenarios --shard K/N``
-process, standing in for a remote machine: the only things that cross
-the boundary are the JSON spec file going in and the JSON shard report
-coming out, so swapping the subprocess for ssh/HTTP transport touches
-nothing above this module.  :class:`InProcessHost` runs the shard
-inline and exists for tests and degenerate one-shard runs.
+A :class:`Host` is the dispatch layer's unit of failure.  Three
+implementations exist behind the protocol: :class:`LocalSubprocessHost`
+runs every shard in its own ``python -m repro.scenarios --shard K/N``
+process on this machine, :class:`~.http_host.HttpHost` POSTs the shard
+to a ``python -m repro.dispatch.worker`` daemon on another machine,
+and :class:`InProcessHost` runs the shard inline for tests and
+degenerate one-shard runs.  Only JSON wire forms cross a host boundary
+-- :class:`~repro.scenarios.regression.ScenarioSpec` (goals and
+``track_fsm`` included, so directed-closure shards travel too) going
+in, a :class:`~repro.scenarios.regression.RegressionReport` coming out
+-- which is why the transports are interchangeable above this module.
 
 A host that dies, times out, emits unparseable output or returns a
 report that fails digest verification raises :class:`HostFailure`; the
@@ -34,11 +37,14 @@ from .planner import Shard
 class ShardWork:
     """One shard assignment handed to a host.
 
-    ``spec_file`` holds the *full* serialized spec list -- the shard's
-    content is re-derived host-side from ``(spec_file, index, of)`` by
-    the shared planner, which is exactly the agreement a remote machine
-    would need.  ``shard`` carries the parent's own slice for
-    in-process hosts and bookkeeping.
+    ``shard`` carries the planned slice itself (``shard.specs``) --
+    network transports serialize exactly that.  ``spec_file`` holds the
+    *full* serialized spec list for transports that re-derive the slice
+    host-side from ``(spec_file, index, of)`` via the shared planner,
+    which is what :class:`LocalSubprocessHost`'s ``--shard K/N`` child
+    does.  Both routes produce the same specs by construction (the
+    planner is deterministic), so which one a transport uses is
+    invisible in the merged digest.
     """
 
     shard: Shard
@@ -74,6 +80,7 @@ class InProcessHost:
         self.name = name
 
     def run_shard(self, work: ShardWork) -> RegressionReport:
+        """Run the shard's own spec slice serially, in this process."""
         return RegressionRunner(work.shard.specs, engine=SerialEngine()).run()
 
     def __repr__(self) -> str:
@@ -105,6 +112,10 @@ class LocalSubprocessHost:
     sizes the *within-shard* fan-out (default 1 -- the shard process is
     the unit of parallelism, so nested pools would oversubscribe).
     """
+
+    #: tells the dispatcher to materialize ShardWork.spec_file (this
+    #: transport's child re-derives its slice from it host-side)
+    uses_spec_file = True
 
     def __init__(
         self,
@@ -138,6 +149,7 @@ class LocalSubprocessHost:
         host failures (e.g. kill the child mid-shard)."""
 
     def run_shard(self, work: ShardWork) -> RegressionReport:
+        """Spawn the ``--shard K/N`` child and verify its JSON report."""
         label = work.shard.label
         try:
             process = subprocess.Popen(
@@ -149,15 +161,21 @@ class LocalSubprocessHost:
             )
         except OSError as exc:
             raise HostFailure(self.name, label, f"spawn failed: {exc}") from exc
-        self._started(process)
         try:
-            stdout, stderr = process.communicate(timeout=self.timeout)
-        except subprocess.TimeoutExpired as exc:
-            process.kill()
-            process.communicate()
-            raise HostFailure(
-                self.name, label, f"timed out after {self.timeout}s"
-            ) from exc
+            self._started(process)
+            try:
+                stdout, stderr = process.communicate(timeout=self.timeout)
+            except subprocess.TimeoutExpired as exc:
+                raise HostFailure(
+                    self.name, label, f"timed out after {self.timeout}s"
+                ) from exc
+        finally:
+            # every exit from this block must leave the child reaped --
+            # a timed-out (or hook-crashed) shard that skipped wait()
+            # would accumulate zombies across a long sharded CI run
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
         if process.returncode < 0:
             raise HostFailure(
                 self.name, label, f"killed by signal {-process.returncode}"

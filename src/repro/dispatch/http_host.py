@@ -1,0 +1,156 @@
+"""The remote HTTP transport behind the :class:`~.hosts.Host` protocol.
+
+An :class:`HttpHost` is a shard executor living at ``host:port`` --
+a ``python -m repro.dispatch.worker`` daemon, usually on another
+machine.  ``run_shard`` POSTs the shard's spec slice as JSON to the
+worker's ``/run`` endpoint and rebuilds the
+:class:`~repro.scenarios.regression.RegressionReport` from the
+response, re-verifying its digest after the round trip exactly like
+:class:`~.hosts.LocalSubprocessHost` does.
+
+Failure taxonomy is unchanged from the subprocess transport: a
+connection that refuses, resets or times out, a non-200 status, an
+unparseable body and a digest mismatch all raise
+:class:`~.hosts.HostFailure` -- "this machine is gone", never "the
+regression failed" -- and the dispatcher retries the shard elsewhere.
+
+:func:`parse_hosts` turns the CLI's ``--hosts host:port,host:port``
+string into a host pool.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from ..scenarios.regression import RegressionReport
+from .hosts import HostFailure, ShardWork
+
+#: Default per-shard HTTP timeout (seconds): generous, because a shard
+#: legitimately takes as long as its slowest scenario.
+DEFAULT_TIMEOUT = 600.0
+
+
+class HttpHost:
+    """One remote worker daemon, addressed as ``host:port``.
+
+    The wire contract (``docs/dispatch.md``): the request body carries
+    the shard's own spec slice plus its ``(index, of)`` coordinate, the
+    response is the shard report's ``to_json()`` form.  Nothing but
+    JSON crosses the boundary, so the worker end needs no shared
+    filesystem and no pickle compatibility.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        name: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.address = _checked_address(address)
+        self.name = name or self.address
+        self.timeout = timeout
+
+    def _post(self, path: str, payload: bytes, label: str) -> bytes:
+        """One POST round trip; every transport mishap is a HostFailure."""
+        request = urllib.request.Request(
+            f"http://{self.address}{path}",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            # the worker answered but refused: surface its error body
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 -- error body is best-effort
+                detail = ""
+            raise HostFailure(
+                self.name,
+                label,
+                f"worker returned HTTP {exc.code}" + (f": {detail}" if detail else ""),
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            # refused / reset / timed out / DNS -- the machine is gone
+            reason = getattr(exc, "reason", exc)
+            raise HostFailure(
+                self.name, label, f"transport failed: {reason}"
+            ) from exc
+
+    def run_shard(self, work: ShardWork) -> RegressionReport:
+        """POST the shard to the worker and verify the returned report."""
+        shard = work.shard
+        body = json.dumps(
+            {
+                "version": 1,
+                "shard": {
+                    "index": shard.index,
+                    "of": shard.of,
+                    "specs": [spec.to_json() for spec in shard.specs],
+                },
+                "workers": work.workers or 1,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        raw = self._post("/run", body, shard.label)
+        try:
+            doc = json.loads(raw)
+            report = RegressionReport.from_json(doc)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HostFailure(
+                self.name, shard.label, f"unparseable shard report: {exc}"
+            ) from exc
+        if report.digest() != doc.get("digest"):
+            raise HostFailure(
+                self.name, shard.label, "shard report failed digest verification"
+            )
+        if len(report.verdicts) != len(shard.specs):
+            raise HostFailure(
+                self.name,
+                shard.label,
+                f"worker returned {len(report.verdicts)} verdicts "
+                f"for {len(shard.specs)} specs",
+            )
+        return report
+
+    def healthy(self) -> bool:
+        """Probe ``/healthz``; False on any transport or status problem."""
+        try:
+            with urllib.request.urlopen(
+                f"http://{self.address}/healthz", timeout=min(self.timeout, 5.0)
+            ) as response:
+                return json.loads(response.read()).get("ok", False)
+        except Exception:  # noqa: BLE001 -- a probe never raises
+            return False
+
+    def __repr__(self) -> str:
+        return f"HttpHost({self.address!r})"
+
+
+def _checked_address(text: str) -> str:
+    """Validate one ``host:port`` (the port must be an int in range)."""
+    host, separator, port_text = text.strip().rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"host address must look like host:port, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"host address port must be an integer, got {text!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(f"host address port out of range in {text!r}")
+    return f"{host}:{port}"
+
+
+def parse_hosts(text: str, timeout: float = DEFAULT_TIMEOUT) -> List[HttpHost]:
+    """``"h1:p1,h2:p2"`` -> a pool of :class:`HttpHost` (CLI ``--hosts``)."""
+    addresses = [part for part in (p.strip() for p in text.split(",")) if part]
+    if not addresses:
+        raise ValueError("--hosts needs at least one host:port")
+    return [HttpHost(address, timeout=timeout) for address in addresses]

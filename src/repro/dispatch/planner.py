@@ -12,6 +12,11 @@ keeps shard runtimes balanced when specs cycle through models and
 topologies (which :func:`~repro.scenarios.regression.build_specs`
 does), and since the merged report re-sorts verdicts by spec, the
 assignment rule never shows up in the digest.
+
+Shard *count* is a free choice precisely because of that invariance:
+:func:`shards_for_hosts` picks the default for a host pool --
+oversubscribed by :data:`OVERSUBSCRIPTION` so the work-stealing
+dispatcher has a queue tail to rebalance when shard runtimes skew.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ class Shard:
 
     @property
     def label(self) -> str:
+        """The 1-based ``shard K/N`` form the CLIs and logs use."""
         return f"shard {self.index + 1}/{self.of}"
 
     def __len__(self) -> int:
@@ -52,6 +58,28 @@ def plan_shards(specs: Sequence[ScenarioSpec], shards: int) -> List[Shard]:
         Shard(index=k, of=shards, specs=tuple(specs[k::shards]))
         for k in range(shards)
     ]
+
+
+#: Default shards-per-host factor.  1 would pin each host to exactly
+#: one shard (no queue, nothing to steal); higher factors shrink the
+#: stealable work unit but pay more per-shard overhead.  2 keeps the
+#: slowest host's worst case at half its static-schedule share.
+OVERSUBSCRIPTION = 2
+
+
+def shards_for_hosts(
+    n_hosts: int, n_specs: int, factor: int = OVERSUBSCRIPTION
+) -> int:
+    """Default shard count for a host pool: ``factor`` shards per host,
+    never more shards than specs, never fewer than one.
+
+    Only a default -- any shard count merges to the same digest -- but
+    the work-stealing schedule needs shards > hosts before it can
+    rebalance at all.
+    """
+    if n_hosts < 1:
+        raise ValueError(f"host count must be >= 1, got {n_hosts}")
+    return max(1, min(n_hosts * factor, n_specs))
 
 
 def plan_digest(plan: Sequence[Shard]) -> str:

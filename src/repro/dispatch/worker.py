@@ -1,0 +1,230 @@
+"""The shard worker daemon: ``python -m repro.dispatch.worker --port N``.
+
+The remote end of the HTTP transport.  A worker is a lightweight
+stdlib :mod:`http.server` daemon that accepts one kind of work --
+"run this shard of a scenario regression" -- and speaks nothing but
+the established JSON wire forms
+(:class:`~repro.scenarios.regression.ScenarioSpec` in,
+:class:`~repro.scenarios.regression.RegressionReport` out), so a
+worker on another machine needs only this package and a port.
+
+Endpoints (see ``docs/dispatch.md`` for the full wire contract):
+
+``POST /run``
+    Body: ``{"version": 1, "shard": {"index": K, "of": N,
+    "specs": [...]}, "workers": M}``.  The worker rebuilds the specs,
+    runs them through a :class:`~repro.scenarios.regression.RegressionRunner`
+    (``M`` local worker processes, default 1 -- the shard is the unit
+    of parallelism) and responds ``200`` with the report's
+    ``to_json()`` form, digest included.  Malformed bodies get ``400``,
+    run crashes ``500``; both carry ``{"error": ...}``.
+
+``GET /healthz``
+    ``200 {"ok": true, "shards_served": n}`` -- dispatcher-side
+    liveness probes and readiness polling.
+
+The process writes exactly one line to stdout when it is ready to
+serve (``repro-worker listening on http://HOST:PORT``) so a parent
+that spawned it with ``--port 0`` can parse the ephemeral port;
+request logging goes to stderr.  In-process embedding (tests, the
+benchmark harness) goes through :func:`start_worker`, which serves the
+same handler from a daemon thread and returns a handle with the bound
+port and a ``stop()``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Sequence
+
+from ..cliutil import route_warnings_to_stderr
+
+#: Wire-format version the worker speaks; requests carrying a higher
+#: version are rejected rather than half-understood.
+WIRE_VERSION = 1
+
+
+class WorkerError(ValueError):
+    """A /run request the worker understood enough to refuse (-> 400)."""
+
+
+def run_shard_request(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one ``POST /run`` body and return the report wire form.
+
+    Pure request -> response: no HTTP in sight, which is what the
+    in-process tests exercise.  Raises :class:`WorkerError` for a
+    malformed body; anything else propagating out is a genuine worker
+    crash and maps to a 500.
+    """
+    # imported lazily so `--help` and handler import stay instant
+    from ..scenarios.regression import RegressionRunner, ScenarioSpec
+
+    if not isinstance(body, dict):
+        raise WorkerError("request body must be a JSON object")
+    version = body.get("version", WIRE_VERSION)
+    if not isinstance(version, int):
+        raise WorkerError(f"wire version must be an integer, got {version!r}")
+    if version > WIRE_VERSION:
+        raise WorkerError(
+            f"wire version {version} is newer than this worker ({WIRE_VERSION})"
+        )
+    shard = body.get("shard")
+    if not isinstance(shard, dict) or "specs" not in shard:
+        raise WorkerError('request needs a "shard" object with "specs"')
+    try:
+        specs = [ScenarioSpec.from_json(doc) for doc in shard["specs"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkerError(f"unparseable spec in shard: {exc}") from exc
+    workers = body.get("workers") or 1
+    # spawn, not fork: this runs on a handler thread of a threading
+    # HTTP server, and forking a pool while another handler thread may
+    # hold a lock (stderr logging, imports) can deadlock the child
+    report = RegressionRunner(
+        specs, workers=workers, mp_start_method="spawn" if workers > 1 else None
+    ).run()
+    doc = report.to_json()
+    doc["shard"] = {"index": shard.get("index"), "of": shard.get("of")}
+    return doc
+
+
+class _ShardRequestHandler(BaseHTTPRequestHandler):
+    """HTTP plumbing around :func:`run_shard_request`."""
+
+    server_version = "repro-worker/1"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, doc: Dict[str, Any]) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        """Health probe: anything GET answers liveness."""
+        if self.path not in ("/", "/healthz"):
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._respond(
+            200, {"ok": True, "shards_served": self.server.shards_served}
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+        """Run one shard and stream its report back."""
+        if self.path != "/run":
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length))
+        except (TypeError, ValueError) as exc:
+            self._respond(400, {"error": f"unparseable request body: {exc}"})
+            return
+        try:
+            doc = run_shard_request(body)
+        except WorkerError as exc:
+            self._respond(400, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 -- crash maps to 500, daemon survives
+            self._respond(
+                500, {"error": f"shard run crashed: {type(exc).__name__}: {exc}"}
+            )
+            return
+        self.server.shards_served += 1
+        self._respond(200, doc)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Request log to stderr; stdout carries only the ready line."""
+        sys.stderr.write(
+            f"repro-worker {self.address_string()} {format % args}\n"
+        )
+
+
+class _WorkerServer(ThreadingHTTPServer):
+    """Threading server so health probes answer while a shard runs."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler):
+        super().__init__(address, handler)
+        self.shards_served = 0
+
+
+@dataclass
+class WorkerHandle:
+    """An in-process worker daemon (tests, benchmarks, examples)."""
+
+    server: _WorkerServer
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (resolved when port 0 was asked)."""
+        return self.server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``host:port`` as :class:`~.http_host.HttpHost` wants it."""
+        host = self.server.server_address[0]
+        return f"{host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its serving thread."""
+        self.server.shutdown()
+        self.thread.join(timeout=10)
+        self.server.server_close()
+
+
+def start_worker(port: int = 0, host: str = "127.0.0.1") -> WorkerHandle:
+    """Serve the worker endpoints from a daemon thread; port 0 = ephemeral."""
+    server = _WorkerServer((host, port), _ShardRequestHandler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-worker", daemon=True
+    )
+    thread.start()
+    return WorkerHandle(server=server, thread=thread)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry: bind, announce readiness on stdout, serve until killed."""
+    parser = argparse.ArgumentParser(
+        prog="repro.dispatch.worker",
+        description="Shard worker daemon: accepts POST /run shard "
+        "requests and returns regression-report JSON.",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="TCP port to listen on (0 picks an ephemeral port, "
+        "announced on stdout)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default loopback; 0.0.0.0 to serve "
+        "a real dispatcher)",
+    )
+    options = parser.parse_args(argv)
+    route_warnings_to_stderr()
+    server = _WorkerServer((options.host, options.port), _ShardRequestHandler)
+    bound_host, bound_port = server.server_address[:2]
+    # the one stdout line: parents spawning `--port 0` parse it
+    print(f"repro-worker listening on http://{bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ class TransactionGoal:
     idle: int = 0
 
     def describe(self) -> str:
+        """One-line human form, e.g. ``master0:W target1 x2 idle=3``."""
         direction = "W" if self.is_write else "R"
         return (
             f"master{self.unit}:{direction} target{self.target} "
@@ -55,6 +56,9 @@ class TransactionGoal:
         )
 
     def to_json(self) -> dict:
+        """Goal wire form: plain JSON scalars, carried in
+        :class:`~repro.scenarios.regression.ScenarioSpec.goals` so
+        directed shards cross host boundaries like random ones."""
         return {
             "unit": self.unit,
             "target": self.target,
@@ -65,6 +69,7 @@ class TransactionGoal:
 
     @classmethod
     def from_json(cls, doc: dict) -> "TransactionGoal":
+        """Rebuild a goal from its :meth:`to_json` form (lossless)."""
         return cls(
             unit=doc["unit"],
             target=doc["target"],
@@ -95,11 +100,14 @@ class DirectedSequence(Sequence):
         self.unit = unit
 
     def for_unit(self, unit: int) -> "DirectedSequence":
+        """This plan narrowed to one master's goals (the driver seam)."""
         return DirectedSequence(self.goals, unit=unit)
 
     def items(
         self, rng: ScenarioRng, ctx: StimulusContext
     ) -> Iterator[SequenceItem]:
+        """Yield the unit's goals, in plan order, with per-goal
+        ``(seed, goal_index)``-derived address/payload randomization."""
         for index, goal in enumerate(self.goals):
             if self.unit is not None and goal.unit != self.unit:
                 continue
@@ -152,6 +160,7 @@ class ClosureRound:
     residue_after: int
 
     def summary(self) -> str:
+        """One line: goals planned, edges closed, residue remaining."""
         return (
             f"round {self.index}: {self.goals_planned} goal(s) -> "
             f"{len(self.achieved_edges)} residue edge(s) closed, "
@@ -188,13 +197,16 @@ class DirectedClosureLoop:
 
     @property
     def remaining(self) -> Tuple[str, ...]:
+        """Residue edges still unexercised, in FSM order."""
         return tuple(self.residue)
 
     @property
     def closed(self) -> int:
+        """Total residue edges the loop's rounds demonstrably closed."""
         return sum(len(r.achieved_edges) for r in self.rounds)
 
     def run(self) -> List[ClosureRound]:
+        """Drive plan/run/fold rounds until dry or out of budget."""
         for round_index in range(self.max_rounds):
             if not self.residue:
                 break
@@ -221,6 +233,7 @@ class DirectedClosureLoop:
         return self.rounds
 
     def summary(self) -> str:
+        """Per-round lines plus the remaining-residue tail."""
         lines = [r.summary() for r in self.rounds]
         tail = f"{len(self.residue)} residue edge(s) remain"
         if self.went_dry:

@@ -19,9 +19,11 @@ for CI and dispatchers)::
 
 Sharded dispatch (the :mod:`repro.dispatch` layer) rides on the same
 determinism contract.  ``--shards N`` fans the spec list over N local
-subprocess hosts and prints the merged report; ``--shard K/N`` runs
-exactly shard K for manual cross-host dispatch and ``--merge`` folds
-the per-shard JSON reports back together -- in every case the merged
+subprocess hosts and prints the merged report; ``--hosts
+host:port,...`` fans it over remote ``python -m repro.dispatch.worker``
+daemons under the work-stealing schedule; ``--shard K/N`` runs exactly
+shard K for manual cross-host dispatch and ``--merge`` folds the
+per-shard JSON reports back together -- in every case the merged
 digest is byte-identical to a serial run::
 
     python -m repro.scenarios --scenarios 60 --shard 1/3 --json > s1.json
@@ -44,7 +46,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..cliutil import positive_int, route_warnings_to_stderr, shard_coordinate
+from ..cliutil import (
+    add_hosts_argument,
+    positive_int,
+    reject_hosts_conflict,
+    route_warnings_to_stderr,
+    shard_coordinate,
+)
 from ..workbench.engines import Engine, resolve_engine
 from .coverage_driven import BinCoverage
 from .directed import DirectedSequence, TransactionGoal
@@ -609,12 +617,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="REPORT.json",
         help="merge per-shard --json reports into one canonical report",
     )
+    add_hosts_argument(parser)
     parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report instead of text",
     )
     options = parser.parse_args(argv)
+    reject_hosts_conflict(parser, options)
     if options.directed:
         # directed closure is a whole-session mode: flags that slice,
         # replay or shape a plain regression have no meaning in it and
@@ -670,6 +680,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cycles=cycles,
                 workers=options.workers,
                 shards=options.shards,
+                hosts=options.hosts,
             )
             docs[model] = result.to_json()
             ok = ok and result.ok
@@ -697,6 +708,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         index, of = options.shard
         specs = list(plan_shards(specs, of)[index].specs)
         engine = None
+    elif options.hosts:
+        # remote HTTP workers; --shards sizes the steal queue, defaulting
+        # to the planner's oversubscription so rebalance has a tail
+        from ..dispatch import shards_for_hosts
+
+        engine = ShardedEngine(
+            options.shards or shards_for_hosts(len(options.hosts), len(specs)),
+            hosts=options.hosts,
+            workers_per_shard=options.workers,
+        )
     elif options.shards is not None:
         # through the same engine seam the Workbench uses, so
         # --fail-fast and --workers mean the same thing at every tier

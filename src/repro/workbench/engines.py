@@ -49,6 +49,7 @@ class SerialEngine:
     def imap(
         self, fn: Callable[[_Item], _Result], items: Iterable[_Item]
     ) -> Iterator[_Result]:
+        """Apply ``fn`` to each item inline; order is submission order."""
         for item in items:
             yield fn(item)
 
@@ -79,6 +80,7 @@ class MultiprocessingEngine:
     def imap(
         self, fn: Callable[[_Item], _Result], items: Iterable[_Item]
     ) -> Iterator[_Result]:
+        """Yield ``fn(item)`` from the pool as results complete."""
         pending = list(items)
         if self.workers == 1 or len(pending) <= 1:
             for item in pending:
@@ -103,20 +105,23 @@ class MultiprocessingEngine:
 
 
 class ShardedEngine:
-    """Fans scenario specs across shard hosts (subprocess by default).
+    """Fans scenario specs across shard hosts (subprocess or HTTP).
 
     The cross-host scaling tier behind the same :class:`Engine` seam:
     ``imap`` partitions the items with the deterministic shard planner,
-    runs every shard on a :class:`~repro.dispatch.Host` (default: one
-    ``python -m repro.scenarios --shard`` subprocess per shard), and
-    yields the merged verdicts.  Because shard reports cross the host
-    boundary as JSON, the work units must be
-    :class:`~repro.scenarios.regression.ScenarioSpec` run through
-    ``run_scenario`` -- the one fan-out whose results have a wire form.
-    Anything else raises ``TypeError``.
+    hands shards to :class:`~repro.dispatch.Host`\\ s under the
+    dispatcher's work-stealing schedule (default hosts: one ``python -m
+    repro.scenarios --shard`` subprocess per shard; pass a pool of
+    :class:`~repro.dispatch.HttpHost` for remote ``python -m
+    repro.dispatch.worker`` daemons), and yields the merged verdicts.
+    Because shard reports cross the host boundary as JSON, the work
+    units must be :class:`~repro.scenarios.regression.ScenarioSpec` run
+    through ``run_scenario`` -- the one fan-out whose results have a
+    wire form.  Anything else raises ``TypeError``.
 
-    The last dispatch's bookkeeping (per-shard hosts, retries) is kept
-    on :attr:`last_outcome` for reporting layers.
+    The last dispatch's bookkeeping (per-shard hosts, retries,
+    duplicate completions) is kept on :attr:`last_outcome` for
+    reporting layers.
     """
 
     name = "sharded"
@@ -127,6 +132,7 @@ class ShardedEngine:
         hosts: Optional[Any] = None,
         max_attempts: Optional[int] = None,
         workers_per_shard: Optional[int] = None,
+        schedule: str = "stealing",
     ):
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
@@ -135,11 +141,13 @@ class ShardedEngine:
         self.hosts = hosts
         self.max_attempts = max_attempts
         self.workers_per_shard = workers_per_shard
+        self.schedule = schedule
         self.last_outcome: Optional[Any] = None
 
     def imap(
         self, fn: Callable[[_Item], _Result], items: Iterable[_Item]
     ) -> Iterator[_Result]:
+        """Dispatch the specs across shard hosts; yield merged verdicts."""
         # imported lazily: repro.dispatch builds on repro.scenarios,
         # which imports this module at its top level
         from ..dispatch import ShardDispatcher
@@ -160,6 +168,7 @@ class ShardedEngine:
             hosts=self.hosts,
             max_attempts=self.max_attempts,
             workers_per_shard=self.workers_per_shard,
+            schedule=self.schedule,
         )
         outcome = dispatcher.run()
         self.last_outcome = outcome

@@ -102,6 +102,7 @@ class Workbench:
         return self._residue
 
     def report(self) -> SessionReport:
+        """The session so far: every stage result, one stable digest."""
         return SessionReport(duv=self.duv.name, stages=list(self._stages))
 
     # -- stage plumbing ---------------------------------------------------------
@@ -383,6 +384,36 @@ class Workbench:
             payload={"report": report, "harness": harness},
         )
 
+    def _dispatch_engine(
+        self,
+        workers: Optional[int],
+        shards: Optional[int],
+        hosts: Optional[Sequence[Any]],
+        n_specs: int,
+    ) -> Engine:
+        """Engine for a scenario fan-out sized by the stage arguments.
+
+        ``hosts`` (a pool of :class:`~repro.dispatch.Host`\\ s, e.g.
+        from :func:`repro.dispatch.parse_hosts`) selects cross-host
+        dispatch with ``shards`` defaulting to the planner's
+        oversubscription so work stealing has a tail to rebalance;
+        plain ``shards=N`` fans over N local subprocess hosts; neither
+        falls back to the local serial/multiprocessing heuristic.
+        """
+        if hosts:
+            from ..dispatch import shards_for_hosts
+
+            hosts = list(hosts)
+            return ShardedEngine(
+                shards or shards_for_hosts(len(hosts), n_specs),
+                hosts=hosts,
+                workers_per_shard=workers,
+            )
+        if shards is not None:
+            # ``workers`` keeps its meaning inside each shard host
+            return ShardedEngine(shards, workers_per_shard=workers)
+        return resolve_engine(workers, n_specs)
+
     # -- stage: scenario regression ----------------------------------------------
 
     def regress(
@@ -391,6 +422,7 @@ class Workbench:
         cycles: int = 300,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        hosts: Optional[Sequence[Any]] = None,
         seed: Optional[int] = None,
         specs: Optional[Sequence[Any]] = None,
         bias: Union[CoverageResidue, bool, None] = None,
@@ -409,8 +441,13 @@ class Workbench:
 
         ``workers`` sizes the default local engine; ``shards=N``
         selects the sharded dispatcher instead (N subprocess shard
-        hosts, merged digest identical to a serial run).  An engine
-        injected at construction always wins over both.
+        hosts); ``hosts`` -- a pool of
+        :class:`~repro.dispatch.Host`\\ s, e.g.
+        ``parse_hosts("h1:8421,h2:8421")`` -- dispatches to remote
+        worker daemons under the work-stealing schedule, with
+        ``shards`` (default: two per host) sizing the queue.  In every
+        case the merged digest is identical to a serial run.  An engine
+        injected at construction always wins over all of them.
         """
         return self._execute(
             "regress",
@@ -420,6 +457,7 @@ class Workbench:
                 "cycles": cycles,
                 "workers": workers,
                 "shards": shards,
+                "hosts": hosts,
                 "seed": seed,
                 "specs": specs,
                 "bias": bias,
@@ -435,6 +473,7 @@ class Workbench:
         cycles: int,
         workers: Optional[int],
         shards: Optional[int],
+        hosts: Optional[Sequence[Any]],
         seed: Optional[int],
         specs: Optional[Sequence[Any]],
         bias: Union[CoverageResidue, bool, None],
@@ -475,15 +514,11 @@ class Workbench:
             profiles = None
         specs = list(specs)
         # an engine injected at construction is the session's choice of
-        # execution seam and always wins; ``workers``/``shards`` only
-        # size the default engine
+        # execution seam and always wins; ``workers``/``shards``/``hosts``
+        # only size the default engine
         engine = self.engine
         if engine is None:
-            if shards is not None:
-                # ``workers`` keeps its meaning inside each shard host
-                engine = ShardedEngine(shards, workers_per_shard=workers)
-            else:
-                engine = resolve_engine(workers, len(specs))
+            engine = self._dispatch_engine(workers, shards, hosts, len(specs))
         runner = RegressionRunner(specs, engine=engine, fail_fast=fail_fast)
         report = runner.run()
         data: Dict[str, Any] = {
@@ -520,6 +555,8 @@ class Workbench:
                 "shards": len(outcome.runs),
                 "hosts": list(outcome.hosts),
                 "retries": outcome.retries,
+                "schedule": outcome.schedule,
+                "duplicates": outcome.duplicates,
             }
         return StageResult(
             stage="regress",
@@ -539,6 +576,7 @@ class Workbench:
         max_goals: Optional[int] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        hosts: Optional[Sequence[Any]] = None,
         seed: Optional[int] = None,
     ) -> StageResult:
         """Close the formal-only residue with directed sequence goals.
@@ -553,6 +591,12 @@ class Workbench:
         ``rounds`` is spent.  Residue transitions the SystemC
         implementation cannot reach at transaction level (the model
         checker's true added value) remain and are reported as such.
+
+        The directed goals travel on the same ``ScenarioSpec`` wire
+        form as random specs (``goals`` + ``track_fsm`` fields), so
+        ``shards=N`` fans each round across N local subprocess hosts
+        and ``hosts=[...]`` across remote HTTP workers -- either way
+        the per-round regression digest matches a serial run.
         """
         return self._execute(
             "close_coverage",
@@ -563,6 +607,7 @@ class Workbench:
                 "max_goals": max_goals,
                 "workers": workers,
                 "shards": shards,
+                "hosts": hosts,
                 "seed": seed,
             },
         )
@@ -574,6 +619,7 @@ class Workbench:
         max_goals: Optional[int],
         workers: Optional[int],
         shards: Optional[int],
+        hosts: Optional[Sequence[Any]],
         seed: Optional[int],
     ) -> StageResult:
         # imported lazily for the same reason as regress: the scenario
@@ -644,10 +690,7 @@ class Workbench:
             specs = [spec for _, spec in planned]
             engine = self.engine
             if engine is None:
-                if shards is not None:
-                    engine = ShardedEngine(shards, workers_per_shard=workers)
-                else:
-                    engine = resolve_engine(workers, len(specs))
+                engine = self._dispatch_engine(workers, shards, hosts, len(specs))
             report = RegressionRunner(specs, engine=engine).run()
             achieved: set = set()
             off_path = 0
@@ -675,6 +718,8 @@ class Workbench:
                         "shards": len(outcome.runs),
                         "hosts": list(outcome.hosts),
                         "retries": outcome.retries,
+                        "schedule": outcome.schedule,
+                        "duplicates": outcome.duplicates,
                     }
                 )
             return sorted(achieved)

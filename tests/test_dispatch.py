@@ -209,10 +209,15 @@ class TestSubprocessHosts:
     ):
         """The fault-tolerance acceptance: a host dies mid-shard, the
         shard reruns on another host, and the merged digest is exactly
-        the serial one."""
+        the serial one.  Static schedule pins the single shard's first
+        attempt to the flaky host so the kill deterministically fires
+        (the stealing-schedule kill path is covered with HTTP hosts in
+        test_remote_dispatch.py)."""
         flaky = _KillFirstSpawn("flaky")
         stable = LocalSubprocessHost("stable")
-        outcome = ShardDispatcher(SPECS, shards=1, hosts=[flaky, stable]).run()
+        outcome = ShardDispatcher(
+            SPECS, shards=1, hosts=[flaky, stable], schedule="static"
+        ).run()
         assert flaky.killed
         assert outcome.retries == 1
         assert outcome.runs[0].host == "stable"
@@ -278,6 +283,8 @@ class TestShardedEngine:
             "shards": 2,
             "hosts": ["a", "b"],
             "retries": 0,
+            "schedule": "stealing",
+            "duplicates": 0,
         }
         assert "dispatch" not in result.data
         # the digest the sharded engine produced is the serial one

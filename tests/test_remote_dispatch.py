@@ -1,0 +1,543 @@
+"""Remote HTTP dispatch: worker daemon, HttpHost transport, work stealing.
+
+The contract under test is the same one ``test_dispatch.py`` enforces
+for subprocess hosts, extended across a network boundary: the merged
+report digest is byte-identical to a serial run through any pattern of
+worker death, garbage responses, retries and steal races that still
+lets every shard complete somewhere.
+"""
+
+import json
+import socket
+import struct
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dispatch import (
+    DispatchError,
+    HostFailure,
+    HttpHost,
+    InProcessHost,
+    LocalSubprocessHost,
+    ShardDispatcher,
+    ShardQueue,
+    ShardWork,
+    parse_hosts,
+    plan_shards,
+    shards_for_hosts,
+)
+from repro.dispatch.worker import WorkerError, run_shard_request, start_worker
+from repro.scenarios.regression import RegressionRunner, build_specs
+from repro.workbench import SerialEngine, Workbench
+
+SPECS = build_specs(count=6, cycles=120)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return RegressionRunner(SPECS, engine=SerialEngine()).run()
+
+
+@pytest.fixture()
+def worker():
+    handle = start_worker()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def worker_pair():
+    first, second = start_worker(), start_worker()
+    yield first, second
+    first.stop()
+    second.stop()
+
+
+def _shard_body(specs, index=0, of=1, workers=1):
+    shard = plan_shards(specs, of)[index]
+    return {
+        "version": 1,
+        "shard": {
+            "index": shard.index,
+            "of": shard.of,
+            "specs": [spec.to_json() for spec in shard.specs],
+        },
+        "workers": workers,
+    }
+
+
+class TestWorkerProtocol:
+    """The /run + /healthz wire contract, with and without HTTP."""
+
+    def test_run_shard_request_matches_serial(self, serial_report):
+        doc = run_shard_request(_shard_body(SPECS))
+        assert doc["digest"] == serial_report.digest()
+        assert doc["scenarios"] == len(SPECS)
+        assert doc["shard"] == {"index": 0, "of": 1}
+
+    def test_run_shard_request_rejects_malformed_bodies(self):
+        with pytest.raises(WorkerError, match="JSON object"):
+            run_shard_request([1, 2, 3])
+        with pytest.raises(WorkerError, match='"shard"'):
+            run_shard_request({"version": 1})
+        with pytest.raises(WorkerError, match="unparseable spec"):
+            run_shard_request({"shard": {"specs": [{"model": "pci"}]}})
+        with pytest.raises(WorkerError, match="wire version"):
+            run_shard_request(_shard_body(SPECS) | {"version": 99})
+        # a non-integer version is a 400-class refusal, not a 500 crash
+        with pytest.raises(WorkerError, match="must be an integer"):
+            run_shard_request(_shard_body(SPECS) | {"version": "2"})
+
+    def test_healthz_counts_served_shards(self, worker):
+        def probe():
+            with urllib.request.urlopen(
+                f"http://{worker.address}/healthz", timeout=5
+            ) as response:
+                return json.loads(response.read())
+
+        assert probe() == {"ok": True, "shards_served": 0}
+        HttpHost(worker.address).run_shard(
+            ShardWork(shard=plan_shards(SPECS[:2], 1)[0], spec_file="")
+        )
+        assert probe()["shards_served"] == 1
+
+    def test_unknown_paths_and_garbage_bodies_get_json_errors(self, worker):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://{worker.address}/nope", timeout=5)
+        assert excinfo.value.code == 404
+        request = urllib.request.Request(
+            f"http://{worker.address}/run", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_parse_hosts(self):
+        hosts = parse_hosts("127.0.0.1:8421, example.org:9000")
+        assert [h.address for h in hosts] == [
+            "127.0.0.1:8421",
+            "example.org:9000",
+        ]
+        for bad in ("", "no-port", "h:badport", "h:0", "h:70000"):
+            with pytest.raises(ValueError):
+                parse_hosts(bad)
+
+
+class TestHttpDispatch:
+    """ShardDispatcher over real worker daemons."""
+
+    def test_two_worker_dispatch_matches_serial(self, worker_pair, serial_report):
+        hosts = [HttpHost(w.address) for w in worker_pair]
+        shards = shards_for_hosts(len(hosts), len(SPECS))
+        outcome = ShardDispatcher(SPECS, shards=shards, hosts=hosts).run()
+        assert outcome.report.ok
+        assert outcome.report.digest() == serial_report.digest()
+        assert sum(outcome.host_loads().values()) == shards
+        assert outcome.schedule == "stealing"
+
+    def test_workbench_regress_over_http_hosts(self, worker_pair):
+        hosts = [HttpHost(w.address) for w in worker_pair]
+        workbench = Workbench("master_slave")
+        result = workbench.regress(scenarios=4, cycles=120, hosts=hosts)
+        assert result.status.name == "PASSED"
+        assert result.metrics["engine"] == "sharded"
+        assert result.metrics["dispatch"]["schedule"] == "stealing"
+        specs = build_specs(
+            models=["master_slave"], count=4, base_seed=2005, cycles=120
+        )
+        serial = RegressionRunner(specs, engine=SerialEngine()).run()
+        assert result.data["regression_digest"] == serial.digest()
+
+    def test_dead_worker_address_is_retried_elsewhere(self, worker, serial_report):
+        # nothing listens on the dead address: connection refused on
+        # every attempt, so every shard it takes moves to the live one
+        dead = HttpHost(_dead_address(), name="dead")
+        live = HttpHost(worker.address, name="live")
+        outcome = ShardDispatcher(
+            SPECS, shards=2, hosts=[dead, live], max_attempts=3
+        ).run()
+        assert outcome.report.digest() == serial_report.digest()
+        assert all(run.host == "live" for run in outcome.runs)
+        failed = [reason for run in outcome.runs for reason in run.failures]
+        assert all("transport failed" in reason for reason in failed)
+
+    def test_worker_dying_mid_run_is_recovered(self, worker_pair, serial_report):
+        """A worker daemon that goes down between shards: its next POST
+        hits a closed port, the shard is retried on the survivor and
+        the merged digest never notices."""
+        dying, surviving = worker_pair
+
+        class _DiesBeforeFirstPost(HttpHost):
+            killed = False
+
+            def run_shard(self, work):
+                if not type(self).killed:
+                    type(self).killed = True
+                    dying.stop()
+                return super().run_shard(work)
+
+        hosts = [
+            _DiesBeforeFirstPost(dying.address, name="dying"),
+            HttpHost(surviving.address, name="surviving"),
+        ]
+        outcome = ShardDispatcher(
+            SPECS, shards=3, hosts=hosts, max_attempts=4
+        ).run()
+        assert outcome.report.digest() == serial_report.digest()
+        assert outcome.retries >= 1
+        assert all(run.host == "surviving" for run in outcome.runs)
+
+
+class _MisbehavingServer:
+    """A TCP server that accepts /run connections and misbehaves.
+
+    ``mode="reset"`` hard-closes the connection after the first bytes
+    (what a worker daemon dying mid-shard looks like from the client);
+    ``mode="garbage"`` answers a well-formed HTTP 200 whose body is not
+    JSON.
+    """
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        self.address = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            with connection:
+                if self.mode == "reset":
+                    connection.recv(1024)
+                    # SO_LINGER 0 turns close() into a hard RST
+                    connection.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                else:
+                    self._drain_request(connection)
+                    body = b"this is not json"
+                    connection.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: text/plain\r\n"
+                        b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                    )
+
+    @staticmethod
+    def _drain_request(connection):
+        """Read headers + declared body so the client finishes sending."""
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = connection.recv(65536)
+            if not chunk:
+                return
+            data += chunk
+        headers, _, seen = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in headers.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(seen) < length:
+            chunk = connection.recv(65536)
+            if not chunk:
+                return
+            seen += chunk
+
+    def stop(self):
+        self._listener.close()
+
+
+class TestTransportFailureTaxonomy:
+    """Every transport mishap is a HostFailure, and retry heals it."""
+
+    @pytest.fixture()
+    def shard_work(self):
+        return ShardWork(shard=plan_shards(SPECS[:1], 1)[0], spec_file="")
+
+    def test_connection_reset_mid_shard_is_a_host_failure(self, shard_work):
+        server = _MisbehavingServer("reset")
+        try:
+            with pytest.raises(HostFailure, match="transport failed"):
+                HttpHost(server.address).run_shard(shard_work)
+        finally:
+            server.stop()
+
+    def test_malformed_json_response_is_a_host_failure(self, shard_work):
+        server = _MisbehavingServer("garbage")
+        try:
+            with pytest.raises(HostFailure, match="unparseable shard report"):
+                HttpHost(server.address).run_shard(shard_work)
+        finally:
+            server.stop()
+
+    def test_connection_refused_is_a_host_failure(self, shard_work):
+        with pytest.raises(HostFailure, match="transport failed"):
+            HttpHost(_dead_address(), timeout=5).run_shard(shard_work)
+
+    def test_misbehaving_host_in_pool_never_drifts_the_digest(
+        self, worker, serial_report
+    ):
+        for mode in ("reset", "garbage"):
+            server = _MisbehavingServer(mode)
+            try:
+                outcome = ShardDispatcher(
+                    SPECS,
+                    shards=2,
+                    hosts=[
+                        HttpHost(server.address, name="bad"),
+                        HttpHost(worker.address, name="good"),
+                    ],
+                    max_attempts=3,
+                ).run()
+                assert outcome.report.digest() == serial_report.digest(), mode
+                assert all(run.host == "good" for run in outcome.runs)
+            finally:
+                server.stop()
+
+
+class _SlowHost:
+    """In-process host that sleeps before every shard (runtime skew)."""
+
+    def __init__(self, name, delay):
+        self.name = name
+        self.delay = delay
+        self._inner = InProcessHost(name)
+
+    def run_shard(self, work):
+        import time
+
+        time.sleep(self.delay)
+        return self._inner.run_shard(work)
+
+
+class TestWorkStealing:
+    """The scheduler itself: rebalance, retry exclusion, dedupe."""
+
+    def test_fast_host_steals_the_tail(self, serial_report):
+        """With one deliberately slow host, the fast host must complete
+        most of the queue instead of half of it (static round-robin
+        would pin 3 of 6 shards to the slow host)."""
+        slow = _SlowHost("slow", delay=0.5)
+        fast = InProcessHost("fast")
+        outcome = ShardDispatcher(SPECS, shards=6, hosts=[slow, fast]).run()
+        assert outcome.report.digest() == serial_report.digest()
+        loads = outcome.host_loads()
+        assert loads["fast"] >= 4, loads
+        assert loads["slow"] + loads["fast"] == 6
+
+    def test_single_flaky_host_pool_recovers_via_exclusion_reset(
+        self, serial_report
+    ):
+        """When every host has failed a shard once the exclusions reset,
+        so a flaky-but-alive single-host pool still finishes."""
+
+        class _FlakyOnce:
+            name = "only"
+            calls = 0
+
+            def run_shard(self, work):
+                type(self).calls += 1
+                if type(self).calls == 1:
+                    raise HostFailure(self.name, work.shard.label, "hiccup")
+                return InProcessHost(self.name).run_shard(work)
+
+        outcome = ShardDispatcher(
+            SPECS, shards=2, hosts=[_FlakyOnce()], max_attempts=3
+        ).run()
+        assert outcome.report.digest() == serial_report.digest()
+        assert outcome.retries == 1
+
+    def test_exhausted_attempts_abort_the_dispatch(self):
+        class _AlwaysDown:
+            def __init__(self, name):
+                self.name = name
+
+            def run_shard(self, work):
+                raise HostFailure(self.name, work.shard.label, "down")
+
+        with pytest.raises(DispatchError, match="failed on every host"):
+            ShardDispatcher(
+                SPECS, shards=2, hosts=[_AlwaysDown("a"), _AlwaysDown("b")]
+            ).run()
+
+    def test_duplicate_completion_is_dropped_not_merged(self, serial_report):
+        """The queue's idempotence invariant: a completion for a shard
+        that already completed elsewhere is counted and discarded.
+        Today's blocking transports can't produce this through the
+        dispatcher (a thread fails or completes, never both) -- the
+        invariant is what keeps a late-completing future transport, or
+        a direct ShardQueue user, from double-merging verdicts."""
+        live = plan_shards(SPECS, 2)
+        queue = ShardQueue(live, ["a", "b"], max_attempts=4)
+        host = InProcessHost("a")
+        first = queue.take("a")
+        second = queue.take("b")
+        report_one = host.run_shard(ShardWork(shard=first.shard, spec_file=""))
+        report_two = host.run_shard(ShardWork(shard=second.shard, spec_file=""))
+        assert queue.complete(first, "a", report_one) is True
+        # the same shard completes again on the other host: dropped
+        assert queue.complete(first, "b", report_one) is False
+        assert queue.complete(second, "b", report_two) is True
+        assert queue.duplicates == 1
+        results = queue.results([shard for shard in live])
+        assert len(results) == 2
+        from repro.dispatch import merge_reports
+
+        merged = merge_reports([report for _, report in results])
+        assert merged.digest() == serial_report.digest()
+
+    def test_duplicate_host_names_are_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ShardDispatcher(
+                SPECS,
+                shards=2,
+                hosts=[InProcessHost("same"), InProcessHost("same")],
+            )
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            ShardDispatcher(SPECS, shards=2, schedule="quantum")
+
+    def test_shards_for_hosts_oversubscribes_but_never_exceeds_specs(self):
+        assert shards_for_hosts(2, 100) == 4
+        assert shards_for_hosts(3, 100, factor=3) == 9
+        assert shards_for_hosts(4, 3) == 3      # capped by the spec count
+        assert shards_for_hosts(1, 0) == 1      # degenerate empty regression
+        with pytest.raises(ValueError):
+            shards_for_hosts(0, 10)
+
+
+class TestSubprocessReaping:
+    """Satellite fix: HostFailure exits must never leak a child process."""
+
+    def test_timed_out_child_is_killed_and_reaped(self):
+        host = LocalSubprocessHost("slowpoke", timeout=0.5)
+        host._command = lambda work: [
+            sys.executable,
+            "-c",
+            "import time; time.sleep(60)",
+        ]
+        seen = {}
+        host._started = lambda process: seen.setdefault("process", process)
+        shard = plan_shards(SPECS[:1], 1)[0]
+        with pytest.raises(HostFailure, match="timed out"):
+            host.run_shard(ShardWork(shard=shard, spec_file=""))
+        process = seen["process"]
+        # reaped: the exit status has been collected, no zombie left
+        assert process.returncode is not None
+
+    def test_crashed_startup_hook_still_reaps_the_child(self):
+        host = LocalSubprocessHost("hooked", timeout=30)
+        host._command = lambda work: [
+            sys.executable,
+            "-c",
+            "import time; time.sleep(60)",
+        ]
+        seen = {}
+
+        def exploding_hook(process):
+            seen["process"] = process
+            raise RuntimeError("hook went sideways")
+
+        host._started = exploding_hook
+        shard = plan_shards(SPECS[:1], 1)[0]
+        with pytest.raises(RuntimeError, match="sideways"):
+            host.run_shard(ShardWork(shard=shard, spec_file=""))
+        assert seen["process"].returncode is not None
+
+
+class TestCliHosts:
+    """--hosts flag plumbing on both CLIs."""
+
+    def test_scenarios_cli_hosts_matches_serial(self, worker_pair, capsys):
+        from repro.scenarios.regression import main
+
+        addresses = ",".join(w.address for w in worker_pair)
+        code = main(
+            ["--scenarios", "6", "--cycles", "120", "--hosts", addresses, "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        doc = json.loads(captured.out)
+        serial = RegressionRunner(
+            build_specs(count=6, cycles=120), engine=SerialEngine()
+        ).run()
+        assert doc["digest"] == serial.digest()
+        assert "stealing schedule" in captured.err
+
+    def test_repro_cli_hosts_matches_serial(self, worker_pair, capsys):
+        from repro.cli import main
+
+        addresses = ",".join(w.address for w in worker_pair)
+        code = main(
+            [
+                "regress",
+                "--model",
+                "master_slave",
+                "--scenarios",
+                "4",
+                "--cycles",
+                "120",
+                "--hosts",
+                addresses,
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        doc = json.loads(captured.out)
+        regress = [s for s in doc["stages"] if s["stage"] == "regress"][0]
+        specs = build_specs(
+            models=["master_slave"], count=4, base_seed=2005, cycles=120
+        )
+        serial = RegressionRunner(specs, engine=SerialEngine()).run()
+        assert regress["data"]["regression_digest"] == serial.digest()
+
+    def test_hosts_conflicts_with_shard_and_merge(self):
+        from repro.cli import main as repro_main
+        from repro.scenarios.regression import main as scenarios_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            scenarios_main(["--hosts", "127.0.0.1:8421", "--shard", "1/2"])
+        assert excinfo.value.code == 2       # parser.error: usage + exit 2
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(
+                [
+                    "regress",
+                    "--model",
+                    "pci",
+                    "--hosts",
+                    "127.0.0.1:8421",
+                    "--shard",
+                    "1/2",
+                ]
+            )
+        assert excinfo.value.code == 2       # same behaviour on both CLIs
+
+    def test_bad_hosts_string_rejected(self):
+        from repro.scenarios.regression import main
+
+        with pytest.raises(SystemExit):
+            main(["--hosts", "nonsense", "--scenarios", "2"])
+
+
+def _dead_address() -> str:
+    """An address nothing listens on (bound then immediately closed)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"

@@ -88,9 +88,10 @@ def test_monitor_step_micro(benchmark, name):
 
     cycles = benchmark(run)
     assert cycles == len(letters) - 1
-    benchmark.extra_info["ns_per_step"] = round(
-        benchmark.stats["mean"] * 1e9 / len(letters), 1
-    )
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["ns_per_step"] = round(
+            benchmark.stats["mean"] * 1e9 / len(letters), 1
+        )
 
 
 def test_replay_vs_incremental_cost(benchmark):

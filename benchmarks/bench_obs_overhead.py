@@ -1,0 +1,94 @@
+"""Observability overhead benches: the disabled path must be free.
+
+The tracing + metrics layer (:mod:`repro.obs`) instruments the two
+hottest loops in the repo -- ``Monitor.step`` and the kernel's delta
+cycle -- behind a single ``OBS.enabled`` attribute check.  These
+benches price that check and the enabled-path cost:
+
+* per-step monitor cost with observability off vs fully on (micro),
+* regression throughput with observability off (must track the plain
+  ``test_regression_throughput[serial]`` bench within noise) vs on.
+
+Run ids feed the committed baseline gate, so they are fixed strings.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import runtime
+from repro.psl import build_monitor, parse_formula
+from repro.scenarios import build_specs
+from repro.scenarios.regression import RegressionRunner
+
+from common import FULL_RUN
+
+SCENARIOS = 100 if FULL_RUN else 24
+CYCLES = 400 if FULL_RUN else 200
+STEPS = 5_000
+
+
+@pytest.fixture
+def observability(request):
+    """Enable tracing + metrics for ``on`` params, guarantee off after."""
+    if request.param == "on":
+        runtime.enable_tracing()
+        runtime.enable_metrics()
+    yield request.param
+    runtime.disable()
+
+
+def _letter_stream():
+    rng = random.Random(41)
+    letters = []
+    for _ in range(STEPS):
+        req = rng.random() < 0.3
+        letters.append({"req0": req, "gnt0": req or rng.random() < 0.5})
+    return letters
+
+
+@pytest.mark.parametrize("observability", ["off", "on"], indirect=True)
+def test_monitor_step_obs(benchmark, observability):
+    """Per-step monitor cost: the OBS.enabled guard plus timing when on."""
+    monitor = build_monitor(
+        parse_formula("always {req0} |=> {gnt0}"), name="bench"
+    )
+    letters = _letter_stream()
+
+    def run():
+        monitor.reset()
+        for letter in letters:
+            monitor.step(letter)
+        return monitor.cycle
+
+    cycles = benchmark(run)
+    assert cycles == len(letters) - 1
+    benchmark.extra_info["observability"] = observability
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["ns_per_step"] = round(
+            benchmark.stats["mean"] * 1e9 / STEPS, 1
+        )
+
+
+@pytest.mark.parametrize("observability", ["off", "on"], indirect=True)
+def test_regression_obs(benchmark, observability):
+    """Serial regression throughput with the obs layer off vs on."""
+    specs = build_specs(count=SCENARIOS, cycles=CYCLES, with_monitors=True)
+
+    def run():
+        return RegressionRunner(specs, workers=1).run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    benchmark.extra_info.update(
+        {
+            "observability": observability,
+            "scenarios": len(report.verdicts),
+            "transactions": report.transactions,
+            "txn_per_second": round(report.throughput),
+        }
+    )
+    if observability == "on":
+        spans = runtime.OBS.tracer.spans()
+        benchmark.extra_info["spans"] = len(spans)
+        assert spans, "enabled run must have produced spans"

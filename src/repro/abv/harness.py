@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..obs.runtime import OBS
 from ..psl.monitor import CoverMonitor, Monitor, MonitorReport
 from ..psl.semantics import Verdict
 from ..sysc.clock import Clock
@@ -149,7 +150,38 @@ class AbvHarness:
                     time=self.simulator.time,
                 )
             results.append(monitor.report())
+        if OBS.enabled:
+            self._emit_observability()
         return results
+
+    def _emit_observability(self) -> None:
+        """Attribute accumulated per-monitor step time as synthetic spans.
+
+        Each monitor's ``step_seconds`` becomes one ``psl.monitor/...``
+        span parented under the most recent kernel run span, so
+        ``trace_report`` subtracts monitor time from kernel self-time
+        and ranks properties individually.
+        """
+        parent = self.simulator.last_run_span_id
+        for binding in self.bindings:
+            monitor = binding.monitor
+            if OBS.tracer.enabled and monitor.steps_traced:
+                OBS.tracer.record(
+                    f"psl.monitor/{monitor.name}",
+                    "psl.monitor",
+                    monitor.step_seconds,
+                    parent_id=parent,
+                    property=monitor.name,
+                    steps=monitor.steps_traced,
+                    verdict=monitor.verdict().value,
+                )
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "psl.monitor.steps", property=monitor.name
+                ).inc(monitor.steps_traced)
+                OBS.metrics.histogram("psl.monitor.step_seconds").observe(
+                    monitor.step_seconds
+                )
 
     @property
     def failed(self) -> List[AssertionBinding]:

@@ -28,6 +28,8 @@ from typing import List, Optional, Sequence
 
 from .cliutil import (
     add_hosts_argument,
+    add_observability_arguments,
+    observability_scope,
     positive_int,
     reject_hosts_conflict,
     route_warnings_to_stderr,
@@ -76,6 +78,7 @@ def _add_model_options(
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable output"
     )
+    add_observability_arguments(parser)
 
 
 def _workbench(options: argparse.Namespace) -> Workbench:
@@ -339,7 +342,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # DesignFlow/RegressionRunner deprecation shims) go to stderr so
     # --json output stays parseable
     route_warnings_to_stderr()
-    return options.func(options)
+    # --trace/--metrics wrap the whole subcommand; report digests are
+    # identical with observability on or off
+    with observability_scope(options):
+        return options.func(options)
 
 
 if __name__ == "__main__":

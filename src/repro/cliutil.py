@@ -19,10 +19,11 @@ caller (or an embedding process) did to ``warnings.showwarning``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import warnings
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 
 def positive_int(text: str) -> int:
@@ -111,6 +112,68 @@ def emit_regression_report(report, as_json: bool) -> int:
     else:
         print(report.summary())
     return 0 if report.ok else 1
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics`` flags (both CLIs).
+
+    Neither flag may change any report digest; traces land in the named
+    file and the metrics summary on stderr, so ``--json`` stdout stays
+    a single parseable report (see ``docs/observability.md``).
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record spans (delta-cycle to dispatch) and write them to "
+        "FILE as JSON lines; fold with tools/trace_report.py",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/histograms and print a summary to stderr "
+        "(and into the session report's observability section)",
+    )
+
+
+@contextlib.contextmanager
+def observability_scope(options: argparse.Namespace) -> Iterator[None]:
+    """Enable tracing/metrics for one CLI invocation, then export.
+
+    On exit the trace file is written (with a stderr note) and the
+    metrics summary rendered to stderr; the global observability state
+    is always restored to disabled so in-process callers (tests, the
+    workbench embedding a CLI) never leak collectors between runs.
+    No-op when neither ``--trace`` nor ``--metrics`` was given.
+    """
+    # imported lazily: obs is dependency-free but keep CLI import light
+    from .obs import runtime
+    from .obs.metrics import render_metrics
+
+    trace_path = getattr(options, "trace", None)
+    want_metrics = getattr(options, "metrics", False)
+    if not trace_path and not want_metrics:
+        yield
+        return
+    if trace_path:
+        runtime.enable_tracing()
+    if want_metrics:
+        runtime.enable_metrics()
+    try:
+        yield
+        if trace_path:
+            count = runtime.OBS.tracer.dump(trace_path)
+            print(
+                f"trace: {count} spans written to {trace_path}",
+                file=sys.stderr,
+            )
+        if want_metrics:
+            rendered = render_metrics(runtime.OBS.metrics.to_json())
+            print("=== metrics ===", file=sys.stderr)
+            if rendered:
+                print(rendered, file=sys.stderr)
+    finally:
+        runtime.disable()
 
 
 def route_warnings_to_stderr() -> None:

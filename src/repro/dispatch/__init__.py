@@ -35,6 +35,7 @@ from .dispatcher import (
     merge_reports,
 )
 from .hosts import (
+    FAILURE_KINDS,
     Host,
     HostFailure,
     InProcessHost,
@@ -58,6 +59,7 @@ __all__ = [
     "ShardQueue",
     "ShardRun",
     "merge_reports",
+    "FAILURE_KINDS",
     "Host",
     "HostFailure",
     "HttpHost",

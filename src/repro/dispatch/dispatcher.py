@@ -46,6 +46,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.runtime import OBS
 from ..scenarios.regression import (
     RegressionReport,
     ScenarioSpec,
@@ -71,6 +72,12 @@ class ShardRun:
     host: str                          # the host that completed it
     attempts: int                      # 1 = first try succeeded
     failures: Tuple[str, ...] = ()     # HostFailure reasons, in order
+    #: the failure taxonomy alongside ``failures``: (host, kind) pairs
+    #: in the same order (kind from ``hosts.FAILURE_KINDS``)
+    failure_kinds: Tuple[Tuple[str, str], ...] = ()
+    #: wall time of the successful attempt on the completing host
+    #: (run fact: per-host latency, never part of any digest)
+    wall_seconds: float = 0.0
 
     @property
     def retried(self) -> bool:
@@ -92,6 +99,9 @@ class DispatchOutcome:
     #: serving thread fails or completes, never both); the counter
     #: exists for transports that can complete late
     duplicates: int = 0
+    #: per-host ``/metrics`` documents pulled after the dispatch from
+    #: hosts that expose one (observability only, never digested)
+    host_metrics: Dict[str, Dict] = field(default_factory=dict)
 
     @property
     def retries(self) -> int:
@@ -104,6 +114,20 @@ class DispatchOutcome:
         for run in self.runs:
             loads[run.host] = loads.get(run.host, 0) + 1
         return loads
+
+    def failure_counts(self) -> Dict[str, Dict[str, int]]:
+        """Failed attempts per host, split by failure kind.
+
+        The :data:`~.hosts.FAILURE_KINDS` taxonomy, preserved instead
+        of collapsed: ``{"w1": {"timeout": 2}, "w2": {"refused": 1}}``.
+        Hosts that never failed are absent.
+        """
+        counts: Dict[str, Dict[str, int]] = {}
+        for run in self.runs:
+            for host, kind in run.failure_kinds:
+                per_host = counts.setdefault(host, {})
+                per_host[kind] = per_host.get(kind, 0) + 1
+        return counts
 
     def log_lines(self) -> List[str]:
         """Human-readable dispatch trace (CLIs print it to stderr)."""
@@ -120,6 +144,17 @@ class DispatchOutcome:
             lines.extend(f"    failure: {reason}" for reason in run.failures)
         if self.duplicates:
             lines.append(f"  {self.duplicates} duplicate completion(s) dropped")
+        failures = self.failure_counts()
+        if failures:
+            rendered = "; ".join(
+                f"{host}: "
+                + ", ".join(
+                    f"{kind} x{count}"
+                    for kind, count in sorted(kinds.items())
+                )
+                for host, kinds in sorted(failures.items())
+            )
+            lines.append(f"  failure kinds: {rendered}")
         return lines
 
 
@@ -146,11 +181,12 @@ def merge_reports(reports: Sequence[RegressionReport]) -> RegressionReport:
 class _PendingShard:
     """One shard's place in the queue: its failure history travels with it."""
 
-    __slots__ = ("shard", "failures", "excluded")
+    __slots__ = ("shard", "failures", "failure_kinds", "excluded")
 
     def __init__(self, shard: Shard):
         self.shard = shard
         self.failures: List[str] = []
+        self.failure_kinds: List[Tuple[str, str]] = []   # (host, kind)
         self.excluded: Set[str] = set()    # host names that failed it
 
 
@@ -221,7 +257,11 @@ class ShardQueue:
                 self._condition.wait()
 
     def complete(
-        self, pending: _PendingShard, host_name: str, report: RegressionReport
+        self,
+        pending: _PendingShard,
+        host_name: str,
+        report: RegressionReport,
+        wall_seconds: float = 0.0,
     ) -> bool:
         """Record a finished shard; False = duplicate, result dropped."""
         with self._condition:
@@ -235,6 +275,8 @@ class ShardQueue:
                         host=host_name,
                         attempts=len(pending.failures) + 1,
                         failures=tuple(pending.failures),
+                        failure_kinds=tuple(pending.failure_kinds),
+                        wall_seconds=wall_seconds,
                     ),
                     report,
                 )
@@ -243,11 +285,18 @@ class ShardQueue:
             self._condition.notify_all()
             return accepted
 
-    def fail(self, pending: _PendingShard, host_name: str, reason: str) -> None:
+    def fail(
+        self,
+        pending: _PendingShard,
+        host_name: str,
+        reason: str,
+        kind: str = "transport",
+    ) -> None:
         """Re-queue a failed shard away from the host that failed it."""
         with self._condition:
             self._in_flight = max(0, self._in_flight - 1)
             pending.failures.append(f"{host_name}: {reason}")
+            pending.failure_kinds.append((host_name, kind))
             pending.excluded.add(host_name)
             if len(pending.failures) >= self._max_attempts:
                 self._error = DispatchError(
@@ -342,21 +391,26 @@ class ShardDispatcher:
             shard=shard, spec_file=spec_file, workers=self.workers_per_shard
         )
         failures: List[str] = []
+        failure_kinds: List[Tuple[str, str]] = []
         # start each shard on a different host so shards spread across
         # the pool; rotation then moves every retry to another host
         # (single-host pools retry the only host there is)
         for attempt in range(self.max_attempts):
             host = self.hosts[(shard.index + attempt) % len(self.hosts)]
+            attempt_started = time.perf_counter()
             try:
                 report = host.run_shard(work)
             except HostFailure as exc:
                 failures.append(f"{exc.host}: {exc.reason}")
+                failure_kinds.append((exc.host, exc.kind))
                 continue
             run = ShardRun(
                 shard=shard,
                 host=host.name,
                 attempts=len(failures) + 1,
                 failures=tuple(failures),
+                failure_kinds=tuple(failure_kinds),
+                wall_seconds=time.perf_counter() - attempt_started,
             )
             return run, report
         raise DispatchError(
@@ -385,10 +439,11 @@ class ShardDispatcher:
                 spec_file=spec_file,
                 workers=self.workers_per_shard,
             )
+            attempt_started = time.perf_counter()
             try:
                 report = host.run_shard(work)
             except HostFailure as exc:
-                queue.fail(pending, host.name, exc.reason)
+                queue.fail(pending, host.name, exc.reason, kind=exc.kind)
             except Exception as exc:  # noqa: BLE001 -- a crashed server thread must abort, not hang, the dispatch
                 queue.abort(
                     DispatchError(
@@ -398,7 +453,12 @@ class ShardDispatcher:
                 )
                 return
             else:
-                queue.complete(pending, host.name, report)
+                queue.complete(
+                    pending,
+                    host.name,
+                    report,
+                    wall_seconds=time.perf_counter() - attempt_started,
+                )
 
     def _run_stealing(
         self, live: Sequence[Shard], spec_file: str
@@ -429,6 +489,23 @@ class ShardDispatcher:
 
     def run(self) -> DispatchOutcome:
         """Plan, dispatch under the configured schedule, merge, report."""
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "dispatch.run",
+                "dispatch",
+                shards=self.shards,
+                hosts=len(self.hosts),
+                schedule=self.schedule,
+            ) as span:
+                outcome = self._run()
+                span.set(
+                    retries=outcome.retries, duplicates=outcome.duplicates
+                )
+                self._emit_observability(outcome, span.span_id)
+            return outcome
+        return self._run()
+
+    def _run(self) -> DispatchOutcome:
         started = time.perf_counter()
         plan = plan_shards(self.specs, self.shards)
         live = [shard for shard in plan if shard.specs]
@@ -459,4 +536,56 @@ class ShardDispatcher:
             plan_fingerprint=plan_digest(plan),
             schedule=self.schedule,
             duplicates=self._last_duplicates,
+            host_metrics=self._fetch_host_metrics(),
         )
+
+    def _fetch_host_metrics(self) -> Dict[str, Dict]:
+        """Best-effort ``/metrics`` pull from every capable host."""
+        documents: Dict[str, Dict] = {}
+        for host in self.hosts:
+            fetch = getattr(host, "fetch_metrics", None)
+            if fetch is None:
+                continue
+            doc = fetch()
+            if doc is not None:
+                documents[host.name] = doc
+        return documents
+
+    def _emit_observability(
+        self, outcome: DispatchOutcome, parent_id: Optional[int]
+    ) -> None:
+        """Fold the finished dispatch into the tracer and registry.
+
+        Shard lifecycle becomes synthetic ``dispatch.shard/...`` spans
+        under the ``dispatch.run`` span (attempt counts, completing
+        host, measured wall time); retry/steal/duplicate totals and the
+        per-host latency histogram go to the metrics registry.
+        """
+        if OBS.tracer.enabled:
+            for run in outcome.runs:
+                OBS.tracer.record(
+                    f"dispatch.shard/{run.shard.label}",
+                    "dispatch",
+                    run.wall_seconds,
+                    parent_id=parent_id,
+                    shard=run.shard.label,
+                    host=run.host,
+                    attempts=run.attempts,
+                    specs=len(run.shard),
+                )
+        if OBS.metrics.enabled:
+            registry = OBS.metrics
+            registry.counter("dispatch.shards_completed").inc(
+                len(outcome.runs)
+            )
+            registry.counter("dispatch.retries").inc(outcome.retries)
+            registry.counter("dispatch.duplicates").inc(outcome.duplicates)
+            for run in outcome.runs:
+                registry.histogram(
+                    "dispatch.shard_seconds", host=run.host
+                ).observe(run.wall_seconds)
+            for host, kinds in outcome.failure_counts().items():
+                for kind, count in kinds.items():
+                    registry.counter(
+                        "dispatch.host_failures", host=host, kind=kind
+                    ).inc(count)

@@ -52,14 +52,39 @@ class ShardWork:
     workers: Optional[int] = None     # per-host worker processes
 
 
-class HostFailure(RuntimeError):
-    """A host (not the regression) failed: crash, timeout, bad output."""
+#: The failure-kind taxonomy (``HostFailure.kind``).  The dispatcher
+#: keeps these as per-host counters (``DispatchOutcome.failure_counts``)
+#: instead of collapsing every failure into one retry path.
+FAILURE_KINDS = (
+    "refused",          # connection refused (worker not listening)
+    "reset",            # connection reset mid-transfer
+    "timeout",          # transport or subprocess deadline exceeded
+    "non-200",          # worker answered with an HTTP error status
+    "garbage-json",     # body/stdout did not parse as a shard report
+    "digest-mismatch",  # report parsed but failed digest verification
+    "spawn",            # subprocess could not even start
+    "killed",           # subprocess died on a signal
+    "bad-report",       # report parsed and verified but is incoherent
+    "transport",        # other transport-level failure (DNS, ...)
+)
 
-    def __init__(self, host: str, shard_label: str, reason: str):
+
+class HostFailure(RuntimeError):
+    """A host (not the regression) failed: crash, timeout, bad output.
+
+    ``kind`` classifies the failure into the :data:`FAILURE_KINDS`
+    taxonomy so the dispatcher can count *why* hosts fail, per host,
+    rather than only that they did.
+    """
+
+    def __init__(
+        self, host: str, shard_label: str, reason: str, kind: str = "transport"
+    ):
         super().__init__(f"{host} failed on {shard_label}: {reason}")
         self.host = host
         self.shard_label = shard_label
         self.reason = reason
+        self.kind = kind
 
 
 @runtime_checkable
@@ -160,14 +185,19 @@ class LocalSubprocessHost:
                 text=True,
             )
         except OSError as exc:
-            raise HostFailure(self.name, label, f"spawn failed: {exc}") from exc
+            raise HostFailure(
+                self.name, label, f"spawn failed: {exc}", kind="spawn"
+            ) from exc
         try:
             self._started(process)
             try:
                 stdout, stderr = process.communicate(timeout=self.timeout)
             except subprocess.TimeoutExpired as exc:
                 raise HostFailure(
-                    self.name, label, f"timed out after {self.timeout}s"
+                    self.name,
+                    label,
+                    f"timed out after {self.timeout}s",
+                    kind="timeout",
                 ) from exc
         finally:
             # every exit from this block must leave the child reaped --
@@ -178,7 +208,10 @@ class LocalSubprocessHost:
                 process.communicate()
         if process.returncode < 0:
             raise HostFailure(
-                self.name, label, f"killed by signal {-process.returncode}"
+                self.name,
+                label,
+                f"killed by signal {-process.returncode}",
+                kind="killed",
             )
         try:
             doc = json.loads(stdout)
@@ -189,11 +222,15 @@ class LocalSubprocessHost:
                 self.name,
                 label,
                 f"unparseable report (exit {process.returncode}): {tail}",
+                kind="garbage-json",
             ) from exc
         report = RegressionReport.from_json(doc)
         if report.digest() != doc.get("digest"):
             raise HostFailure(
-                self.name, label, "shard report failed digest verification"
+                self.name,
+                label,
+                "shard report failed digest verification",
+                kind="digest-mismatch",
             )
         return report
 

@@ -21,6 +21,7 @@ string into a host pool.
 from __future__ import annotations
 
 import json
+import socket
 import urllib.error
 import urllib.request
 from typing import List, Optional
@@ -74,12 +75,16 @@ class HttpHost:
                 self.name,
                 label,
                 f"worker returned HTTP {exc.code}" + (f": {detail}" if detail else ""),
+                kind="non-200",
             ) from exc
         except (urllib.error.URLError, OSError) as exc:
             # refused / reset / timed out / DNS -- the machine is gone
             reason = getattr(exc, "reason", exc)
             raise HostFailure(
-                self.name, label, f"transport failed: {reason}"
+                self.name,
+                label,
+                f"transport failed: {reason}",
+                kind=_transport_kind(exc),
             ) from exc
 
     def run_shard(self, work: ShardWork) -> RegressionReport:
@@ -103,11 +108,17 @@ class HttpHost:
             report = RegressionReport.from_json(doc)
         except (KeyError, TypeError, ValueError) as exc:
             raise HostFailure(
-                self.name, shard.label, f"unparseable shard report: {exc}"
+                self.name,
+                shard.label,
+                f"unparseable shard report: {exc}",
+                kind="garbage-json",
             ) from exc
         if report.digest() != doc.get("digest"):
             raise HostFailure(
-                self.name, shard.label, "shard report failed digest verification"
+                self.name,
+                shard.label,
+                "shard report failed digest verification",
+                kind="digest-mismatch",
             )
         if len(report.verdicts) != len(shard.specs):
             raise HostFailure(
@@ -115,6 +126,7 @@ class HttpHost:
                 shard.label,
                 f"worker returned {len(report.verdicts)} verdicts "
                 f"for {len(shard.specs)} specs",
+                kind="bad-report",
             )
         return report
 
@@ -128,8 +140,45 @@ class HttpHost:
         except Exception:  # noqa: BLE001 -- a probe never raises
             return False
 
+    def fetch_metrics(self) -> Optional[dict]:
+        """Pull the worker's ``/metrics`` document; None on any problem.
+
+        Best-effort like :meth:`healthy`: observability must never turn
+        a finished dispatch into a failure, so a dead or pre-metrics
+        worker simply yields nothing for the fleet aggregate.
+        """
+        try:
+            with urllib.request.urlopen(
+                f"http://{self.address}/metrics", timeout=min(self.timeout, 5.0)
+            ) as response:
+                doc = json.loads(response.read())
+        except Exception:  # noqa: BLE001 -- a probe never raises
+            return None
+        metrics = doc.get("metrics")
+        return metrics if isinstance(metrics, dict) else None
+
     def __repr__(self) -> str:
         return f"HttpHost({self.address!r})"
+
+
+def _transport_kind(exc: Exception) -> str:
+    """Classify a URLError/OSError into the failure-kind taxonomy."""
+    causes = [exc, getattr(exc, "reason", None), exc.__cause__]
+    for cause in causes:
+        if isinstance(cause, ConnectionRefusedError):
+            return "refused"
+        if isinstance(cause, ConnectionResetError):
+            return "reset"
+        if isinstance(cause, (TimeoutError, socket.timeout)):
+            return "timeout"
+    text = str(exc).lower()
+    if "refused" in text:
+        return "refused"
+    if "reset" in text:
+        return "reset"
+    if "timed out" in text or "timeout" in text:
+        return "timeout"
+    return "transport"
 
 
 def _checked_address(text: str) -> str:

@@ -23,6 +23,14 @@ Endpoints (see ``docs/dispatch.md`` for the full wire contract):
     ``200 {"ok": true, "shards_served": n}`` -- dispatcher-side
     liveness probes and readiness polling.
 
+``GET /metrics``
+    ``200 {"ok": true, "metrics": {...}}`` -- the worker's own
+    counters and fixed-bucket histograms
+    (:meth:`repro.obs.MetricsRegistry.to_json` wire shape: shards and
+    scenarios served, failures, transactions, per-shard latency).  The
+    dispatcher pulls these after a dispatch and folds them into the
+    fleet aggregate in the session report's ``observability`` section.
+
 The process writes exactly one line to stdout when it is ready to
 serve (``repro-worker listening on http://HOST:PORT``) so a parent
 that spawned it with ``--port 0`` can parse the ephemeral port;
@@ -38,11 +46,13 @@ import argparse
 import json
 import sys
 import threading
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Sequence
 
 from ..cliutil import route_warnings_to_stderr
+from ..obs.metrics import MetricsRegistry
 
 #: Wire-format version the worker speaks; requests carrying a higher
 #: version are rejected rather than half-understood.
@@ -53,13 +63,17 @@ class WorkerError(ValueError):
     """A /run request the worker understood enough to refuse (-> 400)."""
 
 
-def run_shard_request(body: Dict[str, Any]) -> Dict[str, Any]:
+def run_shard_request(
+    body: Dict[str, Any], metrics: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
     """Execute one ``POST /run`` body and return the report wire form.
 
     Pure request -> response: no HTTP in sight, which is what the
     in-process tests exercise.  Raises :class:`WorkerError` for a
     malformed body; anything else propagating out is a genuine worker
-    crash and maps to a 500.
+    crash and maps to a 500.  ``metrics`` (the serving daemon's own
+    registry, never the process-global one) receives the worker-side
+    counters the ``GET /metrics`` endpoint reports.
     """
     # imported lazily so `--help` and handler import stay instant
     from ..scenarios.regression import RegressionRunner, ScenarioSpec
@@ -84,9 +98,18 @@ def run_shard_request(body: Dict[str, Any]) -> Dict[str, Any]:
     # spawn, not fork: this runs on a handler thread of a threading
     # HTTP server, and forking a pool while another handler thread may
     # hold a lock (stderr logging, imports) can deadlock the child
+    started = time.perf_counter()
     report = RegressionRunner(
         specs, workers=workers, mp_start_method="spawn" if workers > 1 else None
     ).run()
+    if metrics is not None:
+        metrics.counter("worker.shards_served").inc()
+        metrics.counter("worker.scenarios_run").inc(len(report.verdicts))
+        metrics.counter("worker.scenarios_failed").inc(len(report.failed))
+        metrics.counter("worker.transactions").inc(report.transactions)
+        metrics.histogram("worker.shard_seconds").observe(
+            time.perf_counter() - started
+        )
     doc = report.to_json()
     doc["shard"] = {"index": shard.get("index"), "of": shard.get("of")}
     return doc
@@ -107,7 +130,12 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
-        """Health probe: anything GET answers liveness."""
+        """Health probe and metrics export."""
+        if self.path == "/metrics":
+            self._respond(
+                200, {"ok": True, "metrics": self.server.metrics.to_json()}
+            )
+            return
         if self.path not in ("/", "/healthz"):
             self._respond(404, {"error": f"unknown path {self.path!r}"})
             return
@@ -127,7 +155,7 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
             self._respond(400, {"error": f"unparseable request body: {exc}"})
             return
         try:
-            doc = run_shard_request(body)
+            doc = run_shard_request(body, metrics=self.server.metrics)
         except WorkerError as exc:
             self._respond(400, {"error": str(exc)})
             return
@@ -154,6 +182,10 @@ class _WorkerServer(ThreadingHTTPServer):
     def __init__(self, address, handler):
         super().__init__(address, handler)
         self.shards_served = 0
+        # the daemon's own registry (not the process-global OBS one):
+        # an in-process worker embedded by tests must not leak its
+        # counters into -- or read them from -- the embedding run
+        self.metrics = MetricsRegistry(enabled=True)
 
 
 @dataclass

@@ -1,0 +1,57 @@
+"""Zero-dependency tracing + metrics for the repro stack.
+
+Three modules:
+
+* :mod:`repro.obs.tracer` -- nested wall-clock spans with JSONL export
+  (fold them with ``tools/trace_report.py``);
+* :mod:`repro.obs.metrics` -- counters and fixed-bucket histograms
+  whose JSON documents merge exactly (fleet aggregation);
+* :mod:`repro.obs.runtime` -- the process-global ``OBS`` switch every
+  instrumentation site guards on (one attribute check when disabled).
+
+The digest contract: nothing collected here may influence any report
+digest.  Spans and metrics ride in trace files, stderr summaries, and
+the non-digested ``observability`` section of ``SessionReport`` only.
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKET_EDGES,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_metric_docs,
+    metric_name,
+    render_metrics,
+)
+from .runtime import (
+    OBS,
+    current_tracer,
+    disable,
+    enable_metrics,
+    enable_tracing,
+    metrics_active,
+    tracing_active,
+)
+from .tracer import NullTracer, Span, Tracer, iter_trace_lines
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "DEFAULT_BUCKET_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "disable",
+    "enable_metrics",
+    "enable_tracing",
+    "iter_trace_lines",
+    "merge_metric_docs",
+    "metric_name",
+    "metrics_active",
+    "render_metrics",
+    "tracing_active",
+]

@@ -1,0 +1,225 @@
+"""Metrics registry: counters + fixed-bucket histograms, merge-friendly.
+
+Two instrument kinds, both with a flat string name plus optional
+labels rendered into the name (``dispatch.shard_seconds{host=w1}``):
+
+* :class:`Counter` -- a monotonically increasing float/int total;
+* :class:`Histogram` -- observation counts over *fixed* bucket edges
+  (:data:`DEFAULT_BUCKET_EDGES`), plus sum and count.
+
+Fixed edges are the point: two registries that observed different
+samples still have elementwise-addable bucket vectors, so the
+dispatcher can fold every worker's ``GET /metrics`` document into one
+fleet aggregate (:func:`merge_metric_docs`) deterministically --
+no quantile sketches, no approximation drift.
+
+The JSON wire shape (``MetricsRegistry.to_json``) is::
+
+    {"counters": {name: value, ...},
+     "histograms": {name: {"edges": [...], "buckets": [...],
+                           "count": n, "sum": s}, ...}}
+
+Everything here is wall-clock/count telemetry and must never feed a
+report digest; the workbench stores it in the non-digested
+``observability`` section only.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+#: Shared histogram bucket upper bounds, in seconds.  Chosen to span
+#: monitor-step micro-costs through multi-second shard runs; the last
+#: bucket is an implicit +Inf.
+DEFAULT_BUCKET_EDGES = (
+    0.000001,
+    0.00001,
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+
+def metric_name(base: str, **labels: Any) -> str:
+    """Render ``base`` plus sorted ``key=value`` labels into one name.
+
+    ``metric_name("x.seconds", host="w1")`` -> ``"x.seconds{host=w1}"``.
+    Sorting keeps the name stable regardless of call-site kwarg order,
+    which keeps merged documents canonical.
+    """
+    if not labels:
+        return base
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{base}{{{rendered}}}"
+
+
+class Counter:
+    """A named monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the total."""
+        self.value += amount
+
+
+class Histogram:
+    """Observation counts over fixed bucket edges, plus sum/count.
+
+    ``buckets[i]`` counts observations ``<= edges[i]``; one extra
+    overflow bucket counts the rest.  Edges are fixed at construction
+    so histograms from different processes merge elementwise.
+    """
+
+    __slots__ = ("name", "edges", "buckets", "count", "sum")
+
+    def __init__(
+        self, name: str, edges: Iterable[float] = DEFAULT_BUCKET_EDGES
+    ) -> None:
+        self.name = name
+        self.edges = tuple(edges)
+        self.buckets = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                index = i
+                break
+        self.buckets[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def to_json(self) -> Dict[str, Any]:
+        """Wire form: edges, bucket counts, count, sum."""
+        return {
+            "edges": list(self.edges),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home for one process's counters and histograms.
+
+    Disabled registries (``enabled=False``) still accept ``counter``/
+    ``histogram`` calls -- they return live instruments that are just
+    never exported -- but guarded call sites should check
+    ``OBS.enabled`` first and skip the call entirely.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, base: str, **labels: Any) -> Counter:
+        """Get-or-create the counter named ``base`` + labels."""
+        name = metric_name(base, **labels)
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def histogram(
+        self,
+        base: str,
+        edges: Iterable[float] = DEFAULT_BUCKET_EDGES,
+        **labels: Any,
+    ) -> Histogram:
+        """Get-or-create the histogram named ``base`` + labels."""
+        name = metric_name(base, **labels)
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, edges)
+            return instrument
+
+    def to_json(self) -> Dict[str, Any]:
+        """The whole registry as the documented JSON wire shape."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "histograms": {
+                    name: h.to_json()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+
+def merge_metric_docs(
+    docs: Iterable[Optional[Mapping[str, Any]]]
+) -> Dict[str, Any]:
+    """Fold several registry documents into one aggregate document.
+
+    Counters sum; histograms sum elementwise (their ``edges`` must
+    match -- fixed edges are the contract that makes this exact).
+    ``None`` entries (hosts whose /metrics probe failed) are skipped.
+    """
+    counters: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for doc in docs:
+        if not doc:
+            continue
+        for name, value in doc.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, hist in doc.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "edges": list(hist["edges"]),
+                    "buckets": list(hist["buckets"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                }
+                continue
+            if list(hist["edges"]) != merged["edges"]:
+                raise ValueError(
+                    f"histogram {name!r} bucket edges differ across documents"
+                )
+            merged["buckets"] = [
+                a + b for a, b in zip(merged["buckets"], hist["buckets"])
+            ]
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def render_metrics(doc: Mapping[str, Any]) -> str:
+    """Human-readable text rendering of a registry document.
+
+    One line per counter (``name value``) and per histogram
+    (``name count=N sum=S mean=M``), sorted by name -- the shape the
+    CLI prints to stderr under ``--metrics``.
+    """
+    lines: List[str] = []
+    for name, value in sorted(doc.get("counters", {}).items()):
+        rendered = int(value) if float(value).is_integer() else value
+        lines.append(f"{name} {rendered}")
+    for name, hist in sorted(doc.get("histograms", {}).items()):
+        count = hist.get("count", 0)
+        total = hist.get("sum", 0.0)
+        mean = total / count if count else 0.0
+        lines.append(f"{name} count={count} sum={total:.6f} mean={mean:.6f}")
+    return "\n".join(lines)

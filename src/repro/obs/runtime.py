@@ -1,0 +1,106 @@
+"""Process-global observability switch: the one attribute hot paths check.
+
+Instrumented code must stay effectively free when observability is off,
+so every instrumentation site is guarded by a single attribute read::
+
+    from ..obs.runtime import OBS
+
+    if OBS.enabled:
+        with OBS.tracer.span("sysc.kernel.run", "sysc.kernel"):
+            ...
+
+``OBS`` is a module-level singleton of :class:`ObservabilityState`.
+``OBS.enabled`` is ``False`` until :func:`enable_tracing` or
+:func:`enable_metrics` flips it, at which point ``OBS.tracer`` /
+``OBS.metrics`` are live collectors.  :func:`disable` restores the
+no-op state (tests and in-process CLI runs use it so one run never
+leaks spans into the next).
+
+The flag is process-wide on purpose: worker subprocesses spawned by
+the multiprocessing or dispatch layers start with observability off,
+which is exactly the digest-invariance contract -- collectors never
+feed report digests, so whether a child process collects or not is
+invisible to the wire forms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracer import NullTracer, Tracer
+
+
+class ObservabilityState:
+    """Mutable holder for the process-wide tracer + metrics registry.
+
+    Slotted so the hot-path guard (``OBS.enabled``) is a plain slot
+    read.  ``tracer`` is always usable: a :class:`NullTracer` when
+    disabled, a live :class:`Tracer` when enabled, so instrumentation
+    never needs a ``None`` check.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: Tracer = NullTracer()
+        self.metrics = MetricsRegistry(enabled=False)
+
+
+#: The process-wide observability state; import this, not the class.
+OBS = ObservabilityState()
+
+
+def enable_tracing() -> Tracer:
+    """Install a live span tracer and flip ``OBS.enabled`` on.
+
+    Idempotent: if a live tracer is already installed it is returned
+    unchanged, so ``--trace`` plus ``--metrics`` share one run's spans.
+    """
+    if not OBS.tracer.enabled:
+        OBS.tracer = Tracer()
+    OBS.enabled = True
+    return OBS.tracer
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install a live metrics registry and flip ``OBS.enabled`` on.
+
+    Idempotent like :func:`enable_tracing`; the existing registry is
+    kept when already live.
+    """
+    if not OBS.metrics.enabled:
+        OBS.metrics = MetricsRegistry(enabled=True)
+    OBS.enabled = True
+    return OBS.metrics
+
+
+def disable() -> None:
+    """Restore the no-op state (NullTracer, disabled registry).
+
+    Safe to call unconditionally; in-process callers should pair every
+    enable with a ``finally: disable()`` so test runs stay isolated.
+    """
+    OBS.enabled = False
+    OBS.tracer = NullTracer()
+    OBS.metrics = MetricsRegistry(enabled=False)
+
+
+def tracing_active() -> bool:
+    """True when a live (non-null) tracer is installed."""
+    return OBS.tracer.enabled
+
+
+def metrics_active() -> bool:
+    """True when a live metrics registry is installed."""
+    return OBS.metrics.enabled
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The live tracer, or ``None`` when tracing is off.
+
+    Convenience for call sites that want to export (``dump``) rather
+    than record; recording sites should use ``OBS.tracer`` directly.
+    """
+    return OBS.tracer if OBS.tracer.enabled else None

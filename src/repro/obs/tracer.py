@@ -1,0 +1,308 @@
+"""Span tracer: nested wall-clock spans with JSON-lines export.
+
+A *span* is a named interval with a component tag, monotonic start
+offset, duration, parent link, and free-form attributes.  The tracer
+hands them out two ways:
+
+* :meth:`Tracer.span` -- a context manager that times its body and
+  nests under whatever span is open on the current thread;
+* :meth:`Tracer.record` -- a synthetic span for time measured
+  elsewhere (e.g. per-monitor step time accumulated by
+  ``psl.monitor`` and attributed at harness finish).
+
+Spans are collected in memory and exported as JSON lines
+(:meth:`Tracer.to_jsonl` / :meth:`Tracer.dump`), one object per line,
+so ``tools/trace_report.py`` and plain ``jq`` can both fold them.
+Clocks are ``time.perf_counter`` throughout -- durations are
+monotonic-true, and ``start_s`` is an offset from tracer creation,
+not an epoch timestamp, which keeps traces reproducible-looking and
+diff-friendly.
+
+The disabled path is :class:`NullTracer`: ``span()`` returns a shared
+no-op context manager and ``record()`` is a pass, so guarded call
+sites (``if OBS.enabled:``) pay one attribute check and unguarded
+ones two cheap calls.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One named, timed interval in a trace.
+
+    Attributes mirror the JSONL wire form: ``span_id`` / ``parent_id``
+    link the tree, ``name`` is the specific operation, ``component``
+    the coarse bucket ``trace_report`` groups by (``sysc.kernel``,
+    ``psl.monitor``, ``scenarios``, ``dispatch``, ``workbench``),
+    ``start_s`` / ``duration_s`` the perf-counter interval, and
+    ``attrs`` free-form JSON-safe details (model, seed, property, ...).
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "component",
+        "start_s",
+        "duration_s",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        component: str,
+        start_s: float,
+        duration_s: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.component = component
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.attrs = attrs
+
+    def to_json(self) -> Dict[str, Any]:
+        """The span as one JSON-safe dict (one JSONL line)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "component": self.component,
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "attrs": self.attrs,
+        }
+
+
+class _ActiveSpan:
+    """Context manager returned by :meth:`Tracer.span`.
+
+    Exposes ``span_id`` while open (so children recorded elsewhere can
+    parent under it) and ``set`` for attributes only known at exit.
+    """
+
+    __slots__ = ("_tracer", "span_id", "name", "component", "attrs", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, component: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = tracer._next_id()
+        self.name = name
+        self.component = component
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self, duration)
+
+
+class _NullSpan:
+    """Shared no-op stand-in for :class:`_ActiveSpan` when disabled."""
+
+    __slots__ = ()
+    span_id = None
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (disabled tracer)."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans for one process; thread-safe, export-on-demand.
+
+    Each thread keeps its own open-span stack (``threading.local``) so
+    multiprocessing fallbacks and the threaded dispatch loop nest
+    correctly without cross-talk; the finished-span list and the id
+    counter are shared under one lock.
+    """
+
+    #: Live tracers record; the NullTracer overrides this to False.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = 0
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- recording ----------------------------------------------------
+
+    def span(self, name: str, component: str, **attrs: Any) -> _ActiveSpan:
+        """Open a timed span; use as a context manager.
+
+        ``name`` is the operation (``scenarios.run_scenario``),
+        ``component`` the report bucket, ``attrs`` anything JSON-safe.
+        """
+        return _ActiveSpan(self, name, component, dict(attrs))
+
+    def record(
+        self,
+        name: str,
+        component: str,
+        duration_s: float,
+        parent_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Append a synthetic span for time measured out-of-band.
+
+        Returns the new span id.  ``start_s`` is the moment of the
+        call minus ``duration_s`` -- close enough for attribution,
+        which only folds durations, never orders synthetic spans.
+        """
+        now = time.perf_counter() - self._epoch
+        span = Span(
+            self._next_id(),
+            parent_id if parent_id is not None else self.current_span_id(),
+            name,
+            component,
+            max(now - duration_s, 0.0),
+            duration_s,
+            dict(attrs),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span.span_id
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    # -- internal plumbing for _ActiveSpan ----------------------------
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._ids += 1
+            return self._ids
+
+    def _push(self, active: _ActiveSpan) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        active.attrs.setdefault("_parent", self.current_span_id())
+        stack.append(active)
+
+    def _pop(self, active: _ActiveSpan, duration: float) -> None:
+        stack = self._local.stack
+        if stack and stack[-1] is active:
+            stack.pop()
+        parent = active.attrs.pop("_parent", None)
+        span = Span(
+            active.span_id,
+            parent,
+            active.name,
+            active.component,
+            time.perf_counter() - self._epoch - duration,
+            duration,
+            active.attrs,
+        )
+        with self._lock:
+            self._spans.append(span)
+
+    # -- export -------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Snapshot of all finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines (one span object per line)."""
+        lines = [
+            json.dumps(span.to_json(), sort_keys=True) for span in self.spans()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump(self, path: str) -> int:
+        """Write the trace to ``path`` as JSONL; returns span count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(self.spans())
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    Installed by default (see :mod:`repro.obs.runtime`); call sites
+    that skip the ``OBS.enabled`` guard still only pay a method call
+    returning a shared singleton context manager.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # no lock, no storage
+        pass
+
+    def span(self, name: str, component: str, **attrs: Any) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def record(
+        self,
+        name: str,
+        component: str,
+        duration_s: float,
+        parent_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Discard the synthetic span."""
+        return None
+
+    def current_span_id(self) -> None:
+        """Always ``None``: nothing is ever open."""
+        return None
+
+    def spans(self) -> List[Span]:
+        """Always empty."""
+        return []
+
+    def to_jsonl(self) -> str:
+        """Always the empty string."""
+        return ""
+
+    def dump(self, path: str) -> int:
+        """Write an empty trace; returns 0."""
+        with open(path, "w", encoding="utf-8"):
+            pass
+        return 0
+
+
+def iter_trace_lines(text: str) -> Iterator[Dict[str, Any]]:
+    """Parse JSONL trace text back into span dicts, skipping blanks."""
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            yield json.loads(line)

@@ -30,8 +30,10 @@ Two implementation strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter as _perf_counter
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.runtime import OBS
 from .ast_nodes import (
     Const,
     Directive,
@@ -328,6 +330,10 @@ class Monitor:
         self.cycle = -1
         self._verdict = Verdict.HOLDS
         self.failure_cycle: Optional[int] = None
+        #: observability accumulators (attributed per property by the
+        #: ABV harness at finish time; zero-cost unless OBS is enabled)
+        self.steps_traced = 0
+        self.step_seconds = 0.0
 
     # -- protocol ---------------------------------------------------------
 
@@ -335,13 +341,21 @@ class Monitor:
         self.cycle = -1
         self._verdict = Verdict.HOLDS
         self.failure_cycle = None
+        self.steps_traced = 0
+        self.step_seconds = 0.0
 
     def step(self, letter: Letter) -> Verdict:
         """Consume one cycle of design state; return the running verdict."""
         self.cycle += 1
         if self.latch_definite and self._verdict.is_definite:
             return self._verdict
-        self._verdict = self._advance(letter)
+        if OBS.enabled:
+            started = _perf_counter()
+            self._verdict = self._advance(letter)
+            self.step_seconds += _perf_counter() - started
+            self.steps_traced += 1
+        else:
+            self._verdict = self._advance(letter)
         if self._verdict is Verdict.FAILS and self.failure_cycle is None:
             self.failure_cycle = self.cycle
         return self._verdict

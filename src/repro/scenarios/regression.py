@@ -48,11 +48,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cliutil import (
     add_hosts_argument,
+    add_observability_arguments,
+    observability_scope,
     positive_int,
     reject_hosts_conflict,
     route_warnings_to_stderr,
     shard_coordinate,
 )
+from ..obs.runtime import OBS
 from ..workbench.engines import Engine, resolve_engine
 from .coverage_driven import BinCoverage
 from .directed import DirectedSequence, TransactionGoal
@@ -267,22 +270,38 @@ def _attach_monitors(spec: ScenarioSpec, system):
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
     """Execute one spec end to end (the multiprocessing work unit)."""
+    if OBS.enabled:
+        with OBS.tracer.span(
+            "scenarios.run_scenario",
+            "scenarios",
+            model=spec.model,
+            label=spec.label,
+            seed=spec.seed,
+        ) as span:
+            verdict = _run_scenario(spec)
+            span.set(transactions=verdict.transactions, ok=verdict.ok)
+        return verdict
+    return _run_scenario(spec)
+
+
+def _run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
     started = time.perf_counter()
     system = _build_system(spec)
     harness = _attach_monitors(spec, system) if spec.with_monitors else None
     system.run_cycles(spec.cycles)
     if harness is not None:
         harness.finish()
-    report = system.check(spec.label)
-    stream = system.transaction_stream()
+    with OBS.tracer.span("scenarios.check", "scenarios", label=spec.label):
+        report = system.check(spec.label)
+        stream = system.transaction_stream()
+        records = system.records()
+        ctx, window, base = system.coverage_context()
+        bins = BinCoverage(ctx)
+        bins.record_many((txn for txn, _ in records), window, base)
     failed = tuple(
         binding.monitor.name for binding in (harness.failed if harness else [])
     )
     wall = time.perf_counter() - started
-    records = system.records()
-    ctx, window, base = system.coverage_context()
-    bins = BinCoverage(ctx)
-    bins.record_many((txn for txn, _ in records), window, base)
     events = (
         tuple((m, a, tuple(args)) for m, a, args in system.fsm_events())
         if spec.track_fsm
@@ -519,6 +538,20 @@ class RegressionRunner:
         self.mp_start_method = mp_start_method
 
     def run(self) -> RegressionReport:
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "scenarios.regression",
+                "scenarios",
+                scenarios=len(self.specs),
+                workers=self.workers,
+            ) as span:
+                report = self._run()
+                span.set(ok=report.ok, failed=len(report.failed))
+            self._record_metrics(report)
+            return report
+        return self._run()
+
+    def _run(self) -> RegressionReport:
         started = time.perf_counter()
         report = RegressionReport(workers=self.workers)
         results = self.engine.imap(run_scenario, self.specs)
@@ -540,6 +573,28 @@ class RegressionRunner:
         report.verdicts.sort(key=lambda v: (v.spec.model, v.spec.seed, v.spec.label))
         report.wall_seconds = time.perf_counter() - started
         return report
+
+    def _record_metrics(self, report: RegressionReport) -> None:
+        """Fold the finished report into the metrics registry.
+
+        Counted on the aggregation side (not inside ``run_scenario``)
+        so verdicts computed by remote hosts or worker subprocesses --
+        where the registry is off -- still show up, exactly once.
+        """
+        if not OBS.metrics.enabled:
+            return
+        registry = OBS.metrics
+        registry.counter("scenarios.completed").inc(len(report.verdicts))
+        registry.counter("scenarios.failed").inc(len(report.failed))
+        registry.counter("scenarios.transactions").inc(report.transactions)
+        for verdict in report.verdicts:
+            registry.histogram("scenarios.wall_seconds").observe(
+                verdict.wall_seconds
+            )
+            for kind in verdict.mismatch_kinds:
+                registry.counter(
+                    "scenarios.scoreboard_divergence", kind=kind
+                ).inc()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -618,6 +673,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="merge per-shard --json reports into one canonical report",
     )
     add_hosts_argument(parser)
+    add_observability_arguments(parser)
     parser.add_argument(
         "--json",
         action="store_true",
@@ -654,7 +710,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     # stdout carries exactly one report; shim warnings etc. go to stderr
     route_warnings_to_stderr()
+    # observability wraps every path below; digests are unaffected
+    with observability_scope(options):
+        return _cli_dispatch(options, cycles)
 
+
+def _cli_dispatch(options: argparse.Namespace, cycles: int) -> int:
     # imported here, not at module top: these build on this module
     from ..cliutil import emit_regression_report, load_shard_reports
     from ..dispatch import merge_reports

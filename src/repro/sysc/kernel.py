@@ -20,6 +20,7 @@ import time as _wall_time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from ..obs.runtime import OBS
 from .errors import DeltaCycleLimitExceeded, SimulationStopped, SyscError
 from .event import Event
 from .process_ import MethodProcess, Process, ThreadProcess
@@ -54,6 +55,10 @@ class Simulator:
         self.on_time_advance: List[Callable[["Simulator"], None]] = []
 
         self.stats = KernelStats()
+        #: span id of the most recent traced ``run()`` (None when
+        #: tracing is off) -- the ABV harness parents per-property
+        #: monitor spans under it so trace self-time folds correctly.
+        self.last_run_span_id: Optional[int] = None
 
     # -- registration ------------------------------------------------------------
 
@@ -162,6 +167,48 @@ class Simulator:
 
     def run(self, duration: Optional[int] = None) -> None:
         """Run for ``duration`` time units (None = until starvation)."""
+        if OBS.enabled:
+            self._run_observed(duration)
+            return
+        self._run(duration)
+
+    def _run_observed(self, duration: Optional[int]) -> None:
+        """Traced variant of :meth:`run`: one ``sysc.kernel.run`` span."""
+        before = self.stats.snapshot()
+        with OBS.tracer.span(
+            "sysc.kernel.run", "sysc.kernel", sim=self.name
+        ) as span:
+            self.last_run_span_id = span.span_id
+            try:
+                self._run(duration)
+            finally:
+                after = self.stats.snapshot()
+                span.set(
+                    delta_cycles=after["delta_cycles"] - before["delta_cycles"],
+                    process_runs=after["process_runs"] - before["process_runs"],
+                    signal_changes=(
+                        after["signal_changes"] - before["signal_changes"]
+                    ),
+                    time_advances=(
+                        after["time_advances"] - before["time_advances"]
+                    ),
+                    livelock_proximity=round(
+                        self.stats.max_deltas_per_instant
+                        / self.max_delta_cycles,
+                        6,
+                    ),
+                )
+        if OBS.metrics.enabled:
+            registry = OBS.metrics
+            registry.counter("sysc.kernel.delta_cycles").inc(
+                after["delta_cycles"] - before["delta_cycles"]
+            )
+            registry.counter("sysc.kernel.process_runs").inc(
+                after["process_runs"] - before["process_runs"]
+            )
+            registry.counter("sysc.kernel.runs").inc()
+
+    def _run(self, duration: Optional[int]) -> None:
         self.initialize()
         deadline = None if duration is None else self.time + duration
         started_wall = _wall_time.perf_counter()
@@ -207,6 +254,8 @@ class Simulator:
             self.delta_count += 1
             self.stats.delta_cycles += 1
             deltas_here += 1
+            if deltas_here > self.stats.max_deltas_per_instant:
+                self.stats.max_deltas_per_instant = deltas_here
             if deltas_here > self.max_delta_cycles:
                 raise DeltaCycleLimitExceeded(
                     f"{deltas_here} delta cycles at time {format_time(self.time)}"
@@ -282,6 +331,7 @@ class KernelStats:
         "signal_changes",
         "time_advances",
         "wall_seconds",
+        "max_deltas_per_instant",
     )
 
     def __init__(self):
@@ -290,6 +340,20 @@ class KernelStats:
         self.signal_changes = 0
         self.time_advances = 0
         self.wall_seconds = 0.0
+        #: deepest delta chain seen at one simulated instant; divided
+        #: by ``max_delta_cycles`` this is the livelock proximity the
+        #: kernel span reports.
+        self.max_deltas_per_instant = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The integer counters as a dict (for span before/after deltas)."""
+        return {
+            "process_runs": self.process_runs,
+            "delta_cycles": self.delta_cycles,
+            "signal_changes": self.signal_changes,
+            "time_advances": self.time_advances,
+            "max_deltas_per_instant": self.max_deltas_per_instant,
+        }
 
     def summary(self) -> str:
         return (

@@ -31,6 +31,7 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..abv.harness import AbvHarness, FailureAction
+from ..obs.runtime import OBS
 from ..explorer.engine import ExplorationResult, explore as run_exploration
 from ..explorer.fsm import Fsm
 from ..explorer.liveness import check_eventually
@@ -93,6 +94,10 @@ class Workbench:
         self._stages: List[StageResult] = []
         self._exploration: Optional[ExplorationResult] = None
         self._residue: Optional[CoverageResidue] = None
+        #: per-stage fleet /metrics aggregates (observability only,
+        #: never digested); populated by dispatching stages when the
+        #: engine's hosts expose a metrics endpoint
+        self._fleet_metrics: List[Dict[str, Any]] = []
 
     # -- session state ---------------------------------------------------------
 
@@ -102,8 +107,23 @@ class Workbench:
         return self._residue
 
     def report(self) -> SessionReport:
-        """The session so far: every stage result, one stable digest."""
-        return SessionReport(duv=self.duv.name, stages=list(self._stages))
+        """The session so far: every stage result, one stable digest.
+
+        When observability is enabled the report also carries a
+        non-digested ``observability`` section: the session's metrics
+        registry plus any per-stage fleet ``/metrics`` aggregates --
+        pure telemetry, guaranteed absent from the digest.
+        """
+        observability: Dict[str, Any] = {}
+        if OBS.metrics.enabled:
+            observability["metrics"] = OBS.metrics.to_json()
+        if self._fleet_metrics:
+            observability["fleet_metrics"] = list(self._fleet_metrics)
+        return SessionReport(
+            duv=self.duv.name,
+            stages=list(self._stages),
+            observability=observability,
+        )
 
     # -- stage plumbing ---------------------------------------------------------
 
@@ -115,7 +135,13 @@ class Workbench:
     ) -> StageResult:
         started = time.perf_counter()
         try:
-            result = impl(**kwargs)
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    f"workbench.{stage}", "workbench", duv=self.duv.name
+                ):
+                    result = impl(**kwargs)
+            else:
+                result = impl(**kwargs)
         except Exception as exc:  # noqa: BLE001 -- stages never raise; plans skip
             result = StageResult(
                 stage=stage,
@@ -414,6 +440,38 @@ class Workbench:
             return ShardedEngine(shards, workers_per_shard=workers)
         return resolve_engine(workers, n_specs)
 
+    def _dispatch_facts(self, outcome: Any, stage: str) -> Dict[str, Any]:
+        """Run facts for one finished dispatch (metrics-side only).
+
+        Everything here -- schedule, per-host loads, the per-host
+        failure-kind counters, duplicate completions -- describes *how*
+        the fan-out ran, never *what* it verified, so it rides in stage
+        ``metrics`` and stays outside the session digest.  When the
+        outcome carries fleet ``/metrics`` documents they are folded
+        into the session's ``observability`` section as well.
+        """
+        facts: Dict[str, Any] = {
+            "shards": len(outcome.runs),
+            "hosts": list(outcome.hosts),
+            "retries": outcome.retries,
+            "schedule": outcome.schedule,
+            "duplicates": outcome.duplicates,
+            "host_loads": outcome.host_loads(),
+            "failures": outcome.failure_counts(),
+        }
+        host_metrics = getattr(outcome, "host_metrics", None)
+        if host_metrics:
+            from ..obs.metrics import merge_metric_docs
+
+            self._fleet_metrics.append(
+                {
+                    "stage": stage,
+                    "hosts": host_metrics,
+                    "aggregate": merge_metric_docs(host_metrics.values()),
+                }
+            )
+        return facts
+
     # -- stage: scenario regression ----------------------------------------------
 
     def regress(
@@ -551,13 +609,7 @@ class Workbench:
             # run facts, not results: which hosts served which shards
             # (and how many retries it took) must not perturb the
             # engine-invariant session digest, so this lives in metrics
-            metrics["dispatch"] = {
-                "shards": len(outcome.runs),
-                "hosts": list(outcome.hosts),
-                "retries": outcome.retries,
-                "schedule": outcome.schedule,
-                "duplicates": outcome.duplicates,
-            }
+            metrics["dispatch"] = self._dispatch_facts(outcome, "regress")
         return StageResult(
             stage="regress",
             status=StageStatus.PASSED if report.ok else StageStatus.FAILED,
@@ -712,16 +764,9 @@ class Workbench:
             )
             outcome = getattr(engine, "last_outcome", None)
             if outcome is not None:
-                dispatch_metrics.append(
-                    {
-                        "round": round_index,
-                        "shards": len(outcome.runs),
-                        "hosts": list(outcome.hosts),
-                        "retries": outcome.retries,
-                        "schedule": outcome.schedule,
-                        "duplicates": outcome.duplicates,
-                    }
-                )
+                facts = self._dispatch_facts(outcome, "close_coverage")
+                facts["round"] = round_index
+                dispatch_metrics.append(facts)
             return sorted(achieved)
 
         loop = DirectedClosureLoop(

@@ -88,10 +88,18 @@ class StageResult:
 
 @dataclass
 class SessionReport:
-    """Everything one verification session produced, stage by stage."""
+    """Everything one verification session produced, stage by stage.
+
+    ``observability`` carries run telemetry (the session's metrics
+    registry, per-stage fleet ``/metrics`` aggregates) and is strictly
+    outside :meth:`digest` -- two sessions that verified identically
+    keep identical digests no matter what was traced or measured.
+    """
 
     duv: str
     stages: List[StageResult] = field(default_factory=list)
+    #: non-digested telemetry (populated only when observability is on)
+    observability: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -128,12 +136,15 @@ class SessionReport:
         return "\n".join(lines)
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "duv": self.duv,
             "ok": self.ok,
             "digest": self.digest(),
             "stages": [s.to_json() for s in self.stages],
         }
+        if self.observability:
+            doc["observability"] = self.observability
+        return doc
 
 
 # -- legacy flow-report dataclasses (re-exported by repro.flow) -----------------

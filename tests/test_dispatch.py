@@ -279,12 +279,17 @@ class TestShardedEngine:
         assert result.metrics["engine"] == "sharded"
         # run facts (which hosts, how many retries) are metrics, never
         # digest-bearing data -- see test_session_digest_is_engine_invariant
-        assert result.metrics["dispatch"] == {
+        facts = result.metrics["dispatch"]
+        # which host ran how many shards is a stealing-race outcome, so
+        # host_loads is only deterministic in total
+        assert sum(facts.pop("host_loads").values()) == 2
+        assert facts == {
             "shards": 2,
             "hosts": ["a", "b"],
             "retries": 0,
             "schedule": "stealing",
             "duplicates": 0,
+            "failures": {},
         }
         assert "dispatch" not in result.data
         # the digest the sharded engine produced is the serial one

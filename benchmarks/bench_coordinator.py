@@ -1,0 +1,122 @@
+"""Coordinator-tier benchmarks: warm-submit latency + spec-cache wins.
+
+Two entries in the BENCH trajectory:
+
+* ``test_warm_submit_latency`` -- the result store's claim, measured:
+  the same job submitted twice against a live coordinator fleet.  The
+  cold run dispatches shards over HTTP workers; the warm run must be
+  answered from the persistent store without touching a worker, so its
+  latency is pure submit/poll round-trip and far below the cold wall.
+* ``test_spec_cache_bytes_saved`` -- the by-reference shard protocol:
+  a multi-shard job ships the spec list to each worker once, then
+  every further shard request is a fingerprint reference.  The
+  benchmark asserts the bytes saved exceed the bytes shipped once the
+  shard count outgrows the worker count.
+
+``REPRO_FULL=1`` scales the workload up, like the other harnesses.
+"""
+
+import time
+
+import pytest
+
+from repro.coordinator import CoordinatorClient, start_coordinator
+from repro.dispatch.worker import start_worker
+from repro.scenarios.regression import RegressionRunner, build_specs
+from repro.workbench import SerialEngine
+
+from common import FULL_RUN
+
+#: Bounded by default so CI stays fast; REPRO_FULL=1 scales up.
+SCENARIOS = 24 if FULL_RUN else 12
+CYCLES = 300 if FULL_RUN else 150
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    """One coordinator + two self-registering workers, torn down after."""
+    coordinator = start_coordinator(store_path=str(tmp_path))
+    workers = [
+        start_worker(coordinator=coordinator.url, heartbeat=0.2)
+        for _ in range(2)
+    ]
+    client = CoordinatorClient(coordinator.url, timeout=300)
+    deadline = time.monotonic() + 10
+    while len(client.status()["workers"]) < 2:
+        assert time.monotonic() < deadline, "workers never registered"
+        time.sleep(0.05)
+    yield client
+    for worker in workers:
+        worker.stop()
+    coordinator.stop()
+
+
+def test_warm_submit_latency(benchmark, fleet):
+    """A repeat submission must come from the store, not the fleet."""
+    specs = build_specs(count=SCENARIOS, cycles=CYCLES)
+    serial_digest = RegressionRunner(specs, engine=SerialEngine()).run().digest()
+
+    cold_started = time.perf_counter()
+    cold_report, cold_job = fleet.run(specs)
+    cold_wall = time.perf_counter() - cold_started
+    assert cold_report.digest() == serial_digest
+    assert cold_job["from_cache"] is False
+
+    walls = []
+
+    def warm():
+        started = time.perf_counter()
+        result = fleet.run(specs)
+        walls.append(time.perf_counter() - started)
+        return result
+
+    # self-timed so --benchmark-disable smoke runs keep the assertions
+    warm_report, warm_job = benchmark.pedantic(warm, rounds=1, iterations=1)
+    warm_wall = walls[-1]
+
+    assert warm_report.digest() == serial_digest
+    assert warm_job["from_cache"] is True
+    # the store answered: no new dispatch, and orders of magnitude
+    # under the cold run (pure HTTP round trips, no scenarios run)
+    assert warm_wall < cold_wall, (
+        f"warm {warm_wall:.3f}s did not beat cold {cold_wall:.3f}s"
+    )
+    benchmark.extra_info.update(
+        {
+            "digest": serial_digest,
+            "cold_wall_seconds": round(cold_wall, 3),
+            "warm_wall_seconds": round(warm_wall, 4),
+            "speedup": round(cold_wall / max(warm_wall, 1e-9), 1),
+            "cold_shards": cold_job["dispatch"]["shards"],
+        }
+    )
+    print(
+        f"\ncold {cold_wall:.2f}s -> warm {warm_wall:.3f}s "
+        f"({cold_wall / max(warm_wall, 1e-9):.0f}x, from the result store)"
+    )
+
+
+def test_spec_cache_bytes_saved(benchmark, fleet):
+    """By-reference shards: each worker downloads the list once."""
+    # a different seed so the warm-latency store entry cannot answer
+    specs = build_specs(count=SCENARIOS, cycles=CYCLES, base_seed=4242)
+    serial_digest = RegressionRunner(specs, engine=SerialEngine()).run().digest()
+
+    report, job = benchmark.pedantic(
+        lambda: fleet.run(specs), rounds=1, iterations=1
+    )
+    assert report.digest() == serial_digest
+    saved = job["dispatch"]["spec_cache_bytes_saved"]
+    shards = job["dispatch"]["shards"]
+    # with shards > workers, at least one worker served a second shard
+    # purely by reference -- the cache must have saved real bytes
+    assert shards >= 2
+    assert saved > 0, job["dispatch"]
+    benchmark.extra_info.update(
+        {
+            "digest": serial_digest,
+            "shards": shards,
+            "bytes_saved": saved,
+        }
+    )
+    print(f"\n{shards} shards, {saved} spec-list bytes never re-shipped")

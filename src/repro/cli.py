@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .cliutil import (
+    add_coordinator_arguments,
     add_hosts_argument,
     add_observability_arguments,
     observability_scope,
@@ -176,6 +177,8 @@ def _cmd_regress(options: argparse.Namespace) -> int:
         workers=options.workers,
         shards=options.shards,
         hosts=options.hosts,
+        coordinator=options.coordinator,
+        token=options.token,
         fail_fast=options.fail_fast,
         with_monitors=options.with_monitors,
     )
@@ -191,6 +194,8 @@ def _cmd_close(options: argparse.Namespace) -> int:
         workers=options.workers,
         shards=options.shards,
         hosts=options.hosts,
+        coordinator=options.coordinator,
+        token=options.token,
         seed=options.seed,
     )
     return _emit(workbench.report(), options.json)
@@ -275,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="merge per-shard --json reports into one canonical report",
     )
     add_hosts_argument(regress)
+    add_coordinator_arguments(regress)
     regress.add_argument("--fail-fast", action="store_true")
     regress.add_argument("--with-monitors", action="store_true")
     regress.set_defaults(func=_cmd_regress)
@@ -309,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the directed goals across N subprocess shard hosts",
     )
     add_hosts_argument(close)
+    add_coordinator_arguments(close)
     close.set_defaults(func=_cmd_close)
 
     flow = sub.add_parser(

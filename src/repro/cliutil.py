@@ -79,18 +79,59 @@ def add_hosts_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_coordinator_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--coordinator`` / ``--token`` fleet flags."""
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="submit the whole regression as one job to a "
+        "`python -m repro.coordinator` daemon and poll for the merged "
+        "report (elastic worker fleet; digest identical to a serial "
+        "run; repeat submissions answered from its result store)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="shared fleet bearer secret, presented to --coordinator "
+        "and to --hosts worker daemons started with --token",
+    )
+
+
 def reject_hosts_conflict(
     parser: argparse.ArgumentParser, options: argparse.Namespace
 ) -> None:
-    """Shared cross-flag validation: ``--hosts`` drives a whole
-    dispatch, so a single-shard (``--shard``) or merge-only
-    (``--merge``) invocation has no host pool to drive.  Both CLIs get
-    the same ``parser.error`` behaviour (exit 2 plus usage)."""
+    """Shared cross-flag validation for the dispatch selectors.
+
+    ``--hosts`` drives a whole dispatch, so a single-shard
+    (``--shard``) or merge-only (``--merge``) invocation has no host
+    pool to drive; ``--coordinator`` likewise owns the whole dispatch
+    and additionally excludes ``--hosts``/``--shards`` (the
+    coordinator's own pool and planner take over).  Both CLIs get the
+    same ``parser.error`` behaviour (exit 2 plus usage).  As a side
+    effect a ``--token`` is applied to every parsed ``--hosts`` entry,
+    since the argparse type callback cannot see sibling flags.
+    """
     if getattr(options, "hosts", None) and (
         getattr(options, "shard", None) is not None
         or getattr(options, "merge", None) is not None
     ):
         parser.error("--hosts cannot be combined with --shard or --merge")
+    if getattr(options, "coordinator", None) and (
+        getattr(options, "hosts", None)
+        or getattr(options, "shards", None) is not None
+        or getattr(options, "shard", None) is not None
+        or getattr(options, "merge", None) is not None
+    ):
+        parser.error(
+            "--coordinator cannot be combined with --hosts, --shards, "
+            "--shard or --merge"
+        )
+    token = getattr(options, "token", None)
+    if token:
+        for host in getattr(options, "hosts", None) or ():
+            host.token = token
 
 
 def load_shard_reports(paths: Sequence[str]) -> List:

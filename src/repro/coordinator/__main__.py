@@ -1,0 +1,8 @@
+"""``python -m repro.coordinator`` -- run the coordinator daemon."""
+
+import sys
+
+from .daemon import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,396 @@
+"""The coordinator daemon: ``python -m repro.coordinator --port N``.
+
+A thin stdlib-HTTP adapter over :class:`~.service.Coordinator`.  One
+long-lived daemon fronts an elastic worker fleet: workers self-register
+and heartbeat, clients submit regression jobs and poll for the merged
+report, and repeat submissions are answered from the persistent result
+store without touching a worker.
+
+Endpoints (full contract in ``docs/coordinator.md``; every request and
+response body is JSON):
+
+``POST /workers/register``
+    ``{"version": 1, "address": "host:port", "worker_version": ...}``
+    -- a worker joins the pool.  Idempotent; re-registering refreshes
+    liveness.
+``POST /workers/heartbeat``
+    Same body; ``404`` when the coordinator does not know the address
+    (it restarted, or pruned the worker as stale) -- the worker reacts
+    by re-registering.
+``POST /workers/deregister``
+    Clean worker shutdown.
+``POST /jobs``
+    ``{"version": 1, "fingerprint": F}`` submits by reference to an
+    earlier upload; ``404`` with ``"unknown spec fingerprint"`` in the
+    error asks the client to resubmit with ``"specs": [...]`` included
+    (which both caches the list under its fingerprint and queues the
+    job).  The response is the job document; a result-store hit comes
+    back already ``done`` with ``from_cache`` set.
+``GET /jobs/<id>``
+    The job document: status, and once ``done`` the merged report
+    (digest included) plus dispatch facts.
+``GET /status``
+    Pool and queue overview (live workers, joins/leaves, store size).
+``GET /metrics``
+    The coordinator's counters and histograms
+    (:meth:`repro.obs.MetricsRegistry.to_json` wire shape).
+``GET /healthz``
+    Bare liveness, always open.
+
+Auth mirrors the worker daemon: started with ``--token SECRET`` every
+POST and the job/status/metrics GETs require ``Authorization: Bearer
+SECRET`` (``401`` otherwise); ``/healthz`` stays open so load-balancer
+probes need no secret.
+
+The process writes exactly one line to stdout when ready
+(``repro-coordinator listening on http://HOST:PORT``) so parents
+spawning ``--port 0`` can parse the ephemeral port; request logging
+goes to stderr.  Jobs execute on a single background runner thread in
+submission order -- the worker pool is the parallelism, not the job
+queue.  In-process embedding goes through :func:`start_coordinator`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Sequence
+
+from ..cliutil import route_warnings_to_stderr
+from ..scenarios.regression import ScenarioSpec
+from .service import Coordinator, UnknownFingerprintError, WorkerRegistry
+from .store import ResultStore
+
+#: Wire-format version the coordinator speaks.
+WIRE_VERSION = 1
+
+#: Default on-disk result-store location (relative to the CWD the
+#: daemon was started in).
+DEFAULT_STORE = ".repro-results"
+
+
+class _JobRunner(threading.Thread):
+    """Single background thread draining the coordinator's job queue."""
+
+    def __init__(self, coordinator: Coordinator, interval: float = 0.05):
+        super().__init__(name="repro-coordinator-jobs", daemon=True)
+        self.coordinator = coordinator
+        self.interval = interval
+        # not named _stop: threading.Thread has a private _stop() method
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        """Run queued jobs to completion until :meth:`stop`."""
+        while not self._halt.is_set():
+            if self.coordinator.run_next() is None:
+                self._halt.wait(self.interval)
+
+    def stop(self) -> None:
+        """End the loop after the current job (if any) finishes."""
+        self._halt.set()
+
+
+class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
+    """HTTP plumbing around the pure :class:`~.service.Coordinator`."""
+
+    server_version = "repro-coordinator/1"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, doc: Dict[str, Any]) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _authorized(self) -> bool:
+        """Bearer-token gate for everything except bare ``/healthz``."""
+        token = self.server.token
+        if not token:
+            return True
+        if self.headers.get("Authorization") == f"Bearer {token}":
+            return True
+        self._respond(
+            401,
+            {"error": "missing or invalid bearer token (coordinator has --token)"},
+        )
+        return False
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length)) if length else {}
+        except (TypeError, ValueError) as exc:
+            self._respond(400, {"error": f"unparseable request body: {exc}"})
+            return None
+        if not isinstance(body, dict):
+            self._respond(400, {"error": "request body must be a JSON object"})
+            return None
+        version = body.get("version", WIRE_VERSION)
+        if isinstance(version, int) and version > WIRE_VERSION:
+            self._respond(
+                400,
+                {
+                    "error": f"wire version {version} is newer than this "
+                    f"coordinator ({WIRE_VERSION})"
+                },
+            )
+            return None
+        return body
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        """Health, status, metrics, and job polling."""
+        coordinator = self.server.coordinator
+        if self.path in ("/", "/healthz"):
+            self._respond(200, {"ok": True, "role": "coordinator"})
+            return
+        if not self._authorized():
+            return
+        if self.path == "/status":
+            self._respond(200, coordinator.status())
+            return
+        if self.path == "/metrics":
+            self._respond(
+                200, {"ok": True, "metrics": coordinator.metrics.to_json()}
+            )
+            return
+        if self.path.startswith("/jobs/"):
+            job_id = self.path[len("/jobs/"):]
+            try:
+                job = coordinator.job(job_id)
+            except KeyError:
+                self._respond(404, {"error": f"unknown job {job_id!r}"})
+                return
+            self._respond(200, job.to_json())
+            return
+        self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+        """Worker lifecycle and job submission."""
+        if not self._authorized():
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        coordinator = self.server.coordinator
+        if self.path in (
+            "/workers/register",
+            "/workers/heartbeat",
+            "/workers/deregister",
+        ):
+            address = body.get("address")
+            if not isinstance(address, str) or not address:
+                self._respond(400, {"error": 'worker calls need an "address"'})
+                return
+            if self.path == "/workers/register":
+                coordinator.registry.register(
+                    address, version=str(body.get("worker_version", ""))
+                )
+                self._respond(200, {"ok": True, "address": address})
+            elif self.path == "/workers/heartbeat":
+                if coordinator.registry.heartbeat(address):
+                    self._respond(200, {"ok": True, "address": address})
+                else:
+                    self._respond(
+                        404,
+                        {"error": f"unknown worker {address!r} -- re-register"},
+                    )
+            else:
+                coordinator.registry.deregister(address)
+                self._respond(200, {"ok": True, "address": address})
+            return
+        if self.path == "/jobs":
+            fingerprint = body.get("fingerprint")
+            specs = None
+            if "specs" in body:
+                if not isinstance(body["specs"], list):
+                    self._respond(400, {"error": '"specs" must be a list'})
+                    return
+                try:
+                    specs = [
+                        ScenarioSpec.from_json(doc) for doc in body["specs"]
+                    ]
+                except (KeyError, TypeError, ValueError) as exc:
+                    self._respond(
+                        400, {"error": f"unparseable spec in submission: {exc}"}
+                    )
+                    return
+            try:
+                job = coordinator.submit(fingerprint=fingerprint, specs=specs)
+            except UnknownFingerprintError as exc:
+                self._respond(404, {"error": str(exc.args[0])})
+                return
+            except ValueError as exc:
+                self._respond(400, {"error": str(exc)})
+                return
+            self._respond(200, job.to_json())
+            return
+        self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Request log to stderr; stdout carries only the ready line."""
+        sys.stderr.write(
+            f"repro-coordinator {self.address_string()} {format % args}\n"
+        )
+
+
+class _CoordinatorServer(ThreadingHTTPServer):
+    """Threading server so polls answer while a job dispatches."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, coordinator: Coordinator):
+        super().__init__(address, handler)
+        self.coordinator = coordinator
+        self.token = coordinator.registry.token
+
+
+@dataclass
+class CoordinatorHandle:
+    """An in-process coordinator daemon (tests, benchmarks, examples)."""
+
+    server: _CoordinatorServer
+    thread: threading.Thread
+    runner: _JobRunner
+    coordinator: Coordinator
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (resolved when port 0 was asked)."""
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients and workers point at."""
+        host = self.server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop the job runner, shut the server down, join threads."""
+        self.runner.stop()
+        self.runner.join(timeout=30)
+        self.server.shutdown()
+        self.thread.join(timeout=10)
+        self.server.server_close()
+
+
+def start_coordinator(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    store_path: str = DEFAULT_STORE,
+    token: Optional[str] = None,
+    stale_after: float = 10.0,
+    idle_timeout: float = 30.0,
+) -> CoordinatorHandle:
+    """Serve the coordinator from daemon threads; port 0 = ephemeral.
+
+    ``store_path`` roots the persistent result store; ``token`` is the
+    fleet's shared bearer secret; ``stale_after`` bounds how long a
+    silent worker stays in the pool; ``idle_timeout`` bounds how long a
+    running job waits for the pool to become non-empty before failing.
+    """
+    coordinator = Coordinator(
+        store=ResultStore(store_path),
+        registry=WorkerRegistry(token=token, stale_after=stale_after),
+        idle_timeout=idle_timeout,
+    )
+    server = _CoordinatorServer(
+        (host, port), _CoordinatorRequestHandler, coordinator
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-coordinator", daemon=True
+    )
+    thread.start()
+    runner = _JobRunner(coordinator)
+    runner.start()
+    return CoordinatorHandle(
+        server=server, thread=thread, runner=runner, coordinator=coordinator
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry: bind, announce readiness on stdout, serve until killed."""
+    parser = argparse.ArgumentParser(
+        prog="repro.coordinator",
+        description="Regression coordinator daemon: workers register into "
+        "an elastic pool, clients submit jobs and poll for the merged "
+        "report; repeat submissions are served from the result store.",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8400,
+        help="TCP port to listen on (0 picks an ephemeral port, "
+        "announced on stdout)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default loopback; 0.0.0.0 to serve "
+        "a real fleet)",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        metavar="DIR",
+        help=f"result-store directory (default {DEFAULT_STORE!r}; "
+        "created if missing, survives restarts)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="shared fleet secret: require this bearer token on every "
+        "endpoint except /healthz",
+    )
+    parser.add_argument(
+        "--stale-after",
+        type=float,
+        default=10.0,
+        help="seconds of heartbeat silence before a worker is pruned "
+        "from the pool (default 10)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a running job waits with zero live workers "
+        "before failing (default 30)",
+    )
+    options = parser.parse_args(argv)
+    route_warnings_to_stderr()
+    coordinator = Coordinator(
+        store=ResultStore(options.store),
+        registry=WorkerRegistry(
+            token=options.token, stale_after=options.stale_after
+        ),
+        idle_timeout=options.idle_timeout,
+    )
+    server = _CoordinatorServer(
+        (options.host, options.port), _CoordinatorRequestHandler, coordinator
+    )
+    runner = _JobRunner(coordinator)
+    runner.start()
+    bound_host, bound_port = server.server_address[:2]
+    # the one stdout line: parents spawning `--port 0` parse it
+    print(
+        f"repro-coordinator listening on http://{bound_host}:{bound_port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.stop()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Fingerprint-keyed persistent result store for the coordinator.
+
+A regression's merged :class:`~repro.scenarios.regression.RegressionReport`
+is a pure function of its spec list, so a coordinator that has already
+run a job for a given ``(spec fingerprint, seed set)`` can answer the
+same submission again without touching a worker.  The store is that
+memo: one JSON file per distinct key under a root directory, written
+atomically, surviving daemon restarts.
+
+Trust model: the digest stored alongside a report is *re-verified on
+every read* -- the report is rebuilt from its wire form (which
+recomputes the digest from the verdict lines) and compared against the
+recorded value.  A mismatch means the file rotted or was tampered
+with; the entry is dropped and counted, and the job re-runs as a miss.
+The cache can therefore serve stale bytes never, wrong bytes never --
+only verified reports or nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Optional, Sequence
+
+from ..scenarios.regression import RegressionReport
+
+#: Store wire-format version, bumped if the entry layout changes.
+STORE_VERSION = 1
+
+
+def store_key(fingerprint: str, seeds: Sequence[int]) -> str:
+    """The filename-safe key for one ``(fingerprint, seed set)`` entry.
+
+    The fingerprint already covers the full spec content (seeds
+    included), but the key states the seed set explicitly so an entry
+    is self-describing on disk and the pairing the paper's regression
+    protocol cares about -- *which seeds produced this digest* -- is
+    part of the identity, not a field that could drift.
+    """
+    seed_part = ",".join(str(seed) for seed in sorted(set(seeds)))
+    return hashlib.sha256(
+        f"{fingerprint}:{seed_part}".encode("utf-8")
+    ).hexdigest()[:32]
+
+
+class ResultStore:
+    """On-disk memo of merged regression reports, digest-verified on read.
+
+    Thread-safe (the coordinator daemon serves submissions from
+    handler threads while the job runner writes).  Corrupt entries are
+    removed on discovery and counted in :attr:`corruptions`.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.corruptions = 0
+        self._lock = threading.Lock()
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, fingerprint: str, seeds: Sequence[int]) -> str:
+        return os.path.join(self.root, f"{store_key(fingerprint, seeds)}.json")
+
+    def put(
+        self,
+        fingerprint: str,
+        seeds: Sequence[int],
+        report: RegressionReport,
+    ) -> str:
+        """Persist one merged report; returns the entry path.
+
+        Written atomically (temp file + rename) so a killed daemon
+        never leaves a half-entry that a later read would have to
+        distrust.
+        """
+        doc = {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "seeds": sorted(set(seeds)),
+            "report": report.to_json(),
+        }
+        path = self._path(fingerprint, seeds)
+        with self._lock:
+            handle, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".store-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    json.dump(doc, stream, sort_keys=True)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        return path
+
+    def fetch(
+        self, fingerprint: str, seeds: Sequence[int]
+    ) -> Optional[RegressionReport]:
+        """The stored report for a key, or None -- never an unverified one.
+
+        The report is rebuilt from its wire form (recomputing the
+        digest from the verdict lines) and checked against the digest
+        recorded at :meth:`put` time; any parse failure or digest
+        mismatch deletes the entry and reads as a miss.
+        """
+        path = self._path(fingerprint, seeds)
+        with self._lock:
+            try:
+                with open(path) as stream:
+                    doc = json.load(stream)
+            except FileNotFoundError:
+                return None
+            except (OSError, ValueError):
+                self._drop(path)
+                return None
+            try:
+                stored = doc["report"]
+                report = RegressionReport.from_json(stored)
+                if report.digest() != stored["digest"]:
+                    raise ValueError("stored digest does not match content")
+            except (KeyError, TypeError, ValueError):
+                self._drop(path)
+                return None
+            return report
+
+    def _drop(self, path: str) -> None:
+        """Remove a corrupt entry and count it (lock already held)."""
+        self.corruptions += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def entries(self) -> int:
+        """How many entries the store currently holds (status endpoint)."""
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.root)
+                if name.endswith(".json")
+            )
+        except OSError:
+            return 0

@@ -42,13 +42,14 @@ from .hosts import (
     LocalSubprocessHost,
     ShardWork,
 )
-from .http_host import HttpHost, parse_hosts
+from .http_host import CachingHttpHost, HttpHost, parse_hosts
 from .planner import (
     OVERSUBSCRIPTION,
     Shard,
     plan_digest,
     plan_shards,
     shards_for_hosts,
+    specs_fingerprint,
 )
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "ShardQueue",
     "ShardRun",
     "merge_reports",
+    "CachingHttpHost",
     "FAILURE_KINDS",
     "Host",
     "HostFailure",
@@ -72,4 +74,5 @@ __all__ = [
     "plan_digest",
     "plan_shards",
     "shards_for_hosts",
+    "specs_fingerprint",
 ]

@@ -236,6 +236,49 @@ class ShardQueue:
         with self._condition:
             return self._error
 
+    @property
+    def finished(self) -> bool:
+        """True once every shard completed (or the dispatch aborted).
+
+        The elastic coordinator polls this while it grows and shrinks
+        the serving pool mid-dispatch; the fixed-pool dispatcher simply
+        joins its serving threads instead.
+        """
+        with self._condition:
+            return self._error is not None or (
+                not self._pending and self._in_flight == 0
+            )
+
+    def add_host(self, host_name: str) -> None:
+        """Register a host that joined after the queue was built.
+
+        Keeps the exclusion-reset accounting honest: a shard is only
+        eligible for the every-host-failed-it reset once the *current*
+        host set -- including late joiners -- has failed it.
+        """
+        with self._condition:
+            self._hosts.add(host_name)
+            self._condition.notify_all()
+
+    def release_exclusions(self, live_hosts: Set[str]) -> None:
+        """Re-open pending shards whose exclusions cover every live host.
+
+        With a fixed pool the reset in :meth:`fail` suffices, but under
+        churn a shard can end up excluded from every host still alive
+        (the others having left) without any host failing it again to
+        trigger that reset -- the serving threads would then block in
+        :meth:`take` forever.  The coordinator calls this periodically
+        with the currently live host names.
+        """
+        with self._condition:
+            released = False
+            for pending in self._pending:
+                if live_hosts and live_hosts <= pending.excluded:
+                    pending.excluded.clear()
+                    released = True
+            if released:
+                self._condition.notify_all()
+
     def take(self, host_name: str) -> Optional[_PendingShard]:
         """Block until a shard is available for this host; None = done.
 

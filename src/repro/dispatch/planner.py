@@ -22,6 +22,7 @@ dispatcher has a queue tail to rebalance when shard runtimes skew.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -80,6 +81,22 @@ def shards_for_hosts(
     if n_hosts < 1:
         raise ValueError(f"host count must be >= 1, got {n_hosts}")
     return max(1, min(n_hosts * factor, n_specs))
+
+
+def specs_fingerprint(specs: Sequence[ScenarioSpec]) -> str:
+    """Content fingerprint of a spec list (the spec-cache / job key).
+
+    Computed over the canonical JSON wire form in list order, so both
+    sides of a host boundary -- a client that uploads a regression's
+    specs once and a worker that re-derives shard slices from its cache
+    -- agree on the key without shipping the list again.  Unlike
+    :func:`plan_digest` it is independent of shard count: the same
+    regression keeps one fingerprint however it is partitioned.
+    """
+    payload = json.dumps(
+        [spec.to_json() for spec in specs], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def plan_digest(plan: Sequence[Shard]) -> str:

@@ -8,7 +8,8 @@ the established JSON wire forms
 :class:`~repro.scenarios.regression.RegressionReport` out), so a
 worker on another machine needs only this package and a port.
 
-Endpoints (see ``docs/dispatch.md`` for the full wire contract):
+Endpoints (see ``docs/dispatch.md`` and ``docs/coordinator.md`` for
+the full wire contract):
 
 ``POST /run``
     Body: ``{"version": 1, "shard": {"index": K, "of": N,
@@ -16,20 +17,47 @@ Endpoints (see ``docs/dispatch.md`` for the full wire contract):
     runs them through a :class:`~repro.scenarios.regression.RegressionRunner`
     (``M`` local worker processes, default 1 -- the shard is the unit
     of parallelism) and responds ``200`` with the report's
-    ``to_json()`` form, digest included.  Malformed bodies get ``400``,
-    run crashes ``500``; both carry ``{"error": ...}``.
+    ``to_json()`` form, digest included.  Alternatively the shard may
+    reference a cached spec list instead of carrying one:
+    ``"shard": {"index": K, "of": N, "fingerprint": F}`` re-derives
+    the slice from the ``POST /specs`` upload keyed by ``F`` with the
+    shared deterministic planner (``404`` with ``"unknown spec
+    fingerprint"`` when the worker does not hold ``F``).  Malformed
+    bodies get ``400``, run crashes ``500``; all carry
+    ``{"error": ...}``.
+
+``POST /specs``
+    Body: ``{"version": 1, "fingerprint": F, "specs": [...]}`` -- the
+    spec-cache upload: one regression's full spec list, shipped once
+    per worker and addressed by
+    :func:`~repro.dispatch.planner.specs_fingerprint` thereafter.  The
+    worker recomputes the fingerprint and refuses a mismatch (``400``).
+    The cache is bounded (:data:`SPEC_CACHE_LIMIT`, least recently
+    used evicted first); a ``/run`` that references an evicted entry
+    gets the 404 and the client re-uploads.
 
 ``GET /healthz``
-    ``200 {"ok": true, "shards_served": n}`` -- dispatcher-side
-    liveness probes and readiness polling.
+    ``200`` with a JSON liveness document: ``{"ok": true, "version":
+    ..., "uptime_seconds": ..., "shards_served": n,
+    "spec_cache_entries": n}`` -- dispatcher-side liveness probes,
+    readiness polling, and fleet dashboards.
 
 ``GET /metrics``
     ``200 {"ok": true, "metrics": {...}}`` -- the worker's own
     counters and fixed-bucket histograms
     (:meth:`repro.obs.MetricsRegistry.to_json` wire shape: shards and
-    scenarios served, failures, transactions, per-shard latency).  The
-    dispatcher pulls these after a dispatch and folds them into the
-    fleet aggregate in the session report's ``observability`` section.
+    scenarios served, failures, transactions, per-shard latency,
+    spec-cache activity).  The dispatcher pulls these after a dispatch
+    and folds them into the fleet aggregate in the session report's
+    ``observability`` section.
+
+Auth: started with ``--token SECRET`` the worker refuses POSTs whose
+``Authorization`` header is not ``Bearer SECRET`` (``401``); the GET
+probes stay open.  Started with ``--coordinator URL`` the worker
+self-registers with a coordinator daemon on startup and heartbeats it
+every ``--heartbeat`` seconds (re-registering whenever the coordinator
+forgot it), which is how an elastic fleet grows: start a worker
+anywhere, point it at the coordinator, and it joins the pool mid-run.
 
 The process writes exactly one line to stdout when it is ready to
 serve (``repro-worker listening on http://HOST:PORT``) so a parent
@@ -47,10 +75,14 @@ import json
 import sys
 import threading
 import time
+import urllib.error
+import urllib.request
+from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from .. import __version__
 from ..cliutil import route_warnings_to_stderr
 from ..obs.metrics import MetricsRegistry
 
@@ -58,26 +90,77 @@ from ..obs.metrics import MetricsRegistry
 #: version are rejected rather than half-understood.
 WIRE_VERSION = 1
 
+#: Spec-cache capacity in distinct fingerprints.  A worker usually
+#: serves a handful of concurrent regressions; least recently used
+#: entries are evicted and simply re-uploaded on the next reference.
+SPEC_CACHE_LIMIT = 32
+
+#: Default seconds between heartbeats to a ``--coordinator``.
+DEFAULT_HEARTBEAT = 2.0
+
 
 class WorkerError(ValueError):
-    """A /run request the worker understood enough to refuse (-> 400)."""
+    """A request the worker understood enough to refuse (-> 400)."""
 
 
-def run_shard_request(
-    body: Dict[str, Any], metrics: Optional[MetricsRegistry] = None
-) -> Dict[str, Any]:
-    """Execute one ``POST /run`` body and return the report wire form.
+class UnknownFingerprintError(WorkerError):
+    """A /run referenced a fingerprint this worker does not hold (-> 404).
 
-    Pure request -> response: no HTTP in sight, which is what the
-    in-process tests exercise.  Raises :class:`WorkerError` for a
-    malformed body; anything else propagating out is a genuine worker
-    crash and maps to a 500.  ``metrics`` (the serving daemon's own
-    registry, never the process-global one) receives the worker-side
-    counters the ``GET /metrics`` endpoint reports.
+    Distinct from :class:`WorkerError` so the HTTP layer can answer
+    404 and the client knows to re-upload rather than treat the worker
+    as broken.
     """
-    # imported lazily so `--help` and handler import stay instant
-    from ..scenarios.regression import RegressionRunner, ScenarioSpec
 
+
+class SpecCache:
+    """Bounded LRU map from spec-list fingerprint to the list itself.
+
+    The worker-side half of the spec-cache protocol: ``put`` verifies
+    the claimed fingerprint against the content before caching (a
+    corrupt upload must not poison later by-reference runs), ``get``
+    refreshes recency.  Thread-safe, because the daemon handles
+    requests on a thread per connection.
+    """
+
+    def __init__(self, limit: int = SPEC_CACHE_LIMIT):
+        self.limit = limit
+        self._entries: "OrderedDict[str, List[Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def put(self, fingerprint: str, specs: List[Any]) -> None:
+        """Cache one verified spec list, evicting the LRU entry if full."""
+        from .planner import specs_fingerprint
+
+        actual = specs_fingerprint(specs)
+        if actual != fingerprint:
+            raise WorkerError(
+                f"spec upload fingerprint mismatch: claimed {fingerprint}, "
+                f"content hashes to {actual}"
+            )
+        with self._lock:
+            self._entries[fingerprint] = specs
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+
+    def get(self, fingerprint: str) -> List[Any]:
+        """The cached list for a fingerprint; raises the 404-class miss."""
+        with self._lock:
+            if fingerprint not in self._entries:
+                raise UnknownFingerprintError(
+                    f"unknown spec fingerprint {fingerprint} "
+                    "(never uploaded, or evicted -- POST /specs and retry)"
+                )
+            self._entries.move_to_end(fingerprint)
+            return self._entries[fingerprint]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _checked_body(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Shared request envelope validation (type + wire version)."""
     if not isinstance(body, dict):
         raise WorkerError("request body must be a JSON object")
     version = body.get("version", WIRE_VERSION)
@@ -87,13 +170,88 @@ def run_shard_request(
         raise WorkerError(
             f"wire version {version} is newer than this worker ({WIRE_VERSION})"
         )
-    shard = body.get("shard")
-    if not isinstance(shard, dict) or "specs" not in shard:
-        raise WorkerError('request needs a "shard" object with "specs"')
+    return body
+
+
+def store_specs_request(
+    body: Dict[str, Any], cache: SpecCache, metrics: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
+    """Execute one ``POST /specs`` body against the worker's spec cache.
+
+    Pure request -> response like :func:`run_shard_request`; raises
+    :class:`WorkerError` for malformed bodies and fingerprint
+    mismatches.
+    """
+    from ..scenarios.regression import ScenarioSpec
+
+    body = _checked_body(body)
+    fingerprint = body.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise WorkerError('spec upload needs a string "fingerprint"')
+    if not isinstance(body.get("specs"), list):
+        raise WorkerError('spec upload needs a "specs" list')
     try:
-        specs = [ScenarioSpec.from_json(doc) for doc in shard["specs"]]
+        specs = [ScenarioSpec.from_json(doc) for doc in body["specs"]]
     except (KeyError, TypeError, ValueError) as exc:
-        raise WorkerError(f"unparseable spec in shard: {exc}") from exc
+        raise WorkerError(f"unparseable spec in upload: {exc}") from exc
+    cache.put(fingerprint, specs)
+    if metrics is not None:
+        metrics.counter("worker.spec_uploads").inc()
+        metrics.counter("worker.spec_upload_specs").inc(len(specs))
+    return {"ok": True, "fingerprint": fingerprint, "specs": len(specs)}
+
+
+def run_shard_request(
+    body: Dict[str, Any],
+    metrics: Optional[MetricsRegistry] = None,
+    spec_cache: Optional[SpecCache] = None,
+) -> Dict[str, Any]:
+    """Execute one ``POST /run`` body and return the report wire form.
+
+    Pure request -> response: no HTTP in sight, which is what the
+    in-process tests exercise.  Raises :class:`WorkerError` for a
+    malformed body and :class:`UnknownFingerprintError` for a
+    by-reference shard whose fingerprint is not cached; anything else
+    propagating out is a genuine worker crash and maps to a 500.
+    ``metrics`` (the serving daemon's own registry, never the
+    process-global one) receives the worker-side counters the
+    ``GET /metrics`` endpoint reports.
+    """
+    # imported lazily so `--help` and handler import stay instant
+    from ..scenarios.regression import RegressionRunner, ScenarioSpec
+
+    body = _checked_body(body)
+    shard = body.get("shard")
+    if not isinstance(shard, dict) or not ("specs" in shard or "fingerprint" in shard):
+        raise WorkerError(
+            'request needs a "shard" object with "specs" or "fingerprint"'
+        )
+    if "specs" in shard:
+        try:
+            specs = [ScenarioSpec.from_json(doc) for doc in shard["specs"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkerError(f"unparseable spec in shard: {exc}") from exc
+    else:
+        # by-reference shard: re-derive the slice from the cached list
+        # with the shared planner, exactly like a --shard K/N child
+        from .planner import plan_shards
+
+        if spec_cache is None:
+            raise UnknownFingerprintError(
+                "this worker has no spec cache; ship specs by value"
+            )
+        cached = spec_cache.get(str(shard["fingerprint"]))
+        index, of = shard.get("index"), shard.get("of")
+        if not isinstance(index, int) or not isinstance(of, int) or not (
+            0 <= index < of
+        ):
+            raise WorkerError(
+                f"by-reference shard needs integer index/of with "
+                f"0 <= index < of, got index={index!r} of={of!r}"
+            )
+        specs = list(plan_shards(cached, of)[index].specs)
+        if metrics is not None:
+            metrics.counter("worker.spec_cache_hits").inc()
     workers = body.get("workers") or 1
     # spawn, not fork: this runs on a handler thread of a threading
     # HTTP server, and forking a pool while another handler thread may
@@ -116,7 +274,7 @@ def run_shard_request(
 
 
 class _ShardRequestHandler(BaseHTTPRequestHandler):
-    """HTTP plumbing around :func:`run_shard_request`."""
+    """HTTP plumbing around the pure request handlers."""
 
     server_version = "repro-worker/1"
     protocol_version = "HTTP/1.1"
@@ -129,6 +287,18 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _authorized(self) -> bool:
+        """Bearer-token check for POST endpoints (GET probes stay open)."""
+        token = self.server.token
+        if not token:
+            return True
+        if self.headers.get("Authorization") == f"Bearer {token}":
+            return True
+        self._respond(
+            401, {"error": "missing or invalid bearer token (worker has --token)"}
+        )
+        return False
+
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
         """Health probe and metrics export."""
         if self.path == "/metrics":
@@ -139,14 +309,14 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         if self.path not in ("/", "/healthz"):
             self._respond(404, {"error": f"unknown path {self.path!r}"})
             return
-        self._respond(
-            200, {"ok": True, "shards_served": self.server.shards_served}
-        )
+        self._respond(200, self.server.health_doc())
 
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
-        """Run one shard and stream its report back."""
-        if self.path != "/run":
+        """Run one shard (or store one spec upload) and answer JSON."""
+        if self.path not in ("/run", "/specs"):
             self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        if not self._authorized():
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -155,7 +325,19 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
             self._respond(400, {"error": f"unparseable request body: {exc}"})
             return
         try:
-            doc = run_shard_request(body, metrics=self.server.metrics)
+            if self.path == "/specs":
+                doc = store_specs_request(
+                    body, self.server.spec_cache, metrics=self.server.metrics
+                )
+            else:
+                doc = run_shard_request(
+                    body,
+                    metrics=self.server.metrics,
+                    spec_cache=self.server.spec_cache,
+                )
+        except UnknownFingerprintError as exc:
+            self._respond(404, {"error": str(exc)})
+            return
         except WorkerError as exc:
             self._respond(400, {"error": str(exc)})
             return
@@ -164,7 +346,8 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
                 500, {"error": f"shard run crashed: {type(exc).__name__}: {exc}"}
             )
             return
-        self.server.shards_served += 1
+        if self.path == "/run":
+            self.server.shards_served += 1
         self._respond(200, doc)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -179,13 +362,113 @@ class _WorkerServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, handler):
+    def __init__(self, address, handler, token: Optional[str] = None):
         super().__init__(address, handler)
         self.shards_served = 0
+        self.token = token
+        self.spec_cache = SpecCache()
+        self.started_monotonic = time.monotonic()
         # the daemon's own registry (not the process-global OBS one):
         # an in-process worker embedded by tests must not leak its
         # counters into -- or read them from -- the embedding run
         self.metrics = MetricsRegistry(enabled=True)
+
+    def health_doc(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` body: liveness plus serving facts."""
+        return {
+            "ok": True,
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self.started_monotonic, 3),
+            "shards_served": self.shards_served,
+            "spec_cache_entries": len(self.spec_cache),
+        }
+
+
+class _CoordinatorLink(threading.Thread):
+    """Background registration + heartbeat loop toward a coordinator.
+
+    Registers the worker's advertised address on startup, heartbeats
+    every ``interval`` seconds, and re-registers whenever the
+    coordinator answers 404 (it restarted, or pruned us as stale) or
+    the transport fails.  Failures are logged to stderr and retried --
+    a worker must keep serving even while its coordinator is away.
+    """
+
+    def __init__(
+        self,
+        coordinator: str,
+        advertise: str,
+        token: Optional[str],
+        interval: float = DEFAULT_HEARTBEAT,
+    ):
+        super().__init__(name="repro-worker-heartbeat", daemon=True)
+        self.coordinator = coordinator.rstrip("/")
+        if "://" not in self.coordinator:
+            self.coordinator = f"http://{self.coordinator}"
+        self.advertise = advertise
+        self.token = token
+        self.interval = interval
+        # not named _stop: threading.Thread has a private _stop() method
+        self._halt = threading.Event()
+        self.registrations = 0
+        self.heartbeats = 0
+
+    def _post(self, path: str, doc: Dict[str, Any]) -> int:
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        request = urllib.request.Request(
+            f"{self.coordinator}{path}",
+            data=json.dumps(doc, sort_keys=True).encode("utf-8"),
+            headers=headers,
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                response.read()
+                return response.status
+        except urllib.error.HTTPError as exc:
+            return exc.code
+
+    def _announce(self, path: str) -> int:
+        doc = {
+            "version": WIRE_VERSION,
+            "address": self.advertise,
+            "worker_version": __version__,
+        }
+        return self._post(path, doc)
+
+    def run(self) -> None:
+        """Register, then heartbeat until :meth:`stop` (daemon thread)."""
+        registered = False
+        while not self._halt.is_set():
+            try:
+                if not registered:
+                    status = self._announce("/workers/register")
+                    registered = status == 200
+                    if registered:
+                        self.registrations += 1
+                else:
+                    status = self._announce("/workers/heartbeat")
+                    if status == 200:
+                        self.heartbeats += 1
+                    else:
+                        registered = False       # coordinator forgot us
+                        continue                 # re-register immediately
+            except OSError as exc:
+                registered = False
+                sys.stderr.write(
+                    f"repro-worker heartbeat to {self.coordinator} failed: {exc}\n"
+                )
+            self._halt.wait(self.interval)
+
+    def stop(self) -> None:
+        """Best-effort deregister, then end the loop."""
+        self._halt.set()
+        try:
+            self._announce("/workers/deregister")
+        except OSError:
+            pass
 
 
 @dataclass
@@ -194,6 +477,7 @@ class WorkerHandle:
 
     server: _WorkerServer
     thread: threading.Thread
+    link: Optional[_CoordinatorLink] = None
 
     @property
     def port(self) -> int:
@@ -208,19 +492,43 @@ class WorkerHandle:
 
     def stop(self) -> None:
         """Shut the server down and join its serving thread."""
+        if self.link is not None:
+            self.link.stop()
         self.server.shutdown()
         self.thread.join(timeout=10)
         self.server.server_close()
 
 
-def start_worker(port: int = 0, host: str = "127.0.0.1") -> WorkerHandle:
-    """Serve the worker endpoints from a daemon thread; port 0 = ephemeral."""
-    server = _WorkerServer((host, port), _ShardRequestHandler)
+def start_worker(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    token: Optional[str] = None,
+    coordinator: Optional[str] = None,
+    heartbeat: float = DEFAULT_HEARTBEAT,
+) -> WorkerHandle:
+    """Serve the worker endpoints from a daemon thread; port 0 = ephemeral.
+
+    ``coordinator`` points at a coordinator daemon to self-register
+    with (heartbeating every ``heartbeat`` seconds); ``token`` both
+    guards this worker's POST endpoints and authenticates toward the
+    coordinator -- one shared secret across the fleet.
+    """
+    server = _WorkerServer((host, port), _ShardRequestHandler, token=token)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-worker", daemon=True
     )
     thread.start()
-    return WorkerHandle(server=server, thread=thread)
+    link = None
+    if coordinator:
+        bound_host = server.server_address[0]
+        link = _CoordinatorLink(
+            coordinator,
+            f"{bound_host}:{server.server_address[1]}",
+            token,
+            interval=heartbeat,
+        )
+        link.start()
+    return WorkerHandle(server=server, thread=thread, link=link)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -243,10 +551,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="interface to bind (default loopback; 0.0.0.0 to serve "
         "a real dispatcher)",
     )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="shared fleet secret: refuse POSTs without this bearer "
+        "token, and present it to --coordinator",
+    )
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="coordinator daemon to self-register with (e.g. "
+        "http://10.0.0.1:8400); the worker joins its elastic pool "
+        "and heartbeats until killed",
+    )
+    parser.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST:PORT",
+        help="address to register at the coordinator (default: the "
+        "bound host:port; needed when binding 0.0.0.0)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT,
+        help=f"seconds between coordinator heartbeats "
+        f"(default {DEFAULT_HEARTBEAT})",
+    )
     options = parser.parse_args(argv)
     route_warnings_to_stderr()
-    server = _WorkerServer((options.host, options.port), _ShardRequestHandler)
+    server = _WorkerServer(
+        (options.host, options.port), _ShardRequestHandler, token=options.token
+    )
     bound_host, bound_port = server.server_address[:2]
+    link = None
+    if options.coordinator:
+        link = _CoordinatorLink(
+            options.coordinator,
+            options.advertise or f"{bound_host}:{bound_port}",
+            options.token,
+            interval=options.heartbeat,
+        )
+        link.start()
     # the one stdout line: parents spawning `--port 0` parse it
     print(f"repro-worker listening on http://{bound_host}:{bound_port}", flush=True)
     try:
@@ -254,6 +601,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if link is not None:
+            link.stop()
         server.server_close()
     return 0
 

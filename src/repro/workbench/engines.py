@@ -178,11 +178,24 @@ class ShardedEngine:
         return f"ShardedEngine(shards={self.shards})"
 
 
+def _coordinator_engine(**options: Any) -> Engine:
+    """Factory for the coordinator-fleet engine, imported lazily.
+
+    :mod:`repro.coordinator.client` imports the regression wire forms,
+    which import this module at their top level -- the same cycle
+    :class:`ShardedEngine` breaks by importing inside ``imap``.
+    """
+    from ..coordinator.client import CoordinatorEngine
+
+    return CoordinatorEngine(**options)
+
+
 #: The registered engine kinds, by name (the CLI / config seam).
 ENGINES: dict = {
     "serial": SerialEngine,
     "multiprocessing": MultiprocessingEngine,
     "sharded": ShardedEngine,
+    "coordinator": _coordinator_engine,
 }
 
 

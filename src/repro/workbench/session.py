@@ -44,7 +44,7 @@ from ..translate.csharp_gen import render_monitor_suite
 from ..translate.runtime import build_runtime
 from ..translate.systemc_gen import render_translation_unit
 from .duv import DUV, CoverageResidue
-from .engines import Engine, ShardedEngine, resolve_engine
+from .engines import Engine, ShardedEngine, engine_from_name, resolve_engine
 from .plan import STAGE_NAMES, VerificationPlan
 from .registry import ModelRegistry, default_registry
 from .stages import (
@@ -416,16 +416,23 @@ class Workbench:
         shards: Optional[int],
         hosts: Optional[Sequence[Any]],
         n_specs: int,
+        coordinator: Optional[str] = None,
+        token: Optional[str] = None,
     ) -> Engine:
         """Engine for a scenario fan-out sized by the stage arguments.
 
-        ``hosts`` (a pool of :class:`~repro.dispatch.Host`\\ s, e.g.
-        from :func:`repro.dispatch.parse_hosts`) selects cross-host
+        ``coordinator`` (a daemon URL) wins over everything local: the
+        whole fan-out ships to the elastic fleet as one job, with
+        ``token`` as the fleet's shared bearer secret.  ``hosts`` (a
+        pool of :class:`~repro.dispatch.Host`\\ s, e.g. from
+        :func:`repro.dispatch.parse_hosts`) selects cross-host
         dispatch with ``shards`` defaulting to the planner's
         oversubscription so work stealing has a tail to rebalance;
         plain ``shards=N`` fans over N local subprocess hosts; neither
         falls back to the local serial/multiprocessing heuristic.
         """
+        if coordinator:
+            return engine_from_name("coordinator", url=coordinator, token=token)
         if hosts:
             from ..dispatch import shards_for_hosts
 
@@ -472,6 +479,21 @@ class Workbench:
             )
         return facts
 
+    def _coordinator_facts(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Run facts for one coordinator job (metrics-side only).
+
+        The job document minus the report itself: the merged verdicts
+        already flowed through the engine and the full report would
+        duplicate them inside stage metrics.  Like ``_dispatch_facts``
+        this rides outside the session digest.
+        """
+        return {
+            "job": job.get("job"),
+            "fingerprint": job.get("fingerprint"),
+            "from_cache": job.get("from_cache", False),
+            "dispatch": job.get("dispatch", {}),
+        }
+
     # -- stage: scenario regression ----------------------------------------------
 
     def regress(
@@ -481,6 +503,8 @@ class Workbench:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         hosts: Optional[Sequence[Any]] = None,
+        coordinator: Optional[str] = None,
+        token: Optional[str] = None,
         seed: Optional[int] = None,
         specs: Optional[Sequence[Any]] = None,
         bias: Union[CoverageResidue, bool, None] = None,
@@ -503,8 +527,11 @@ class Workbench:
         :class:`~repro.dispatch.Host`\\ s, e.g.
         ``parse_hosts("h1:8421,h2:8421")`` -- dispatches to remote
         worker daemons under the work-stealing schedule, with
-        ``shards`` (default: two per host) sizing the queue.  In every
-        case the merged digest is identical to a serial run.  An engine
+        ``shards`` (default: two per host) sizing the queue;
+        ``coordinator`` (a ``python -m repro.coordinator`` URL, with
+        ``token`` as the fleet secret) ships the whole fan-out to the
+        elastic coordinator fleet as one job instead.  In every case
+        the merged digest is identical to a serial run.  An engine
         injected at construction always wins over all of them.
         """
         return self._execute(
@@ -516,6 +543,8 @@ class Workbench:
                 "workers": workers,
                 "shards": shards,
                 "hosts": hosts,
+                "coordinator": coordinator,
+                "token": token,
                 "seed": seed,
                 "specs": specs,
                 "bias": bias,
@@ -532,6 +561,8 @@ class Workbench:
         workers: Optional[int],
         shards: Optional[int],
         hosts: Optional[Sequence[Any]],
+        coordinator: Optional[str],
+        token: Optional[str],
         seed: Optional[int],
         specs: Optional[Sequence[Any]],
         bias: Union[CoverageResidue, bool, None],
@@ -576,7 +607,10 @@ class Workbench:
         # only size the default engine
         engine = self.engine
         if engine is None:
-            engine = self._dispatch_engine(workers, shards, hosts, len(specs))
+            engine = self._dispatch_engine(
+                workers, shards, hosts, len(specs),
+                coordinator=coordinator, token=token,
+            )
         runner = RegressionRunner(specs, engine=engine, fail_fast=fail_fast)
         report = runner.run()
         data: Dict[str, Any] = {
@@ -610,6 +644,9 @@ class Workbench:
             # (and how many retries it took) must not perturb the
             # engine-invariant session digest, so this lives in metrics
             metrics["dispatch"] = self._dispatch_facts(outcome, "regress")
+        job = getattr(engine, "last_job", None)
+        if job is not None:
+            metrics["coordinator"] = self._coordinator_facts(job)
         return StageResult(
             stage="regress",
             status=StageStatus.PASSED if report.ok else StageStatus.FAILED,
@@ -629,6 +666,8 @@ class Workbench:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         hosts: Optional[Sequence[Any]] = None,
+        coordinator: Optional[str] = None,
+        token: Optional[str] = None,
         seed: Optional[int] = None,
     ) -> StageResult:
         """Close the formal-only residue with directed sequence goals.
@@ -646,9 +685,11 @@ class Workbench:
 
         The directed goals travel on the same ``ScenarioSpec`` wire
         form as random specs (``goals`` + ``track_fsm`` fields), so
-        ``shards=N`` fans each round across N local subprocess hosts
-        and ``hosts=[...]`` across remote HTTP workers -- either way
-        the per-round regression digest matches a serial run.
+        ``shards=N`` fans each round across N local subprocess hosts,
+        ``hosts=[...]`` across remote HTTP workers, and
+        ``coordinator=URL`` submits each round as one job to the
+        elastic coordinator fleet -- in each case the per-round
+        regression digest matches a serial run.
         """
         return self._execute(
             "close_coverage",
@@ -660,6 +701,8 @@ class Workbench:
                 "workers": workers,
                 "shards": shards,
                 "hosts": hosts,
+                "coordinator": coordinator,
+                "token": token,
                 "seed": seed,
             },
         )
@@ -672,6 +715,8 @@ class Workbench:
         workers: Optional[int],
         shards: Optional[int],
         hosts: Optional[Sequence[Any]],
+        coordinator: Optional[str],
+        token: Optional[str],
         seed: Optional[int],
     ) -> StageResult:
         # imported lazily for the same reason as regress: the scenario
@@ -705,6 +750,7 @@ class Workbench:
         visited_states: set = set()
         unlowerable: set = set()
         dispatch_metrics: List[Dict[str, Any]] = []
+        coordinator_metrics: List[Dict[str, Any]] = []
 
         def plan_round(edges: Tuple[str, ...], round_index: int) -> List[Any]:
             planned = []
@@ -742,7 +788,10 @@ class Workbench:
             specs = [spec for _, spec in planned]
             engine = self.engine
             if engine is None:
-                engine = self._dispatch_engine(workers, shards, hosts, len(specs))
+                engine = self._dispatch_engine(
+                    workers, shards, hosts, len(specs),
+                    coordinator=coordinator, token=token,
+                )
             report = RegressionRunner(specs, engine=engine).run()
             achieved: set = set()
             off_path = 0
@@ -767,6 +816,11 @@ class Workbench:
                 facts = self._dispatch_facts(outcome, "close_coverage")
                 facts["round"] = round_index
                 dispatch_metrics.append(facts)
+            job = getattr(engine, "last_job", None)
+            if job is not None:
+                facts = self._coordinator_facts(job)
+                facts["round"] = round_index
+                coordinator_metrics.append(facts)
             return sorted(achieved)
 
         loop = DirectedClosureLoop(
@@ -830,7 +884,14 @@ class Workbench:
                 "residue_before": residue_before.to_json(),
                 "residue": residue_after.to_json(),
             },
-            metrics={"dispatch": dispatch_metrics} if dispatch_metrics else {},
+            metrics={
+                key: value
+                for key, value in (
+                    ("dispatch", dispatch_metrics),
+                    ("coordinator", coordinator_metrics),
+                )
+                if value
+            },
             payload={
                 "loop": loop,
                 "residue_before": residue_before,

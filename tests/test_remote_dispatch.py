@@ -99,11 +99,29 @@ class TestWorkerProtocol:
             ) as response:
                 return json.loads(response.read())
 
-        assert probe() == {"ok": True, "shards_served": 0}
+        import repro
+
+        doc = probe()
+        # the liveness document's full shape: version and uptime for
+        # fleet dashboards, serving counters for dispatch forensics
+        assert set(doc) == {
+            "ok",
+            "version",
+            "uptime_seconds",
+            "shards_served",
+            "spec_cache_entries",
+        }
+        assert doc["ok"] is True
+        assert doc["version"] == repro.__version__
+        assert doc["uptime_seconds"] >= 0
+        assert doc["shards_served"] == 0
+        assert doc["spec_cache_entries"] == 0
         HttpHost(worker.address).run_shard(
             ShardWork(shard=plan_shards(SPECS[:2], 1)[0], spec_file="")
         )
-        assert probe()["shards_served"] == 1
+        after = probe()
+        assert after["shards_served"] == 1
+        assert after["uptime_seconds"] >= doc["uptime_seconds"]
 
     def test_unknown_paths_and_garbage_bodies_get_json_errors(self, worker):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -126,6 +144,17 @@ class TestWorkerProtocol:
         for bad in ("", "no-port", "h:badport", "h:0", "h:70000"):
             with pytest.raises(ValueError):
                 parse_hosts(bad)
+
+    def test_parse_hosts_names_the_bad_token(self):
+        """Satellite fix: rejection messages say which entry is wrong."""
+        with pytest.raises(ValueError, match="at least one host"):
+            parse_hosts("  ,  ,  ")
+        with pytest.raises(ValueError, match=r"entry 2 of 3 is empty"):
+            parse_hosts("a:1,,b:2")
+        with pytest.raises(ValueError, match=r"entry 2.*1-65535.*70000"):
+            parse_hosts("a:1,b:70000")
+        with pytest.raises(ValueError, match=r"entry 1.*'no-port'"):
+            parse_hosts("no-port,b:2")
 
 
 class TestHttpDispatch:

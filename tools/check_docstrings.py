@@ -37,6 +37,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: under ``src/repro``.
 AUDITED = (
     "dispatch",
+    "coordinator",
     "obs",
     "workbench/session.py",
     "workbench/engines.py",

@@ -1,0 +1,96 @@
+"""Compiled-monitor engine benches: compile cost, step throughput, fast path.
+
+Quantifies what the table-driven engine buys over the derivative
+interpreter (see ``docs/compiled-monitors.md``):
+
+* cold vs warm property-compilation cost (the process-wide plan and
+  automaton caches should make every scenario after the first free),
+* per-cycle stepping cost of both engines over the same trace,
+* the kernel fast-path ratio on a plain scenario (how many simulated
+  instants take the merged-phase single-driver path).
+"""
+
+import random
+
+import pytest
+
+from repro.models.pci.properties import pci_safety_properties
+from repro.psl import Verdict, compile_properties
+from repro.psl.compiled import clear_compile_caches
+
+CYCLES = 2_000
+SUITE = pci_safety_properties(2, 2)
+
+
+def _random_trace(directives, cycles, seed=2005):
+    monitors = compile_properties(directives)
+    names = sorted(set().union(*(m.variables() for m in monitors)))
+    rng = random.Random(seed)
+    return [{n: rng.random() < 0.5 for n in names} for _ in range(cycles)]
+
+
+def test_compile_cold(benchmark):
+    """Cold-cache compile of the full PCI safety suite."""
+
+    def compile_cold():
+        clear_compile_caches()
+        return compile_properties(SUITE)
+
+    monitors = benchmark(compile_cold)
+    benchmark.extra_info["properties"] = len(monitors)
+
+
+def test_compile_warm(benchmark):
+    """Warm-cache compile: what every scenario after the first pays."""
+    compile_properties(SUITE)  # prime
+    monitors = benchmark(lambda: compile_properties(SUITE))
+    benchmark.extra_info["properties"] = len(monitors)
+
+
+@pytest.mark.parametrize("engine", ["compiled", "interpreted"])
+def test_monitor_step_throughput(benchmark, engine):
+    """Per-cycle stepping cost of one engine over a shared random trace."""
+    trace = _random_trace(SUITE, CYCLES)
+    monitors = compile_properties(SUITE, engine=engine)
+
+    def run():
+        for monitor in monitors:
+            monitor.reset()
+        for letter in trace:
+            for monitor in monitors:
+                monitor.step(letter)
+        return [monitor.verdict() for monitor in monitors]
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "engine": engine,
+            "cycles": CYCLES,
+            "monitors": len(monitors),
+            "failures": sum(v is Verdict.FAILS for v in verdicts),
+        }
+    )
+
+
+def test_kernel_fast_path_ratio(benchmark):
+    """Fraction of simulated instants on the merged-phase fast path."""
+    from repro.models.master_slave.scenario import MsScenarioSystem
+    from repro.scenarios import sequence_for_profile
+
+    def run():
+        system = MsScenarioSystem(
+            1, 2, 2, sequence_for_profile("default"), seed=2005
+        )
+        system.run_cycles(400)
+        return system.simulator.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = stats.fast_path_instants + stats.full_path_instants
+    benchmark.extra_info.update(
+        {
+            "fast_path_instants": stats.fast_path_instants,
+            "full_path_instants": stats.full_path_instants,
+            "fast_path_ratio": round(stats.fast_path_instants / max(total, 1), 3),
+        }
+    )
+    assert stats.fast_path_instants > stats.full_path_instants

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..obs.runtime import OBS
-from ..psl.monitor import CoverMonitor, Monitor, MonitorReport
+from ..psl.monitor import Monitor, MonitorReport
 from ..psl.semantics import Verdict
 from ..sysc.clock import Clock
 from ..sysc.errors import SimulationStopped
@@ -95,6 +95,26 @@ class AbvHarness:
     ) -> List[AssertionBinding]:
         return [self.add_monitor(m, actions) for m in monitors]
 
+    def add_properties(
+        self,
+        sources: Sequence,
+        *,
+        bindings: Optional[Mapping[str, str]] = None,
+        engine: Optional[str] = None,
+        actions: Sequence[FailureAction] = (FailureAction.REPORT,),
+    ) -> List[AssertionBinding]:
+        """Compile properties and bind them -- the preferred entry point.
+
+        Routes through :func:`repro.psl.compile_properties`, so the
+        process-wide compile cache is shared across harnesses and the
+        engine choice follows the regression-wide default unless
+        overridden here.
+        """
+        from ..psl.compiled import compile_properties
+
+        monitors = compile_properties(sources, bindings=bindings, engine=engine)
+        return self.add_monitors(monitors, actions)
+
     # -- the sampling step (called from the internal process) ---------------------
 
     def _sample(self) -> None:
@@ -137,7 +157,7 @@ class AbvHarness:
         for binding in self.bindings:
             monitor = binding.monitor
             verdict = monitor.verdict()
-            if isinstance(monitor, CoverMonitor) and monitor.hits == 0:
+            if monitor.is_cover and getattr(monitor, "hits", 0) == 0:
                 self.reports.warning(
                     label=monitor.name,
                     message="coverage goal never hit",
@@ -160,7 +180,10 @@ class AbvHarness:
         Each monitor's ``step_seconds`` becomes one ``psl.monitor/...``
         span parented under the most recent kernel run span, so
         ``trace_report`` subtracts monitor time from kernel self-time
-        and ranks properties individually.
+        and ranks properties individually.  Both engines accumulate
+        through the shared ``Monitor.step`` timer, so the numbers stay
+        honest post-compile; the ``engine`` attribute/label says which
+        stepping engine the time was actually spent in.
         """
         parent = self.simulator.last_run_span_id
         for binding in self.bindings:
@@ -174,14 +197,17 @@ class AbvHarness:
                     property=monitor.name,
                     steps=monitor.steps_traced,
                     verdict=monitor.verdict().value,
+                    engine=monitor.engine,
                 )
             if OBS.metrics.enabled:
                 OBS.metrics.counter(
-                    "psl.monitor.steps", property=monitor.name
+                    "psl.monitor.steps",
+                    property=monitor.name,
+                    engine=monitor.engine,
                 ).inc(monitor.steps_traced)
-                OBS.metrics.histogram("psl.monitor.step_seconds").observe(
-                    monitor.step_seconds
-                )
+                OBS.metrics.histogram(
+                    "psl.monitor.step_seconds", engine=monitor.engine
+                ).observe(monitor.step_seconds)
 
     @property
     def failed(self) -> List[AssertionBinding]:

@@ -198,13 +198,27 @@ class Map(Mapping[K, V]):
         return f"Map({{{body}}})"
 
 
+#: types freeze returns unchanged -- checked first because nearly every
+#: state-variable write on the scoreboard's replay path is one of these
+_ATOMIC = frozenset((bool, int, float, str, bytes, type(None)))
+
+#: classes proven to pass through freeze unchanged (ASM containers,
+#: enums, other immutable scalars) -- learned on first sight so repeat
+#: writes of the same type skip the isinstance chain entirely
+_PASSTHROUGH: set = set()
+
+
 def freeze(value: Any) -> Any:
     """Convert mutable containers to their immutable ASM equivalents.
 
     State variables only accept immutable values; this helper lets model
     code assign plain lists/dicts/sets and stores the frozen form.
     """
+    cls = value.__class__
+    if cls in _ATOMIC or cls in _PASSTHROUGH:
+        return value
     if isinstance(value, (Seq, AsmSet, Map)):
+        _PASSTHROUGH.add(cls)
         return value
     if isinstance(value, list):
         return Seq(freeze(x) for x in value)
@@ -214,4 +228,5 @@ def freeze(value: Any) -> Any:
         return AsmSet(freeze(x) for x in value)
     if isinstance(value, dict):
         return Map({freeze(k): freeze(v) for k, v in value.items()})
+    _PASSTHROUGH.add(cls)
     return value

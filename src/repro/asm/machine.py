@@ -31,17 +31,18 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, Sequence, Tuple
 
-from .collections_ import freeze
+from .collections_ import _ATOMIC, _PASSTHROUGH, freeze
 from .domains import Domain, cartesian_product
 from .errors import (
     AsmError,
     DomainError,
+    InconsistentUpdateError,
     ModelRuleViolation,
     NoChoiceError,
     RequirementFailure,
 )
 from .state import FullState, Location, StateKey
-from .updates import PARALLEL, SEQUENTIAL, StepMode, UpdateSet
+from .updates import _MISSING, PARALLEL, SEQUENTIAL, StepMode, UpdateSet
 
 __all__ = [
     "StateVar",
@@ -111,7 +112,8 @@ class StateVar:
     def __get__(self, instance: "AsmMachine | None", owner: type):
         if instance is None:
             return self
-        step = instance._step_owner()._active_step
+        model = instance.model
+        step = (instance if model is None else model)._active_step
         if step is not None and step.mode is StepMode.SEQUENTIAL:
             present, value = step.pending(instance._location(self.name))
             if present:
@@ -119,18 +121,31 @@ class StateVar:
         return instance._state[self.name]
 
     def __set__(self, instance: "AsmMachine", value: Any) -> None:
-        value = freeze(value)
-        if self.domain is not None and self.domain.is_static:
-            if not self.domain.contains(value):
+        cls = value.__class__
+        if cls not in _ATOMIC and cls not in _PASSTHROUGH:
+            value = freeze(value)
+        domain = self.domain
+        if domain is not None and domain.is_static:
+            if not domain.contains(value):
                 raise DomainError(
                     f"{instance.name}.{self.name}: value {value!r} outside "
-                    f"domain {self.domain.name!r}"
+                    f"domain {domain.name!r}"
                 )
-        step = instance._step_owner()._active_step
+        model = instance.model
+        step = (instance if model is None else model)._active_step
         if step is None:
             instance._state[self.name] = value
-        else:
-            step.record(instance._location(self.name), value)
+            return
+        # Inlined UpdateSet.record -- this is the hottest write path in
+        # the scoreboard's lockstep replay (one call per rule firing).
+        location = instance._location(self.name)
+        updates = step._updates
+        if location in updates:
+            if step.mode is StepMode.PARALLEL and updates[location] != value:
+                raise InconsistentUpdateError(
+                    str(location), updates[location], value
+                )
+        updates[location] = value
 
 
 @dataclass(frozen=True)
@@ -202,11 +217,20 @@ def action(
 
         @functools.wraps(f)
         def wrapper(self: "AsmMachine", *args: Any, **kwargs: Any) -> Any:
-            owner = self._step_owner()
+            model = self.model
+            owner = self if model is None else model
             if owner._active_step is not None:
                 # Nested call inside an ongoing step: share the context.
                 return f(self, *args, **kwargs)
-            step = UpdateSet(info.mode)
+            # Reuse the owner's spare UpdateSet when one is parked:
+            # action replay allocates one step per call, and the spare
+            # makes the common non-nested case allocation-free.
+            step = owner._spare_step
+            if step is None:
+                step = UpdateSet(info.mode)
+            else:
+                owner._spare_step = None
+                step.mode = info.mode
             owner._active_step = step
             try:
                 result = f(self, *args, **kwargs)
@@ -215,6 +239,8 @@ def action(
                 raise
             owner._active_step = None
             owner._apply(step)
+            step._updates.clear()
+            owner._spare_step = step
             return result
 
         wrapper.asm_action = info  # type: ignore[attr-defined]
@@ -223,6 +249,18 @@ def action(
     if func is not None:
         return decorate(func)
     return decorate
+
+
+#: interned ``$globals`` locations -- global names are few and reused
+#: on every ``get_global``/``set_global`` inside action bodies
+_GLOBAL_LOCATIONS: Dict[str, Location] = {}
+
+
+def _global_location(name: str) -> Location:
+    location = _GLOBAL_LOCATIONS.get(name)
+    if location is None:
+        location = _GLOBAL_LOCATIONS[name] = Location("$globals", name)
+    return location
 
 
 class _MachineMeta(type):
@@ -260,8 +298,12 @@ class AsmMachine(metaclass=_MachineMeta):
             var_name: var.default for var_name, var in self._state_vars.items()
         }
         self._active_step: UpdateSet | None = None
+        self._spare_step: UpdateSet | None = None
         self.model: AsmModel | None = None
         self.name = name or f"{type(self).__name__.lower()}"
+        #: interned Location objects, keyed by variable; rebuilt lazily
+        #: when the machine is renamed (model registration)
+        self._locations: Dict[str, Location] = {}
         if model is not None:
             model.register(self)
 
@@ -271,7 +313,13 @@ class AsmMachine(metaclass=_MachineMeta):
         return self.model if self.model is not None else self
 
     def _location(self, variable: str) -> Location:
-        return Location(self.name, variable)
+        location = self._locations.get(variable)
+        # location[0] is the machine name (Location is a tuple); the
+        # guard rebuilds the cache after a rename at registration
+        if location is None or location[0] != self.name:
+            location = Location(self.name, variable)
+            self._locations[variable] = location
+        return location
 
     def _apply(self, step: UpdateSet) -> None:
         """Apply a finished update set (standalone machines only)."""
@@ -315,10 +363,15 @@ class AsmModel:
         self.machines: Dict[str, AsmMachine] = {}
         self._globals: Dict[str, Any] = {}
         self._active_step: UpdateSet | None = None
+        self._spare_step: UpdateSet | None = None
         self._sealed = False
         self._initial_state: FullState | None = None
         #: presorted (Location, machine, var) triples, filled at seal()
         self._machine_locations: tuple | None = None
+        #: machines_of results, cached once the instance set is sealed
+        self._machines_by_class: Dict[type, list] = {}
+        #: Location -> (state dict, variable) write targets for _apply
+        self._apply_targets: Dict[Location, tuple] = {}
 
     # -- registry (rule R1) ---------------------------------------------------
 
@@ -349,7 +402,15 @@ class AsmModel:
         return self.machines[name]
 
     def machines_of(self, cls: type) -> list[AsmMachine]:
-        return [m for m in self.machines.values() if isinstance(m, cls)]
+        cached = self._machines_by_class.get(cls)
+        if cached is not None:
+            return cached
+        selected = [m for m in self.machines.values() if isinstance(m, cls)]
+        if self._sealed:
+            # The instance set is fixed (rule R1), so the scan result
+            # is stable; hot action bodies query it every firing.
+            self._machines_by_class[cls] = selected
+        return selected
 
     # -- globals (shared locations such as SystemInit) ---------------------------
 
@@ -358,11 +419,12 @@ class AsmModel:
         if self._active_step is None:
             self._globals[name] = value
         else:
-            self._active_step.record(Location("$globals", name), value)
+            self._active_step.record(_global_location(name), value)
 
     def get_global(self, name: str, default: Any = None) -> Any:
-        if self._active_step is not None and self._active_step.mode is StepMode.SEQUENTIAL:
-            present, value = self._active_step.pending(Location("$globals", name))
+        step = self._active_step
+        if step is not None and step.mode is StepMode.SEQUENTIAL:
+            present, value = step.pending(_global_location(name))
             if present:
                 return value
         return self._globals.get(name, default)
@@ -403,7 +465,7 @@ class AsmModel:
             # "$globals" sorts before every machine name ('$' < letters).
             machines = self.machines
             pairs = [
-                (Location("$globals", name), self._globals[name])
+                (_global_location(name), self._globals[name])
                 for name in sorted(self._globals)
             ]
             pairs.extend(
@@ -448,11 +510,22 @@ class AsmModel:
     # -- action execution ---------------------------------------------------------
 
     def _apply(self, step: UpdateSet) -> None:
-        for location, value in step.items():
-            if location.machine == "$globals":
-                self._globals[location.variable] = value
-            else:
-                self.machines[location.machine]._state[location.variable] = value
+        # location -> (target_dict, key) resolved once; replay traffic
+        # hits the same few locations thousands of times
+        targets = self._apply_targets
+        for location, value in step._updates.items():
+            try:
+                target = targets[location]
+            except KeyError:
+                if location.machine == "$globals":
+                    target = (self._globals, location.variable)
+                else:
+                    target = (
+                        self.machines[location.machine]._state,
+                        location.variable,
+                    )
+                targets[location] = target
+            target[0][target[1]] = value
 
     def execute(self, call: ActionCall) -> Any:
         """Run one action under step semantics; raises on failed require."""

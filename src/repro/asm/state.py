@@ -15,19 +15,39 @@ Both are immutable and hashable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Tuple
 
 
-@dataclass(frozen=True, order=True)
-class Location:
-    """One ASM location: a named variable of a named machine instance."""
+class Location(tuple):
+    """One ASM location: a named variable of a named machine instance.
 
-    machine: str
-    variable: str
+    A ``tuple`` subclass rather than a dataclass: locations key every
+    update-set and full-state dictionary on the scoreboard's replay hot
+    path, and the tuple base gives hashing, equality and ordering at C
+    speed (no per-lookup ``__hash__`` dispatch into Python).
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, machine: str, variable: str) -> "Location":
+        return tuple.__new__(cls, (machine, variable))
+
+    def __getnewargs__(self) -> Tuple[str, str]:
+        return (self[0], self[1])
+
+    @property
+    def machine(self) -> str:
+        return self[0]
+
+    @property
+    def variable(self) -> str:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return f"Location(machine={self[0]!r}, variable={self[1]!r})"
 
     def __str__(self) -> str:
-        return f"{self.machine}.{self.variable}"
+        return f"{self[0]}.{self[1]}"
 
 
 class FullState:

@@ -36,16 +36,18 @@ class StepMode(enum.Enum):
 PARALLEL = StepMode.PARALLEL
 SEQUENTIAL = StepMode.SEQUENTIAL
 
+_MISSING = object()
+
 
 class UpdateSet:
     """The set of pending updates of one ASM step."""
 
-    __slots__ = ("mode", "_updates", "_order")
+    __slots__ = ("mode", "_updates")
 
     def __init__(self, mode: StepMode = StepMode.PARALLEL):
         self.mode = mode
+        #: location -> value; dict insertion order IS the update order
         self._updates: Dict[Location, Any] = {}
-        self._order: list[Location] = []
 
     def record(self, location: Location, value: Any) -> None:
         """Add one update, enforcing consistency in parallel mode.
@@ -54,29 +56,27 @@ class UpdateSet:
         is harmless (the classic definition permits duplicate updates);
         a different value raises :class:`InconsistentUpdateError`.
         """
-        if location in self._updates:
-            previous = self._updates[location]
+        updates = self._updates
+        previous = updates.get(location, _MISSING)
+        if previous is not _MISSING:
             if self.mode is StepMode.PARALLEL and previous != value:
                 raise InconsistentUpdateError(str(location), previous, value)
-            self._updates[location] = value
-        else:
-            self._updates[location] = value
-            self._order.append(location)
+        updates[location] = value
 
     def pending(self, location: Location) -> tuple[bool, Any]:
         """Return ``(present, value)`` for read-your-writes in sequential mode."""
-        if location in self._updates:
-            return True, self._updates[location]
-        return False, None
+        value = self._updates.get(location, _MISSING)
+        if value is _MISSING:
+            return False, None
+        return True, value
 
     def merge_into(self, target: "UpdateSet") -> None:
         """Fold this update set into an enclosing one (nested steps)."""
-        for location in self._order:
-            target.record(location, self._updates[location])
+        for location, value in self._updates.items():
+            target.record(location, value)
 
     def items(self) -> Iterator[Tuple[Location, Any]]:
-        for location in self._order:
-            yield location, self._updates[location]
+        return iter(self._updates.items())
 
     def __len__(self) -> int:
         return len(self._updates)

@@ -375,12 +375,18 @@ class _WorkerServer(ThreadingHTTPServer):
 
     def health_doc(self) -> Dict[str, Any]:
         """The ``GET /healthz`` body: liveness plus serving facts."""
+        from ..psl.compiled import compile_cache_stats, default_engine
+
         return {
             "ok": True,
             "version": __version__,
             "uptime_seconds": round(time.monotonic() - self.started_monotonic, 3),
             "shards_served": self.shards_served,
             "spec_cache_entries": len(self.spec_cache),
+            # the per-worker property-compilation cache: one compile
+            # per distinct property, however many shards x seeds run
+            "psl_engine": default_engine(),
+            "compile_cache": compile_cache_stats(),
         }
 
 

@@ -78,6 +78,7 @@ class MsSequenceMaster(Module):
         self.index = index
         self.blocking = blocking
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.slaves = slaves
         self.items = items
@@ -100,13 +101,19 @@ class MsSequenceMaster(Module):
 
     def run(self):
         wires = self.wires
+        posedge = self._posedge
+        owner = wires.owner
+        want = wires.want[self.index]
+        transferring = wires.transferring[self.index]
+        slave_busy = wires.slave_busy
+        my_index = self.index
         while True:
             item = self._next_item()
             if item is None:
                 self.done = True
                 return  # sequence exhausted: the master parks
             for _ in range(item.idle):
-                yield self.clock.posedge()
+                yield posedge
             words = BLOCKING_BURST if self.blocking else 1
             slave_index = item.target % len(self.slaves)
             offset = min(item.address_offset, 0x100 - words)
@@ -126,22 +133,23 @@ class MsSequenceMaster(Module):
             self.in_flight = True
             # request / grant handshake (same discipline as the
             # free-running MsMasterModule, so the property suite binds)
-            wires.want[self.index].write(True)
-            yield self.clock.posedge()
-            while wires.owner.read() != self.index:
+            want.write(True)
+            yield posedge
+            while owner.read() != my_index:
                 self.wait_cycles += 1
-                yield self.clock.posedge()
-            wires.want[self.index].write(False)
+                yield posedge
+            want.write(False)
             slave = self.slaves[slave_index]
-            while wires.slave_busy[slave_index].read():
+            busy = slave_busy[slave_index]
+            while busy.read():
                 self.wait_cycles += 1
-                yield self.clock.posedge()
-            wires.slave_busy[slave_index].write(True)
-            wires.transferring[self.index].write(True)
+                yield posedge
+            busy.write(True)
+            transferring.write(True)
             read_back: List[int] = []
             for word in range(words):
                 for _ in range(slave.wait_states):
-                    yield self.clock.posedge()
+                    yield posedge
                 address = transaction.address + word
                 value = slave.access(
                     address, payload[word] if item.is_write else None
@@ -149,10 +157,10 @@ class MsSequenceMaster(Module):
                 if not item.is_write:
                     read_back.append(value)
                 self.words_moved += 1
-                yield self.clock.posedge()
-            wires.transferring[self.index].write(False)
-            wires.slave_busy[slave_index].write(False)
-            wires.owner.write(-1)
+                yield posedge
+            transferring.write(False)
+            busy.write(False)
+            owner.write(-1)
             if not item.is_write:
                 transaction.data = tuple(read_back)
             transaction.end_cycle = self.clock.cycle_count
@@ -167,7 +175,7 @@ class MsSequenceMaster(Module):
             )
             if not dropped:
                 self.records.append((transaction, item))
-            yield self.clock.posedge()
+            yield posedge
 
 
 class MsScenarioSystem(ScenarioSystem):
@@ -398,6 +406,7 @@ class MsReferenceAdapter(ReferenceAdapter):
         self.golden: Dict[int, int] = {}
         self.expected_words: Dict[int, Tuple[int, int]] = {}  # slave -> (reads, writes)
         self.protocol_diverged = False
+        self._scripts: Dict[tuple, list] = {}
 
     def build_reference(self):
         return build_master_slave_model(
@@ -417,13 +426,22 @@ class MsReferenceAdapter(ReferenceAdapter):
         master_index = int(txn.master.replace("master", ""))
         slave_index = txn.address // 0x100
         words = txn.burst_length
-        script = [
-            (f"master{master_index}", "request", ()),
-            ("arbiter", "grant", ()),
-            (f"master{master_index}", "start_transfer", (slave_index, txn.is_write)),
-        ]
-        script += [(f"master{master_index}", "transfer_word", ())] * words
-        script += [("arbiter", "release", ())]
+        # replay scripts depend only on (master, slave, words, is_write)
+        # -- memoize so the hot check loop skips rebuilding them
+        script_key = (master_index, slave_index, words, txn.is_write)
+        script = self._scripts.get(script_key)
+        if script is None:
+            master = f"master{master_index}"
+            script = (
+                [
+                    (master, "request", ()),
+                    ("arbiter", "grant", ()),
+                    (master, "start_transfer", (slave_index, txn.is_write)),
+                ]
+                + [(master, "transfer_word", ())] * words
+                + [("arbiter", "release", ())]
+            )
+            self._scripts[script_key] = script
         for machine, act, args in script:
             error = self.lockstep.call(machine, act, *args)
             if error is not None:

@@ -47,21 +47,25 @@ class MsArbiterModule(Module):
     def __init__(self, name: str, sim: Simulator, clock: Clock, wires: MsSignals):
         super().__init__(name, sim)
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.grants = 0
         self.thread(self.run)
 
     def run(self):
         wires = self.wires
+        owner = wires.owner
+        want = wires.want
+        posedge = self._posedge
         while True:
-            yield self.clock.posedge()
-            if wires.owner.read() != -1:
+            yield posedge
+            if owner.read() != -1:
                 continue
-            requesting = [i for i, w in enumerate(wires.want) if w.read()]
-            if requesting:
-                winner = requesting[0]
-                wires.owner.write(winner)
-                self.grants += 1
+            for index, wanting in enumerate(want):
+                if wanting.read():
+                    owner.write(index)
+                    self.grants += 1
+                    break
 
 
 class MsSlaveModule(Module):
@@ -78,6 +82,7 @@ class MsSlaveModule(Module):
         super().__init__(f"slave{index}", sim)
         self.index = index
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.wait_states = wait_states
         self.memory: Dict[int, int] = {}
@@ -115,6 +120,7 @@ class MsMasterModule(Module):
         self.index = index
         self.blocking = blocking
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.slaves = slaves
         self.random = random.Random(seed)
@@ -129,7 +135,7 @@ class MsMasterModule(Module):
         wires = self.wires
         while True:
             for _ in range(self.random.randrange(1, self.max_idle + 1)):
-                yield self.clock.posedge()
+                yield self._posedge
             slave_index = self.random.randrange(len(self.slaves))
             is_write = self.random.random() < 0.5
             burst = BLOCKING_BURST if self.blocking else 1
@@ -144,26 +150,26 @@ class MsMasterModule(Module):
             )
             # request
             wires.want[self.index].write(True)
-            yield self.clock.posedge()
+            yield self._posedge
             while wires.owner.read() != self.index:
                 self.wait_cycles += 1
-                yield self.clock.posedge()
+                yield self._posedge
             wires.want[self.index].write(False)
             # wait until the slave is free (single-slave port here)
             slave = self.slaves[slave_index]
             while wires.slave_busy[slave_index].read():
                 self.wait_cycles += 1
-                yield self.clock.posedge()
+                yield self._posedge
             wires.slave_busy[slave_index].write(True)
             wires.transferring[self.index].write(True)
             # move the words (one per cycle, plus slave wait states)
             for word in range(burst):
                 for _ in range(slave.wait_states):
-                    yield self.clock.posedge()
+                    yield self._posedge
                 address = transaction.address + word
                 slave.access(address, word if is_write else None)
                 self.words_moved += 1
-                yield self.clock.posedge()
+                yield self._posedge
             # release
             wires.transferring[self.index].write(False)
             wires.slave_busy[slave_index].write(False)
@@ -171,7 +177,7 @@ class MsMasterModule(Module):
             transaction.end_cycle = self.clock.cycle_count
             transaction.status = BusStatus.OK
             self.transactions.append(transaction)
-            yield self.clock.posedge()
+            yield self._posedge
 
 
 class MsSystemModel:

@@ -58,6 +58,7 @@ class PciSequenceMaster(Module):
         super().__init__(f"master{index}", sim)
         self.index = index
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.n_targets = n_targets
         self.items = items
@@ -88,7 +89,7 @@ class PciSequenceMaster(Module):
                 self.done = True
                 return  # sequence exhausted: the initiator parks
             for _ in range(item.idle):
-                yield self.clock.posedge()
+                yield self._posedge
             target = item.target % self.n_targets
             burst = max(1, min(item.burst, MAX_BURST_LENGTH))
             command = (
@@ -113,8 +114,8 @@ class PciSequenceMaster(Module):
                 completed = yield from self._attempt(target, burst, command)
                 if not completed:
                     self.retries += 1
-                    yield self.clock.posedge()
-                    yield self.clock.posedge()
+                    yield self._posedge
+                    yield self._posedge
             transaction.end_cycle = self.clock.cycle_count
             transaction.status = BusStatus.OK
             self.completed += 1
@@ -149,43 +150,45 @@ class PciSequenceMaster(Module):
         property suite binds to scenario runs unchanged.
         """
         wires = self.wires
+        posedge = self._posedge
+        frame = wires.frame
+        owner = wires.owner
+        gnt = wires.gnt[self.index]
+        stop = wires.stop[target]
+        trdy = wires.trdy[target]
         self.idle_flag.write(False)
         wires.req[self.index].write(True)
-        while not wires.gnt[self.index].read():
-            yield self.clock.posedge()
-        while (
-            wires.frame.read()
-            or wires.owner.read() != -1
-            or wires.stop[target].read()
-        ):
-            yield self.clock.posedge()
+        while not gnt.read():
+            yield posedge
+        while frame.read() or owner.read() != -1 or stop.read():
+            yield posedge
         wires.req[self.index].write(False)
-        wires.frame.write(True)
-        wires.owner.write(self.index)
+        frame.write(True)
+        owner.write(self.index)
         wires.addr.write(target)
         wires.command.write(command)
-        yield self.clock.posedge()
+        yield posedge
         wires.irdy.write(True)
         self.data_flag.write(True)
         words_left = burst
         cycles_waited = 0
         while words_left > 0:
-            yield self.clock.posedge()
-            if wires.stop[target].read():
+            yield posedge
+            if stop.read():
                 yield from self._release()
                 return False
-            if wires.trdy[target].read():
+            if trdy.read():
                 words_left -= 1
                 self.words_moved += 1
                 cycles_waited = 0
                 if words_left == 0:
-                    wires.frame.write(False)
+                    frame.write(False)
             else:
                 cycles_waited += 1
                 if cycles_waited > 16:  # defensive: no livelock
                     yield from self._release()
                     return False
-        yield self.clock.posedge()
+        yield posedge
         yield from self._release()
         return True
 
@@ -197,7 +200,7 @@ class PciSequenceMaster(Module):
         wires.addr.write(-1)
         self.data_flag.write(False)
         self.idle_flag.write(True)
-        yield self.clock.posedge()
+        yield self._posedge
 
 
 class PciScenarioSystem(ScenarioSystem):
@@ -410,6 +413,7 @@ class PciReferenceAdapter(ReferenceAdapter):
     def __init__(self, n_masters: int, n_targets: int):
         self.n_masters = n_masters
         self.n_targets = n_targets
+        self._scripts: Dict[tuple, list] = {}
 
     def build_reference(self):
         return build_pci_model(self.n_masters, self.n_targets)
@@ -419,19 +423,29 @@ class PciReferenceAdapter(ReferenceAdapter):
         master_index = int(txn.master.replace("master", ""))
         target_index = txn.address // 0x1000 - 1
         burst = txn.burst_length
-        script = [
-            (f"master{master_index}", "request", ()),
-            ("arbiter", "update_m_req", ()),
-            ("arbiter", "grant", ()),
-            (f"master{master_index}", "start_transaction", (target_index, burst)),
-            (f"target{target_index}", "respond", ()),
-            (f"master{master_index}", "assert_irdy", ()),
-        ]
-        script += [(f"master{master_index}", "data_phase", ())] * burst
-        script += [
-            (f"master{master_index}", "finish", ()),
-            (f"target{target_index}", "complete", ()),
-        ]
+        # replay scripts depend only on (master, target, burst) --
+        # memoize so the hot check loop skips rebuilding them
+        script_key = (master_index, target_index, burst)
+        script = self._scripts.get(script_key)
+        if script is None:
+            master = f"master{master_index}"
+            target = f"target{target_index}"
+            script = (
+                [
+                    (master, "request", ()),
+                    ("arbiter", "update_m_req", ()),
+                    ("arbiter", "grant", ()),
+                    (master, "start_transaction", (target_index, burst)),
+                    (target, "respond", ()),
+                    (master, "assert_irdy", ()),
+                ]
+                + [(master, "data_phase", ())] * burst
+                + [
+                    (master, "finish", ()),
+                    (target, "complete", ()),
+                ]
+            )
+            self._scripts[script_key] = script
         for machine, act, args in script:
             error = self.lockstep.call(machine, act, *args)
             if error is not None:

@@ -63,26 +63,35 @@ class PciArbiterModule(Module):
     def __init__(self, name: str, sim: Simulator, clock: Clock, wires: PciSignals):
         super().__init__(name, sim)
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.grants_issued = 0
         self.thread(self.arbitrate)
 
     def arbitrate(self):
         wires = self.wires
+        req = wires.req
+        gnt = wires.gnt
+        posedge = self._posedge
         current: Optional[int] = None
         while True:
-            yield self.clock.posedge()
-            requesting = [i for i, r in enumerate(wires.req) if r.read()]
-            if current is not None and not wires.req[current].read():
+            yield posedge
+            if current is not None and not req[current].read():
                 # The granted master started its transaction (REQ# fell):
                 # drop GNT# so the next arbitration can proceed even while
                 # the transaction still runs (hidden arbitration).
-                wires.gnt[current].write(False)
+                gnt[current].write(False)
                 current = None
-            if current is None and requesting:
-                current = requesting[0]
-                wires.gnt[current].write(True)
-                self.grants_issued += 1
+            if current is None:
+                # Lowest-index priority; reads see pre-delta values, so
+                # scanning after the GNT# drop is equivalent to the old
+                # snapshot-then-drop ordering.
+                for index, requesting in enumerate(req):
+                    if requesting.read():
+                        current = index
+                        gnt[index].write(True)
+                        self.grants_issued += 1
+                        break
 
 
 class PciMasterModule(Module):
@@ -102,6 +111,7 @@ class PciMasterModule(Module):
         super().__init__(f"master{index}", sim)
         self.index = index
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.n_targets = n_targets
         self.random = random.Random(seed)
@@ -120,7 +130,7 @@ class PciMasterModule(Module):
         while True:
             # idle gap
             for _ in range(self.random.randrange(1, self.max_idle + 1)):
-                yield self.clock.posedge()
+                yield self._posedge
             target = self.random.randrange(self.n_targets)
             burst = self.random.randint(1, MAX_BURST_LENGTH)
             command = (
@@ -144,7 +154,7 @@ class PciMasterModule(Module):
                     self.retries += 1
                     # back off a little before retrying
                     for _ in range(self.random.randrange(1, 3)):
-                        yield self.clock.posedge()
+                        yield self._posedge
             transaction.end_cycle = self.clock.cycle_count
             transaction.status = BusStatus.OK
             self.transactions.append(transaction)
@@ -156,7 +166,7 @@ class PciMasterModule(Module):
         # REQ# until granted
         wires.req[self.index].write(True)
         while not wires.gnt[self.index].read():
-            yield self.clock.posedge()
+            yield self._posedge
         # wait for bus idle -- and for any draining STOP# of the chosen
         # target (its STOP# belongs to the previous transaction; a new
         # address phase must start clean)
@@ -165,21 +175,21 @@ class PciMasterModule(Module):
             or wires.owner.read() != -1
             or wires.stop[target].read()
         ):
-            yield self.clock.posedge()
+            yield self._posedge
         # address phase
         wires.req[self.index].write(False)
         wires.frame.write(True)
         wires.owner.write(self.index)
         wires.addr.write(target)
         wires.command.write(command)
-        yield self.clock.posedge()
+        yield self._posedge
         # IRDY# and data phases
         wires.irdy.write(True)
         self.data_flag.write(True)
         words_left = burst
         cycles_waited = 0
         while words_left > 0:
-            yield self.clock.posedge()
+            yield self._posedge
             if wires.stop[target].read():
                 # Target requested stop: back off (retry).
                 yield from self._release(aborted=True)
@@ -195,7 +205,7 @@ class PciMasterModule(Module):
                 if cycles_waited > 16:  # defensive: no livelock
                     yield from self._release(aborted=True)
                     return False
-        yield self.clock.posedge()
+        yield self._posedge
         yield from self._release(aborted=False)
         return True
 
@@ -207,7 +217,7 @@ class PciMasterModule(Module):
         wires.addr.write(-1)
         self.data_flag.write(False)
         self.idle_flag.write(True)
-        yield self.clock.posedge()
+        yield self._posedge
 
 
 class PciTargetModule(Module):
@@ -228,6 +238,7 @@ class PciTargetModule(Module):
             raise ValueError("decode latency outside the DEVSEL window")
         self.index = index
         self.clock = clock
+        self._posedge = clock.posedge_event
         self.wires = wires
         self.random = random.Random(seed)
         self.decode_latency = decode_latency
@@ -238,33 +249,39 @@ class PciTargetModule(Module):
 
     def run(self):
         wires = self.wires
+        frame = wires.frame
+        addr = wires.addr
+        irdy = wires.irdy
+        devsel = wires.devsel[self.index]
+        trdy = wires.trdy[self.index]
+        posedge = self._posedge
         while True:
-            yield self.clock.posedge()
-            if not (wires.frame.read() and wires.addr.read() == self.index):
+            yield posedge
+            if not (frame.read() and addr.read() == self.index):
                 continue
             # address decode latency
             for _ in range(self.decode_latency - 1):
-                yield self.clock.posedge()
+                yield posedge
             if self.random.random() < self.stop_probability:
                 yield from self._stop_sequence()
                 continue
-            wires.devsel[self.index].write(True)
+            devsel.write(True)
             self.claims += 1
-            yield self.clock.posedge()
-            wires.trdy[self.index].write(True)
+            yield posedge
+            trdy.write(True)
             # stay ready until the initiator finishes (FRAME# falls and
             # IRDY# falls after the last word)
-            while wires.frame.read() or wires.irdy.read():
-                yield self.clock.posedge()
+            while frame.read() or irdy.read():
+                yield posedge
                 if (
-                    wires.frame.read()
+                    frame.read()
                     and self.random.random() < self.stop_probability / 4
                 ):
                     # mid-burst disconnect
                     yield from self._stop_sequence()
                     break
-            wires.devsel[self.index].write(False)
-            wires.trdy[self.index].write(False)
+            devsel.write(False)
+            trdy.write(False)
 
     def _stop_sequence(self):
         wires = self.wires
@@ -274,8 +291,8 @@ class PciTargetModule(Module):
         self.stops_issued += 1
         # hold STOP# until the initiator backs off
         while wires.frame.read():
-            yield self.clock.posedge()
-        yield self.clock.posedge()
+            yield self._posedge
+        yield self._posedge
         wires.stop[self.index].write(False)
 
 

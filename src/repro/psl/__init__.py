@@ -11,7 +11,9 @@ Entry points:
 
 * :func:`parse_formula` / :func:`parse_vunit` -- concrete syntax,
 * :func:`verdict` -- four-valued evaluation on a recorded trace,
-* :func:`build_monitor` -- compile to an online assertion monitor,
+* :func:`compile_properties` -- build online assertion monitors (the
+  table-driven compiled engine by default, the derivative interpreter
+  on request) -- the one public construction path,
 * :class:`AssertionProperty` -- embed a property into FSM exploration.
 """
 
@@ -103,6 +105,24 @@ from .errors import (
     PslTypeError,
     PslUnsupportedError,
 )
+from .compiled import (
+    CompiledCover,
+    CompiledEventually,
+    CompiledInvariant,
+    CompiledNeverSere,
+    CompiledProperty,
+    CompiledSuffixImplication,
+    CompiledUntil,
+    SereAutomaton,
+    clear_compile_caches,
+    compile_cache_stats,
+    compile_properties,
+    compile_property,
+    default_engine,
+    property_digest,
+    set_default_engine,
+    shared_automaton,
+)
 from .monitor import (
     BooleanInvariantMonitor,
     BooleanUntilMonitor,
@@ -147,6 +167,13 @@ __all__ = [
     "EventuallyMonitor", "Monitor", "MonitorReport", "NeverSereMonitor",
     "ReplayMonitor", "SereTracker", "SuffixImplicationMonitor",
     "build_monitor", "run_monitor",
+    # compiled engine
+    "CompiledCover", "CompiledEventually", "CompiledInvariant",
+    "CompiledNeverSere", "CompiledProperty", "CompiledSuffixImplication",
+    "CompiledUntil", "SereAutomaton", "clear_compile_caches",
+    "compile_cache_stats", "compile_properties", "compile_property",
+    "default_engine", "property_digest", "set_default_engine",
+    "shared_automaton",
     # parsing
     "parse_bool", "parse_directive", "parse_formula", "parse_sere",
     "parse_vunit",

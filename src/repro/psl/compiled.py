@@ -1,0 +1,985 @@
+"""Table-driven compiled assertion monitors.
+
+:mod:`repro.psl.monitor` interprets Brzozowski derivative sets
+symbolically every cycle: each ``step()`` re-walks the SERE AST,
+allocates fresh residual ``frozenset``s and hashes structural SERE
+nodes.  That is exact but slow, and it repeats identical work for
+every scenario in a regression (same properties x thousands of seeds).
+
+This module lowers each property **once per process** into a
+table-driven automaton:
+
+* the Boolean layer is pre-bound: every atom (the ``SereBool``
+  expressions reachable from the desugared SERE) compiles to a closure
+  over the bounded history window, and a cycle's atom valuation packs
+  into one integer *symbol* (bit ``i`` = truth of atom ``i``);
+* the SERE layer is enumerated: reachable derivative residual sets
+  become integer state indices, and transitions ``(state, symbol) ->
+  (next_state, matched)`` fill a per-state table lazily, exactly like
+  a lazy-DFA regular-expression engine.  Filling a cell runs the
+  *same* :func:`repro.psl.monitor.derivatives` machinery the
+  interpreted engine uses -- over a symbolic letter -- so the two
+  engines agree by construction;
+* suffix implication tracks antecedent attempts and consequent
+  obligations as **bitsets of state indices** (one Python int each),
+  so a monitor step is a handful of dict lookups and integer ops with
+  no AST in sight.
+
+Automata and per-property compilation plans are memoized process-wide,
+keyed by the (hashable, immutable) property AST plus the signal
+binding -- equivalent to keying by source digest, since equal sources
+parse to equal ASTs (:func:`property_digest` exposes the digest form).
+Cache hit/miss counts are surfaced through ``OBS.metrics`` as
+``psl.compile.cache`` / ``psl.compile.automaton`` counters and through
+:func:`compile_cache_stats` for the worker ``/healthz`` endpoint.
+
+:func:`compile_properties` is the public construction path for *all*
+monitors (both engines); direct ``Monitor`` subclass instantiation is
+deprecated outside this package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs.runtime import OBS
+from .ast_nodes import (
+    Directive,
+    DirectiveKind,
+    Expr,
+    FlAlways,
+    FlBool,
+    FlEventually,
+    FlImplies,
+    FlNever,
+    FlNot,
+    FlSere,
+    FlSuffixImpl,
+    FlUntil,
+    Formula,
+    Property,
+    Sere,
+    SereAnd,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereOr,
+    SereRepeat,
+    TRUE,
+    Var,
+)
+from .errors import PslParseError, PslUnsupportedError
+from .letter import freeze_letter
+from .monitor import (
+    Monitor,
+    SereTracker,
+    _as_sere,
+    _consequent_is_strong,
+    _HistoryMixin,
+    _sanctioned_construction,
+    build_monitor,
+    derivatives,
+    history_depth,
+    nullable,
+    sere_history_depth,
+)
+from .semantics import Verdict
+from .sere import desugar
+
+Letter = Mapping[str, Any]
+
+#: Engine names accepted by :func:`compile_properties`.
+ENGINES = ("compiled", "interpreted")
+
+#: Environment variable overriding the default engine (inherited by
+#: worker subprocesses, so one switch flips a whole fleet).
+ENGINE_ENV_VAR = "REPRO_PSL_ENGINE"
+
+_DEFAULT_ENGINE = "compiled"
+
+
+def default_engine() -> str:
+    """Engine used when ``compile_properties(engine=None)``.
+
+    ``REPRO_PSL_ENGINE`` (if set) wins over the process default so a
+    regression fleet can be flipped without touching wire forms.
+    """
+    env = os.environ.get(ENGINE_ENV_VAR)
+    if env:
+        return _validate_engine(env)
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process default engine; returns the previous default."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = _validate_engine(engine)
+    return previous
+
+
+def _validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown PSL engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Symbolic letters: drive the interpreted derivative engine over a
+# truth assignment instead of a concrete letter
+# ---------------------------------------------------------------------------
+
+
+class _SymbolicView:
+    """Letter view answering ``holds`` from a fixed truth assignment.
+
+    Used while filling transition-table cells: the cell's symbol fixes
+    the truth of every atom, so :func:`~repro.psl.monitor.derivatives`
+    runs unchanged over this view.  Meeting an expression outside the
+    collected atom set means atom collection missed a reachable
+    ``SereBool`` -- surfaced as unsupported rather than mis-evaluated.
+    """
+
+    __slots__ = ("_truth",)
+
+    def __init__(self, truth: Dict[Expr, bool]):
+        self._truth = truth
+
+    def holds(self, expression: Expr) -> bool:
+        value = self._truth.get(expression)
+        if value is None:
+            raise PslUnsupportedError(
+                f"expression {expression} escaped atom collection; "
+                f"cannot compile this SERE to an automaton"
+            )
+        return value
+
+
+def _collect_atoms(item: Sere, out: Dict[Expr, None]) -> None:
+    """Ordered-set walk of every Boolean atom reachable via desugaring.
+
+    Desugaring happens *here* too (goto/non-consecutive repetition
+    introduce negated atoms the surface SERE never mentions), so the
+    collected set covers everything ``derivatives`` can ask about.
+    """
+    item = desugar(item)
+    if isinstance(item, SereBool):
+        out.setdefault(item.expr)
+    elif isinstance(item, SereConcat):
+        for part in item.parts:
+            _collect_atoms(part, out)
+    elif isinstance(item, (SereFusion, SereOr, SereAnd)):
+        _collect_atoms(item.left, out)
+        _collect_atoms(item.right, out)
+    elif isinstance(item, SereRepeat):
+        _collect_atoms(item.body, out)
+    else:  # pragma: no cover - desugar() returns only the above
+        raise TypeError(f"unknown SERE node {type(item).__name__}")
+
+
+def _compiled_bool(expression: Expr) -> Callable[[Sequence[Letter]], bool]:
+    """Compile a Boolean-layer expression, sharing the monitor cache."""
+    from .monitor import _COMPILED_BOOL
+
+    compiled = _COMPILED_BOOL.get(expression)
+    if compiled is None:
+        from .compile_ import compile_bool
+
+        compiled = compile_bool(expression)
+        _COMPILED_BOOL[expression] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# The automaton
+# ---------------------------------------------------------------------------
+
+
+class SereAutomaton:
+    """Lazily-enumerated DFA over derivative residual sets.
+
+    States are integer indices into ``_states`` (index ``i`` is the
+    residual ``frozenset`` the interpreted engine would carry);
+    ``start`` is the state for a match anchored *now*.  ``advance``
+    consumes one symbol and returns ``(next_state, matched)`` where
+    ``next_state`` is :data:`DEAD` when the residual set died and
+    ``matched`` mirrors ``SereTracker.advance``'s completed-match flag.
+
+    Transition cells are filled on first use by running the symbolic
+    derivative engine, then hit as plain dict lookups forever after.
+    Instances are shared (via :func:`shared_automaton`) across every
+    monitor compiled from an equal SERE in the process.
+    """
+
+    #: Sentinel state index: the residual set became empty.
+    DEAD = -1
+
+    def __init__(self, item: Sere):
+        self.sere = desugar(item)
+        self.depth = sere_history_depth(self.sere)
+        atoms: Dict[Expr, None] = {}
+        _collect_atoms(self.sere, atoms)
+        # The non-length-matching && rewrite pads with true[*]; make
+        # sure TRUE is always a known atom.
+        atoms.setdefault(TRUE)
+        self.atoms: Tuple[Expr, ...] = tuple(atoms)
+        self._atom_fns = tuple(_compiled_bool(a) for a in self.atoms)
+        start_set = frozenset({self.sere})
+        self._states: List[frozenset] = [start_set]
+        self._index: Dict[frozenset, int] = {start_set: 0}
+        self._table: List[Dict[int, Tuple[int, bool]]] = [{}]
+        self.start = 0
+        self.table_fills = 0  # cells computed (diagnostic / bench)
+
+    # -- hot path ---------------------------------------------------------
+
+    def valuation(self, history: Sequence[Letter]) -> int:
+        """Pack the atoms' truth over ``history`` into one symbol."""
+        symbol = 0
+        bit = 1
+        for fn in self._atom_fns:
+            if fn(history):
+                symbol |= bit
+            bit <<= 1
+        return symbol
+
+    def advance(self, state: int, symbol: int) -> Tuple[int, bool]:
+        """One transition; fills the table cell on first visit."""
+        entry = self._table[state].get(symbol)
+        if entry is None:
+            entry = self._fill(state, symbol)
+        return entry
+
+    # -- cold path --------------------------------------------------------
+
+    def _fill(self, state: int, symbol: int) -> Tuple[int, bool]:
+        truth: Dict[Expr, bool] = {}
+        bit = 1
+        for atom in self.atoms:
+            truth[atom] = bool(symbol & bit)
+            bit <<= 1
+        view = _SymbolicView(truth)
+        result: set = set()
+        for residual in self._states[state]:
+            result |= derivatives(residual, view)
+        if len(result) > SereTracker.MAX_RESIDUALS:
+            raise PslUnsupportedError(
+                f"SERE residual set exceeded {SereTracker.MAX_RESIDUALS} "
+                f"terms; use the ReplayMonitor for this property"
+            )
+        matched = any(nullable(r) for r in result)
+        if not result:
+            entry = (self.DEAD, matched)
+        else:
+            new_set = frozenset(result)
+            index = self._index.get(new_set)
+            if index is None:
+                index = len(self._states)
+                self._states.append(new_set)
+                self._index[new_set] = index
+                self._table.append({})
+            entry = (index, matched)
+        self._table[state][symbol] = entry
+        self.table_fills += 1
+        return entry
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """States discovered so far (grows as the table fills)."""
+        return len(self._states)
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.sere.variables()
+
+
+#: Process-wide automaton cache: equal (desugared) SEREs share one
+#: automaton and therefore one transition table.
+_AUTOMATON_CACHE: Dict[Sere, SereAutomaton] = {}
+
+
+def shared_automaton(item: Sere) -> SereAutomaton:
+    """Automaton for ``item``, shared process-wide by SERE equality."""
+    key = desugar(item)
+    automaton = _AUTOMATON_CACHE.get(key)
+    if automaton is None:
+        _bump("automaton_misses", "psl.compile.automaton", "miss")
+        automaton = SereAutomaton(key)
+        _AUTOMATON_CACHE[key] = automaton
+    else:
+        _bump("automaton_hits", "psl.compile.automaton", "hit")
+    return automaton
+
+
+def _iter_bits(mask: int):
+    """Yield set-bit indices of ``mask`` (a state bitset), ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+# ---------------------------------------------------------------------------
+# Compiled monitors
+# ---------------------------------------------------------------------------
+
+
+class CompiledProperty(Monitor, _HistoryMixin):
+    """Base for table-driven monitors.
+
+    Same protocol as the interpreted :class:`Monitor` --
+    ``reset/step/verdict/snapshot/restore/variables`` -- so harness,
+    explorer and workbench code cannot tell the engines apart except
+    by the ``engine`` tag and by speed.
+    """
+
+    engine = "compiled"
+
+    def _push_letter(self, letter: Letter) -> List[Letter]:
+        history = self._history
+        history.append(freeze_letter(letter))
+        if len(history) > self._depth + 1:
+            del history[0]
+        return history
+
+
+class CompiledInvariant(CompiledProperty):
+    """``always b`` (expect=True) / ``never b`` (expect=False)."""
+
+    def __init__(self, expression: Expr, expect: bool, name: str, report: str = ""):
+        super().__init__(name, report)
+        self.expression = expression
+        self.expect = expect
+        self._fn = _compiled_bool(expression)
+        self._init_history(history_depth(expression))
+
+    def reset(self) -> None:
+        """Return to the initial (pre-trace) monitor state."""
+        super().reset()
+        self._history = []
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.expression.variables()
+
+    def _advance(self, letter: Letter) -> Verdict:
+        history = self._push_letter(letter)
+        if self._fn(history) != self.expect:
+            return Verdict.FAILS
+        return Verdict.HOLDS
+
+    def snapshot(self) -> Any:
+        """Opaque, immutable state for :meth:`restore`."""
+        return (self._verdict, self._history_snapshot())
+
+    def restore(self, snap: Any) -> None:
+        """Reinstate monitor state captured by :meth:`snapshot`."""
+        self._verdict, history = snap
+        self._history_restore(history)
+
+
+class CompiledEventually(CompiledProperty):
+    """``eventually! b``: PENDING until b holds once."""
+
+    def __init__(self, expression: Expr, name: str, report: str = ""):
+        super().__init__(name, report)
+        self.expression = expression
+        self._fn = _compiled_bool(expression)
+        self._init_history(history_depth(expression))
+        self._verdict = Verdict.PENDING
+
+    def reset(self) -> None:
+        """Return to the initial (pre-trace) monitor state."""
+        super().reset()
+        self._verdict = Verdict.PENDING
+        self._history = []
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.expression.variables()
+
+    def _advance(self, letter: Letter) -> Verdict:
+        history = self._push_letter(letter)
+        if self._fn(history):
+            return Verdict.HOLDS_STRONGLY
+        return Verdict.PENDING
+
+    def snapshot(self) -> Any:
+        """Opaque, immutable state for :meth:`restore`."""
+        return (self._verdict, self._history_snapshot())
+
+    def restore(self, snap: Any) -> None:
+        """Reinstate monitor state captured by :meth:`snapshot`."""
+        self._verdict, history = snap
+        self._history_restore(history)
+
+
+class CompiledUntil(CompiledProperty):
+    """``a until b`` / ``a until! b`` over boolean operands."""
+
+    def __init__(
+        self,
+        left: Expr,
+        right: Expr,
+        *,
+        strong: bool,
+        inclusive: bool = False,
+        name: str = "until",
+        report: str = "",
+    ):
+        super().__init__(name, report)
+        self.left = left
+        self.right = right
+        self.strong = strong
+        self.inclusive = inclusive
+        self._left_fn = _compiled_bool(left)
+        self._right_fn = _compiled_bool(right)
+        self._released = False
+        self._init_history(max(history_depth(left), history_depth(right)))
+        self._verdict = Verdict.PENDING if strong else Verdict.HOLDS
+
+    def reset(self) -> None:
+        """Return to the initial (pre-trace) monitor state."""
+        super().reset()
+        self._released = False
+        self._verdict = Verdict.PENDING if self.strong else Verdict.HOLDS
+        self._history = []
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.left.variables() | self.right.variables()
+
+    def _advance(self, letter: Letter) -> Verdict:
+        if self._released:
+            return self._verdict
+        history = self._push_letter(letter)
+        if self._right_fn(history) and (
+            not self.inclusive or self._left_fn(history)
+        ):
+            self._released = True
+            return Verdict.HOLDS_STRONGLY
+        if not self._left_fn(history):
+            return Verdict.FAILS
+        return Verdict.PENDING if self.strong else Verdict.HOLDS
+
+    def snapshot(self) -> Any:
+        """Opaque, immutable state for :meth:`restore`."""
+        return (self._verdict, self._released, self._history_snapshot())
+
+    def restore(self, snap: Any) -> None:
+        """Reinstate monitor state captured by :meth:`snapshot`."""
+        self._verdict, self._released, history = snap
+        self._history_restore(history)
+
+
+class CompiledNeverSere(CompiledProperty):
+    """``never {r}``: attempts tracked as a bitset of state indices."""
+
+    def __init__(self, item: Sere, name: str = "never_sere", report: str = ""):
+        super().__init__(name, report)
+        self.automaton = shared_automaton(item)
+        self._attempts = 0  # bitset of live automaton states
+        self._init_history(self.automaton.depth)
+
+    def reset(self) -> None:
+        """Return to the initial (pre-trace) monitor state."""
+        super().reset()
+        self._attempts = 0
+        self._history = []
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.automaton.variables()
+
+    def _advance(self, letter: Letter) -> Verdict:
+        history = self._push_letter(letter)
+        automaton = self.automaton
+        symbol = automaton.valuation(history)
+        advance = automaton.advance
+        survivors = 0
+        for state in _iter_bits(self._attempts | (1 << automaton.start)):
+            next_state, matched = advance(state, symbol)
+            if matched:
+                return Verdict.FAILS
+            if next_state >= 0:
+                survivors |= 1 << next_state
+        self._attempts = survivors
+        return Verdict.HOLDS
+
+    def snapshot(self) -> Any:
+        """Opaque, immutable state for :meth:`restore`."""
+        return (self._verdict, self._attempts, self._history_snapshot())
+
+    def restore(self, snap: Any) -> None:
+        """Reinstate monitor state captured by :meth:`snapshot`."""
+        self._verdict, self._attempts, history = snap
+        self._history_restore(history)
+
+
+class CompiledCover(CompiledProperty):
+    """``cover {r}``: per-attempt hit counting on integer states."""
+
+    latch_definite = False  # keep counting after the first hit
+    is_cover = True
+
+    def __init__(self, item: Sere, name: str = "cover", report: str = ""):
+        super().__init__(name, report)
+        self.automaton = shared_automaton(item)
+        self._attempts = 0
+        self.hits = 0
+        self._init_history(self.automaton.depth)
+
+    def reset(self) -> None:
+        """Return to the initial (pre-trace) monitor state."""
+        super().reset()
+        self._attempts = 0
+        self._history = []
+        self.hits = 0
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.automaton.variables()
+
+    def _advance(self, letter: Letter) -> Verdict:
+        history = self._push_letter(letter)
+        automaton = self.automaton
+        symbol = automaton.valuation(history)
+        advance = automaton.advance
+        survivors = 0
+        for state in _iter_bits(self._attempts | (1 << automaton.start)):
+            next_state, matched = advance(state, symbol)
+            if matched:
+                self.hits += 1
+            if next_state >= 0:
+                survivors |= 1 << next_state
+        self._attempts = survivors
+        return Verdict.HOLDS_STRONGLY if self.hits else Verdict.PENDING
+
+    def snapshot(self) -> Any:
+        """Opaque, immutable state for :meth:`restore`."""
+        # Mirror the interpreted CoverMonitor: the covered bit is
+        # semantic state, the exact count is a statistic.
+        return (self._verdict, self._attempts, self.hits > 0, self._history_snapshot())
+
+    def restore(self, snap: Any) -> None:
+        """Reinstate monitor state captured by :meth:`snapshot`."""
+        self._verdict, self._attempts, covered, history = snap
+        if covered and self.hits == 0:
+            self.hits = 1
+        self._history_restore(history)
+
+
+class CompiledSuffixImplication(CompiledProperty):
+    """``always {r} |->/|=> {s}`` on two shared automata.
+
+    Antecedent attempts and consequent obligations are bitsets of
+    state indices; the per-cycle work is two symbol valuations plus
+    one table lookup per live state.  Obligation lifecycle (spawn,
+    discharge on match, fail on death, PENDING under a strong
+    consequent) mirrors ``SuffixImplicationMonitor._advance`` line by
+    line.
+    """
+
+    def __init__(
+        self,
+        antecedent: Sere,
+        consequent: Sere,
+        *,
+        overlapping: bool,
+        strong_consequent: bool = False,
+        name: str = "suffix_implication",
+        report: str = "",
+    ):
+        super().__init__(name, report)
+        self.antecedent_automaton = shared_automaton(antecedent)
+        self.consequent_automaton = shared_automaton(consequent)
+        self.overlapping = overlapping
+        self.strong_consequent = strong_consequent
+        self._antecedent_states = 0  # bitset of live antecedent states
+        self._obligations = 0  # bitset of live consequent states
+        self._fresh_obligations = 0  # spawned this cycle, consume next
+        self._init_history(
+            max(self.antecedent_automaton.depth, self.consequent_automaton.depth)
+        )
+        self.triggered = 0  # completed antecedent matches (activity metric)
+
+    def reset(self) -> None:
+        """Return to the initial (pre-trace) monitor state."""
+        super().reset()
+        self._antecedent_states = 0
+        self._obligations = 0
+        self._fresh_obligations = 0
+        self._history = []
+        self.triggered = 0
+
+    def variables(self) -> frozenset:
+        """Signal names this monitor samples each cycle."""
+        return self.antecedent_automaton.variables() | (
+            self.consequent_automaton.variables()
+        )
+
+    def _advance(self, letter: Letter) -> Verdict:
+        history = self._push_letter(letter)
+        antecedent = self.antecedent_automaton
+        consequent = self.consequent_automaton
+        antecedent_symbol = antecedent.valuation(history)
+        consequent_symbol = consequent.valuation(history)
+
+        # 1. advance antecedent attempts (plus a fresh anchor at this cycle)
+        matched_now = False
+        new_attempts = 0
+        advance_antecedent = antecedent.advance
+        for state in _iter_bits(self._antecedent_states | (1 << antecedent.start)):
+            next_state, matched = advance_antecedent(state, antecedent_symbol)
+            if matched:
+                matched_now = True
+            if next_state >= 0:
+                new_attempts |= 1 << next_state
+        self._antecedent_states = new_attempts
+
+        # 2. advance outstanding obligations (those spawned before this cycle)
+        live = 0
+        failed = False
+        advance_consequent = consequent.advance
+        for state in _iter_bits(self._obligations | self._fresh_obligations):
+            next_state, matched = advance_consequent(state, consequent_symbol)
+            if matched:
+                continue  # discharged
+            if next_state < 0:
+                failed = True
+                continue
+            live |= 1 << next_state
+        self._fresh_obligations = 0
+
+        # 3. a completed antecedent spawns a consequent obligation
+        if matched_now:
+            self.triggered += 1
+            if self.overlapping:
+                # |->: the consequent's first letter is the current one.
+                next_state, matched = advance_consequent(
+                    consequent.start, consequent_symbol
+                )
+                if not matched:
+                    if next_state < 0:
+                        failed = True
+                    else:
+                        live |= 1 << next_state
+            else:
+                # |=>: the consequent starts next cycle.
+                self._fresh_obligations = 1 << consequent.start
+
+        self._obligations = live
+        if failed:
+            return Verdict.FAILS
+        if (self._obligations or self._fresh_obligations) and self.strong_consequent:
+            return Verdict.PENDING
+        return Verdict.HOLDS
+
+    def snapshot(self) -> Any:
+        """Opaque, immutable state for :meth:`restore`."""
+        # ``triggered`` stays out, mirroring the interpreted monitor.
+        return (
+            self._verdict,
+            self._antecedent_states,
+            self._obligations,
+            self._fresh_obligations,
+            self._history_snapshot(),
+        )
+
+    def restore(self, snap: Any) -> None:
+        """Reinstate monitor state captured by :meth:`snapshot`."""
+        (
+            self._verdict,
+            self._antecedent_states,
+            self._obligations,
+            self._fresh_obligations,
+            history,
+        ) = snap
+        self._history_restore(history)
+
+
+# ---------------------------------------------------------------------------
+# The public compilation API
+# ---------------------------------------------------------------------------
+
+
+#: Per-property compilation plans: (engine, kind, property AST,
+#: binding) -> zero-arg monitor factory.
+_PLAN_CACHE: Dict[Tuple, Callable[[], Monitor]] = {}
+
+_CACHE_STATS = {
+    "plan_hits": 0,
+    "plan_misses": 0,
+    "automaton_hits": 0,
+    "automaton_misses": 0,
+}
+
+
+def _bump(stat: str, metric: str, result: str) -> None:
+    _CACHE_STATS[stat] += 1
+    metrics = OBS.metrics
+    if metrics.enabled:
+        metrics.counter(metric, result=result).inc()
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Process-wide compile-cache counters (plans and automata).
+
+    Exposed on the worker ``/healthz`` endpoint; hits should dwarf
+    misses in any real regression (same properties x many seeds).
+    """
+    stats = dict(_CACHE_STATS)
+    stats["plans"] = len(_PLAN_CACHE)
+    stats["automata"] = len(_AUTOMATON_CACHE)
+    stats["automaton_states"] = sum(
+        a.state_count for a in _AUTOMATON_CACHE.values()
+    )
+    return stats
+
+
+def clear_compile_caches() -> None:
+    """Drop all compilation caches (tests and memory-pressure hooks)."""
+    _PLAN_CACHE.clear()
+    _AUTOMATON_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def property_digest(source: Property | Directive | Formula | str) -> str:
+    """Stable hex digest of a property's source form.
+
+    Equal sources parse to equal ASTs and equal ASTs print back to
+    equal canonical text, so this digest is interchangeable with the
+    AST as a cache identity; it exists for logs and cross-process
+    comparison where shipping the AST is impractical.
+    """
+    directive = _as_directive(source)
+    text = f"{directive.kind}:{directive.prop.name}:{directive.prop.formula}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _as_directive(source: Property | Directive | Formula | str) -> Directive:
+    """Normalize any accepted source form to an assert/cover directive."""
+    if isinstance(source, Directive):
+        return source
+    if isinstance(source, Property):
+        return Directive(kind=DirectiveKind.ASSERT, prop=source)
+    if isinstance(source, str):
+        from .parser import parse_directive, parse_formula
+
+        try:
+            return _as_directive(parse_directive(source))
+        except PslParseError:
+            return _as_directive(parse_formula(source))
+    if isinstance(source, Formula):
+        return Directive(
+            kind=DirectiveKind.ASSERT,
+            prop=Property(name="property", formula=source),
+        )
+    raise TypeError(
+        f"cannot compile {type(source).__name__}; expected "
+        f"Directive, Property, Formula or source text"
+    )
+
+
+def _rebind(node: Any, bindings: Mapping[str, str]) -> Any:
+    """Rename signal references throughout a (frozen dataclass) AST."""
+    if isinstance(node, Var):
+        renamed = bindings.get(node.name)
+        return Var(renamed) if renamed is not None else node
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        changes = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            rebound = _rebind(value, bindings)
+            if rebound is not value:
+                changes[field.name] = rebound
+        return dataclasses.replace(node, **changes) if changes else node
+    if isinstance(node, tuple):
+        rebound = tuple(_rebind(v, bindings) for v in node)
+        return rebound if rebound != node else node
+    return node
+
+
+def compile_properties(
+    sources: Iterable[Property | Directive | Formula | str],
+    *,
+    bindings: Optional[Mapping[str, str]] = None,
+    engine: Optional[str] = None,
+) -> List[Monitor]:
+    """Compile properties into monitors -- the one construction path.
+
+    ``sources`` may mix parsed :class:`Directive`/:class:`Property`/
+    :class:`Formula` objects and PSL source text.  ``bindings``
+    renames signal references (formal -> actual) before compilation
+    and is part of the cache key.  ``engine`` selects ``"compiled"``
+    (table-driven automata, the default) or ``"interpreted"`` (the
+    original derivative interpreter); ``None`` defers to
+    :func:`default_engine`, i.e. ``REPRO_PSL_ENGINE`` when set.
+
+    Properties the compiled engine cannot lower (deep ``until``
+    nests, unbounded-residual SEREs, ...) transparently fall back to
+    the interpreted :func:`build_monitor` result, so both engines
+    accept the full supported PSL subset and produce identical
+    verdict traces.
+    """
+    resolved = _validate_engine(engine) if engine is not None else default_engine()
+    return [
+        compile_property(source, bindings=bindings, engine=resolved)
+        for source in sources
+    ]
+
+
+def compile_property(
+    source: Property | Directive | Formula | str,
+    *,
+    name: Optional[str] = None,
+    bindings: Optional[Mapping[str, str]] = None,
+    engine: Optional[str] = None,
+) -> Monitor:
+    """Compile one property (see :func:`compile_properties`)."""
+    resolved = _validate_engine(engine) if engine is not None else default_engine()
+    directive = _as_directive(source)
+    if bindings:
+        directive = _rebind(directive, dict(bindings))
+    binding_key = (
+        tuple(sorted(bindings.items())) if bindings else None
+    )
+    key = (resolved, directive.kind, directive.prop, binding_key)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        _bump("plan_misses", "psl.compile.cache", "miss")
+        plan = _build_plan(directive, resolved)
+        _PLAN_CACHE[key] = plan
+    else:
+        _bump("plan_hits", "psl.compile.cache", "hit")
+    monitor = plan()
+    if name is not None:
+        monitor.name = name
+    return monitor
+
+
+def _build_plan(directive: Directive, engine: str) -> Callable[[], Monitor]:
+    """Build the per-property monitor factory for one engine."""
+    if engine == "interpreted":
+        def interpreted_plan() -> Monitor:
+            with _sanctioned_construction():
+                return build_monitor(directive)
+
+        return interpreted_plan
+
+    builder = _match_compiled(directive)
+    if builder is None:
+        # Transparent fallback: patterns (or SEREs) the table engine
+        # cannot lower run on the interpreted engine instead.
+        def fallback_plan() -> Monitor:
+            with _sanctioned_construction():
+                return build_monitor(directive)
+
+        return fallback_plan
+
+    def compiled_plan() -> Monitor:
+        with _sanctioned_construction():
+            return builder()
+
+    # Compile eagerly once so unsupported SEREs surface now (and fall
+    # back) rather than mid-regression.
+    try:
+        compiled_plan()
+    except PslUnsupportedError:
+        def unsupported_plan() -> Monitor:
+            with _sanctioned_construction():
+                return build_monitor(directive)
+
+        return unsupported_plan
+    return compiled_plan
+
+
+def _match_compiled(directive: Directive) -> Optional[Callable[[], Monitor]]:
+    """Mirror of ``build_monitor``'s pattern match, building table-driven
+    monitors; ``None`` means no compiled lowering exists."""
+    prop = directive.prop
+    formula = prop.formula
+    name = prop.name
+    report = prop.report
+
+    if directive.kind == DirectiveKind.COVER:
+        target = formula
+        if isinstance(target, FlEventually):
+            target = target.operand
+        if isinstance(target, FlSere):
+            sere = target.sere
+            return lambda: CompiledCover(sere, name=name, report=report)
+        if isinstance(target, FlBool):
+            sere = SereBool(target.expr)
+            return lambda: CompiledCover(sere, name=name, report=report)
+        return None
+
+    if isinstance(formula, FlAlways):
+        body = formula.operand
+        if isinstance(body, FlBool):
+            expr = body.expr
+            return lambda: CompiledInvariant(expr, True, name, report)
+        if isinstance(body, FlNot) and isinstance(body.operand, FlBool):
+            expr = body.operand.expr
+            return lambda: CompiledInvariant(expr, False, name, report)
+        if isinstance(body, FlSuffixImpl):
+            consequent = _as_sere(body.consequent)
+            if consequent is not None:
+                antecedent = body.antecedent
+                overlapping = body.overlapping
+                strong = _consequent_is_strong(body.consequent)
+                return lambda: CompiledSuffixImplication(
+                    antecedent,
+                    consequent,
+                    overlapping=overlapping,
+                    strong_consequent=strong,
+                    name=name,
+                    report=report,
+                )
+        if isinstance(body, FlImplies) and isinstance(body.left, FlBool):
+            consequent = _as_sere(body.right)
+            if consequent is not None:
+                antecedent = SereBool(body.left.expr)
+                strong = _consequent_is_strong(body.right)
+                return lambda: CompiledSuffixImplication(
+                    antecedent,
+                    consequent,
+                    overlapping=True,
+                    strong_consequent=strong,
+                    name=name,
+                    report=report,
+                )
+    if isinstance(formula, FlNever):
+        body = formula.operand
+        if isinstance(body, FlBool):
+            expr = body.expr
+            return lambda: CompiledInvariant(expr, False, name, report)
+        if isinstance(body, FlSere):
+            sere = body.sere
+            return lambda: CompiledNeverSere(sere, name=name, report=report)
+    if isinstance(formula, FlEventually) and isinstance(formula.operand, FlBool):
+        expr = formula.operand.expr
+        return lambda: CompiledEventually(expr, name=name, report=report)
+    if isinstance(formula, FlUntil):
+        if isinstance(formula.left, FlBool) and isinstance(formula.right, FlBool):
+            left = formula.left.expr
+            right = formula.right.expr
+            strong = formula.strong
+            inclusive = formula.inclusive
+            return lambda: CompiledUntil(
+                left,
+                right,
+                strong=strong,
+                inclusive=inclusive,
+                name=name,
+                report=report,
+            )
+    return None

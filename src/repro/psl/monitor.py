@@ -29,6 +29,9 @@ Two implementation strategies:
 
 from __future__ import annotations
 
+import threading
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter as _perf_counter
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
@@ -173,21 +176,32 @@ _COMPILED_BOOL: Dict[Expr, Any] = {}
 
 
 class _LetterView:
-    """Evaluation window: current letter plus bounded history."""
+    """Evaluation window: current letter plus bounded history.
 
-    __slots__ = ("history",)
+    ``holds`` memoizes per view (i.e. per letter): a derivative step
+    asks about the same atom once per residual containing it, so
+    shared subexpressions evaluate once per cycle, not once per
+    residual-set member.
+    """
+
+    __slots__ = ("history", "_memo")
 
     def __init__(self, history: Sequence[Letter]):
         self.history = history
+        self._memo: Dict[Expr, bool] = {}
 
     def holds(self, expression: Expr) -> bool:
-        compiled = _COMPILED_BOOL.get(expression)
-        if compiled is None:
-            from .compile_ import compile_bool
+        value = self._memo.get(expression)
+        if value is None:
+            compiled = _COMPILED_BOOL.get(expression)
+            if compiled is None:
+                from .compile_ import compile_bool
 
-            compiled = compile_bool(expression)
-            _COMPILED_BOOL[expression] = compiled
-        return compiled(self.history)
+                compiled = compile_bool(expression)
+                _COMPILED_BOOL[expression] = compiled
+            value = bool(compiled(self.history))
+            self._memo[expression] = value
+        return value
 
 
 def derivatives(item: Sere, view: _LetterView) -> FrozenSet[Sere]:
@@ -317,6 +331,27 @@ class MonitorReport:
         return text
 
 
+#: Thread-local nesting depth of sanctioned monitor construction.
+#: Non-zero inside :func:`build_monitor` / ``compile_properties``;
+#: zero depth at ``Monitor.__init__`` means a direct instantiation,
+#: which is deprecated (mirroring the DesignFlow -> Workbench shim).
+_SANCTION = threading.local()
+
+
+def _sanction_depth() -> int:
+    return getattr(_SANCTION, "depth", 0)
+
+
+@contextmanager
+def _sanctioned_construction():
+    """Mark monitor construction as coming from a blessed factory."""
+    _SANCTION.depth = _sanction_depth() + 1
+    try:
+        yield
+    finally:
+        _SANCTION.depth -= 1
+
+
 class Monitor:
     """Base class: consume letters, maintain a verdict."""
 
@@ -324,7 +359,22 @@ class Monitor:
     #: override this to keep counting hits after the goal is reached.
     latch_definite = True
 
+    #: Which stepping engine backs this monitor ("interpreted" here;
+    #: "compiled" for the table-driven classes in ``psl.compiled``).
+    engine = "interpreted"
+
+    #: Cover directives report coverage, not failure; the ABV harness
+    #: keys off this instead of concrete classes so both engines work.
+    is_cover = False
+
     def __init__(self, name: str, report: str = ""):
+        if _sanction_depth() == 0:
+            warnings.warn(
+                "direct Monitor construction is deprecated; build monitors "
+                "through repro.psl.compile_properties()",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         self.name = name
         self.report_message = report
         self.cycle = -1
@@ -616,6 +666,7 @@ class CoverMonitor(Monitor, _HistoryMixin):
     time if nothing was ever covered."""
 
     latch_definite = False  # keep counting after the first hit
+    is_cover = True
 
     def __init__(self, item: Sere, name: str = "cover", report: str = ""):
         super().__init__(name, report)
@@ -846,20 +897,21 @@ def build_monitor(
         formula = source
         name = name or "property"
 
-    if kind == DirectiveKind.COVER:
-        target = formula
-        if isinstance(target, FlEventually):
-            target = target.operand
-        if isinstance(target, FlSere):
-            return CoverMonitor(target.sere, name=name, report=report)
-        if isinstance(target, FlBool):
-            return CoverMonitor(SereBool(target.expr), name=name, report=report)
-        return ReplayMonitor(formula, name=name, report=report)
+    with _sanctioned_construction():
+        if kind == DirectiveKind.COVER:
+            target = formula
+            if isinstance(target, FlEventually):
+                target = target.operand
+            if isinstance(target, FlSere):
+                return CoverMonitor(target.sere, name=name, report=report)
+            if isinstance(target, FlBool):
+                return CoverMonitor(SereBool(target.expr), name=name, report=report)
+            return ReplayMonitor(formula, name=name, report=report)
 
-    monitor = _match_incremental(formula, name, report)
-    if monitor is not None:
-        return monitor
-    return ReplayMonitor(formula, name=name, report=report)
+        monitor = _match_incremental(formula, name, report)
+        if monitor is not None:
+            return monitor
+        return ReplayMonitor(formula, name=name, report=report)
 
 
 def _match_incremental(

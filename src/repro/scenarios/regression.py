@@ -249,7 +249,6 @@ def _build_system(spec: ScenarioSpec):
 def _attach_monitors(spec: ScenarioSpec, system):
     """Optionally bind the model's PSL assertion suite to the run."""
     from ..abv.harness import AbvHarness
-    from ..psl.monitor import build_monitor
 
     if spec.model == "master_slave":
         from ..models.master_slave.properties import ms_invariant_properties
@@ -264,7 +263,7 @@ def _attach_monitors(spec: ScenarioSpec, system):
         masters, targets = spec.topology
         directives = pci_safety_properties(masters, targets)
     harness = AbvHarness(system.simulator, system.clock, system.letter)
-    harness.add_monitors([build_monitor(d) for d in directives])
+    harness.add_properties(directives)
     return harness
 
 

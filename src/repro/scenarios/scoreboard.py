@@ -123,13 +123,29 @@ class AsmLockstep:
     def __init__(self, model: AsmModel):
         self.model = model
         self.calls_executed = 0
+        #: bound @action methods keyed by (machine, action) -- replay
+        #: scripts hit the same few actions thousands of times, so the
+        #: per-call getattr/validation runs once per distinct action
+        self._methods: Dict[Tuple[str, str], Any] = {}
 
     def call(self, machine: str, action: str, *args: Any) -> Optional[str]:
-        call = ActionCall(machine, action, tuple(args))
+        method = self._methods.get((machine, action))
+        if method is None:
+            method = getattr(self.model.machines[machine], action)
+            if getattr(method, "asm_action", None) is None:
+                label = ActionCall(machine, action, tuple(args)).label()
+                return f"{label} rejected: {machine}.{action} is not an @action"
+            self._methods[(machine, action)] = method
         try:
-            self.model.execute(call)
-        except (RequirementFailure, AsmError) as failure:
-            return f"{call.label()} rejected: {failure}"
+            method(*args)
+        except RequirementFailure as failure:
+            # Match AsmModel.execute's wrapping (label prefix) so the
+            # divergence text is identical to the uncached path.
+            label = ActionCall(machine, action, tuple(args)).label()
+            return f"{label} rejected: {label}: {failure}"
+        except AsmError as failure:
+            label = ActionCall(machine, action, tuple(args)).label()
+            return f"{label} rejected: {failure}"
         self.calls_executed += 1
         return None
 

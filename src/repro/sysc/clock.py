@@ -11,11 +11,87 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from .errors import SyscError
-from .process_ import ThreadProcess
+from .event import Event
+from .process_ import Process, ProcessKind
 from .signal import Signal
 
 if TYPE_CHECKING:
     from .kernel import Simulator
+
+
+class _ClockDriver(Process):
+    """Native clock toggler: one ``execute`` per edge.
+
+    Replaces the generator thread that used to drive the clock.  Each
+    run writes the next level, flips the phase, and rearms a single
+    reused timeout event -- no generator resumption, no wait-request
+    dispatch, no per-edge event allocation.  The timer is private to
+    the driver (nothing else can wait on or cancel it) and is only
+    rearmed after its own firing, so reuse is safe.
+
+    When the low phase of a cycle is provably unobservable (no negedge
+    or value-changed listeners, no kernel hooks, no concurrent timers
+    or runnables -- see :meth:`execute`), the driver *folds* it: one
+    wake-up per cycle instead of two, halving kernel instants.  The
+    rising-edge cadence, ``cycle_count`` and every posedge notification
+    are unchanged; only a process that samples the clock *level*
+    between edges via a timed wait it arms after the fold decision
+    could tell the difference, and installing any of the guarded
+    observers disables folding from the next cycle on.
+    """
+
+    __slots__ = ("_clock", "_simulator", "_timer", "_started", "_high_next")
+
+    def __init__(self, clock: "Clock", simulator: "Simulator"):
+        super().__init__(f"{clock.name}.driver", owner=None)
+        self.kind = ProcessKind.THREAD
+        self._clock = clock
+        self._simulator = simulator
+        self._timer = Event(f"{clock.name}.driver.timeout", simulator)
+        self._started = not clock.start_time
+        self._high_next = clock.posedge_first
+
+    def _arm(self, delay: int) -> None:
+        self._timer.dynamic_waiters.append(self)
+        self._simulator._notify_timed_fast(self._timer, delay)
+
+    def execute(self, simulator: "Simulator") -> None:
+        if not self._started:
+            # First run with a start delay: idle until start_time.
+            self._started = True
+            self._arm(self._clock.start_time)
+            return
+        clock = self._clock
+        if self._high_next:
+            clock.cycle_count += 1
+            if (
+                clock._negedge is None
+                and clock._value_changed is None
+                and not simulator.on_delta
+                and not simulator.on_time_advance
+                and not simulator._timed
+                and not simulator._runnable
+                and not simulator._delta_notified
+                and not simulator._update_requests
+            ):
+                # Nothing can observe the low phase: no negedge or
+                # value-changed listeners, no per-delta/per-time hooks,
+                # and no other pending timer or runnable process that
+                # could sample the level between edges.  Fold the
+                # falling edge away -- drop to low silently, raise a
+                # real rising edge, and sleep the whole period in one
+                # wake-up instead of two.
+                clock._current = False
+                clock.write(True)
+                self._arm(clock.period)
+                return  # stay in the "posedge next" phase
+            clock.write(True)
+            delay = clock._high_time
+        else:
+            clock.write(False)
+            delay = clock._low_time
+        self._high_next = not self._high_next
+        self._arm(delay)
 
 
 class Clock(Signal[bool]):
@@ -43,27 +119,7 @@ class Clock(Signal[bool]):
 
         self._high_time = max(int(period * duty_cycle), 1)
         self._low_time = max(period - self._high_time, 1)
-        simulator.register_process(
-            ThreadProcess(f"{name}.driver", self._drive, owner=None)
-        )
-
-    def _drive(self):
-        if self.start_time:
-            yield self.start_time
-        if self.posedge_first:
-            while True:
-                self.cycle_count += 1
-                self.write(True)
-                yield self._high_time
-                self.write(False)
-                yield self._low_time
-        else:
-            while True:
-                self.write(False)
-                yield self._low_time
-                self.cycle_count += 1
-                self.write(True)
-                yield self._high_time
+        simulator.register_process(_ClockDriver(self, simulator))
 
     def posedge(self):
         """The event to ``yield`` for 'wait until next rising edge'."""

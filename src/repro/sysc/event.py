@@ -21,6 +21,14 @@ if TYPE_CHECKING:
 class Event:
     """A named notification channel."""
 
+    __slots__ = (
+        "name",
+        "simulator",
+        "static_waiters",
+        "dynamic_waiters",
+        "_scheduled_at",
+    )
+
     def __init__(self, name: str = "event", simulator: "Simulator | None" = None):
         self.name = name
         self.simulator = simulator
@@ -61,10 +69,21 @@ class Event:
     # -- kernel bookkeeping -------------------------------------------------------
 
     def _collect_waiters(self) -> List["Process"]:
-        """All processes to wake; clears the dynamic list."""
+        """All processes to wake; clears the dynamic list.
+
+        With no static waiters (the common case: dynamic ``yield``
+        waits on clock edges and timers) the dynamic list itself is
+        handed over and replaced, avoiding a copy per notification.
+        """
+        dynamic = self.dynamic_waiters
+        if not self.static_waiters:
+            if dynamic:
+                self.dynamic_waiters = []
+            return dynamic
         waiters = list(self.static_waiters)
-        waiters.extend(self.dynamic_waiters)
-        self.dynamic_waiters.clear()
+        if dynamic:
+            waiters.extend(dynamic)
+            self.dynamic_waiters = []
         return waiters
 
     def __repr__(self) -> str:

@@ -42,6 +42,10 @@ class Simulator:
         self._runnable: Deque[Process] = deque()
         self._update_requests: List[Signal] = []
         self._delta_notified: List[Event] = []
+        #: cleared scratch lists swapped with the two above per delta
+        #: by _instant_fast, so the hot loop never allocates
+        self._spare_requests: List[Signal] = []
+        self._spare_notified: List[Event] = []
         self._timed: List[Tuple[int, int, Event]] = []
         self._timed_sequence = 0
         self._cancelled: set[int] = set()
@@ -49,6 +53,10 @@ class Simulator:
 
         self._initialized = False
         self._stop_reason: Optional[str] = None
+        #: set by Signal.write when a queued signal is written again in
+        #: the same delta -- a second driver; the instant falls back
+        #: from the fast path to the general scheduler
+        self._multi_driver_instant = False
         #: called after every update phase (delta boundary)
         self.on_delta: List[Callable[["Simulator"], None]] = []
         #: called whenever simulated time advances
@@ -126,6 +134,13 @@ class Simulator:
         self._timed_ids[id(event)] = self._timed_sequence
         heapq.heappush(self._timed, (self.time + delay, self._timed_sequence, event))
 
+    def _notify_timed_fast(self, event: Event, delay: int) -> None:
+        """Timed notify for kernel-internal timers (clock drivers,
+        thread timeouts) that are never cancelled: skips the
+        cancellation registry, which is pure overhead on the hot path."""
+        self._timed_sequence += 1
+        heapq.heappush(self._timed, (self.time + delay, self._timed_sequence, event))
+
     def _cancel_timed(self, event: Event) -> None:
         sequence = self._timed_ids.pop(id(event), None)
         if sequence is not None:
@@ -192,6 +207,12 @@ class Simulator:
                     time_advances=(
                         after["time_advances"] - before["time_advances"]
                     ),
+                    fast_path_instants=(
+                        after["fast_path_instants"] - before["fast_path_instants"]
+                    ),
+                    full_path_instants=(
+                        after["full_path_instants"] - before["full_path_instants"]
+                    ),
                     livelock_proximity=round(
                         self.stats.max_deltas_per_instant
                         / self.max_delta_cycles,
@@ -207,14 +228,34 @@ class Simulator:
                 after["process_runs"] - before["process_runs"]
             )
             registry.counter("sysc.kernel.runs").inc()
+            registry.counter("sysc.kernel.fast_path_instants").inc(
+                after["fast_path_instants"] - before["fast_path_instants"]
+            )
+            registry.counter("sysc.kernel.full_path_instants").inc(
+                after["full_path_instants"] - before["full_path_instants"]
+            )
 
     def _run(self, duration: Optional[int]) -> None:
         self.initialize()
         deadline = None if duration is None else self.time + duration
         started_wall = _wall_time.perf_counter()
 
+        stats = self.stats
         while not self.stopped:
-            self._delta_cycle()
+            # Fast path: the common instant has one driver per signal
+            # and no per-delta hooks, so the merged-phase loop skips
+            # the general scheduler's bookkeeping.  Signal.write flags
+            # a second driver mid-instant; _instant_fast then hands
+            # the rest of the instant to _delta_cycle transparently.
+            if self.on_delta:
+                self._delta_cycle()
+                stats.full_path_instants += 1
+            else:
+                self._multi_driver_instant = False
+                if self._instant_fast():
+                    stats.fast_path_instants += 1
+                else:
+                    stats.full_path_instants += 1
             if self.stopped:
                 break
             if self._runnable or self._delta_notified or self._update_requests:
@@ -225,8 +266,85 @@ class Simulator:
         if deadline is not None and self.time < deadline and not self.stopped:
             self.time = deadline
 
-    def _delta_cycle(self) -> None:
+    def _instant_fast(self) -> bool:
+        """Merged-phase scheduler for single-driver instants.
+
+        Runs evaluation, update and delta-notification with phase
+        transitions inlined and no hook dispatch.  Returns True when
+        the whole instant ran here; False when a second driver for a
+        queued signal appeared (``_multi_driver_instant``) and the
+        remainder of the instant was handed to :meth:`_delta_cycle` --
+        the fallback is transparent because signal semantics
+        (last-write-wins within a delta) are identical on both paths.
+        """
+        runnable = self._runnable
+        popleft = runnable.popleft
+        stats = self.stats
         deltas_here = 0
+        process_runs = 0
+        signal_changes = 0
+        # Scratch lists ping-pong with the live ones so each delta's
+        # notify/update batch swap costs no allocation.
+        spare_notified = self._spare_notified
+        spare_requests = self._spare_requests
+        # Counters accumulate in locals and flush once per instant (the
+        # finally keeps them correct on SimulationStopped, fallback and
+        # model exceptions alike).
+        try:
+            while True:
+                if not runnable:
+                    notified = self._delta_notified
+                    if notified:
+                        self._delta_notified = spare_notified
+                        for event in notified:
+                            for process in event._collect_waiters():
+                                if not process.runnable and not process.terminated:
+                                    process.runnable = True
+                                    runnable.append(process)
+                        notified.clear()
+                        spare_notified = notified
+                    if not runnable and not self._update_requests:
+                        break
+                while runnable:
+                    process = popleft()
+                    process.runnable = False
+                    if process.terminated:
+                        continue
+                    process_runs += 1
+                    try:
+                        process.execute(self)
+                    except SimulationStopped as stop:
+                        self.stop(stop.reason)
+                        return True
+                requests = self._update_requests
+                if requests:
+                    self._update_requests = spare_requests
+                    for signal in requests:
+                        if signal._apply():
+                            signal_changes += 1
+                    requests.clear()
+                    spare_requests = requests
+                self.delta_count += 1
+                deltas_here += 1
+                if deltas_here > self.max_delta_cycles:
+                    raise DeltaCycleLimitExceeded(
+                        f"{deltas_here} delta cycles at time {format_time(self.time)}"
+                    )
+                if self._multi_driver_instant:
+                    self._delta_cycle(deltas_done=deltas_here)
+                    return False
+            return True
+        finally:
+            self._spare_notified = spare_notified
+            self._spare_requests = spare_requests
+            stats.process_runs += process_runs
+            stats.delta_cycles += deltas_here
+            stats.signal_changes += signal_changes
+            if deltas_here > stats.max_deltas_per_instant:
+                stats.max_deltas_per_instant = deltas_here
+
+    def _delta_cycle(self, deltas_done: int = 0) -> None:
+        deltas_here = deltas_done
         while self._runnable or self._delta_notified or self._update_requests:
             # delta-notification phase (wake first so new runnables join in)
             if not self._runnable and self._delta_notified:
@@ -274,27 +392,33 @@ class Simulator:
 
     def _advance_time(self, deadline: Optional[int]) -> bool:
         """Advance to the next timed notification; False = starvation/deadline."""
-        while self._timed:
-            event_time, sequence, event = self._timed[0]
-            if sequence in self._cancelled:
-                heapq.heappop(self._timed)
-                self._cancelled.discard(sequence)
+        timed = self._timed
+        cancelled = self._cancelled
+        timed_ids = self._timed_ids
+        heappop = heapq.heappop
+        while timed:
+            event_time, sequence, event = timed[0]
+            if cancelled and sequence in cancelled:
+                heappop(timed)
+                cancelled.discard(sequence)
                 continue
             if deadline is not None and event_time > deadline:
                 self.time = deadline
                 return False
-            heapq.heappop(self._timed)
-            self._timed_ids.pop(id(event), None)
+            heappop(timed)
+            if timed_ids:
+                timed_ids.pop(id(event), None)
             self.time = event_time
             self.stats.time_advances += 1
             # fire this and all other notifications at the same instant
             self._wake_timed(event)
-            while self._timed and self._timed[0][0] == event_time:
-                _, sequence2, event2 = heapq.heappop(self._timed)
-                if sequence2 in self._cancelled:
-                    self._cancelled.discard(sequence2)
+            while timed and timed[0][0] == event_time:
+                _, sequence2, event2 = heappop(timed)
+                if cancelled and sequence2 in cancelled:
+                    cancelled.discard(sequence2)
                     continue
-                self._timed_ids.pop(id(event2), None)
+                if timed_ids:
+                    timed_ids.pop(id(event2), None)
                 self._wake_timed(event2)
             for hook in self.on_time_advance:
                 hook(self)
@@ -302,8 +426,11 @@ class Simulator:
         return False
 
     def _wake_timed(self, event: Event) -> None:
+        runnable = self._runnable
         for process in event._collect_waiters():
-            self._make_runnable(process)
+            if not process.runnable and not process.terminated:
+                process.runnable = True
+                runnable.append(process)
 
     # -- conveniences -------------------------------------------------------------
 
@@ -332,6 +459,8 @@ class KernelStats:
         "time_advances",
         "wall_seconds",
         "max_deltas_per_instant",
+        "fast_path_instants",
+        "full_path_instants",
     )
 
     def __init__(self):
@@ -344,6 +473,11 @@ class KernelStats:
         #: by ``max_delta_cycles`` this is the livelock proximity the
         #: kernel span reports.
         self.max_deltas_per_instant = 0
+        #: instants completed by the merged-phase single-driver fast
+        #: path vs. the general delta scheduler (hooks installed, or a
+        #: second driver appeared mid-instant).
+        self.fast_path_instants = 0
+        self.full_path_instants = 0
 
     def snapshot(self) -> Dict[str, int]:
         """The integer counters as a dict (for span before/after deltas)."""
@@ -353,6 +487,8 @@ class KernelStats:
             "signal_changes": self.signal_changes,
             "time_advances": self.time_advances,
             "max_deltas_per_instant": self.max_deltas_per_instant,
+            "fast_path_instants": self.fast_path_instants,
+            "full_path_instants": self.full_path_instants,
         }
 
     def summary(self) -> str:

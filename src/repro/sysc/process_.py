@@ -39,6 +39,16 @@ class ProcessKind(enum.Enum):
 class Process:
     """Common bookkeeping for both process kinds."""
 
+    __slots__ = (
+        "name",
+        "owner",
+        "sensitivity",
+        "dont_initialize",
+        "terminated",
+        "runnable",
+        "kind",
+    )
+
     def __init__(
         self,
         name: str,
@@ -72,6 +82,8 @@ class Process:
 class MethodProcess(Process):
     """SC_METHOD: runs to completion on every trigger."""
 
+    __slots__ = ("body",)
+
     def __init__(
         self,
         name: str,
@@ -91,6 +103,8 @@ class MethodProcess(Process):
 class ThreadProcess(Process):
     """SC_THREAD: a generator suspended at wait points."""
 
+    __slots__ = ("body", "_generator", "_waiting_on", "_timer", "_timer_fires_at")
+
     def __init__(
         self,
         name: str,
@@ -105,10 +119,25 @@ class ThreadProcess(Process):
         self._generator: Optional[Generator] = None
         #: events this thread is currently dynamically waiting on
         self._waiting_on: List[Event] = []
+        #: reusable timeout event for ``yield <int>`` waits -- a thread
+        #: waits on at most one timeout at a time, so one event
+        #: (created lazily) serves every timed wait without per-wait
+        #: allocation or cancellation bookkeeping
+        self._timer: Optional[Event] = None
+        #: simulated time the armed timer fires at; resuming before
+        #: then (an early wake) means a stale heap entry is pending
+        #: and the event must not be rearmed
+        self._timer_fires_at = -1
 
     def execute(self, simulator: "Simulator") -> None:
         """Resume the thread until its next wait (or termination)."""
-        self._unsubscribe()
+        waiting = self._waiting_on
+        if waiting:
+            for event in waiting:
+                dynamic = event.dynamic_waiters
+                if self in dynamic:
+                    dynamic.remove(self)
+            waiting.clear()
         if self.terminated:
             return
         if self._generator is None:
@@ -123,6 +152,12 @@ class ThreadProcess(Process):
         except StopIteration:
             self.terminated = True
             return
+        # Single-event waits dominate (clocked threads yielding a cached
+        # posedge event every cycle) -- handle them inline.
+        if request.__class__ is Event:
+            request.dynamic_waiters.append(self)
+            waiting.append(request)
+            return
         self._apply_wait(request, simulator)
 
     def _apply_wait(self, request: WaitRequest, simulator: "Simulator") -> None:
@@ -133,17 +168,25 @@ class ThreadProcess(Process):
                     f"thread {self.name!r} waits on empty static sensitivity"
                 )
             return
+        if isinstance(request, Event):
+            request.dynamic_waiters.append(self)
+            self._waiting_on.append(request)
+            return
         if isinstance(request, int):
             if request < 0:
                 raise SyscError(f"negative wait time in {self.name!r}")
-            timer = Event(f"{self.name}.timeout", simulator)
+            timer = self._timer
+            if timer is None or simulator.time < self._timer_fires_at:
+                # No timer yet, or the previous timed wait was
+                # abandoned by an early wake and its heap entry is
+                # still pending: that event would double-fire, so it
+                # is dropped and a fresh one takes its place.
+                timer = self._timer = Event(f"{self.name}.timeout", simulator)
+            delay = max(request, 1)
+            self._timer_fires_at = simulator.time + delay
             timer.dynamic_waiters.append(self)
-            self._waiting_on = [timer]
-            simulator._notify_timed(timer, max(request, 1))
-            return
-        if isinstance(request, Event):
-            request.dynamic_waiters.append(self)
-            self._waiting_on = [request]
+            self._waiting_on.append(timer)
+            simulator._notify_timed_fast(timer, delay)
             return
         if isinstance(request, (tuple, list)):
             for event in request:
@@ -152,14 +195,17 @@ class ThreadProcess(Process):
                         f"thread {self.name!r} yielded a non-event in a wait list"
                     )
                 event.dynamic_waiters.append(self)
-            self._waiting_on = list(request)
+            self._waiting_on.extend(request)
             return
         raise SyscError(
             f"thread {self.name!r} yielded unsupported wait request {request!r}"
         )
 
     def _unsubscribe(self) -> None:
-        for event in self._waiting_on:
+        waiting = self._waiting_on
+        if not waiting:
+            return
+        for event in waiting:
             if self in event.dynamic_waiters:
                 event.dynamic_waiters.remove(self)
         self._waiting_on = []

@@ -26,6 +26,17 @@ _NOTHING = object()
 class Signal(Generic[T]):
     """A single-driver signal with deferred (delta-cycle) updates."""
 
+    __slots__ = (
+        "name",
+        "simulator",
+        "_current",
+        "_next",
+        "_value_changed",
+        "_posedge",
+        "_negedge",
+        "_last_change_delta",
+    )
+
     def __init__(
         self,
         initial: T = False,  # type: ignore[assignment]
@@ -78,12 +89,21 @@ class Signal(Generic[T]):
 
     def write(self, value: T) -> None:
         """Request an update; visible after the current delta cycle."""
-        self._next = value
-        if self.simulator is not None:
-            self.simulator._request_update(self)
-        else:
+        simulator = self.simulator
+        if simulator is None:
             # Unattached signals update immediately (unit-test comfort).
+            self._next = value
             self._apply()
+            return
+        if self._next is _NOTHING:
+            self._next = value
+            simulator._update_requests.append(self)
+        else:
+            # Already queued this delta: a second driver.  Last write
+            # wins (exactly as before, when the queue held duplicates)
+            # and the kernel's fast path falls back for this instant.
+            self._next = value
+            simulator._multi_driver_instant = True
 
     def event(self) -> bool:
         """True if the signal changed in the immediately preceding delta."""
@@ -105,11 +125,9 @@ class Signal(Generic[T]):
             self._last_change_delta = self.simulator.delta_count
         if self._value_changed is not None:
             self._value_changed.notify()
-        rising = bool(new_value) and not bool(old_value)
-        falling = bool(old_value) and not bool(new_value)
-        if rising and self._posedge is not None:
+        if self._posedge is not None and new_value and not old_value:
             self._posedge.notify()
-        if falling and self._negedge is not None:
+        if self._negedge is not None and old_value and not new_value:
             self._negedge.notify()
         return True
 

@@ -38,7 +38,8 @@ from ..explorer.liveness import check_eventually
 from ..explorer.rules import check_rules
 from ..explorer.sim_coverage import CoverageTracker
 from ..psl.asm_embedding import AssertionProperty, state_extractor
-from ..psl.monitor import Monitor, build_monitor
+from ..psl.compiled import compile_properties
+from ..psl.monitor import Monitor
 from ..translate.class_rules import translate_class
 from ..translate.csharp_gen import render_monitor_suite
 from ..translate.runtime import build_runtime
@@ -341,7 +342,7 @@ class Workbench:
             else (FailureAction.REPORT,)
         )
         directives = duv.monitor_directives()
-        monitors: List[Monitor] = [build_monitor(d) for d in directives]
+        monitors: List[Monitor] = compile_properties(directives)
         residue_json: Optional[dict] = None
 
         if duv.systemc_factory is not None:

@@ -110,12 +110,18 @@ class TestWorkerProtocol:
             "uptime_seconds",
             "shards_served",
             "spec_cache_entries",
+            "psl_engine",
+            "compile_cache",
         }
         assert doc["ok"] is True
         assert doc["version"] == repro.__version__
         assert doc["uptime_seconds"] >= 0
         assert doc["shards_served"] == 0
         assert doc["spec_cache_entries"] == 0
+        assert doc["psl_engine"] in ("compiled", "interpreted")
+        assert {"plan_hits", "plan_misses", "automaton_hits", "automaton_misses"} <= set(
+            doc["compile_cache"]
+        )
         HttpHost(worker.address).run_shard(
             ShardWork(shard=plan_shards(SPECS[:2], 1)[0], spec_file="")
         )

@@ -42,6 +42,7 @@ AUDITED = (
     "workbench/session.py",
     "workbench/engines.py",
     "scenarios/directed.py",
+    "psl/compiled.py",
     "cliutil.py",
 )
 

@@ -1,0 +1,58 @@
+"""Static-analyzer benches: per-model analysis cost, witness overhead.
+
+The ``analyze`` stage runs before anything is simulated, so its cost
+bounds how early the gate can sit in a flow.  Three numbers:
+
+* full static analysis (race detection + property lint) of one
+  shipped model,
+* the same with the witnessed kernel cross-check folded in (the
+  witness forces the kernel off the merged fast path, so this is the
+  expensive variant),
+* the repo lint gate over ``src/repro`` (what CI pays per push).
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analyze import analyze_duv, analyze_models
+from repro.workbench import default_registry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint import run_checks  # noqa: E402  (path bootstrap above)
+
+WITNESS_CYCLES = 100
+
+
+def test_analyze_static_pci(benchmark):
+    """Static race + property analysis of the PCI model."""
+    duv = default_registry().get("pci")
+    report = benchmark(lambda: analyze_duv(duv))
+    assert report.ok
+    benchmark.extra_info["findings"] = len(report.findings)
+
+
+def test_analyze_witnessed_pci(benchmark):
+    """The same analysis with a witnessed kernel run cross-checking it."""
+    duv = default_registry().get("pci")
+    report = benchmark(
+        lambda: analyze_duv(duv, witness=True, witness_cycles=WITNESS_CYCLES)
+    )
+    assert report.ok
+    benchmark.extra_info["witness_deltas"] = report.facts["witness"]["deltas"]
+
+
+def test_analyze_all_models(benchmark):
+    """Full ``python -m repro analyze`` equivalent: every model, merged."""
+    report = benchmark(analyze_models)
+    assert report.ok
+    benchmark.extra_info["findings"] = len(report.findings)
+
+
+def test_repo_lint_gate(benchmark):
+    """``python -m tools.lint`` equivalent: all four checks over src."""
+    report = benchmark(run_checks)
+    assert report.ok
+    benchmark.extra_info["rules"] = len(report.facts["checks"])

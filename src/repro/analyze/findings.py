@@ -1,0 +1,217 @@
+"""Typed findings and the deterministic analysis report.
+
+Every analyzer pass -- the delta-cycle race detector, the property
+linter, the repo lint checks -- emits :class:`Finding`s: one rule id,
+one severity, one location, optional model/property attribution.  A
+:class:`AnalysisReport` folds findings from any number of passes into
+one canonical, digest-stable document: findings sort by (rule, path,
+line, message), the digest is a SHA-256 over their canonical JSON, and
+everything else the passes learned (witness statistics, wall time)
+rides in the non-digested ``facts`` side so opt-in instrumentation
+never perturbs the digest.
+
+Intentional patterns are *documented, not silenced*: an inline
+``# repro: allow[rule-id] reason`` comment on the flagged line (or the
+line directly above it) marks the finding suppressed.  Suppressed
+findings stay in the report -- with their justification -- but do not
+fail the gate; :meth:`AnalysisReport.ok` is True iff no unsuppressed
+finding remains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Finding severities, most severe first (report ordering is by rule
+#: id, not severity; severity drives presentation and future gating).
+SEVERITIES = ("error", "warning", "info")
+
+#: ``# repro: allow[rule-id] optional reason`` -- the one suppression
+#: syntax, scanned on the flagged line and the line directly above.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9.\-]+)\]\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer diagnosis, attributable and digest-stable."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    model: str = ""
+    prop: str = ""
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    def sort_key(self) -> Tuple[str, str, int, str, str, str]:
+        """Canonical report order: rule, then location, then text."""
+        return (self.rule, self.path, self.line, self.message, self.model, self.prop)
+
+    def location(self) -> str:
+        """``path:line`` (line 0 means the whole file / no source line)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_json(self) -> Dict[str, object]:
+        """Wire form: every field, stable key order via sort_keys."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "model": self.model,
+            "prop": self.prop,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        tags = []
+        if self.model:
+            tags.append(f"model={self.model}")
+        if self.prop:
+            tags.append(f"prop={self.prop}")
+        tag = f" [{', '.join(tags)}]" if tags else ""
+        mark = (
+            f" (allowed: {self.suppression_reason or 'no reason given'})"
+            if self.suppressed
+            else ""
+        )
+        return (
+            f"{self.location()}: {self.severity} {self.rule}: "
+            f"{self.message}{tag}{mark}"
+        )
+
+
+def suppression_for(
+    source_lines: Sequence[str], line: int, rule: str
+) -> Optional[str]:
+    """The ``# repro: allow[rule]`` reason covering ``line``, if any.
+
+    Scans the flagged line itself and the line directly above it (the
+    comment-above idiom for lines too long to annotate inline).  A
+    match for a different rule id does not suppress.  Returns the
+    justification text (possibly empty) or None when not suppressed.
+    """
+    if line <= 0:
+        return None
+    for candidate in (line, line - 1):
+        if not 1 <= candidate <= len(source_lines):
+            continue
+        match = _ALLOW_RE.search(source_lines[candidate - 1])
+        if match and match.group(1) == rule:
+            return match.group(2).strip()
+    return None
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], sources: Dict[str, Sequence[str]]
+) -> List[Finding]:
+    """Mark findings covered by an inline allow comment as suppressed.
+
+    ``sources`` maps finding paths (as emitted, repo-relative) to their
+    split source lines; findings whose path is absent pass through
+    unchanged (no source, no inline suppression possible).
+    """
+    out: List[Finding] = []
+    for finding in findings:
+        lines = sources.get(finding.path)
+        if lines is None or finding.suppressed:
+            out.append(finding)
+            continue
+        reason = suppression_for(lines, finding.line, finding.rule)
+        if reason is None:
+            out.append(finding)
+        else:
+            out.append(
+                replace(finding, suppressed=True, suppression_reason=reason)
+            )
+    return out
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analysis run, canonically ordered.
+
+    ``facts`` carries run facts (witness statistics, pass timings,
+    rule counters) that are *telemetry*: they never enter
+    :meth:`digest`, so an opt-in witness run over a clean model yields
+    a byte-identical digest to the static-only run.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    facts: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.findings = sorted(self.findings, key=Finding.sort_key)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        """Fold more findings in, keeping canonical order."""
+        self.findings = sorted(
+            [*self.findings, *findings], key=Finding.sort_key
+        )
+
+    def unsuppressed(self) -> List[Finding]:
+        """Findings that fail the gate (no allow comment covers them)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the gate passes: zero unsuppressed findings."""
+        return not self.unsuppressed()
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Findings per rule id (suppressed included), sorted by rule."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical findings JSON -- facts excluded."""
+        body = json.dumps(
+            [f.to_json() for f in self.findings],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def to_json(self) -> Dict[str, object]:
+        """Wire form: findings + digest + gate verdict + run facts."""
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "digest": self.digest(),
+            "ok": self.ok,
+            "total": len(self.findings),
+            "unsuppressed": len(self.unsuppressed()),
+            "rules": self.rule_counts(),
+            "facts": self.facts,
+        }
+
+    def summary(self) -> str:
+        """One line: gate verdict plus finding counts."""
+        suppressed = len(self.findings) - len(self.unsuppressed())
+        verdict = "clean" if self.ok else "FAILED"
+        return (
+            f"analyze {verdict}: {len(self.unsuppressed())} finding(s), "
+            f"{suppressed} allowed"
+        )
+
+    def render(self) -> str:
+        """The full human-readable report, one line per finding."""
+        lines = [f.render() for f in self.findings]
+        lines.append(self.summary())
+        return "\n".join(lines)

@@ -201,6 +201,32 @@ def _cmd_close(options: argparse.Namespace) -> int:
     return _emit(workbench.report(), options.json)
 
 
+def _cmd_analyze(options: argparse.Namespace) -> int:
+    from .analyze import analyze_duv, analyze_models
+
+    if options.model is not None:
+        registry = default_registry()
+        args = tuple(options.topology) if options.topology else ()
+        duv = registry.get(options.model, *args)
+        report = analyze_duv(
+            duv,
+            witness=options.witness,
+            witness_cycles=options.witness_cycles,
+            seed=options.seed,
+        )
+    else:
+        report = analyze_models(
+            witness=options.witness,
+            witness_cycles=options.witness_cycles,
+            seed=options.seed,
+        )
+    if options.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_flow(options: argparse.Namespace) -> int:
     workbench = _workbench(options)
     plan = VerificationPlan.figure1(
@@ -317,6 +343,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_hosts_argument(close)
     add_coordinator_arguments(close)
     close.set_defaults(func=_cmd_close)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: delta-cycle race detection + property "
+        "lint (all registered models unless --model narrows it); "
+        "exits 0 iff no unsuppressed finding remains",
+    )
+    # --model stays optional: the default analyzes every registered model
+    _add_model_options(analyze, required=False)
+    analyze.add_argument(
+        "--witness",
+        action="store_true",
+        help="cross-check statically found races with a witnessed "
+        "kernel run recording per-delta read/write sets",
+    )
+    analyze.add_argument(
+        "--witness-cycles",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="clock cycles the witnessed run simulates (default 200)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     flow = sub.add_parser(
         "flow", help="the whole Figure 1 plan: explore -> liveness -> "

@@ -32,10 +32,12 @@ class MsSignals:
 
     def __init__(self, simulator: Simulator, n_masters: int, n_slaves: int):
         self.want = [Signal(False, f"want{i}", simulator) for i in range(n_masters)]
+        # repro: allow[race.multi-driver] arbiter grants, the granted master releases; the want/transferring handshake guarantees a single writer per delta
         self.owner = Signal(-1, "owner", simulator)
         self.transferring = [
             Signal(False, f"transferring{i}", simulator) for i in range(n_masters)
         ]
+        # repro: allow[race.multi-driver] only the bus owner touches slave_busy and ownership is serialized by the arbiter grant
         self.slave_busy = [
             Signal(False, f"slave{j}_busy", simulator) for j in range(n_slaves)
         ]
@@ -167,6 +169,7 @@ class MsMasterModule(Module):
                 for _ in range(slave.wait_states):
                     yield self._posedge
                 address = transaction.address + word
+                # repro: allow[race.shared-state] only the granted master reaches the data phase, so slave bookkeeping has one writer per delta
                 slave.access(address, word if is_write else None)
                 self.words_moved += 1
                 yield self._posedge

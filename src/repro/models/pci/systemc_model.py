@@ -44,15 +44,20 @@ class PciSignals:
     def __init__(self, simulator: Simulator, n_masters: int, n_targets: int):
         self.req = [Signal(False, f"req{i}", simulator) for i in range(n_masters)]
         self.gnt = [Signal(False, f"gnt{i}", simulator) for i in range(n_masters)]
+        # repro: allow[race.multi-driver] FRAME# is driven only by the GNT# holder; arbitration serializes masters
         self.frame = Signal(False, "frame", simulator)
+        # repro: allow[race.multi-driver] IRDY# is driven only by the GNT# holder; arbitration serializes masters
         self.irdy = Signal(False, "irdy", simulator)
         self.devsel = [
             Signal(False, f"devsel{j}", simulator) for j in range(n_targets)
         ]
         self.trdy = [Signal(False, f"trdy{j}", simulator) for j in range(n_targets)]
         self.stop = [Signal(False, f"stop{j}", simulator) for j in range(n_targets)]
+        # repro: allow[race.multi-driver] AD is driven only by the GNT# holder during the address phase
         self.addr = Signal(-1, "addr", simulator)  # decoded target index
+        # repro: allow[race.multi-driver] ownership bookkeeping is written only by the master the arbiter granted
         self.owner = Signal(-1, "owner", simulator)
+        # repro: allow[race.multi-driver] C/BE# is driven only by the GNT# holder during the address phase
         self.command = Signal(PciCommand.MEM_READ, "command", simulator)
 
 

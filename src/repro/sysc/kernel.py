@@ -59,6 +59,12 @@ class Simulator:
         self._multi_driver_instant = False
         #: called after every update phase (delta boundary)
         self.on_delta: List[Callable[["Simulator"], None]] = []
+        #: opt-in analyze witness (repro.analyze.witness.DeltaWitness);
+        #: when set, the general scheduler attributes each process run
+        #: so the witness can build per-delta access sets.  The witness
+        #: also installs an on_delta hook, which keeps the kernel off
+        #: the merged fast path for the whole witnessed run.
+        self.witness: Optional[Any] = None
         #: called whenever simulated time advances
         self.on_time_advance: List[Callable[["Simulator"], None]] = []
 
@@ -358,6 +364,8 @@ class Simulator:
                 if process.terminated:
                     continue
                 self.stats.process_runs += 1
+                if self.witness is not None:
+                    self.witness.process_run(process)
                 try:
                     process.execute(self)
                 except SimulationStopped as stop:

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional, Tuple
 
 #: Stage names a plan may reference, in their canonical order.
 STAGE_NAMES: Tuple[str, ...] = (
+    "analyze",
     "explore",
     "check_liveness",
     "translate",

@@ -168,6 +168,57 @@ class Workbench:
         self._stages.append(result)
         return result
 
+    # -- stage: analyze (static analysis: races + property lint) ----------------
+
+    def analyze(
+        self, witness: bool = False, witness_cycles: Optional[int] = None
+    ) -> StageResult:
+        """Static analysis of the DUV: delta-cycle race detection over
+        the SystemC sources plus a property lint of the directive set;
+        ``witness=True`` cross-checks with a witnessed kernel run.
+
+        Findings (with their suppressions) land in digested ``data``;
+        witness statistics are run facts and stay in ``metrics`` so
+        the session digest is identical with the witness on or off for
+        a clean model.
+        """
+        return self._execute(
+            "analyze",
+            self._analyze_impl,
+            {"witness": witness, "witness_cycles": witness_cycles},
+        )
+
+    def _analyze_impl(
+        self, witness: bool = False, witness_cycles: Optional[int] = None
+    ) -> StageResult:
+        # Imported lazily: repro.analyze imports workbench submodules,
+        # so a module-level import here would be circular.
+        from ..analyze.runner import DEFAULT_WITNESS_CYCLES, analyze_duv
+
+        report = analyze_duv(
+            self.duv,
+            witness=witness,
+            witness_cycles=(
+                DEFAULT_WITNESS_CYCLES if witness_cycles is None
+                else witness_cycles
+            ),
+            seed=self.seed,
+        )
+        unsuppressed = report.unsuppressed()
+        return StageResult(
+            stage="analyze",
+            status=StageStatus.PASSED if report.ok else StageStatus.FAILED,
+            summary=report.summary(),
+            data={
+                "findings": [f.to_json() for f in report.findings],
+                "findings_digest": report.digest(),
+                "rules": report.rule_counts(),
+                "unsuppressed": len(unsuppressed),
+            },
+            metrics={"facts": report.facts},
+            payload=report,
+        )
+
     # -- stage: explore (FSM-generation model checking) -------------------------
 
     def explore(self, **overrides: Any) -> StageResult:

@@ -1,0 +1,1 @@
+"""Repo maintenance tooling (lint framework, trace reports, gates)."""

@@ -1,159 +1,35 @@
 #!/usr/bin/env python3
-"""Public-API docstring gate (stdlib-only; no pydocstyle available).
+"""Public-API docstring gate -- back-compat entry point.
 
-Walks the audited packages with :mod:`ast` and fails when a public
-definition is missing a docstring -- modules, module-level classes and
-functions, and public methods of public classes.  "Public" means the
-name has no leading underscore; dunders other than ``__init__``'s
-*class* are exempt, and so is any node carrying a bare ``...`` body
-(Protocol members) or an ``# nodoc:`` comment on its ``def`` line for
-the rare intentional omission.
-
-The audited surface is the dispatch layer plus the session facade and
-the directed-closure module -- the parts whose docstrings double as
-the wire/protocol contract (``docs/dispatch.md`` cites them), which is
-exactly where stale docstrings have bitten before (the ``Host`` /
-``close_coverage`` text predating the PR-4 goal wire forms).  Widening
-the audit is one tuple entry away::
+The implementation moved into the :mod:`tools.lint` framework (rule id
+``lint.docstring``); this shim keeps the historical invocation and its
+exact output format working::
 
     python tools/check_docstrings.py            # gate (CI runs this)
     python tools/check_docstrings.py --list     # show every audited file
 
-Exit status: 0 when every public definition is documented, 1 otherwise
-with one ``path:line: kind name`` report per omission.
+Prefer ``python -m tools.lint`` for the full repo gate (docstrings
+plus monitor-construction, wall-clock and wire-parity checks).
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+_TOOLS_DIR = Path(__file__).resolve().parent
+if str(_TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TOOLS_DIR))
 
-#: The audited public surface: packages (recursive) and single modules
-#: under ``src/repro``.
-AUDITED = (
-    "dispatch",
-    "coordinator",
-    "obs",
-    "workbench/session.py",
-    "workbench/engines.py",
-    "scenarios/directed.py",
-    "psl/compiled.py",
-    "cliutil.py",
+from lint.docstrings import (  # noqa: E402  (path bootstrap above)
+    AUDITED,
+    REPO_ROOT,
+    audited_files,
+    check_file,
+    main,
 )
 
-
-def audited_files() -> List[Path]:
-    """Every Python file under the audited packages/modules."""
-    base = REPO_ROOT / "src" / "repro"
-    files: List[Path] = []
-    for entry in AUDITED:
-        path = base / entry
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
-    return files
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _suppressed(node: ast.AST, source_lines: List[str]) -> bool:
-    """``# nodoc:`` on the def/class line opts a definition out."""
-    line = source_lines[node.lineno - 1]
-    return "# nodoc:" in line
-
-
-def _ellipsis_body(node: ast.AST) -> bool:
-    """Protocol/overload stubs whose whole body is ``...``."""
-    body = getattr(node, "body", [])
-    return (
-        len(body) == 1
-        and isinstance(body[0], ast.Expr)
-        and isinstance(body[0].value, ast.Constant)
-        and body[0].value.value is Ellipsis
-    )
-
-
-def _missing_in_class(
-    cls: ast.ClassDef, source_lines: List[str]
-) -> Iterator[Tuple[int, str, str]]:
-    for node in cls.body:
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        if not _is_public(node.name):
-            continue
-        if ast.get_docstring(node) is not None:
-            continue
-        if _ellipsis_body(node) or _suppressed(node, source_lines):
-            continue
-        yield node.lineno, "method", f"{cls.name}.{node.name}"
-
-
-def check_file(path: Path) -> List[Tuple[int, str, str]]:
-    """All missing public docstrings in one file, as (line, kind, name)."""
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
-    source_lines = source.splitlines()
-    missing: List[Tuple[int, str, str]] = []
-    if ast.get_docstring(tree) is None:
-        missing.append((1, "module", path.stem))
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if (
-                _is_public(node.name)
-                and ast.get_docstring(node) is None
-                and not _ellipsis_body(node)
-                and not _suppressed(node, source_lines)
-            ):
-                missing.append((node.lineno, "function", node.name))
-        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
-            if ast.get_docstring(node) is None and not _suppressed(
-                node, source_lines
-            ):
-                missing.append((node.lineno, "class", node.name))
-            missing.extend(_missing_in_class(node, source_lines))
-    return missing
-
-
-def main(argv=None) -> int:
-    """Gate the audited files; print one line per missing docstring."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--list", action="store_true", help="print the audited files and exit"
-    )
-    options = parser.parse_args(argv)
-    files = audited_files()
-    if options.list:
-        for path in files:
-            print(path.relative_to(REPO_ROOT))
-        return 0
-    failures = 0
-    checked = 0
-    for path in files:
-        checked += 1
-        for lineno, kind, name in check_file(path):
-            failures += 1
-            print(
-                f"{path.relative_to(REPO_ROOT)}:{lineno}: "
-                f"undocumented public {kind} {name}"
-            )
-    if failures:
-        print(
-            f"\ndocstring gate FAILED: {failures} undocumented public "
-            f"definition(s) across {checked} audited file(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"docstring gate OK: {checked} audited file(s), all public API documented")
-    return 0
-
+__all__ = ["AUDITED", "REPO_ROOT", "audited_files", "check_file", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,45 @@
+"""``python -m tools.lint`` -- run the repo lint gate."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .registry import registered_checks, run_checks
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the registered checks; exit 0 iff no unsuppressed finding."""
+    parser = argparse.ArgumentParser(
+        prog="tools.lint", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print registered rules and exit"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable output"
+    )
+    options = parser.parse_args(argv)
+    if options.list:
+        for rule, description in registered_checks().items():
+            print(f"{rule:<28} {description}")
+        return 0
+    report = run_checks(rules=options.rule)
+    if options.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""The repo lint registry: rule id -> AST check, one findings pipeline.
+
+Checks register themselves with :func:`register` and produce the same
+typed :class:`~repro.analyze.findings.Finding`s as the model analyzer,
+so repo lint, race detection and property lint all fold into the one
+deterministic report shape, share the ``# repro: allow[rule-id]``
+suppression syntax, and gate the same way (zero unsuppressed
+findings).  Run the whole registry with ``python -m tools.lint`` from
+the repo root, or programmatically via :func:`run_checks`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analyze.findings import (  # noqa: E402  (path bootstrap above)
+    AnalysisReport,
+    Finding,
+    apply_suppressions,
+)
+
+#: rule id -> (description, check function taking the repo root)
+CheckFn = Callable[[Path], List[Finding]]
+_CHECKS: Dict[str, Tuple[str, CheckFn]] = {}
+
+
+def register(rule: str, description: str) -> Callable[[CheckFn], CheckFn]:
+    """Decorator: register ``fn(root) -> findings`` under ``rule``."""
+
+    def decorate(fn: CheckFn) -> CheckFn:
+        _CHECKS[rule] = (description, fn)
+        return fn
+
+    return decorate
+
+
+def _load_builtin_checks() -> None:
+    """Import the modules whose import side effect is registration."""
+    from . import checks, docstrings  # noqa: F401
+
+
+def registered_checks() -> Dict[str, str]:
+    """rule id -> one-line description, for ``--list``."""
+    _load_builtin_checks()
+    return {rule: desc for rule, (desc, _) in sorted(_CHECKS.items())}
+
+
+def run_checks(
+    root: Optional[Path] = None, rules: Optional[Sequence[str]] = None
+) -> AnalysisReport:
+    """Run the registered checks (all, or the ``rules`` subset).
+
+    Findings pass through the shared inline-suppression scan, so a
+    ``# repro: allow[lint.<rule>] reason`` comment on (or above) the
+    flagged line documents an intentional exception, exactly as for
+    model findings.
+    """
+    _load_builtin_checks()
+    base = (root or REPO_ROOT).resolve()
+    selected = sorted(rules) if rules else sorted(_CHECKS)
+    findings: List[Finding] = []
+    for rule in selected:
+        if rule not in _CHECKS:
+            raise KeyError(
+                f"unknown lint rule {rule!r}; registered: "
+                f"{', '.join(sorted(_CHECKS))}"
+            )
+        findings.extend(_CHECKS[rule][1](base))
+    sources: Dict[str, List[str]] = {}
+    for finding in findings:
+        if finding.path not in sources:
+            candidate = base / finding.path
+            if candidate.is_file():
+                sources[finding.path] = candidate.read_text(
+                    encoding="utf-8"
+                ).splitlines()
+    findings = apply_suppressions(findings, sources)
+    return AnalysisReport(
+        findings=findings, facts={"checks": selected, "root": str(base)}
+    )
+
+
+def repo_relative(path: Path, root: Optional[Path] = None) -> str:
+    """Repo-relative POSIX path for a finding (checks all report so)."""
+    base = (root or REPO_ROOT).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -1,0 +1,160 @@
+"""Checkpoint mechanics cost and the frontier-forked closure payoff.
+
+Two rows for the BENCH trajectory:
+
+* the mechanics: snapshot a half-run monitored scenario system, round
+  trip it through the canonical wire form, restore it and run out the
+  remaining cycles -- asserting the resumed verdict is byte-identical
+  (transaction stream digest included) to the uninterrupted run it
+  replaces,
+* the payoff: ``close_coverage(frontier=True)`` on the Master/Slave
+  case study against the same budget replayed from reset every round.
+  Forked goals, simulated cycles saved, and the cumulative
+  cycles-to-coverage comparison land in ``benchmark.extra_info``.
+"""
+
+import json
+from dataclasses import replace
+
+from repro.checkpoint import (
+    Checkpoint,
+    global_registry,
+    reset_global_registry,
+    snapshot_scenario_run,
+)
+from repro.scenarios.regression import ScenarioSpec, run_scenario
+from repro.workbench import Workbench
+
+from common import FULL_RUN
+
+#: The mechanics spec: monitored Master/Slave, snapshot at half-run.
+CYCLES = 240 if FULL_RUN else 120
+SNAP_AT = CYCLES // 2
+
+#: The closure regime the ROADMAP's acceptance criterion names: 6
+#: rounds x 160 cycles, 6 from-reset goals per round (forked goals ride
+#: on top with prorated budgets).
+ROUNDS = 6
+CLOSE_CYCLES = 160
+MAX_GOALS = 6
+#: Out of the 29 formal-only Master/Slave residue transitions.
+TARGET_CLOSED = 23
+#: Intermediate coverage point for the cycles-to-coverage comparison.
+MIDPOINT = 17
+
+
+def _spec(cycles):
+    return ScenarioSpec(
+        model="master_slave",
+        seed=2005,
+        topology=(2, 2, 2),
+        profile="bursty",
+        cycles=cycles,
+        with_monitors=True,
+    )
+
+
+def test_snapshot_wire_restore_resume(benchmark):
+    """The full mechanics loop, digest-gated against the fresh run."""
+    fresh = run_scenario(_spec(CYCLES))
+
+    def run():
+        reset_global_registry()
+        checkpoint = snapshot_scenario_run(_spec(SNAP_AT), SNAP_AT)
+        wire = json.dumps(checkpoint.to_json(), sort_keys=True)
+        parsed = Checkpoint.from_json(json.loads(wire))
+        digest = global_registry().put(parsed)
+        resumed = replace(
+            _spec(CYCLES), resume_from=digest, checkpoint_at=None
+        )
+        return len(wire), run_scenario(resumed)
+
+    wire_bytes, verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verdict.stream_digest == fresh.stream_digest
+    assert verdict.scoreboard_digest == fresh.scoreboard_digest
+    assert verdict.failed_assertions == fresh.failed_assertions
+    benchmark.extra_info.update(
+        {
+            "cycles": CYCLES,
+            "snapshot_at": SNAP_AT,
+            "wire_bytes": wire_bytes,
+            "stream_digest": verdict.stream_digest,
+        }
+    )
+    print(
+        f"\ncheckpoint mechanics: snapshot@{SNAP_AT} -> wire "
+        f"({wire_bytes} bytes) -> restore -> {CYCLES} total cycles; "
+        f"digest {verdict.stream_digest} == fresh run"
+    )
+
+
+def _close(frontier):
+    workbench = Workbench("master_slave")
+    workbench.explore()
+    result = workbench.close_coverage(
+        rounds=ROUNDS,
+        cycles=CLOSE_CYCLES,
+        max_goals=MAX_GOALS,
+        frontier=frontier,
+    )
+    assert result.ok, result.summary
+    return result.data
+
+
+def _cycles_until(data, target):
+    """Cumulative simulated cycles until ``target`` edges are closed."""
+    closed_by_round = {r["round"]: r["edges_closed"] for r in data["rounds"]}
+    cum_cycles = 0
+    cum_closed = 0
+    for entry in data["run"]:
+        cum_cycles += entry["cycles_simulated"]
+        cum_closed += closed_by_round.get(entry["round"], 0)
+        if cum_closed >= target:
+            return cum_cycles
+    return None
+
+
+def test_frontier_closure_master_slave(benchmark):
+    """Directed closure with frontier forking, vs from-reset replay."""
+    baseline = _close(frontier=False)
+
+    data = benchmark.pedantic(
+        lambda: _close(frontier=True), rounds=1, iterations=1
+    )
+    total = data["residue_before"]["uncovered_transitions"]
+    assert data["frontier"] is True
+    assert data["achieved"] >= baseline["achieved"]
+    assert data["achieved"] >= TARGET_CLOSED, (
+        f"frontier closure reached only {data['achieved']}/{total} "
+        f"(target {TARGET_CLOSED})"
+    )
+    assert data["forked_goals"] >= 1
+    assert data["cycles_saved"] > 0
+
+    to_mid = _cycles_until(data, MIDPOINT)
+    baseline_to_mid = _cycles_until(baseline, MIDPOINT)
+    assert to_mid is not None and baseline_to_mid is not None
+    assert to_mid < baseline_to_mid, (
+        f"frontier forking should reach {MIDPOINT} closed in fewer "
+        f"simulated cycles ({to_mid} vs {baseline_to_mid})"
+    )
+    benchmark.extra_info.update(
+        {
+            "residue_transitions": total,
+            "closed_frontier": data["achieved"],
+            "closed_from_reset": baseline["achieved"],
+            "forked_goals": data["forked_goals"],
+            "cycles_saved": data["cycles_saved"],
+            "cycles_simulated": data["cycles_simulated"],
+            "cycles_simulated_from_reset": baseline["cycles_simulated"],
+            f"cycles_to_{MIDPOINT}_closed": to_mid,
+            f"cycles_to_{MIDPOINT}_closed_from_reset": baseline_to_mid,
+        }
+    )
+    print(
+        f"\nfrontier closure: {data['achieved']}/{total} closed "
+        f"(from reset: {baseline['achieved']}), "
+        f"{data['forked_goals']} forked goals saved "
+        f"{data['cycles_saved']} cycles; {MIDPOINT} closed after "
+        f"{to_mid} simulated cycles vs {baseline_to_mid} from reset"
+    )

@@ -68,6 +68,10 @@ class AbvHarness:
         self.reports = report_handler or ReportHandler()
         self.bindings: List[AssertionBinding] = []
         self.cycles_observed = 0
+        #: opt-in: keep every sampled letter so a checkpoint can replay
+        #: the stream into fresh monitors (see :mod:`repro.checkpoint`)
+        self.record_letters = False
+        self.recorded_letters: List[Dict[str, Any]] = []
         simulator.register_process(
             _make_sampler(self)
         )
@@ -118,7 +122,18 @@ class AbvHarness:
     # -- the sampling step (called from the internal process) ---------------------
 
     def _sample(self) -> None:
-        letter = self.extractor()
+        self._observe(self.extractor())
+
+    def _observe(self, letter: Mapping[str, Any]) -> None:
+        """Feed one sampled letter to every monitor.
+
+        Split from :meth:`_sample` so checkpoint restore can replay a
+        recorded letter stream through fresh monitors: replay reproduces
+        verdicts, ``fired`` flags and ``cycles_observed`` exactly,
+        whichever stepping engine the monitors use.
+        """
+        if self.record_letters:
+            self.recorded_letters.append(dict(letter))
         self.cycles_observed += 1
         stop_requested: Optional[str] = None
         for binding in self.bindings:
@@ -130,6 +145,11 @@ class AbvHarness:
                     stop_requested = reason
         if stop_requested is not None:
             raise SimulationStopped(stop_requested)
+
+    def replay_letters(self, letters: Sequence[Mapping[str, Any]]) -> None:
+        """Re-observe a recorded letter stream (checkpoint restore)."""
+        for letter in letters:
+            self._observe(letter)
 
     def _run_failure_actions(self, binding: AssertionBinding) -> Optional[str]:
         monitor = binding.monitor

@@ -1,0 +1,41 @@
+"""Typed checkpoint failure taxonomy.
+
+Mirrors the dispatch layer's contract (:mod:`repro.dispatch.worker`):
+every way a checkpoint wire form can be unusable gets its own exception
+type, so transports can map failures to distinct responses (the
+``/checkpoints`` endpoint returns 400 for malformed and stale-version
+documents and refuses to restore anything whose digest does not match
+its payload) and tests can assert the *kind* of rejection, not just
+that one happened.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(Exception):
+    """Base class for every checkpoint failure."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """The wire form is structurally wrong (truncated, wrong types,
+    missing fields, not a checkpoint document at all)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The wire form was written by a newer writer than this reader."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """The payload does not hash to the digest it claims (corruption,
+    tampering, or a half-written file that atomic replace should have
+    prevented)."""
+
+
+class CheckpointStateError(CheckpointError):
+    """The live system cannot be snapshotted or restored (not quiescent,
+    foreign pending timers, module/signal mismatch against the spec)."""
+
+
+class UnknownCheckpointError(CheckpointError):
+    """A by-reference digest names a checkpoint the registry/cache does
+    not hold (the remote client should upload it and retry)."""

@@ -11,6 +11,8 @@ One CLI over the :mod:`repro.workbench` session API::
     python -m repro regress  --model pci --shard 2/3 --json  # + --merge later
     python -m repro close    --model master_slave --json
     python -m repro flow     --model master_slave --json
+    python -m repro checkpoint --model pci --cycles 200 --out run.ckpt
+    python -m repro resume   --from run.ckpt --cycles 400 --json
 
 ``flow`` runs the paper's whole Figure 1 plan (explore -> liveness ->
 translate -> ABV simulation -> scenario regression) and exits 0 iff
@@ -197,6 +199,7 @@ def _cmd_close(options: argparse.Namespace) -> int:
         coordinator=options.coordinator,
         token=options.token,
         seed=options.seed,
+        frontier=options.frontier,
     )
     return _emit(workbench.report(), options.json)
 
@@ -225,6 +228,87 @@ def _cmd_analyze(options: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_checkpoint(options: argparse.Namespace) -> int:
+    """Run a scenario from reset and persist its snapshot to a file."""
+    from .checkpoint import save_checkpoint, snapshot_scenario_run
+    from .scenarios.regression import (
+        MODELS,
+        MS_TOPOLOGIES,
+        PCI_TOPOLOGIES,
+        ScenarioSpec,
+    )
+
+    if options.model not in MODELS:
+        raise SystemExit(
+            f"error: unknown scenario model {options.model!r} "
+            f"(choose from {', '.join(MODELS)})"
+        )
+    if options.topology:
+        topology = tuple(options.topology)
+    elif options.model == "master_slave":
+        topology = MS_TOPOLOGIES[0]
+    else:
+        topology = PCI_TOPOLOGIES[0]
+    spec = ScenarioSpec(
+        model=options.model,
+        seed=options.seed,
+        topology=topology,
+        profile=options.profile,
+        cycles=options.cycles,
+        with_monitors=options.with_monitors,
+    )
+    checkpoint = snapshot_scenario_run(spec, options.cycles)
+    path = save_checkpoint(checkpoint, options.out)
+    doc = {
+        "digest": checkpoint.digest,
+        "cycles_run": checkpoint.cycles_run,
+        "path": path,
+        "spec": spec.to_json(),
+    }
+    if options.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"checkpoint {checkpoint.digest} after {checkpoint.cycles_run} "
+            f"cycles of {spec.label} -> {path}"
+        )
+    return 0
+
+
+def _cmd_resume(options: argparse.Namespace) -> int:
+    """Load a checkpoint file and run its scenario to a later cycle."""
+    from dataclasses import replace
+
+    from .checkpoint import CheckpointError, global_registry, load_checkpoint
+    from .scenarios.regression import run_scenario
+
+    try:
+        checkpoint = load_checkpoint(options.source)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    digest = global_registry().put(checkpoint)
+    total = options.cycles
+    if total is None:
+        total = max(checkpoint.spec.cycles, checkpoint.cycles_run)
+    spec = replace(
+        checkpoint.spec, cycles=total, resume_from=digest, checkpoint_at=None
+    )
+    try:
+        verdict = run_scenario(spec)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if options.json:
+        print(json.dumps(verdict.to_json(), indent=2, sort_keys=True))
+    else:
+        status = "ok" if verdict.ok else "FAILED"
+        print(
+            f"resumed {spec.label} from cycle {checkpoint.cycles_run} "
+            f"to {total}: {status} ({verdict.transactions} txns, "
+            f"stream digest {verdict.stream_digest})"
+        )
+    return 0 if verdict.ok else 1
 
 
 def _cmd_flow(options: argparse.Namespace) -> int:
@@ -332,6 +416,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="cap the directed scenarios planned per round",
     )
+    close.add_argument(
+        "--frontier",
+        action="store_true",
+        help="checkpoint the states each round reaches and fork the "
+        "next round's goals from the nearest snapshot instead of "
+        "replaying the warm-up from reset",
+    )
     close.add_argument("--workers", type=int, default=None)
     close.add_argument(
         "--shards",
@@ -366,6 +457,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="clock cycles the witnessed run simulates (default 200)",
     )
     analyze.set_defaults(func=_cmd_analyze)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run a scenario from reset and save its full simulation "
+        "snapshot (kernel, signals, modules, monitors) to a file",
+    )
+    _add_model_options(checkpoint)
+    checkpoint.add_argument("--cycles", type=_positive_int, default=200)
+    checkpoint.add_argument(
+        "--profile",
+        default="default",
+        help="stimulus profile the scenario drives (default 'default')",
+    )
+    checkpoint.add_argument("--with-monitors", action="store_true")
+    checkpoint.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="checkpoint file to write (atomic tempfile + rename)",
+    )
+    checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    resume = sub.add_parser(
+        "resume",
+        help="restore a saved checkpoint and run its scenario onward; "
+        "the resumed trace is byte-identical to an uninterrupted run",
+    )
+    resume.add_argument(
+        "--from",
+        dest="source",
+        required=True,
+        metavar="FILE",
+        help="checkpoint file written by `repro checkpoint`",
+    )
+    resume.add_argument(
+        "--cycles",
+        type=_positive_int,
+        default=None,
+        metavar="TOTAL",
+        help="total cycles to reach (default: the checkpoint spec's)",
+    )
+    resume.add_argument("--json", action="store_true")
+    add_observability_arguments(resume)
+    resume.set_defaults(func=_cmd_resume)
 
     flow = sub.add_parser(
         "flow", help="the whole Figure 1 plan: explore -> liveness -> "

@@ -88,6 +88,39 @@ class CoordinatorClient:
                 f"coordinator {self.url} unreachable: {exc}"
             ) from exc
 
+    def upload_checkpoints(self, specs: List[ScenarioSpec]) -> int:
+        """Ship every checkpoint the specs resume from to the coordinator.
+
+        Specs carrying ``resume_from`` reference checkpoints by digest;
+        the coordinator can only fan them out to workers if it holds
+        the wire objects, so they are uploaded (from this process's
+        :func:`repro.checkpoint.global_registry`) before submission.
+        Returns how many were sent.
+        """
+        digests = sorted(
+            {spec.resume_from for spec in specs if spec.resume_from}
+        )
+        if not digests:
+            return 0
+        from ..checkpoint.store import global_registry
+
+        registry = global_registry()
+        for digest in digests:
+            checkpoint = registry.get(digest)
+            status, body = self._request(
+                "/checkpoints",
+                {
+                    "version": WIRE_VERSION,
+                    "checkpoint": checkpoint.to_json(),
+                },
+            )
+            if status != 200:
+                raise CoordinatorError(
+                    f"checkpoint upload failed ({status}): "
+                    f"{body.get('error', body)}"
+                )
+        return len(digests)
+
     def submit(self, specs: List[ScenarioSpec]) -> Dict[str, Any]:
         """Submit a regression; returns the job document.
 
@@ -95,8 +128,11 @@ class CoordinatorClient:
         content key.  A 404 naming an unknown spec fingerprint means
         this coordinator has never seen the list (or restarted), so the
         client resubmits with the specs included -- the one upload this
-        fingerprint will ever need against a live coordinator.
+        fingerprint will ever need against a live coordinator.  Specs
+        resuming from checkpoints get those shipped first (see
+        :meth:`upload_checkpoints`).
         """
+        self.upload_checkpoints(specs)
         fingerprint = specs_fingerprint(specs)
         status, body = self._request(
             "/jobs", {"version": WIRE_VERSION, "fingerprint": fingerprint}

@@ -29,6 +29,13 @@ response body is JSON):
 ``GET /jobs/<id>``
     The job document: status, and once ``done`` the merged report
     (digest included) plus dispatch facts.
+``POST /checkpoints``
+    ``{"version": 1, "checkpoint": {...}}`` uploads one scenario
+    checkpoint (:class:`repro.checkpoint.Checkpoint` wire form) into
+    the coordinator's registry so specs submitted with ``resume_from``
+    resolve it; the coordinator's per-worker hosts re-ship it to
+    whichever worker draws the shard.  Malformed, truncated, or
+    stale-version documents are rejected with ``400``.
 ``GET /status``
     Pool and queue overview (live workers, joins/leaves, store size).
 ``GET /metrics``
@@ -230,6 +237,30 @@ class _CoordinatorRequestHandler(BaseHTTPRequestHandler):
                 self._respond(400, {"error": str(exc)})
                 return
             self._respond(200, job.to_json())
+            return
+        if self.path == "/checkpoints":
+            from ..checkpoint import Checkpoint, CheckpointError
+            from ..checkpoint.store import global_registry
+
+            document = body.get("checkpoint")
+            if not isinstance(document, dict):
+                self._respond(
+                    400,
+                    {"error": 'checkpoint upload needs a "checkpoint" object'},
+                )
+                return
+            try:
+                checkpoint = Checkpoint.from_json(document)
+            except CheckpointError as exc:
+                self._respond(
+                    400, {"error": f"rejected checkpoint upload: {exc}"}
+                )
+                return
+            digest = global_registry().put(checkpoint)
+            coordinator.metrics.counter(
+                "coordinator.checkpoint_uploads"
+            ).inc()
+            self._respond(200, {"ok": True, "digest": digest})
             return
         self._respond(404, {"error": f"unknown path {self.path!r}"})
 

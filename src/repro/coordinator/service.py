@@ -25,10 +25,18 @@ The pieces:
   (a worker dies mid-shard; its shard is re-queued elsewhere) without
   changing the merged digest, because shard content is a pure function
   of the spec list and the merge re-sorts canonically.
+
+Jobs are additionally *resumable*: every completed shard's report is
+checkpointed to the :class:`~.store.ShardStore` as it lands, so a job
+that dies mid-run (every worker gone, daemon killed) picks up from its
+last completed shard on resubmission -- checkpointed shards are
+pre-completed from disk, only the remainder is dispatched, and the
+merged digest is byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -47,7 +55,7 @@ from ..dispatch.planner import (
 from ..obs.metrics import MetricsRegistry
 from ..obs.runtime import OBS
 from ..scenarios.regression import RegressionReport, ScenarioSpec
-from .store import ResultStore
+from .store import ResultStore, ShardStore
 
 #: Failure kinds that mean "the worker itself is gone", retiring it
 #: from the pool, as opposed to "this shard's run went wrong on an
@@ -227,6 +235,7 @@ class Coordinator:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.store = store
+        self.shard_store = ShardStore(os.path.join(store.root, "shards"))
         self.registry = registry or WorkerRegistry(token=token)
         self.max_attempts = max_attempts
         self.idle_timeout = idle_timeout
@@ -376,7 +385,29 @@ class Coordinator:
         )
         plan = plan_shards(specs, shard_count)
         shards = [shard for shard in plan if shard.specs]
-        queue = ShardQueue(shards, [], self.max_attempts)
+        # Resume: shards whose completed report survived an earlier,
+        # interrupted run of this exact (fingerprint, seeds, plan) are
+        # pre-completed from the shard store instead of re-dispatched.
+        # The plan is deterministic for a given live-pool size, so a
+        # resubmission against the same pool reuses every checkpoint;
+        # a different pool size replans and the stale entries simply
+        # miss (and are pruned when the job completes).
+        precompleted: List[Tuple[Any, RegressionReport]] = []
+        remaining = []
+        for shard in shards:
+            cached = self.shard_store.fetch_shard(
+                job.fingerprint, job.seeds, shard.index, shard.of
+            )
+            if cached is not None and len(cached.verdicts) == len(shard.specs):
+                precompleted.append((shard, cached))
+            else:
+                remaining.append(shard)
+        if precompleted:
+            self.metrics.counter("coordinator.checkpoint.resume").inc()
+            self.metrics.counter(
+                "coordinator.checkpoint.shards_skipped"
+            ).inc(len(precompleted))
+        queue = ShardQueue(remaining, [], self.max_attempts)
         threads: Dict[str, threading.Thread] = {}
         dead: set = set()
         bytes_saved_before = self._bytes_saved()
@@ -422,6 +453,15 @@ class Coordinator:
                         wall_seconds=time.perf_counter() - attempt_started,
                     ):
                         record.shards_completed += 1
+                        # Checkpoint the completed shard so a job
+                        # interrupted later resumes past it.
+                        self.shard_store.put_shard(
+                            job.fingerprint,
+                            job.seeds,
+                            pending.shard.index,
+                            pending.shard.of,
+                            report,
+                        )
 
         idle_since: Optional[float] = None
         while not queue.finished:
@@ -465,14 +505,19 @@ class Coordinator:
             job.error = str(error)
             self.metrics.counter("coordinator.jobs_failed").inc()
             return
-        results = queue.results(shards)
-        merged = merge_reports([report for _, report in results])
+        results = queue.results(remaining)
+        merged = merge_reports(
+            [report for _, report in precompleted]
+            + [report for _, report in results]
+        )
         merged.wall_seconds = time.perf_counter() - started
         merged.workers = len(shards) or 1
         self.store.put(job.fingerprint, job.seeds, merged)
+        self.shard_store.prune(job.fingerprint, job.seeds)
         saved_delta = max(0, self._bytes_saved() - bytes_saved_before)
         job.dispatch = {
             "shards": len(shards),
+            "shards_resumed": len(precompleted),
             "hosts": sorted({run.host for run, _ in results}),
             "retries": sum(run.attempts - 1 for run, _ in results),
             "duplicates": queue.duplicates,
@@ -512,4 +557,5 @@ class Coordinator:
             "spec_lists_cached": spec_lists,
             "store_entries": self.store.entries(),
             "store_corruptions": self.store.corruptions,
+            "shard_checkpoints": self.shard_store.entries(),
         }

@@ -31,6 +31,21 @@ from ..scenarios.regression import RegressionReport
 STORE_VERSION = 1
 
 
+def _atomic_write_json(doc: dict, directory: str, path: str) -> None:
+    """tempfile + fsync + rename: the destination is never observable
+    half-written, even through a crash or a killed daemon."""
+    handle, tmp = tempfile.mkstemp(dir=directory, prefix=".store-", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(doc, stream, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
 def store_key(fingerprint: str, seeds: Sequence[int]) -> str:
     """The filename-safe key for one ``(fingerprint, seed set)`` entry.
 
@@ -83,16 +98,7 @@ class ResultStore:
         }
         path = self._path(fingerprint, seeds)
         with self._lock:
-            handle, tmp = tempfile.mkstemp(
-                dir=self.root, prefix=".store-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(handle, "w") as stream:
-                    json.dump(doc, stream, sort_keys=True)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            _atomic_write_json(doc, self.root, path)
         return path
 
     def fetch(
@@ -140,6 +146,119 @@ class ResultStore:
                 1
                 for name in os.listdir(self.root)
                 if name.endswith(".json")
+            )
+        except OSError:
+            return 0
+
+
+class ShardStore:
+    """Per-shard completed-report checkpoints for resumable jobs.
+
+    While a job runs, every shard report that completes is persisted
+    here keyed by ``(fingerprint, seed set, shard index, shard count)``
+    -- the last-completed-shard checkpoint.  A job interrupted mid-run
+    (every worker died, the daemon restarted) resumes on resubmission:
+    shards whose entries verify are pre-completed from disk instead of
+    re-dispatched, and because a shard is a pure function of the spec
+    list, the resumed job's merged digest is byte-identical to an
+    uninterrupted serial run.  Entries are pruned when the job's full
+    report lands in the :class:`ResultStore`.
+
+    Writes go through the same fsync-and-rename discipline as the
+    result store, so a daemon killed mid-write leaves either the
+    previous entry or none -- never a half-checkpoint a resume would
+    trust.  Reads re-verify the embedded report digest; corrupt
+    entries are dropped and counted.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.corruptions = 0
+        self._lock = threading.Lock()
+        os.makedirs(root, exist_ok=True)
+
+    def _path(
+        self, fingerprint: str, seeds: Sequence[int], index: int, of: int
+    ) -> str:
+        key = store_key(fingerprint, seeds)
+        return os.path.join(self.root, f"{key}.shard-{index}-of-{of}.json")
+
+    def put_shard(
+        self,
+        fingerprint: str,
+        seeds: Sequence[int],
+        index: int,
+        of: int,
+        report: RegressionReport,
+    ) -> str:
+        """Persist one completed shard's report; returns the entry path."""
+        doc = {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "seeds": sorted(set(seeds)),
+            "shard": {"index": index, "of": of},
+            "report": report.to_json(),
+        }
+        path = self._path(fingerprint, seeds, index, of)
+        with self._lock:
+            _atomic_write_json(doc, self.root, path)
+        return path
+
+    def fetch_shard(
+        self, fingerprint: str, seeds: Sequence[int], index: int, of: int
+    ) -> Optional[RegressionReport]:
+        """The checkpointed report for one shard, verified, or None."""
+        path = self._path(fingerprint, seeds, index, of)
+        with self._lock:
+            try:
+                with open(path) as stream:
+                    doc = json.load(stream)
+            except FileNotFoundError:
+                return None
+            except (OSError, ValueError):
+                self._drop(path)
+                return None
+            try:
+                stored = doc["report"]
+                report = RegressionReport.from_json(stored)
+                if report.digest() != stored["digest"]:
+                    raise ValueError("stored digest does not match content")
+            except (KeyError, TypeError, ValueError):
+                self._drop(path)
+                return None
+            return report
+
+    def prune(self, fingerprint: str, seeds: Sequence[int]) -> int:
+        """Drop every shard entry for a finished job; returns the count."""
+        prefix = store_key(fingerprint, seeds) + ".shard-"
+        removed = 0
+        with self._lock:
+            try:
+                names = os.listdir(self.root)
+            except OSError:
+                return 0
+            for name in names:
+                if name.startswith(prefix) and name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(self.root, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def _drop(self, path: str) -> None:
+        """Remove a corrupt entry and count it (lock already held)."""
+        self.corruptions += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def entries(self) -> int:
+        """How many shard checkpoints exist right now (status endpoint)."""
+        try:
+            return sum(
+                1 for name in os.listdir(self.root) if name.endswith(".json")
             )
         except OSError:
             return 0

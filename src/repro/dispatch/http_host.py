@@ -16,6 +16,13 @@ shard thereafter travels as a ``(fingerprint, index, of)`` reference
 planner, so the dominant wire cost (re-shipping specs per shard) is
 paid once per (worker, regression) pair instead of once per shard.
 
+Checkpoints ride the same pattern: a shard whose specs carry
+``resume_from`` digests gets those checkpoints shipped to the worker
+first (``POST /checkpoints``, once per (worker, digest) pair, resolved
+from this process's :func:`repro.checkpoint.global_registry`), and a
+worker that answers ``404 "unknown checkpoint"`` -- restart, eviction
+-- gets one re-upload and a retry, exactly like the spec cache.
+
 Failure taxonomy is unchanged from the subprocess transport: a
 connection that refuses, resets or times out, a non-200 status, an
 unparseable body and a digest mismatch all raise
@@ -68,6 +75,8 @@ class HttpHost:
         self.name = name or self.address
         self.timeout = timeout
         self.token = token
+        self._shipped_checkpoints: Set[str] = set()
+        self._checkpoint_lock = threading.Lock()
 
     def _post(self, path: str, payload: bytes, label: str) -> bytes:
         """One POST round trip; every transport mishap is a HostFailure."""
@@ -149,9 +158,59 @@ class HttpHost:
             )
         return report
 
+    def _ensure_checkpoints(self, shard: Shard, force: bool = False) -> None:
+        """Ship every checkpoint the shard's specs resume from.
+
+        Digests are resolved from this process's checkpoint registry
+        (:func:`repro.checkpoint.global_registry` -- whoever created the
+        resume specs registered them there) and uploaded via ``POST
+        /checkpoints`` once per (worker, digest) pair.  ``force``
+        re-ships digests already recorded as uploaded -- the retry path
+        for a worker that restarted or evicted them.
+        """
+        digests = sorted(
+            {spec.resume_from for spec in shard.specs if spec.resume_from}
+        )
+        if not digests:
+            return
+        from ..checkpoint.store import global_registry
+
+        registry = global_registry()
+        for digest in digests:
+            with self._checkpoint_lock:
+                if not force and digest in self._shipped_checkpoints:
+                    continue
+            checkpoint = registry.get(digest)
+            payload = json.dumps(
+                {"version": 1, "checkpoint": checkpoint.to_json()},
+                sort_keys=True,
+            ).encode("utf-8")
+            self._post("/checkpoints", payload, shard.label)
+            with self._checkpoint_lock:
+                self._shipped_checkpoints.add(digest)
+
+    def _execute_run_with_checkpoints(
+        self, body: Dict, shard: Shard
+    ) -> RegressionReport:
+        """:meth:`_execute_run` plus the checkpoint-upload protocol.
+
+        Mirrors the spec-cache 404 dance: ship referenced checkpoints
+        up front, and when the worker still answers "unknown
+        checkpoint" (restart, eviction), re-ship once and retry before
+        the failure surfaces.
+        """
+        self._ensure_checkpoints(shard)
+        try:
+            return self._execute_run(body, shard)
+        except HostFailure as exc:
+            if exc.kind != "non-200" or "unknown checkpoint" not in exc.reason:
+                raise
+            self._ensure_checkpoints(shard, force=True)
+            return self._execute_run(body, shard)
+
     def run_shard(self, work: ShardWork) -> RegressionReport:
         """POST the shard to the worker and verify the returned report."""
-        return self._execute_run(self._run_body(work), work.shard)
+        return self._execute_run_with_checkpoints(self._run_body(work), work.shard)
 
     def _get_json(self, path: str) -> Optional[dict]:
         """Best-effort GET returning the parsed body; None on any problem."""
@@ -289,7 +348,7 @@ class CachingHttpHost(HttpHost):
         if needs_upload:
             self._upload(fingerprint, shard.label)
         try:
-            report = self._execute_run(body, shard)
+            report = self._execute_run_with_checkpoints(body, shard)
         except HostFailure as exc:
             if exc.kind != "non-200" or "unknown spec fingerprint" not in exc.reason:
                 raise
@@ -297,7 +356,7 @@ class CachingHttpHost(HttpHost):
             with self._lock:
                 self._uploaded.discard(fingerprint)
             self._upload(fingerprint, shard.label)
-            report = self._execute_run(body, shard)
+            report = self._execute_run_with_checkpoints(body, shard)
         with self._lock:
             self.bytes_saved += by_value_cost
         return report

@@ -36,6 +36,18 @@ the full wire contract):
     used evicted first); a ``/run`` that references an evicted entry
     gets the 404 and the client re-uploads.
 
+``POST /checkpoints``
+    Body: ``{"version": 1, "checkpoint": <wire doc>}`` -- the
+    checkpoint upload backing ``ScenarioSpec.resume_from``: one
+    snapshot of a mid-run scenario system, shipped once per worker and
+    addressed by its SHA-256 digest thereafter.  The wire document is
+    fully re-verified (kind, wire version, payload digest); any
+    corrupt, truncated or stale-version upload gets ``400`` with the
+    typed rejection.  A ``/run`` whose specs reference a digest this
+    worker does not hold gets ``404`` with ``"unknown checkpoint"``
+    and the client re-uploads.  The cache is bounded
+    (:data:`CHECKPOINT_CACHE_LIMIT`, LRU).
+
 ``GET /healthz``
     ``200`` with a JSON liveness document: ``{"ok": true, "version":
     ..., "uptime_seconds": ..., "shards_served": n,
@@ -95,6 +107,12 @@ WIRE_VERSION = 1
 #: entries are evicted and simply re-uploaded on the next reference.
 SPEC_CACHE_LIMIT = 32
 
+#: Checkpoint-cache capacity in distinct digests.  Checkpoints are an
+#: order of magnitude bigger than spec lists (full simulation state
+#: plus a monitor letter stream), so the worker keeps fewer of them;
+#: eviction just costs the client one re-upload.
+CHECKPOINT_CACHE_LIMIT = 16
+
 #: Default seconds between heartbeats to a ``--coordinator``.
 DEFAULT_HEARTBEAT = 2.0
 
@@ -109,6 +127,15 @@ class UnknownFingerprintError(WorkerError):
     Distinct from :class:`WorkerError` so the HTTP layer can answer
     404 and the client knows to re-upload rather than treat the worker
     as broken.
+    """
+
+
+class UnknownCheckpointDigestError(UnknownFingerprintError):
+    """A /run referenced a checkpoint this worker does not hold (-> 404).
+
+    Same 404 contract as :class:`UnknownFingerprintError`, but the
+    error text names a *checkpoint* so the client re-ships via
+    ``POST /checkpoints`` rather than ``POST /specs``.
     """
 
 
@@ -159,6 +186,47 @@ class SpecCache:
             return len(self._entries)
 
 
+class CheckpointCache:
+    """Bounded LRU map from checkpoint digest to the checkpoint itself.
+
+    The worker-side half of the ``POST /checkpoints`` protocol.
+    Uploads arrive already verified (:meth:`Checkpoint.from_json`
+    recomputes the digest over the canonical payload), so ``put`` only
+    has to index by digest; ``get`` refreshes recency and raises the
+    404-class miss when the digest was never uploaded or got evicted.
+    """
+
+    def __init__(self, limit: int = CHECKPOINT_CACHE_LIMIT):
+        self.limit = limit
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def put(self, checkpoint: Any) -> str:
+        """Cache one verified checkpoint, evicting the LRU entry if full."""
+        digest = checkpoint.digest
+        with self._lock:
+            self._entries[digest] = checkpoint
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+        return digest
+
+    def get(self, digest: str) -> Any:
+        """The cached checkpoint for a digest; raises the 404-class miss."""
+        with self._lock:
+            if digest not in self._entries:
+                raise UnknownCheckpointDigestError(
+                    f"unknown checkpoint {digest} (never uploaded, or "
+                    "evicted -- POST /checkpoints and retry)"
+                )
+            self._entries.move_to_end(digest)
+            return self._entries[digest]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 def _checked_body(body: Dict[str, Any]) -> Dict[str, Any]:
     """Shared request envelope validation (type + wire version)."""
     if not isinstance(body, dict):
@@ -201,10 +269,83 @@ def store_specs_request(
     return {"ok": True, "fingerprint": fingerprint, "specs": len(specs)}
 
 
+def store_checkpoint_request(
+    body: Dict[str, Any],
+    cache: CheckpointCache,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Execute one ``POST /checkpoints`` body against the worker's cache.
+
+    The wire document is verified end to end by
+    :meth:`~repro.checkpoint.snapshot.Checkpoint.from_json` -- wrong
+    kind, truncated payload, stale/newer wire version and digest
+    mismatch all surface as :class:`WorkerError` (-> 400) with the
+    typed checkpoint error's message, so a corrupt upload can never
+    poison a later by-reference resume.
+    """
+    from ..checkpoint.errors import CheckpointError
+    from ..checkpoint.snapshot import Checkpoint
+
+    body = _checked_body(body)
+    if not isinstance(body.get("checkpoint"), dict):
+        raise WorkerError('checkpoint upload needs a "checkpoint" object')
+    try:
+        checkpoint = Checkpoint.from_json(body["checkpoint"])
+    except CheckpointError as exc:
+        raise WorkerError(f"rejected checkpoint upload: {exc}") from exc
+    digest = cache.put(checkpoint)
+    if metrics is not None:
+        metrics.counter("worker.checkpoint_uploads").inc()
+    return {
+        "ok": True,
+        "digest": digest,
+        "cycles_run": checkpoint.cycles_run,
+        "label": checkpoint.spec.label,
+    }
+
+
+def _resolve_resume_checkpoints(
+    specs: Sequence[Any],
+    checkpoint_cache: Optional[CheckpointCache],
+    workers: int,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Make every ``resume_from`` digest in ``specs`` resolvable.
+
+    Digests are pulled from the worker's upload cache into the
+    process-global checkpoint registry (where ``run_scenario``
+    resolves them); a digest held by neither raises the 404-class miss
+    so the client re-uploads.  With a multiprocess fan-out the registry
+    additionally gets a disk spill so spawned children inherit the
+    checkpoints through ``REPRO_CHECKPOINT_DIR``.
+    """
+    digests = sorted({s.resume_from for s in specs if s.resume_from})
+    if not digests:
+        return
+    from ..checkpoint.store import ensure_spill_dir, global_registry
+
+    registry = global_registry()
+    if workers > 1:
+        ensure_spill_dir()
+        registry = global_registry()
+    for digest in digests:
+        if digest in registry:
+            continue
+        if checkpoint_cache is None:
+            raise UnknownCheckpointDigestError(
+                f"unknown checkpoint {digest} (this worker has no "
+                "checkpoint cache; POST /checkpoints first)"
+            )
+        registry.put(checkpoint_cache.get(digest))
+    if metrics is not None:
+        metrics.counter("worker.checkpoint_resumes").inc(len(digests))
+
+
 def run_shard_request(
     body: Dict[str, Any],
     metrics: Optional[MetricsRegistry] = None,
     spec_cache: Optional[SpecCache] = None,
+    checkpoint_cache: Optional[CheckpointCache] = None,
 ) -> Dict[str, Any]:
     """Execute one ``POST /run`` body and return the report wire form.
 
@@ -253,6 +394,7 @@ def run_shard_request(
         if metrics is not None:
             metrics.counter("worker.spec_cache_hits").inc()
     workers = body.get("workers") or 1
+    _resolve_resume_checkpoints(specs, checkpoint_cache, workers, metrics)
     # spawn, not fork: this runs on a handler thread of a threading
     # HTTP server, and forking a pool while another handler thread may
     # hold a lock (stderr logging, imports) can deadlock the child
@@ -312,8 +454,8 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         self._respond(200, self.server.health_doc())
 
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
-        """Run one shard (or store one spec upload) and answer JSON."""
-        if self.path not in ("/run", "/specs"):
+        """Run one shard (or store one spec/checkpoint upload), answer JSON."""
+        if self.path not in ("/run", "/specs", "/checkpoints"):
             self._respond(404, {"error": f"unknown path {self.path!r}"})
             return
         if not self._authorized():
@@ -329,11 +471,18 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
                 doc = store_specs_request(
                     body, self.server.spec_cache, metrics=self.server.metrics
                 )
+            elif self.path == "/checkpoints":
+                doc = store_checkpoint_request(
+                    body,
+                    self.server.checkpoint_cache,
+                    metrics=self.server.metrics,
+                )
             else:
                 doc = run_shard_request(
                     body,
                     metrics=self.server.metrics,
                     spec_cache=self.server.spec_cache,
+                    checkpoint_cache=self.server.checkpoint_cache,
                 )
         except UnknownFingerprintError as exc:
             self._respond(404, {"error": str(exc)})
@@ -367,6 +516,7 @@ class _WorkerServer(ThreadingHTTPServer):
         self.shards_served = 0
         self.token = token
         self.spec_cache = SpecCache()
+        self.checkpoint_cache = CheckpointCache()
         self.started_monotonic = time.monotonic()
         # the daemon's own registry (not the process-global OBS one):
         # an in-process worker embedded by tests must not leak its
@@ -383,6 +533,7 @@ class _WorkerServer(ThreadingHTTPServer):
             "uptime_seconds": round(time.monotonic() - self.started_monotonic, 3),
             "shards_served": self.shards_served,
             "spec_cache_entries": len(self.spec_cache),
+            "checkpoint_cache_entries": len(self.checkpoint_cache),
             # the per-worker property-compilation cache: one compile
             # per distinct property, however many shards x seeds run
             "psl_engine": default_engine(),

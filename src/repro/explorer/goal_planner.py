@@ -37,12 +37,23 @@ def residue_label(transition: FsmTransition) -> str:
 
 @dataclass(frozen=True)
 class PlannedGoal:
-    """One directed sequence goal: an initial-state FSM path whose last
-    edge is the uncovered transition the plan targets."""
+    """One directed sequence goal: an FSM path whose last edge is the
+    uncovered transition the plan targets.  The path starts at the
+    initial state unless ``origin_state`` names a covered frontier
+    state (one a checkpointed run already reached) -- then it starts
+    there, and the caller forks the scenario from that checkpoint
+    instead of replaying the warm-up from reset."""
 
     index: int
     target_edge: str
     transitions: Tuple[FsmTransition, ...]
+    #: FSM state the path starts from; None = the initial state
+    origin_state: Optional[int] = None
+    #: length of the from-initial path to the same edge (None when the
+    #: edge is unreachable from reset); with ``origin_state`` set this
+    #: is what the fork saves over -- callers prorate cycle budgets by
+    #: ``len(transitions) / initial_steps``
+    initial_steps: Optional[int] = None
 
     def calls(self) -> List[ActionCall]:
         """The ASM action calls along the path, in order."""
@@ -55,7 +66,13 @@ class PlannedGoal:
 
     def describe(self) -> str:
         steps = " -> ".join(t.label() for t in self.transitions)
-        return f"goal#{self.index} [{len(self.transitions)} steps] {steps}"
+        origin = (
+            "" if self.origin_state is None else f" from s{self.origin_state}"
+        )
+        return (
+            f"goal#{self.index} [{len(self.transitions)} steps{origin}] "
+            f"{steps}"
+        )
 
 
 class GoalPlanner:
@@ -79,23 +96,62 @@ class GoalPlanner:
         #: residue labels that named no known FSM edge in the last plan
         self.unknown_edges: Tuple[str, ...] = ()
 
-    def path_to(self, transition: FsmTransition) -> Optional[List[FsmTransition]]:
-        """Shortest initial-state path ending with ``transition``."""
-        if self._initial is None:
+    def path_to(
+        self, transition: FsmTransition, source: Optional[int] = None
+    ) -> Optional[List[FsmTransition]]:
+        """Shortest path ending with ``transition``; starts at the
+        initial state, or at ``source`` when given."""
+        start = self._initial if source is None else source
+        if start is None:
             return None
-        prefix = self.fsm.shortest_path(self._initial, transition.source)
+        prefix = self.fsm.shortest_path(start, transition.source)
         if prefix is None:
             return None
         return prefix + [transition]
 
-    def plan(self, uncovered: Iterable[str]) -> List[PlannedGoal]:
+    def _best_path(
+        self, transition: FsmTransition, frontier: Sequence[int]
+    ) -> Tuple[Optional[List[FsmTransition]], Optional[int], Optional[int]]:
+        """The shortest path to an edge over all plannable origins.
+
+        Origins are the initial state plus every frontier state; the
+        initial state wins ties (a from-reset plan needs no checkpoint),
+        and frontier ties resolve to the lowest state index so planning
+        stays deterministic.  Returns ``(path, origin_state,
+        initial_steps)``.
+        """
+        from_initial = self.path_to(transition)
+        best = from_initial
+        origin: Optional[int] = None
+        for state in sorted(set(frontier)):
+            candidate = self.path_to(transition, source=state)
+            if candidate is None:
+                continue
+            if best is None or len(candidate) < len(best):
+                best = candidate
+                origin = state
+        return (
+            best,
+            origin,
+            len(from_initial) if from_initial is not None else None,
+        )
+
+    def plan(
+        self, uncovered: Iterable[str], frontier: Sequence[int] = ()
+    ) -> List[PlannedGoal]:
         """Plans for ``uncovered`` residue edge labels, longest first,
         greedily deduplicated: an edge already on an earlier plan's
-        path does not get its own plan.  Budget caps belong to the
-        caller (the workbench counts *lowerable* plans against its
-        ``max_goals``, which this layer cannot know)."""
+        path does not get its own plan.  ``frontier`` lists covered FSM
+        states that checkpointed runs already sit in; an edge strictly
+        closer to a frontier state than to the initial state is planned
+        from there (``origin_state`` set) so the caller can fork the
+        checkpoint instead of re-walking the prefix.  Budget caps
+        belong to the caller (the workbench counts *lowerable* plans
+        against its ``max_goals``, which this layer cannot know)."""
         unknown: List[str] = []
-        candidates: List[Tuple[str, List[FsmTransition]]] = []
+        candidates: List[
+            Tuple[str, List[FsmTransition], Optional[int], Optional[int]]
+        ] = []
         seen_labels = set()
         for label in uncovered:
             if label in seen_labels:
@@ -105,26 +161,56 @@ class GoalPlanner:
             if transition is None:
                 unknown.append(label)
                 continue
-            path = self.path_to(transition)
+            path, origin, initial_steps = self._best_path(
+                transition, frontier
+            )
             if path is None:
                 unknown.append(label)
                 continue
-            candidates.append((label, path))
+            candidates.append((label, path, origin, initial_steps))
         self.unknown_edges = tuple(unknown)
         # longest plans first so their prefixes absorb short ones; the
         # label tiebreak keeps the order fully deterministic
         candidates.sort(key=lambda item: (-len(item[1]), item[0]))
         plans: List[PlannedGoal] = []
         covered: set = set()
-        for label, path in candidates:
+        for label, path, origin, initial_steps in candidates:
             if label in covered:
                 continue
             plan = PlannedGoal(
-                index=len(plans), target_edge=label, transitions=tuple(path)
+                index=len(plans),
+                target_edge=label,
+                transitions=tuple(path),
+                origin_state=origin,
+                initial_steps=initial_steps,
             )
             covered.update(plan.edge_labels())
             plans.append(plan)
         return plans
+
+    def replan_from_initial(
+        self, plan: PlannedGoal
+    ) -> Optional[PlannedGoal]:
+        """The same goal re-planned from the initial state.
+
+        The caller's fallback when a frontier-origin path turns out not
+        to be drivable (its lowering starts mid-pattern, e.g. a grant
+        with no pending request): the edge still deserves its from-reset
+        plan rather than dropping out of the round.
+        """
+        transition = self._by_label.get(plan.target_edge)
+        if transition is None:
+            return None
+        path = self.path_to(transition)
+        if path is None:
+            return None
+        return PlannedGoal(
+            index=plan.index,
+            target_edge=plan.target_edge,
+            transitions=tuple(path),
+            origin_state=None,
+            initial_steps=len(path),
+        )
 
 
 @dataclass
@@ -137,6 +223,9 @@ class EventWalk:
     #: events left unwalked because a step had no unique matching edge
     #: (bounded exploration, ambiguous labels, off-plan behaviour)
     off_path: int
+    #: state the walk stopped in (the run's coverage frontier); None
+    #: only when the FSM has no initial state
+    final_state: Optional[int] = None
 
 
 def walk_fsm_events(
@@ -152,7 +241,13 @@ def walk_fsm_events(
     """
     initials = fsm.initial_states()
     if not initials or not events:
-        return EventWalk((), (), 0, len(events))
+        return EventWalk(
+            (),
+            (),
+            0,
+            len(events),
+            final_state=initials[0].index if initials else None,
+        )
     current = initials[0].index
     exercised: List[str] = []
     visited: List[int] = [current]
@@ -172,4 +267,5 @@ def walk_fsm_events(
         visited_states=tuple(dict.fromkeys(visited)),
         steps_walked=steps,
         off_path=len(events) - steps,
+        final_state=current,
     )

@@ -58,9 +58,30 @@ class FaultyMsSlave(MsSlaveModule):
                 return value ^ 0x1
         return value
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        doc = super().checkpoint_state()
+        doc["reads_served"] = self.reads_served
+        return doc
+
+    def restore_state(self, doc: Dict[str, Any]) -> None:
+        super().restore_state(doc)
+        self.reads_served = doc["reads_served"]
+
 
 class MsSequenceMaster(Module):
-    """A Master/Slave initiator executing a sequence of items."""
+    """A Master/Slave initiator executing a sequence of items.
+
+    The protocol runs as an explicit phase machine: every wake-up on
+    the clock's posedge dispatches handlers keyed by ``self._phase``
+    until one *consumes* the cycle, so all mid-transaction state lives
+    in attributes instead of a generator frame.  That is what makes
+    the master snapshot/restorable (:meth:`checkpoint_state` /
+    :meth:`restore_state`): a generator's suspended locals cannot be
+    serialized, a phase tag and a handful of counters can.  Handlers
+    return True to consume the wake (one ``yield posedge`` in the old
+    generator), None to fall through to the next phase in the same
+    cycle, and False to park the process for good.
+    """
 
     def __init__(
         self,
@@ -91,91 +112,252 @@ class MsSequenceMaster(Module):
         self.done = False
         self.words_moved = 0
         self.wait_cycles = 0
+        self.items_consumed = 0
+        # phase-machine registers (the whole suspended-protocol state)
+        self._phase = "fetch"
+        self._item: Optional[SequenceItem] = None
+        self._txn: Optional[Transaction] = None
+        self._idle_left = 0
+        self._slave_index = 0
+        self._payload: Tuple[int, ...] = ()
+        self._words = 0
+        self._word = 0
+        self._waits_left = 0
+        self._read_back: List[int] = []
         self.thread(self.run)
 
     def _next_item(self) -> Optional[SequenceItem]:
         try:
-            return next(self.items)
+            item = next(self.items)
         except StopIteration:
             return None
+        self.items_consumed += 1
+        return item
+
+    def rebind_items(self, items: Iterator[SequenceItem]) -> None:
+        """Graft a fresh item stream onto a (possibly exhausted) master.
+
+        Checkpoint forks call this after restore: records and counters
+        stay (the scoreboard and FSM replay still see the whole run),
+        only the stimulus source is swapped.  A master parked in the
+        ``done`` phase wakes back into ``fetch`` on its next posedge.
+        """
+        self.items = items
+        self.items_consumed = 0
+        if self._phase == "done":
+            self.done = False
+            self._phase = "fetch"
 
     def run(self):
-        wires = self.wires
+        self._dispatch()
         posedge = self._posedge
-        owner = wires.owner
-        want = wires.want[self.index]
-        transferring = wires.transferring[self.index]
-        slave_busy = wires.slave_busy
-        my_index = self.index
         while True:
-            item = self._next_item()
-            if item is None:
-                self.done = True
-                return  # sequence exhausted: the master parks
-            for _ in range(item.idle):
-                yield posedge
-            words = BLOCKING_BURST if self.blocking else 1
-            slave_index = item.target % len(self.slaves)
-            offset = min(item.address_offset, 0x100 - words)
-            payload = tuple(item.payload[:words])
-            while len(payload) < words and item.is_write:
-                payload += (0,)
-            transaction = Transaction(
-                master=self.name,
-                address=slave_index * 0x100 + offset,
-                is_write=item.is_write,
-                data=payload,
-                mode=BusMode.BLOCKING if self.blocking else BusMode.NON_BLOCKING,
-                start_cycle=self.clock.cycle_count,
-                txn_id=self.txn_ids.allocate(),
-            )
-            self.issued += 1
-            self.in_flight = True
-            # request / grant handshake (same discipline as the
-            # free-running MsMasterModule, so the property suite binds)
-            want.write(True)
             yield posedge
-            while owner.read() != my_index:
-                self.wait_cycles += 1
-                yield posedge
-            want.write(False)
-            slave = self.slaves[slave_index]
-            busy = slave_busy[slave_index]
-            while busy.read():
-                self.wait_cycles += 1
-                yield posedge
-            busy.write(True)
-            transferring.write(True)
-            read_back: List[int] = []
-            for word in range(words):
-                for _ in range(slave.wait_states):
-                    yield posedge
-                address = transaction.address + word
-                value = slave.access(
-                    address, payload[word] if item.is_write else None
-                )
-                if not item.is_write:
-                    read_back.append(value)
-                self.words_moved += 1
-                yield posedge
-            transferring.write(False)
-            busy.write(False)
-            owner.write(-1)
-            if not item.is_write:
-                transaction.data = tuple(read_back)
-            transaction.end_cycle = self.clock.cycle_count
-            transaction.status = BusStatus.OK
-            self.completed += 1
-            self.in_flight = False
-            dropped = (
-                self.drop_fault is not None
-                and self.drop_fault.kind == "drop"
-                and self.drop_fault.unit == self.index
-                and self.completed == self.drop_fault.nth
-            )
-            if not dropped:
-                self.records.append((transaction, item))
-            yield posedge
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Run phase handlers until one consumes the wake."""
+        handlers = self._PHASES
+        while handlers[self._phase](self) is None:
+            pass
+
+    def _phase_fetch(self) -> Optional[bool]:
+        item = self._next_item()
+        if item is None:
+            self.done = True
+            self._phase = "done"
+            return None
+        self._item = item
+        self._idle_left = item.idle
+        self._phase = "idle" if item.idle else "post"
+        return None
+
+    def _phase_idle(self) -> Optional[bool]:
+        if self._idle_left > 0:
+            self._idle_left -= 1
+            return True
+        self._phase = "post"
+        return None
+
+    def _phase_post(self) -> Optional[bool]:
+        item = self._item
+        assert item is not None
+        words = BLOCKING_BURST if self.blocking else 1
+        self._words = words
+        self._word = 0
+        self._slave_index = item.target % len(self.slaves)
+        offset = min(item.address_offset, 0x100 - words)
+        payload = tuple(item.payload[:words])
+        while len(payload) < words and item.is_write:
+            payload += (0,)
+        self._payload = payload
+        self._txn = Transaction(
+            master=self.name,
+            address=self._slave_index * 0x100 + offset,
+            is_write=item.is_write,
+            data=payload,
+            mode=BusMode.BLOCKING if self.blocking else BusMode.NON_BLOCKING,
+            start_cycle=self.clock.cycle_count,
+            txn_id=self.txn_ids.allocate(),
+        )
+        self.issued += 1
+        self.in_flight = True
+        # request / grant handshake (same discipline as the
+        # free-running MsMasterModule, so the property suite binds)
+        self.wires.want[self.index].write(True)
+        self._phase = "grant"
+        return True
+
+    def _phase_grant(self) -> Optional[bool]:
+        if self.wires.owner.read() != self.index:
+            self.wait_cycles += 1
+            return True
+        self.wires.want[self.index].write(False)
+        self._phase = "busy"
+        return None
+
+    def _phase_busy(self) -> Optional[bool]:
+        busy = self.wires.slave_busy[self._slave_index]
+        if busy.read():
+            self.wait_cycles += 1
+            return True
+        busy.write(True)
+        self.wires.transferring[self.index].write(True)
+        self._read_back = []
+        self._word = 0
+        self._waits_left = self.slaves[self._slave_index].wait_states
+        self._phase = "transfer"
+        return None
+
+    def _phase_transfer(self) -> Optional[bool]:
+        if self._waits_left > 0:
+            self._waits_left -= 1
+            return True
+        item = self._item
+        txn = self._txn
+        assert item is not None and txn is not None
+        slave = self.slaves[self._slave_index]
+        address = txn.address + self._word
+        # repro: allow[race.shared-state] only the granted master reaches the data phase, so slave bookkeeping has one writer per delta
+        value = slave.access(
+            address, self._payload[self._word] if item.is_write else None
+        )
+        if not item.is_write:
+            self._read_back.append(value)
+        self.words_moved += 1
+        self._word += 1
+        if self._word < self._words:
+            self._waits_left = slave.wait_states
+        else:
+            self._phase = "finish"
+        return True
+
+    def _phase_finish(self) -> Optional[bool]:
+        item = self._item
+        txn = self._txn
+        assert item is not None and txn is not None
+        self.wires.transferring[self.index].write(False)
+        self.wires.slave_busy[self._slave_index].write(False)
+        self.wires.owner.write(-1)
+        if not item.is_write:
+            txn.data = tuple(self._read_back)
+        txn.end_cycle = self.clock.cycle_count
+        txn.status = BusStatus.OK
+        self.completed += 1
+        self.in_flight = False
+        dropped = (
+            self.drop_fault is not None
+            and self.drop_fault.kind == "drop"
+            and self.drop_fault.unit == self.index
+            and self.completed == self.drop_fault.nth
+        )
+        if not dropped:
+            self.records.append((txn, item))
+        self._phase = "gap"
+        return None
+
+    def _phase_gap(self) -> Optional[bool]:
+        self._phase = "fetch"
+        return True
+
+    def _phase_done(self) -> Optional[bool]:
+        # sequence exhausted: the master idles but stays alive, so a
+        # checkpoint fork can graft a fresh item stream and restart it
+        return True
+
+    _PHASES = {
+        "fetch": _phase_fetch,
+        "idle": _phase_idle,
+        "post": _phase_post,
+        "grant": _phase_grant,
+        "busy": _phase_busy,
+        "transfer": _phase_transfer,
+        "finish": _phase_finish,
+        "gap": _phase_gap,
+        "done": _phase_done,
+    }
+
+    # -- checkpoint protocol ------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Everything a fresh master needs to resume mid-protocol."""
+        return {
+            "phase": self._phase,
+            "item": self._item.to_json() if self._item is not None else None,
+            "txn": self._txn.to_json() if self._txn is not None else None,
+            "idle_left": self._idle_left,
+            "slave_index": self._slave_index,
+            "payload": list(self._payload),
+            "words": self._words,
+            "word": self._word,
+            "waits_left": self._waits_left,
+            "read_back": list(self._read_back),
+            "items_consumed": self.items_consumed,
+            "issued": self.issued,
+            "completed": self.completed,
+            "in_flight": self.in_flight,
+            "done": self.done,
+            "words_moved": self.words_moved,
+            "wait_cycles": self.wait_cycles,
+            "records": [
+                [txn.to_json(), item.to_json()] for txn, item in self.records
+            ],
+        }
+
+    def restore_state(self, doc: Dict[str, Any]) -> None:
+        """Adopt a :meth:`checkpoint_state` document.
+
+        The item iterator is replayed forward to the recorded
+        consumption count (items are derived deterministically from the
+        spec seed, so replaying the stream is exact and cheap), then
+        the in-flight item/transaction are overwritten from the wire
+        form for good measure.
+        """
+        while self.items_consumed < doc["items_consumed"]:
+            if self._next_item() is None:
+                break
+        self._phase = doc["phase"]
+        self._item = (
+            SequenceItem.from_json(doc["item"]) if doc["item"] else None
+        )
+        self._txn = Transaction.from_json(doc["txn"]) if doc["txn"] else None
+        self._idle_left = doc["idle_left"]
+        self._slave_index = doc["slave_index"]
+        self._payload = tuple(doc["payload"])
+        self._words = doc["words"]
+        self._word = doc["word"]
+        self._waits_left = doc["waits_left"]
+        self._read_back = list(doc["read_back"])
+        self.issued = doc["issued"]
+        self.completed = doc["completed"]
+        self.in_flight = doc["in_flight"]
+        self.done = doc["done"]
+        self.words_moved = doc["words_moved"]
+        self.wait_cycles = doc["wait_cycles"]
+        self.records = [
+            (Transaction.from_json(txn), SequenceItem.from_json(item))
+            for txn, item in doc["records"]
+        ]
 
 
 class MsScenarioSystem(ScenarioSystem):
@@ -197,6 +379,8 @@ class MsScenarioSystem(ScenarioSystem):
         self.n_masters = n_blocking + n_non_blocking
         self.n_slaves = n_slaves
         self.fault = fault
+        self.seed = seed
+        self.address_span = address_span
         self.simulator = Simulator(
             f"ms_scenario_{n_blocking}b_{n_non_blocking}nb_{n_slaves}s_seed{seed}"
         )
@@ -241,6 +425,28 @@ class MsScenarioSystem(ScenarioSystem):
         self.arbiter = MsArbiterModule(
             "arbiter", self.simulator, self.clock, self.wires
         )
+
+    def rebind_sequence(self, sequence: Sequence) -> None:
+        """Swap every master's stimulus source for a new sequence.
+
+        The checkpoint fork path: a restored system keeps its bus,
+        memory and scoreboard history but plays a *different* goal set
+        from here on.  Item streams re-derive from the system seed under
+        a distinct rng scope so forks are deterministic yet uncorrelated
+        with the original run's draws.
+        """
+        root = ScenarioRng(self.seed, "ms-fork")
+        for index, master in enumerate(self.masters):
+            words = BLOCKING_BURST if master.blocking else 1
+            ctx = StimulusContext(
+                n_targets=self.n_slaves,
+                min_burst=words,
+                max_burst=words,
+                address_span=self.address_span,
+            )
+            master.rebind_items(
+                sequence.for_unit(index).items(root.derive(f"master{index}"), ctx)
+            )
 
     @property
     def blocking_flags(self) -> List[bool]:

@@ -42,7 +42,16 @@ from .systemc_model import PciArbiterModule, PciSignals, PciTargetModule
 
 
 class PciSequenceMaster(Module):
-    """A PCI initiator executing a sequence of items."""
+    """A PCI initiator executing a sequence of items.
+
+    Like :class:`~repro.models.master_slave.scenario.MsSequenceMaster`
+    the protocol is an explicit phase machine rather than a nest of
+    loops inside a generator: each posedge wake dispatches handlers
+    keyed by ``self._phase`` until one consumes the cycle, so the whole
+    suspended protocol (including mid-burst data phases and STOP#
+    back-off) lives in attributes and can be snapshotted/restored via
+    :meth:`checkpoint_state` / :meth:`restore_state`.
+    """
 
     def __init__(
         self,
@@ -74,125 +83,212 @@ class PciSequenceMaster(Module):
         self.words_moved = 0
         self.data_flag = Signal(False, f"master{index}_data", sim)
         self.idle_flag = Signal(True, f"master{index}_idle", sim)
+        # phase-machine registers (the whole suspended-protocol state)
+        self._phase = "fetch"
+        self._item: Optional[SequenceItem] = None
+        self._txn: Optional[Transaction] = None
+        self._idle_left = 0
+        self._target = 0
+        self._burst = 0
+        self._payload: Tuple[int, ...] = ()
+        self._words_left = 0
+        self._waited = 0
+        self._backoff_left = 0
+        self.items_consumed = 0
         self.thread(self.run)
 
     def _next_item(self) -> Optional[SequenceItem]:
         try:
-            return next(self.items)
+            item = next(self.items)
         except StopIteration:
             return None
+        self.items_consumed += 1
+        return item
+
+    def rebind_items(self, items: Iterator[SequenceItem]) -> None:
+        """Graft a fresh item stream onto a (possibly exhausted) master.
+
+        Checkpoint forks call this after restore: records and counters
+        stay (the scoreboard and FSM replay still see the whole run),
+        only the stimulus source is swapped.  A master parked in the
+        ``done`` phase wakes back into ``fetch`` on its next posedge.
+        """
+        self.items = items
+        self.items_consumed = 0
+        if self._phase == "done":
+            self.done = False
+            self._phase = "fetch"
 
     def run(self):
-        while True:
-            item = self._next_item()
-            if item is None:
-                self.done = True
-                return  # sequence exhausted: the initiator parks
-            for _ in range(item.idle):
-                yield self._posedge
-            target = item.target % self.n_targets
-            burst = max(1, min(item.burst, MAX_BURST_LENGTH))
-            command = (
-                PciCommand.MEM_WRITE if item.is_write else PciCommand.MEM_READ
-            )
-            payload = tuple(item.payload[:burst])
-            while len(payload) < burst:
-                payload += (0,)
-            transaction = Transaction(
-                master=self.name,
-                address=0x1000 * (target + 1) + item.address_offset,
-                is_write=item.is_write,
-                data=payload,
-                mode=BusMode.BLOCKING,
-                start_cycle=self.clock.cycle_count,
-                txn_id=self.txn_ids.allocate(),
-            )
-            self.issued += 1
-            self.in_flight = True
-            completed = False
-            while not completed:
-                completed = yield from self._attempt(target, burst, command)
-                if not completed:
-                    self.retries += 1
-                    yield self._posedge
-                    yield self._posedge
-            transaction.end_cycle = self.clock.cycle_count
-            transaction.status = BusStatus.OK
-            self.completed += 1
-            if not item.is_write:
-                self.reads_completed += 1
-            self.in_flight = False
-            # corrupt-read matches the MS fault contract: the data path
-            # flips a bit on reads from the nth one onward
-            corrupt = (
-                not item.is_write
-                and self.fault is not None
-                and self.fault.kind == "corrupt-read"
-                and self.fault.unit == self.index
-                and self.reads_completed >= self.fault.nth
-            )
-            if corrupt:
-                transaction.data = (payload[0] ^ 0x1,) + payload[1:]
-            dropped = (
-                self.fault is not None
-                and self.fault.kind == "drop"
-                and self.fault.unit == self.index
-                and self.completed == self.fault.nth
-            )
-            if not dropped:
-                self.records.append((transaction, item))
-
-    def _attempt(self, target: int, burst: int, command: PciCommand):
-        """One transaction attempt; returns False when STOP#-ed.
-
-        Same signal discipline as the free-running
-        :class:`~.systemc_model.PciMasterModule`, so the Table 1
-        property suite binds to scenario runs unchanged.
-        """
-        wires = self.wires
+        self._dispatch()
         posedge = self._posedge
-        frame = wires.frame
-        owner = wires.owner
-        gnt = wires.gnt[self.index]
-        stop = wires.stop[target]
-        trdy = wires.trdy[target]
+        while True:
+            yield posedge
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Run phase handlers until one consumes the wake."""
+        handlers = self._PHASES
+        while handlers[self._phase](self) is None:
+            pass
+
+    def _phase_fetch(self) -> Optional[bool]:
+        item = self._next_item()
+        if item is None:
+            self.done = True
+            self._phase = "done"
+            return None
+        self._item = item
+        self._idle_left = item.idle
+        self._phase = "idle" if item.idle else "build"
+        return None
+
+    def _phase_idle(self) -> Optional[bool]:
+        if self._idle_left > 0:
+            self._idle_left -= 1
+            return True
+        self._phase = "build"
+        return None
+
+    def _phase_build(self) -> Optional[bool]:
+        item = self._item
+        assert item is not None
+        self._target = item.target % self.n_targets
+        burst = max(1, min(item.burst, MAX_BURST_LENGTH))
+        self._burst = burst
+        payload = tuple(item.payload[:burst])
+        while len(payload) < burst:
+            payload += (0,)
+        self._payload = payload
+        self._txn = Transaction(
+            master=self.name,
+            address=0x1000 * (self._target + 1) + item.address_offset,
+            is_write=item.is_write,
+            data=payload,
+            mode=BusMode.BLOCKING,
+            start_cycle=self.clock.cycle_count,
+            txn_id=self.txn_ids.allocate(),
+        )
+        self.issued += 1
+        self.in_flight = True
+        self._phase = "req"
+        return None
+
+    def _phase_req(self) -> Optional[bool]:
+        """Start one attempt: same signal discipline as the free-running
+        :class:`~.systemc_model.PciMasterModule`, so the Table 1
+        property suite binds to scenario runs unchanged."""
         self.idle_flag.write(False)
-        wires.req[self.index].write(True)
-        while not gnt.read():
-            yield posedge
-        while frame.read() or owner.read() != -1 or stop.read():
-            yield posedge
+        self.wires.req[self.index].write(True)
+        self._phase = "gnt"
+        return None
+
+    def _phase_gnt(self) -> Optional[bool]:
+        if not self.wires.gnt[self.index].read():
+            return True
+        self._phase = "bus_wait"
+        return None
+
+    def _phase_bus_wait(self) -> Optional[bool]:
+        wires = self.wires
+        if (
+            wires.frame.read()
+            or wires.owner.read() != -1
+            or wires.stop[self._target].read()
+        ):
+            return True
         wires.req[self.index].write(False)
-        frame.write(True)
-        owner.write(self.index)
-        wires.addr.write(target)
-        wires.command.write(command)
-        yield posedge
-        wires.irdy.write(True)
-        self.data_flag.write(True)
-        words_left = burst
-        cycles_waited = 0
-        while words_left > 0:
-            yield posedge
-            if stop.read():
-                yield from self._release()
-                return False
-            if trdy.read():
-                words_left -= 1
-                self.words_moved += 1
-                cycles_waited = 0
-                if words_left == 0:
-                    frame.write(False)
-            else:
-                cycles_waited += 1
-                if cycles_waited > 16:  # defensive: no livelock
-                    yield from self._release()
-                    return False
-        yield posedge
-        yield from self._release()
+        wires.frame.write(True)
+        wires.owner.write(self.index)
+        wires.addr.write(self._target)
+        wires.command.write(
+            PciCommand.MEM_WRITE if self._item.is_write else PciCommand.MEM_READ
+        )
+        self._phase = "data_start"
         return True
 
-    def _release(self):
+    def _phase_data_start(self) -> Optional[bool]:
+        self.wires.irdy.write(True)
+        self.data_flag.write(True)
+        self._words_left = self._burst
+        self._waited = 0
+        self._phase = "data"
+        return True
+
+    def _phase_data(self) -> Optional[bool]:
+        wires = self.wires
+        if wires.stop[self._target].read():
+            self._release_writes()
+            self._backoff_left = 2
+            self._phase = "backoff"
+            return True  # STOP#-ed: this wake is the release cycle
+        if wires.trdy[self._target].read():
+            self._words_left -= 1
+            self.words_moved += 1
+            self._waited = 0
+            if self._words_left == 0:
+                wires.frame.write(False)
+                self._phase = "turnaround"
+            return True
+        self._waited += 1
+        if self._waited > 16:  # defensive: no livelock
+            self._release_writes()
+            self._backoff_left = 2
+            self._phase = "backoff"
+        return True
+
+    def _phase_backoff(self) -> Optional[bool]:
+        if self._backoff_left == 2:
+            self.retries += 1
+        if self._backoff_left > 0:
+            self._backoff_left -= 1
+            return True
+        self._phase = "req"
+        return None
+
+    def _phase_turnaround(self) -> Optional[bool]:
+        self._release_writes()
+        self._phase = "complete"
+        return True
+
+    def _phase_complete(self) -> Optional[bool]:
+        item = self._item
+        txn = self._txn
+        assert item is not None and txn is not None
+        txn.end_cycle = self.clock.cycle_count
+        txn.status = BusStatus.OK
+        self.completed += 1
+        if not item.is_write:
+            self.reads_completed += 1
+        self.in_flight = False
+        # corrupt-read matches the MS fault contract: the data path
+        # flips a bit on reads from the nth one onward
+        corrupt = (
+            not item.is_write
+            and self.fault is not None
+            and self.fault.kind == "corrupt-read"
+            and self.fault.unit == self.index
+            and self.reads_completed >= self.fault.nth
+        )
+        if corrupt:
+            txn.data = (self._payload[0] ^ 0x1,) + self._payload[1:]
+        dropped = (
+            self.fault is not None
+            and self.fault.kind == "drop"
+            and self.fault.unit == self.index
+            and self.completed == self.fault.nth
+        )
+        if not dropped:
+            self.records.append((txn, item))
+        self._phase = "fetch"
+        return None
+
+    def _phase_done(self) -> Optional[bool]:
+        # sequence exhausted: the initiator idles but stays alive, so a
+        # checkpoint fork can graft a fresh item stream and restart it
+        return True
+
+    def _release_writes(self) -> None:
         wires = self.wires
         wires.frame.write(False)
         wires.irdy.write(False)
@@ -200,7 +296,78 @@ class PciSequenceMaster(Module):
         wires.addr.write(-1)
         self.data_flag.write(False)
         self.idle_flag.write(True)
-        yield self._posedge
+
+    _PHASES = {
+        "fetch": _phase_fetch,
+        "idle": _phase_idle,
+        "build": _phase_build,
+        "req": _phase_req,
+        "gnt": _phase_gnt,
+        "bus_wait": _phase_bus_wait,
+        "data_start": _phase_data_start,
+        "data": _phase_data,
+        "backoff": _phase_backoff,
+        "turnaround": _phase_turnaround,
+        "complete": _phase_complete,
+        "done": _phase_done,
+    }
+
+    # -- checkpoint protocol ------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Everything a fresh initiator needs to resume mid-protocol."""
+        return {
+            "phase": self._phase,
+            "item": self._item.to_json() if self._item is not None else None,
+            "txn": self._txn.to_json() if self._txn is not None else None,
+            "idle_left": self._idle_left,
+            "target": self._target,
+            "burst": self._burst,
+            "payload": list(self._payload),
+            "words_left": self._words_left,
+            "waited": self._waited,
+            "backoff_left": self._backoff_left,
+            "items_consumed": self.items_consumed,
+            "issued": self.issued,
+            "completed": self.completed,
+            "reads_completed": self.reads_completed,
+            "in_flight": self.in_flight,
+            "done": self.done,
+            "retries": self.retries,
+            "words_moved": self.words_moved,
+            "records": [
+                [txn.to_json(), item.to_json()] for txn, item in self.records
+            ],
+        }
+
+    def restore_state(self, doc: Dict[str, Any]) -> None:
+        """Adopt a :meth:`checkpoint_state` document (see the MS twin)."""
+        while self.items_consumed < doc["items_consumed"]:
+            if self._next_item() is None:
+                break
+        self._phase = doc["phase"]
+        self._item = (
+            SequenceItem.from_json(doc["item"]) if doc["item"] else None
+        )
+        self._txn = Transaction.from_json(doc["txn"]) if doc["txn"] else None
+        self._idle_left = doc["idle_left"]
+        self._target = doc["target"]
+        self._burst = doc["burst"]
+        self._payload = tuple(doc["payload"])
+        self._words_left = doc["words_left"]
+        self._waited = doc["waited"]
+        self._backoff_left = doc["backoff_left"]
+        self.issued = doc["issued"]
+        self.completed = doc["completed"]
+        self.reads_completed = doc["reads_completed"]
+        self.in_flight = doc["in_flight"]
+        self.done = doc["done"]
+        self.retries = doc["retries"]
+        self.words_moved = doc["words_moved"]
+        self.records = [
+            (Transaction.from_json(txn), SequenceItem.from_json(item))
+            for txn, item in doc["records"]
+        ]
 
 
 class PciScenarioSystem(ScenarioSystem):
@@ -220,6 +387,8 @@ class PciScenarioSystem(ScenarioSystem):
         self.n_masters = n_masters
         self.n_targets = n_targets
         self.fault = fault
+        self.seed = seed
+        self.address_span = address_span
         self.simulator = Simulator(
             f"pci_scenario_{n_masters}m_{n_targets}s_seed{seed}"
         )
@@ -256,6 +425,27 @@ class PciScenarioSystem(ScenarioSystem):
             )
             for j in range(n_targets)
         ]
+
+    def rebind_sequence(self, sequence: Sequence) -> None:
+        """Swap every master's stimulus source for a new sequence.
+
+        The checkpoint fork path: a restored system keeps its bus,
+        memory and scoreboard history but plays a *different* goal set
+        from here on.  Item streams re-derive from the system seed under
+        a distinct rng scope so forks are deterministic yet uncorrelated
+        with the original run's draws.
+        """
+        root = ScenarioRng(self.seed, "pci-fork")
+        ctx = StimulusContext(
+            n_targets=self.n_targets,
+            min_burst=1,
+            max_burst=MAX_BURST_LENGTH,
+            address_span=self.address_span,
+        )
+        for index, master in enumerate(self.masters):
+            master.rebind_items(
+                sequence.for_unit(index).items(root.derive(f"master{index}"), ctx)
+            )
 
     def letter(self) -> Dict[str, Any]:
         wires = self.wires

@@ -71,32 +71,46 @@ class PciArbiterModule(Module):
         self._posedge = clock.posedge_event
         self.wires = wires
         self.grants_issued = 0
+        #: index currently holding GNT# (kept in an attribute, not a
+        #: generator local, so the arbiter is checkpointable)
+        self._grant: Optional[int] = None
         self.thread(self.arbitrate)
 
     def arbitrate(self):
-        wires = self.wires
-        req = wires.req
-        gnt = wires.gnt
         posedge = self._posedge
-        current: Optional[int] = None
         while True:
             yield posedge
-            if current is not None and not req[current].read():
-                # The granted master started its transaction (REQ# fell):
-                # drop GNT# so the next arbitration can proceed even while
-                # the transaction still runs (hidden arbitration).
-                gnt[current].write(False)
-                current = None
-            if current is None:
-                # Lowest-index priority; reads see pre-delta values, so
-                # scanning after the GNT# drop is equivalent to the old
-                # snapshot-then-drop ordering.
-                for index, requesting in enumerate(req):
-                    if requesting.read():
-                        current = index
-                        gnt[index].write(True)
-                        self.grants_issued += 1
-                        break
+            self._arbitrate_once()
+
+    def _arbitrate_once(self) -> None:
+        req = self.wires.req
+        gnt = self.wires.gnt
+        current = self._grant
+        if current is not None and not req[current].read():
+            # The granted master started its transaction (REQ# fell):
+            # drop GNT# so the next arbitration can proceed even while
+            # the transaction still runs (hidden arbitration).
+            gnt[current].write(False)
+            self._grant = current = None
+        if current is None:
+            # Lowest-index priority; reads see pre-delta values, so
+            # scanning after the GNT# drop is equivalent to the old
+            # snapshot-then-drop ordering.
+            for index, requesting in enumerate(req):
+                if requesting.read():
+                    self._grant = index
+                    gnt[index].write(True)
+                    self.grants_issued += 1
+                    break
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot of the arbiter's inter-cycle state."""
+        return {"grant": self._grant, "grants_issued": self.grants_issued}
+
+    def restore_state(self, doc: dict) -> None:
+        """Adopt a :meth:`checkpoint_state` document."""
+        self._grant = doc["grant"]
+        self.grants_issued = doc["grants_issued"]
 
 
 class PciMasterModule(Module):
@@ -226,7 +240,17 @@ class PciMasterModule(Module):
 
 
 class PciTargetModule(Module):
-    """A PCI target with configurable decode latency and retry injection."""
+    """A PCI target with configurable decode latency and retry injection.
+
+    Runs as an explicit phase machine (idle / decode / respond / serve /
+    stop_wait / stop_tail): every posedge wake dispatches handlers keyed
+    by ``self._phase`` until one consumes the cycle, so the whole
+    response state — including the decode countdown and a draining
+    STOP# — lives in attributes and snapshots via
+    :meth:`checkpoint_state`.  The RNG stream (one draw at decode end,
+    one per served cycle while FRAME# is high) is wake-for-wake
+    identical to the original nested-loop formulation.
+    """
 
     def __init__(
         self,
@@ -250,55 +274,140 @@ class PciTargetModule(Module):
         self.stop_probability = stop_probability
         self.claims = 0
         self.stops_issued = 0
+        # phase-machine registers
+        self._phase = "idle"
+        self._decode_left = 0
+        self._from_serve = False
         self.thread(self.run)
 
     def run(self):
-        wires = self.wires
-        frame = wires.frame
-        addr = wires.addr
-        irdy = wires.irdy
-        devsel = wires.devsel[self.index]
-        trdy = wires.trdy[self.index]
         posedge = self._posedge
         while True:
             yield posedge
-            if not (frame.read() and addr.read() == self.index):
-                continue
-            # address decode latency
-            for _ in range(self.decode_latency - 1):
-                yield posedge
-            if self.random.random() < self.stop_probability:
-                yield from self._stop_sequence()
-                continue
-            devsel.write(True)
-            self.claims += 1
-            yield posedge
-            trdy.write(True)
-            # stay ready until the initiator finishes (FRAME# falls and
-            # IRDY# falls after the last word)
-            while frame.read() or irdy.read():
-                yield posedge
-                if (
-                    frame.read()
-                    and self.random.random() < self.stop_probability / 4
-                ):
-                    # mid-burst disconnect
-                    yield from self._stop_sequence()
-                    break
-            devsel.write(False)
-            trdy.write(False)
+            self._dispatch()
 
-    def _stop_sequence(self):
+    def _dispatch(self) -> None:
+        """Run phase handlers until one consumes the wake."""
+        handlers = self._PHASES
+        # repro: allow[race.wait-free-loop] bounded phase dispatch: every handler either consumes the wake or advances the phase, so this terminates within one cycle
+        while handlers[self._phase](self) is None:
+            pass
+
+    def _phase_idle(self) -> Optional[bool]:
+        wires = self.wires
+        if not (wires.frame.read() and wires.addr.read() == self.index):
+            return True
+        self._decode_left = self.decode_latency - 1
+        self._phase = "decode"
+        return None
+
+    def _phase_decode(self) -> Optional[bool]:
+        if self._decode_left > 0:
+            self._decode_left -= 1
+            return True
+        if self.random.random() < self.stop_probability:
+            self._stop_writes()
+            self._from_serve = False
+            self._phase = "stop_wait"
+            return None  # STOP# hold checks FRAME# in this same cycle
+        self.wires.devsel[self.index].write(True)
+        self.claims += 1
+        self._phase = "respond"
+        return True
+
+    def _phase_respond(self) -> Optional[bool]:
+        self.wires.trdy[self.index].write(True)
+        self._phase = "serve_entry"
+        return None
+
+    def _phase_serve_entry(self) -> Optional[bool]:
+        """First service cycle: no disconnect draw before the first wait."""
+        wires = self.wires
+        if wires.frame.read() or wires.irdy.read():
+            self._phase = "serve"
+            return True
+        wires.devsel[self.index].write(False)
+        wires.trdy[self.index].write(False)
+        self._phase = "idle"
+        return True
+
+    def _phase_serve(self) -> Optional[bool]:
+        # stay ready until the initiator finishes (FRAME# falls and
+        # IRDY# falls after the last word)
+        wires = self.wires
+        if (
+            wires.frame.read()
+            and self.random.random() < self.stop_probability / 4
+        ):
+            # mid-burst disconnect
+            self._stop_writes()
+            self._from_serve = True
+            self._phase = "stop_wait"
+            return None
+        if wires.frame.read() or wires.irdy.read():
+            return True
+        wires.devsel[self.index].write(False)
+        wires.trdy[self.index].write(False)
+        self._phase = "idle"
+        return True
+
+    def _phase_stop_wait(self) -> Optional[bool]:
+        # hold STOP# until the initiator backs off
+        if self.wires.frame.read():
+            return True
+        self._phase = "stop_tail"
+        return True
+
+    def _phase_stop_tail(self) -> Optional[bool]:
+        self.wires.stop[self.index].write(False)
+        if self._from_serve:
+            # the original loop's post-break writes (same-value, but
+            # preserved for update-request parity with the generator)
+            self.wires.devsel[self.index].write(False)
+            self.wires.trdy[self.index].write(False)
+        self._phase = "idle"
+        return True
+
+    def _stop_writes(self) -> None:
         wires = self.wires
         wires.devsel[self.index].write(False)
         wires.trdy[self.index].write(False)
         wires.stop[self.index].write(True)
         self.stops_issued += 1
-        # hold STOP# until the initiator backs off
-        while wires.frame.read():
-            yield self._posedge
-        yield self._posedge
-        wires.stop[self.index].write(False)
+
+    _PHASES = {
+        "idle": _phase_idle,
+        "decode": _phase_decode,
+        "respond": _phase_respond,
+        "serve_entry": _phase_serve_entry,
+        "serve": _phase_serve,
+        "stop_wait": _phase_stop_wait,
+        "stop_tail": _phase_stop_tail,
+    }
+
+    # -- checkpoint protocol ------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot including the exact RNG stream position."""
+        version, internal, gauss = self.random.getstate()
+        return {
+            "phase": self._phase,
+            "decode_left": self._decode_left,
+            "from_serve": self._from_serve,
+            "claims": self.claims,
+            "stops_issued": self.stops_issued,
+            "random": [version, list(internal), gauss],
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Adopt a :meth:`checkpoint_state` document."""
+        self._phase = doc["phase"]
+        self._decode_left = doc["decode_left"]
+        self._from_serve = doc["from_serve"]
+        self.claims = doc["claims"]
+        self.stops_issued = doc["stops_issued"]
+        version, internal, gauss = doc["random"]
+        self.random.setstate((version, tuple(internal), gauss))
 
 
 class PciSystemModel:

@@ -91,6 +91,16 @@ class ScenarioSpec:
     #: reconstruct the run's coarse ASM event stream into the verdict
     #: (the simulation->FSM mapping the closure loop folds back)
     track_fsm: bool = False
+    #: checkpoint digest to resume from instead of running from reset;
+    #: ``cycles`` stays the *total* -- the run covers the remainder.
+    #: Resolved against :func:`repro.checkpoint.global_registry` (or the
+    #: dispatch layer's ``/checkpoints`` cache on remote hosts).
+    resume_from: Optional[str] = None
+    #: cycle boundary to snapshot at (<= ``cycles``); the digest lands in
+    #: the verdict's ``frontier_digest`` and the checkpoint in the run
+    #: process's registry.  The closure loop sets this to cache frontier
+    #: states its next round can fork from.
+    checkpoint_at: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -110,6 +120,8 @@ class ScenarioSpec:
             "with_monitors": self.with_monitors,
             "goals": [g.to_json() for g in self.goals],
             "track_fsm": self.track_fsm,
+            "resume_from": self.resume_from,
+            "checkpoint_at": self.checkpoint_at,
         }
 
     @classmethod
@@ -127,6 +139,8 @@ class ScenarioSpec:
                 TransactionGoal.from_json(g) for g in doc.get("goals", ())
             ),
             track_fsm=doc.get("track_fsm", False),
+            resume_from=doc.get("resume_from"),
+            checkpoint_at=doc.get("checkpoint_at"),
         )
 
 
@@ -152,6 +166,9 @@ class ScenarioVerdict:
     #: coarse ASM events reconstructed from the run's records
     #: (only when the spec asked for ``track_fsm``)
     fsm_events: Tuple[Tuple[str, str, tuple], ...] = ()
+    #: digest of the checkpoint ``spec.checkpoint_at`` captured, if any;
+    #: resolvable in the registry of the process that ran the scenario
+    frontier_digest: Optional[str] = None
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -194,6 +211,7 @@ class ScenarioVerdict:
                 [machine, action, list(args)]
                 for machine, action, args in self.fsm_events
             ],
+            "frontier_digest": self.frontier_digest,
         }
 
     @classmethod
@@ -216,6 +234,7 @@ class ScenarioVerdict:
                 (machine, action, tuple(args))
                 for machine, action, args in doc.get("fsm_events", ())
             ),
+            frontier_digest=doc.get("frontier_digest"),
         )
 
 
@@ -283,11 +302,58 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
     return _run_scenario(spec)
 
 
+def _capture_frontier(
+    spec: ScenarioSpec, system, harness, at_cycles: int
+) -> str:
+    """Snapshot the (quiescent) system into the registry; the digest."""
+    from dataclasses import replace
+
+    from ..checkpoint.capture import snapshot_system
+    from ..checkpoint.store import global_registry
+
+    base = replace(
+        spec, cycles=at_cycles, resume_from=None, checkpoint_at=None
+    )
+    checkpoint = snapshot_system(system, base, at_cycles, harness=harness)
+    if OBS.metrics.enabled:
+        OBS.metrics.counter("checkpoint.captured").inc()
+    return global_registry().put(checkpoint)
+
+
 def _run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
     started = time.perf_counter()
-    system = _build_system(spec)
-    harness = _attach_monitors(spec, system) if spec.with_monitors else None
-    system.run_cycles(spec.cycles)
+    if spec.resume_from:
+        # resume: rebuild the system in its checkpointed state and run
+        # only the remainder (spec.cycles is the total).  Imported
+        # lazily -- repro.checkpoint builds on this module.
+        from ..checkpoint.capture import restore_scenario
+        from ..checkpoint.store import global_registry
+
+        checkpoint = global_registry().get(spec.resume_from)
+        system, harness = restore_scenario(spec, checkpoint)
+        done = checkpoint.cycles_run
+        if OBS.metrics.enabled:
+            OBS.metrics.counter("checkpoint.resume").inc()
+            OBS.metrics.counter("checkpoint.cycles_skipped").inc(done)
+    else:
+        system = _build_system(spec)
+        harness = _attach_monitors(spec, system) if spec.with_monitors else None
+        if harness is not None and spec.checkpoint_at is not None:
+            # the snapshot replays the letter stream; record from cycle 0
+            harness.record_letters = True
+        done = 0
+    frontier_digest = None
+    if (
+        spec.checkpoint_at is not None
+        and done < spec.checkpoint_at <= spec.cycles
+    ):
+        system.run_cycles(spec.checkpoint_at - done)
+        frontier_digest = _capture_frontier(
+            spec, system, harness, spec.checkpoint_at
+        )
+        done = spec.checkpoint_at
+    if spec.cycles > done:
+        system.run_cycles(spec.cycles - done)
     if harness is not None:
         harness.finish()
     with OBS.tracer.span("scenarios.check", "scenarios", label=spec.label):
@@ -323,6 +389,7 @@ def _run_scenario(spec: ScenarioSpec) -> ScenarioVerdict:
             sorted((bin_.describe(), hits) for bin_, hits in bins.hits.items())
         ),
         fsm_events=events,
+        frontier_digest=frontier_digest,
     )
 
 

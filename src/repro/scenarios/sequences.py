@@ -57,6 +57,28 @@ class SequenceItem:
             f"x{self.burst} idle={self.idle}"
         )
 
+    def to_json(self) -> dict:
+        """Lossless wire form (checkpoints, remote dispatch)."""
+        return {
+            "target": self.target,
+            "is_write": self.is_write,
+            "burst": self.burst,
+            "address_offset": self.address_offset,
+            "payload": list(self.payload),
+            "idle": self.idle,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "SequenceItem":
+        return cls(
+            target=doc["target"],
+            is_write=doc["is_write"],
+            burst=doc["burst"],
+            address_offset=doc["address_offset"],
+            payload=tuple(doc["payload"]),
+            idle=doc["idle"],
+        )
+
 
 @dataclass(frozen=True)
 class TrafficProfile:

@@ -108,6 +108,34 @@ class Transaction:
             f"({self.mode.value}, {self.status.value}) data=[{words}]"
         )
 
+    def to_json(self) -> dict:
+        """Lossless wire form (checkpoints, remote dispatch)."""
+        return {
+            "master": self.master,
+            "address": self.address,
+            "is_write": self.is_write,
+            "data": list(self.data),
+            "mode": self.mode.value,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "status": self.status.value,
+            "txn_id": self.txn_id,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Transaction":
+        return cls(
+            master=doc["master"],
+            address=doc["address"],
+            is_write=doc["is_write"],
+            data=tuple(doc["data"]),
+            mode=BusMode(doc["mode"]),
+            start_cycle=doc["start_cycle"],
+            end_cycle=doc["end_cycle"],
+            status=BusStatus(doc["status"]),
+            txn_id=doc["txn_id"],
+        )
+
 
 class BlockingBusIf:
     """Blocking (burst) interface: the caller's thread waits until the

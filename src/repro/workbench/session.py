@@ -721,6 +721,7 @@ class Workbench:
         coordinator: Optional[str] = None,
         token: Optional[str] = None,
         seed: Optional[int] = None,
+        frontier: bool = True,
     ) -> StageResult:
         """Close the formal-only residue with directed sequence goals.
 
@@ -742,6 +743,17 @@ class Workbench:
         ``coordinator=URL`` submits each round as one job to the
         elastic coordinator fleet -- in each case the per-round
         regression digest matches a serial run.
+
+        With ``frontier=True`` (the default) every directed run
+        snapshots its end state into the checkpoint registry, keyed by
+        the FSM state its event walk stopped in.  The next round's
+        planner treats those covered frontier states as extra path
+        origins: a residue edge strictly closer to a frontier state
+        than to reset is planned from there, and its scenario *forks*
+        the cached checkpoint (``resume_from``) instead of re-walking
+        the warm-up -- same achieved-edge accounting, measurably fewer
+        simulated cycles per round (each round reports
+        ``cycles_simulated`` and ``cycles_saved``).
         """
         return self._execute(
             "close_coverage",
@@ -756,6 +768,7 @@ class Workbench:
                 "coordinator": coordinator,
                 "token": token,
                 "seed": seed,
+                "frontier": frontier,
             },
         )
 
@@ -770,6 +783,7 @@ class Workbench:
         coordinator: Optional[str],
         token: Optional[str],
         seed: Optional[int],
+        frontier: bool,
     ) -> StageResult:
         # imported lazily for the same reason as regress: the scenario
         # layer imports the engine layer
@@ -804,36 +818,111 @@ class Workbench:
         dispatch_metrics: List[Dict[str, Any]] = []
         coordinator_metrics: List[Dict[str, Any]] = []
 
+        use_frontier = bool(frontier)
+        checkpoint_registry = None
+        if use_frontier:
+            # imported lazily like the rest of the scenario layer; the
+            # spill dir makes subprocess-captured checkpoints resolvable
+            # here when a later round forks them
+            from ..checkpoint import ensure_spill_dir, global_registry
+
+            ensure_spill_dir()
+            checkpoint_registry = global_registry()
+        #: covered FSM state -> (checkpoint digest, cycles run, seed) of
+        #: the directed run whose event walk stopped there
+        frontier_checkpoints: Dict[int, Tuple[str, int, int]] = {}
+        fork_facts: Dict[int, Dict[str, int]] = {}
+
         def plan_round(edges: Tuple[str, ...], round_index: int) -> List[Any]:
             planned = []
-            # the cap counts *lowerable* plans: paths the drivers cannot
-            # realize (e.g. PCI STOP# edges) must not use up the budget
-            for plan in planner.plan(edges):
-                if max_goals is not None and len(planned) >= max_goals:
-                    break
+            available = (
+                sorted(
+                    state
+                    for state, (digest, _, _) in frontier_checkpoints.items()
+                    if digest in checkpoint_registry
+                )
+                if use_frontier
+                else []
+            )
+            facts = fork_facts.setdefault(
+                round_index,
+                {"forked_goals": 0, "cycles_saved": 0, "cycles_simulated": 0},
+            )
+            # the cap counts *lowerable from-reset* plans: paths the
+            # drivers cannot realize (e.g. PCI STOP# edges) must not use
+            # up the budget, and neither do frontier forks -- they skip
+            # the warm-up, so they ride along as cheap extras
+            from_reset_planned = 0
+            for plan in planner.plan(edges, frontier=available):
                 goals = lower_path_for_model(
                     duv.scenario_model, plan.calls(), topology
                 )
+                if not goals and plan.origin_state is not None:
+                    # the frontier path is not drivable from an idle
+                    # system (it starts mid-pattern); fall back to the
+                    # from-reset plan rather than dropping the edge
+                    fallback = planner.replan_from_initial(plan)
+                    if fallback is not None:
+                        plan = fallback
+                        goals = lower_path_for_model(
+                            duv.scenario_model, plan.calls(), topology
+                        )
                 if not goals:
                     unlowerable.add(plan.target_edge)
                     continue
-                spec_seed = derive_seed(
-                    base_seed, f"close/round{round_index}/goal{plan.index}"
-                ) % (2**31)
-                planned.append(
-                    (
-                        plan,
-                        ScenarioSpec(
-                            model=duv.scenario_model,
-                            seed=spec_seed,
-                            topology=topology,
-                            profile="directed",
-                            cycles=cycles,
-                            goals=tuple(goals),
-                            track_fsm=True,
-                        ),
+                if plan.origin_state is not None:
+                    # fork the frontier checkpoint: the restored system
+                    # already sits in origin_state, so the spec carries
+                    # only the path onward -- a strictly shorter goal
+                    # list -- and gets a budget prorated to it (never
+                    # more than a from-reset run would have spent)
+                    digest, cp_cycles, cp_seed = frontier_checkpoints[
+                        plan.origin_state
+                    ]
+                    if plan.initial_steps:
+                        extra = -(
+                            -cycles * len(plan.transitions)
+                            // plan.initial_steps
+                        )
+                        extra = min(cycles, max(extra, 16))
+                    else:
+                        extra = cycles
+                    spec = ScenarioSpec(
+                        model=duv.scenario_model,
+                        seed=cp_seed,    # restore pins the seed
+                        topology=topology,
+                        profile="directed",
+                        cycles=cp_cycles + extra,
+                        goals=tuple(goals),
+                        track_fsm=True,
+                        resume_from=digest,
+                        checkpoint_at=cp_cycles + extra,
                     )
-                )
+                    facts["forked_goals"] += 1
+                    facts["cycles_saved"] += cycles - extra
+                    facts["cycles_simulated"] += extra
+                else:
+                    if (
+                        max_goals is not None
+                        and from_reset_planned >= max_goals
+                    ):
+                        continue
+                    from_reset_planned += 1
+                    spec_seed = derive_seed(
+                        base_seed, f"close/round{round_index}/goal{plan.index}"
+                    ) % (2**31)
+                    spec = ScenarioSpec(
+                        model=duv.scenario_model,
+                        seed=spec_seed,
+                        topology=topology,
+                        profile="directed",
+                        cycles=cycles,
+                        goals=tuple(goals),
+                        track_fsm=True,
+                        checkpoint_at=cycles if use_frontier else None,
+                    )
+                    facts["cycles_simulated"] += cycles
+                planned.append((plan, spec))
             return planned
 
         def run_round(planned: List[Any], round_index: int) -> List[str]:
@@ -852,6 +941,18 @@ class Workbench:
                 achieved.update(walk.exercised)
                 visited_states.update(walk.visited_states)
                 off_path += walk.off_path
+                if (
+                    use_frontier
+                    and verdict.frontier_digest
+                    and walk.final_state is not None
+                    and walk.final_state not in frontier_checkpoints
+                ):
+                    frontier_checkpoints[walk.final_state] = (
+                        verdict.frontier_digest,
+                        verdict.spec.cycles,
+                        verdict.spec.seed,
+                    )
+            facts = fork_facts.get(round_index, {})
             round_data.append(
                 {
                     "round": round_index,
@@ -861,6 +962,9 @@ class Workbench:
                     "transactions": report.transactions,
                     "off_path_events": off_path,
                     "regression_digest": report.digest(),
+                    "forked_goals": facts.get("forked_goals", 0),
+                    "cycles_saved": facts.get("cycles_saved", 0),
+                    "cycles_simulated": facts.get("cycles_simulated", 0),
                 }
             )
             outcome = getattr(engine, "last_outcome", None)
@@ -933,6 +1037,17 @@ class Workbench:
                 "achieved": len(closed),
                 "went_dry": loop.went_dry,
                 "unlowerable_edges": sorted(unlowerable),
+                "frontier": use_frontier,
+                "frontier_states": sorted(frontier_checkpoints),
+                "forked_goals": sum(
+                    f.get("forked_goals", 0) for f in fork_facts.values()
+                ),
+                "cycles_saved": sum(
+                    f.get("cycles_saved", 0) for f in fork_facts.values()
+                ),
+                "cycles_simulated": sum(
+                    f.get("cycles_simulated", 0) for f in fork_facts.values()
+                ),
                 "residue_before": residue_before.to_json(),
                 "residue": residue_after.to_json(),
             },

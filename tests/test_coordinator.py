@@ -13,9 +13,15 @@ import threading
 import time
 import urllib.error
 import urllib.request
+from dataclasses import replace
 
 import pytest
 
+from repro.checkpoint import (
+    global_registry,
+    reset_global_registry,
+    snapshot_scenario_run,
+)
 from repro.coordinator import (
     Coordinator,
     CoordinatorClient,
@@ -33,8 +39,9 @@ from repro.dispatch import (
     plan_shards,
     specs_fingerprint,
 )
+from repro.coordinator.store import ShardStore
 from repro.dispatch.worker import start_worker
-from repro.scenarios.regression import RegressionRunner, build_specs
+from repro.scenarios.regression import RegressionRunner, ScenarioSpec, build_specs
 from repro.workbench import SerialEngine, Workbench
 
 SPECS = build_specs(count=6, cycles=120)
@@ -118,6 +125,46 @@ class TestResultStore:
             handle.write("not json at all")
         assert store.fetch(FINGERPRINT, seeds) is None
         assert store.corruptions == 1
+
+
+class TestShardStore:
+    """Per-shard checkpoints: the resumable-job ledger on disk."""
+
+    def test_roundtrip_geometry_keying_and_prune(
+        self, tmp_path, serial_report
+    ):
+        store = ShardStore(str(tmp_path))
+        seeds = sorted({s.seed for s in SPECS})
+        store.put_shard(FINGERPRINT, seeds, 0, 4, serial_report)
+        store.put_shard(FINGERPRINT, seeds, 2, 4, serial_report)
+        assert store.entries() == 2
+        fetched = store.fetch_shard(FINGERPRINT, seeds, 0, 4)
+        assert fetched is not None
+        assert fetched.digest() == serial_report.digest()
+        # the plan geometry is part of the key: the same index under a
+        # different split, or a never-completed index, reads as a miss
+        assert store.fetch_shard(FINGERPRINT, seeds, 0, 2) is None
+        assert store.fetch_shard(FINGERPRINT, seeds, 1, 4) is None
+        assert store.prune(FINGERPRINT, seeds) == 2
+        assert store.entries() == 0
+
+    def test_tampered_shard_reads_as_miss_and_is_dropped(
+        self, tmp_path, serial_report
+    ):
+        """A resume must never trust a rotted checkpoint: the digest is
+        re-verified on read, the bad entry removed and counted, and the
+        shard simply re-runs as a miss."""
+        store = ShardStore(str(tmp_path))
+        seeds = [1, 2]
+        path = store.put_shard(FINGERPRINT, seeds, 1, 3, serial_report)
+        with open(path) as handle:
+            doc = json.load(handle)
+        doc["report"]["verdicts"][0]["stream_digest"] = "0" * 16
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+        assert store.fetch_shard(FINGERPRINT, seeds, 1, 3) is None
+        assert store.corruptions == 1
+        assert store.entries() == 0
 
 
 @pytest.fixture()
@@ -346,6 +393,57 @@ class TestElasticService:
         assert job.dispatch["worker_leaves"] >= 1
         assert "late" in job.dispatch["hosts"]
 
+    def test_killed_job_resumes_from_shard_checkpoints(
+        self, tmp_path, serial_report
+    ):
+        """Satellite: the whole pool dies mid-job; resubmission resumes
+        from the shards checkpointed before the death instead of
+        starting over, and the merged digest still equals serial.
+        """
+        hosts = {}
+        coordinator = self._coordinator(
+            tmp_path, hosts, idle_timeout=0.5, poll_interval=0.02
+        )
+        first = _ScriptedWorkerHost("first", delay=0.12)
+        hosts["first:1"] = first
+        coordinator.registry.register("first:1")
+        job = coordinator.submit(specs=SPECS)
+        runner = threading.Thread(target=coordinator.run_next)
+        runner.start()
+        # let a couple of shards land, then kill the only worker: the
+        # job fails (no live workers), but every completed shard was
+        # checkpointed to the shard store as it finished
+        time.sleep(0.3)
+        first.dead = True
+        runner.join(timeout=60)
+        assert not runner.is_alive()
+        assert job.status == "failed", (job.status, job.error)
+        resumable = coordinator.shard_store.entries()
+        assert resumable >= 1, "no shard checkpoints written before death"
+
+        # a fresh worker joins and the job is resubmitted: checkpointed
+        # shards are pre-completed from disk, only the rest re-run
+        second = _ScriptedWorkerHost("second", delay=0.0)
+        hosts["second:1"] = second
+        coordinator.registry.register("second:1")
+        retry = coordinator.submit(specs=SPECS)
+        coordinator.run_pending()
+        assert retry.status == "done", retry.error
+        assert retry.report_doc["digest"] == serial_report.digest()
+        assert retry.dispatch["shards_resumed"] == resumable
+        assert (
+            coordinator.metrics.counter("coordinator.checkpoint.resume").value
+            == 1
+        )
+        assert (
+            coordinator.metrics.counter(
+                "coordinator.checkpoint.shards_skipped"
+            ).value
+            == resumable
+        )
+        # the finished job pruned its checkpoints from the shard store
+        assert coordinator.shard_store.entries() == 0
+
     def test_repeat_submission_is_served_from_the_store(
         self, tmp_path, serial_report
     ):
@@ -455,6 +553,64 @@ class TestCoordinatorHttp:
         )
         serial = RegressionRunner(specs, engine=SerialEngine()).run()
         assert result.data["regression_digest"] == serial.digest()
+
+    def test_resume_spec_ships_its_checkpoint_through_the_fleet(
+        self, fleet
+    ):
+        """A spec carrying ``resume_from`` works end to end: the client
+        uploads the checkpoint to the coordinator, the coordinator fans
+        it out to workers, and the job's digest equals the same spec
+        run fresh from reset."""
+        coordinator, _workers, client = fleet
+        spec = ScenarioSpec(
+            "master_slave", 2005, (2, 2, 2), "bursty", 120, None, True, (),
+            True,
+        )
+        baseline = RegressionRunner([spec]).run()
+        reset_global_registry()
+        try:
+            checkpoint = snapshot_scenario_run(replace(spec, cycles=60), 60)
+            digest = global_registry().put(checkpoint)
+            resumed = replace(spec, resume_from=digest)
+            report, job = client.run([resumed])
+            assert report.digest() == baseline.digest()
+            assert job["from_cache"] is False
+            uploads = coordinator.coordinator.metrics.counter(
+                "coordinator.checkpoint_uploads"
+            ).value
+            assert uploads >= 1
+        finally:
+            reset_global_registry()
+
+    def test_corrupt_checkpoint_upload_is_a_400(self, fleet):
+        """The coordinator applies the same wire taxonomy as a worker:
+        a tampered checkpoint is refused with a 400, not accepted or
+        crashed on."""
+        coordinator, _workers, _client = fleet
+        spec = ScenarioSpec(
+            "master_slave", 2005, (2, 2, 2), "bursty", 60, None, True, (),
+            True,
+        )
+        reset_global_registry()
+        try:
+            doc = snapshot_scenario_run(spec, 30).to_json()
+            doc["payload"]["cycles_run"] += 1      # digest now lies
+            body = json.dumps(
+                {"version": 1, "checkpoint": doc}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                f"{coordinator.url}/checkpoints",
+                data=body,
+                headers={"Authorization": "Bearer fleet-secret"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 400
+            message = json.loads(excinfo.value.read())["error"]
+            assert "rejected checkpoint upload" in message
+        finally:
+            reset_global_registry()
 
     def test_worker_reregisters_after_coordinator_forgets_it(self, fleet):
         coordinator, workers, client = fleet

@@ -14,9 +14,15 @@ import sys
 import threading
 import urllib.error
 import urllib.request
+from dataclasses import replace
 
 import pytest
 
+from repro.checkpoint import (
+    UnknownCheckpointError,
+    global_registry,
+    snapshot_scenario_run,
+)
 from repro.dispatch import (
     DispatchError,
     HostFailure,
@@ -30,8 +36,19 @@ from repro.dispatch import (
     plan_shards,
     shards_for_hosts,
 )
-from repro.dispatch.worker import WorkerError, run_shard_request, start_worker
-from repro.scenarios.regression import RegressionRunner, build_specs
+from repro.dispatch.worker import (
+    CheckpointCache,
+    UnknownCheckpointDigestError,
+    WorkerError,
+    run_shard_request,
+    start_worker,
+    store_checkpoint_request,
+)
+from repro.scenarios.regression import (
+    RegressionRunner,
+    ScenarioSpec,
+    build_specs,
+)
 from repro.workbench import SerialEngine, Workbench
 
 SPECS = build_specs(count=6, cycles=120)
@@ -110,6 +127,7 @@ class TestWorkerProtocol:
             "uptime_seconds",
             "shards_served",
             "spec_cache_entries",
+            "checkpoint_cache_entries",
             "psl_engine",
             "compile_cache",
         }
@@ -118,6 +136,7 @@ class TestWorkerProtocol:
         assert doc["uptime_seconds"] >= 0
         assert doc["shards_served"] == 0
         assert doc["spec_cache_entries"] == 0
+        assert doc["checkpoint_cache_entries"] == 0
         assert doc["psl_engine"] in ("compiled", "interpreted")
         assert {"plan_hits", "plan_misses", "automaton_hits", "automaton_misses"} <= set(
             doc["compile_cache"]
@@ -341,6 +360,108 @@ class TestTransportFailureTaxonomy:
                 assert all(run.host == "good" for run in outcome.runs)
             finally:
                 server.stop()
+
+
+class TestCheckpointTransport:
+    """``POST /checkpoints`` + by-digest resume: the same 400/404
+    taxonomy as the spec cache, extended to checkpoint wire forms."""
+
+    def _resume_setup(self):
+        """A monitored spec, its cycle-60 checkpoint (registered in the
+        local registry) and the spec resuming from it."""
+        spec = ScenarioSpec(
+            "master_slave", 2005, (2, 2, 2), "bursty", 120,
+            None, True, (), True,
+        )
+        checkpoint = snapshot_scenario_run(replace(spec, cycles=60), 60)
+        digest = global_registry().put(checkpoint)
+        return spec, checkpoint, replace(spec, resume_from=digest)
+
+    def test_store_checkpoint_request_taxonomy(self):
+        """The pure request handler: every malformed upload is a typed
+        WorkerError (-> 400), a cache miss is the 404-class error."""
+        cache = CheckpointCache()
+        _, checkpoint, _ = self._resume_setup()
+        with pytest.raises(WorkerError, match='"checkpoint" object'):
+            store_checkpoint_request({"version": 1}, cache)
+        corrupt = checkpoint.to_json()
+        corrupt["payload"]["txn_next"] += 1
+        with pytest.raises(WorkerError, match="rejected checkpoint upload"):
+            store_checkpoint_request(
+                {"version": 1, "checkpoint": corrupt}, cache
+            )
+        newer = checkpoint.to_json()
+        newer["version"] = 99
+        with pytest.raises(WorkerError, match="rejected checkpoint upload"):
+            store_checkpoint_request(
+                {"version": 1, "checkpoint": newer}, cache
+            )
+        accepted = store_checkpoint_request(
+            {"version": 1, "checkpoint": checkpoint.to_json()}, cache
+        )
+        assert accepted["ok"] is True
+        assert accepted["digest"] == checkpoint.digest
+        assert cache.get(checkpoint.digest).digest == checkpoint.digest
+        with pytest.raises(
+            UnknownCheckpointDigestError, match="unknown checkpoint"
+        ):
+            cache.get("0" * 64)
+
+    def test_resume_over_http_matches_uninterrupted(self, worker):
+        """The host ships the checkpoint, the worker resumes from it,
+        and the report digest equals the uninterrupted serial run."""
+        spec, _, resume_spec = self._resume_setup()
+        base = RegressionRunner([spec], engine=SerialEngine()).run()
+        report = HttpHost(worker.address).run_shard(
+            ShardWork(shard=plan_shards([resume_spec], 1)[0], spec_file="")
+        )
+        assert report.digest() == base.digest()
+
+    def test_worker_that_never_saw_the_digest_answers_404(self, worker):
+        spec, _, _ = self._resume_setup()
+        ghost = replace(spec, resume_from="0" * 64)
+        body = {
+            "version": 1,
+            "shard": {"index": 0, "of": 1, "specs": [ghost.to_json()]},
+            "workers": 1,
+        }
+        request = urllib.request.Request(
+            f"http://{worker.address}/run",
+            data=json.dumps(body).encode("utf-8"),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 404
+        assert "unknown checkpoint" in json.loads(excinfo.value.read())[
+            "error"
+        ]
+
+    def test_corrupt_upload_is_a_400_not_a_crash(self, worker):
+        _, checkpoint, _ = self._resume_setup()
+        doc = checkpoint.to_json()
+        doc["payload"]["cycles_run"] += 1
+        request = urllib.request.Request(
+            f"http://{worker.address}/checkpoints",
+            data=json.dumps({"version": 1, "checkpoint": doc}).encode(
+                "utf-8"
+            ),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "digest mismatch" in json.loads(excinfo.value.read())["error"]
+
+    def test_missing_local_checkpoint_surfaces_client_side(self, worker):
+        """A resume digest nobody registered fails in the *client's*
+        registry lookup before anything crosses the wire."""
+        spec, _, _ = self._resume_setup()
+        ghost = replace(spec, resume_from="f" * 64)
+        with pytest.raises(UnknownCheckpointError, match="unknown"):
+            HttpHost(worker.address).run_shard(
+                ShardWork(shard=plan_shards([ghost], 1)[0], spec_file="")
+            )
 
 
 class _SlowHost:

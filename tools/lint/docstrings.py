@@ -28,6 +28,7 @@ from .registry import REPO_ROOT, Finding, register, repo_relative
 #: under ``src/repro``.
 AUDITED = (
     "analyze",
+    "checkpoint",
     "dispatch",
     "coordinator",
     "obs",
